@@ -1,0 +1,231 @@
+package stardust
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/core"
+	"stardust/internal/gen"
+	"stardust/internal/mbr"
+	"stardust/internal/rstar"
+	"stardust/internal/wavelet"
+)
+
+// Ablations for the design choices the paper analyzes: box capacity c
+// (space/precision), update-rate schedules (online/batch/SWAT), the two
+// MBR wavelet transforms (Online I corner sweep vs Online II bound) and
+// the index fan-out. Quality side effects are emitted as custom metrics so
+// `go test -bench Ablation` doubles as the ablation report.
+
+// BenchmarkAblationBoxCapacity sweeps c, reporting per-item time plus the
+// aggregate-query screening precision and summary box count the capacity
+// buys.
+func BenchmarkAblationBoxCapacity(b *testing.B) {
+	rng := rand.New(rand.NewSource(201))
+	data := gen.Burst(rng, 6000, 8, 40)
+	for _, c := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			var precision, boxes float64
+			b.ReportAllocs()
+			for iter := 0; iter < b.N; iter++ {
+				sum, err := core.NewSummary(core.Config{
+					W: 8, Levels: 6, Transform: core.TransformSum,
+					BoxCapacity: c, HistoryN: 1024,
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cand, confirmed int
+				for i, v := range data {
+					sum.Append(0, v)
+					if i < 120 || i%7 != 0 {
+						continue
+					}
+					res, err := sum.AggregateQuery(0, 120, 1400)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Candidate {
+						cand++
+						if res.Alarm {
+							confirmed++
+						}
+					}
+				}
+				if cand > 0 {
+					precision = float64(confirmed) / float64(cand)
+				} else {
+					precision = 1
+				}
+				boxes = float64(sum.Stats().TotalBoxes())
+			}
+			b.ReportMetric(precision, "precision")
+			b.ReportMetric(boxes, "boxes")
+		})
+	}
+}
+
+// BenchmarkAblationRateSchedule compares the three maintenance schedules'
+// per-item cost and retained box counts.
+func BenchmarkAblationRateSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(202))
+	data := gen.RandomWalk(rng, 4096)
+	schedules := []struct {
+		name string
+		rate core.RateFunc
+	}{
+		{"online", core.RateOnline},
+		{"batch", core.RateBatch(8)},
+		{"swat", core.RateSWAT},
+	}
+	for _, sc := range schedules {
+		b.Run(sc.name, func(b *testing.B) {
+			var boxes float64
+			b.ReportAllocs()
+			for iter := 0; iter < b.N; iter++ {
+				sum, err := core.NewSummary(core.Config{
+					W: 8, Levels: 5, Transform: core.TransformSum,
+					Rate: sc.rate, HistoryN: 512,
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range data {
+					sum.Append(0, v)
+				}
+				boxes = float64(sum.Stats().TotalBoxes())
+			}
+			b.ReportMetric(boxes, "boxes")
+		})
+	}
+}
+
+// BenchmarkAblationOnlineIvsII compares the corner-enumeration transform
+// (Θ(2^{2f}·f)) with the low/high bound (Θ(f)) on the D4 filter, where the
+// two genuinely differ, reporting the tightness (volume ratio ≤ 1 means
+// Online I is tighter).
+func BenchmarkAblationOnlineIvsII(b *testing.B) {
+	rng := rand.New(rand.NewSource(203))
+	const dim = 8 // f' = 2f with f = 4
+	boxes := make([]mbr.MBR, 256)
+	for i := range boxes {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			c := rng.Float64()*10 - 5
+			w := rng.Float64()
+			lo[d], hi[d] = c-w, c+w
+		}
+		boxes[i] = mbr.FromBounds(lo, hi)
+	}
+	filt := wavelet.Daubechies4()
+
+	b.Run("onlineII", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			wavelet.TransformMBROnlineII(boxes[i%len(boxes)], filt)
+		}
+	})
+	b.Run("onlineI", func(b *testing.B) {
+		b.ReportAllocs()
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			in := boxes[i%len(boxes)]
+			o1 := wavelet.TransformMBROnlineI(in, filt)
+			o2 := wavelet.TransformMBROnlineII(in, filt)
+			if v2 := o2.Volume(); v2 > 0 {
+				ratio += o1.Volume() / v2
+			}
+		}
+		b.ReportMetric(ratio/float64(b.N), "tightness-ratio")
+	})
+}
+
+// BenchmarkAblationIndexFanout sweeps the R*-tree node capacity.
+func BenchmarkAblationIndexFanout(b *testing.B) {
+	rng := rand.New(rand.NewSource(204))
+	type item struct {
+		box mbr.MBR
+		id  int
+	}
+	items := make([]item, 20000)
+	for i := range items {
+		p := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		items[i] = item{box: mbr.FromPoint(p), id: i}
+	}
+	for _, fanout := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("M=%d", fanout), func(b *testing.B) {
+			b.ReportAllocs()
+			for iter := 0; iter < b.N; iter++ {
+				tr := rstar.New[int](2, rstar.Options{MaxEntries: fanout})
+				for _, it := range items {
+					tr.Insert(it.box, it.id)
+				}
+				// A handful of queries to expose the search-side tradeoff.
+				for q := 0; q < 100; q++ {
+					center := []float64{rng.Float64() * 100, rng.Float64() * 100}
+					tr.SearchSphere(center, 2, func(_ mbr.MBR, _ int) bool { return true })
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchQueryLevel sweeps the resolution level Algorithm 4
+// queries at — the paper's Section 6.2.1 adaptation: lower levels increase
+// the multi-piece refinement factor p (tighter piece radius, better for
+// high-selectivity queries) while higher levels carry coarser trend
+// information in fewer candidates.
+func BenchmarkAblationBatchQueryLevel(b *testing.B) {
+	rng := rand.New(rand.NewSource(205))
+	const streams, n = 6, 1500
+	data := gen.HostLoads(rng, streams, n)
+	sum, err := core.NewSummary(core.Config{
+		W: 16, Levels: 5, Transform: core.TransformDWT, F: 4,
+		Normalization: core.NormUnit, Rmax: 4,
+		Rate: core.RateBatch(16), Direct: true, HistoryN: n,
+	}, streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for s := 0; s < streams; s++ {
+			sum.Append(s, data[s][i])
+		}
+	}
+	queries := make([][]float64, 12)
+	for qi := range queries {
+		src := rng.Intn(streams)
+		start := rng.Intn(n - 200)
+		q := make([]float64, 200)
+		for i := range q {
+			q[i] = data[src][start+i] + 0.1*(rng.Float64()-0.5)
+		}
+		queries[qi] = q
+	}
+	maxJ, err := sum.MaxBatchLevel(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j <= maxJ; j++ {
+		b.Run(fmt.Sprintf("level=%d", j), func(b *testing.B) {
+			var prec, cands float64
+			for iter := 0; iter < b.N; iter++ {
+				prec, cands = 0, 0
+				for _, q := range queries {
+					res, err := sum.PatternQueryBatchAt(q, 0.08, j)
+					if err != nil {
+						b.Fatal(err)
+					}
+					prec += res.Precision()
+					cands += float64(len(res.Candidates))
+				}
+				prec /= float64(len(queries))
+				cands /= float64(len(queries))
+			}
+			b.ReportMetric(prec, "precision")
+			b.ReportMetric(cands, "candidates")
+		})
+	}
+}

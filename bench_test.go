@@ -1,0 +1,179 @@
+package stardust
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/experiments"
+	"stardust/internal/gen"
+)
+
+// Benchmarks named BenchmarkFig*/BenchmarkTable* regenerate the paper's
+// artifacts (Section 6) at scaled-down parameters; run
+// `go run ./cmd/stardust-bench -full` for the paper-scale tables. The
+// remaining benchmarks measure the core per-item and per-query costs the
+// paper's complexity claims are about.
+
+func benchExperiment(b *testing.B, name string) {
+	e, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(experiments.Options{Out: io.Discard, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aBurstPrecision regenerates Figure 4(a): burst detection
+// precision vs threshold factor, Stardust capacities vs SWT.
+func BenchmarkFig4aBurstPrecision(b *testing.B) { benchExperiment(b, "fig4a") }
+
+// BenchmarkFig4bVolatilityPrecision regenerates Figures 4(b)/(c):
+// volatility precision and alarm counts vs query-set size.
+func BenchmarkFig4bVolatilityPrecision(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// BenchmarkFig5PatternPrecision regenerates Figure 5: pattern-query
+// precision across the four techniques.
+func BenchmarkFig5PatternPrecision(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTable1CorrelationScalability regenerates Table 1: correlation
+// detection time, Stardust vs StatStream.
+func BenchmarkTable1CorrelationScalability(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig6Dimensionality regenerates Figure 6: correlation precision
+// and time vs threshold for f ∈ {2, 4, 8, 16}.
+func BenchmarkFig6Dimensionality(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkAppendSum measures the per-item maintenance cost of the online
+// SUM summary (Theorem 4.3's Θ(f) per level).
+func BenchmarkAppendSum(b *testing.B) {
+	for _, capacity := range []int{1, 64} {
+		b.Run(map[int]string{1: "c=1", 64: "c=64"}[capacity], func(b *testing.B) {
+			m, err := New(Config{Streams: 1, W: 32, Levels: 6, Transform: Sum, BoxCapacity: capacity})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Append(0, rng.Float64())
+			}
+		})
+	}
+}
+
+// BenchmarkAppendDWTOnline measures per-item cost of merged DWT features.
+func BenchmarkAppendDWTOnline(b *testing.B) {
+	m, err := New(Config{
+		Streams: 1, W: 32, Levels: 5, Transform: DWT, Coefficients: 4,
+		Normalization: NormUnit, Rmax: 100, BoxCapacity: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Append(0, rng.Float64()*100)
+	}
+}
+
+// BenchmarkAppendDWTBatchZ measures per-item cost of the batch z-norm
+// composite maintenance used by correlation monitoring.
+func BenchmarkAppendDWTBatchZ(b *testing.B) {
+	m, err := New(Config{
+		Streams: 1, W: 16, Levels: 5, Transform: DWT, Coefficients: 2,
+		Normalization: NormZ, Mode: Batch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Append(0, rng.Float64()*100)
+	}
+}
+
+// BenchmarkAggregateQuery measures one Algorithm-2 check (decompose +
+// compose + threshold screen, alarm verification amortized in).
+func BenchmarkAggregateQuery(b *testing.B) {
+	m, err := New(Config{Streams: 1, W: 32, Levels: 6, Transform: Sum, BoxCapacity: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4096; i++ {
+		m.Append(0, rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CheckAggregate(0, 32*13, 1e12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPatternQueryOnline measures one Algorithm-3 query over a warm
+// multi-stream summary.
+func BenchmarkPatternQueryOnline(b *testing.B) {
+	m, err := New(Config{
+		Streams: 8, W: 16, Levels: 5, Transform: DWT, Coefficients: 4,
+		Normalization: NormUnit, Rmax: 4, BoxCapacity: 16, History: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := gen.HostLoads(rng, 8, 1024)
+	for i := 0; i < 1024; i++ {
+		for s := 0; s < 8; s++ {
+			m.Append(s, data[s][i])
+		}
+	}
+	q := gen.HostLoad(rng, 16*11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindPattern(q, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrelationRound measures one screened detection round over 64
+// streams.
+func BenchmarkCorrelationRound(b *testing.B) {
+	const M = 64
+	m, err := New(Config{
+		Streams: M, W: 16, Levels: 5, Transform: DWT, Coefficients: 2,
+		Normalization: NormZ, Mode: Batch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := gen.CorrelatedWalks(rng, M, 512, 4, 0.5)
+	vs := make([]float64, M)
+	for i := 0; i < 512; i++ {
+		for s := 0; s < M; s++ {
+			vs[s] = data[s][i]
+		}
+		m.AppendAll(vs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Summary().CorrelationScreen(4, 0.04); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

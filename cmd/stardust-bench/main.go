@@ -1,0 +1,47 @@
+// Command stardust-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	stardust-bench [-exp name] [-full] [-seed n]
+//
+// Without -exp every experiment runs in order. The default parameters are
+// scaled down to finish in seconds; -full selects the paper-scale
+// configuration. Results print as plain-text tables matching the paper's
+// rows/series; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stardust/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all); one of "+strings.Join(experiments.Names(), ", "))
+	full := flag.Bool("full", false, "use paper-scale parameters (slow)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	opt := experiments.Options{Out: os.Stdout, Full: *full, Seed: *seed}
+
+	var list []experiments.Experiment
+	if *exp == "" {
+		list = experiments.All()
+	} else {
+		e, ok := experiments.ByName(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *exp, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		list = []experiments.Experiment{e}
+	}
+	for _, e := range list {
+		if err := e.Run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command stardust-gen writes synthetic datasets to stdout or a file, one
+// value per line (CSV with a stream column for multi-stream sets). These
+// are the workloads the experiment harness uses as substitutes for the
+// paper's non-redistributable datasets (see DESIGN.md).
+//
+// Usage:
+//
+//	stardust-gen -kind burst -n 9382 > burst.csv
+//	stardust-gen -kind hostload -streams 25 -n 3000 -o hostload.csv
+//
+// Kinds: randomwalk, correlated, burst, packet, hostload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"stardust/internal/gen"
+	"stardust/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "randomwalk", "dataset kind: randomwalk, correlated, burst, packet, hostload")
+	n := flag.Int("n", 10000, "values per stream")
+	streams := flag.Int("streams", 1, "number of streams")
+	group := flag.Int("group", 4, "group size for -kind correlated")
+	jitter := flag.Float64("jitter", 0.5, "jitter for -kind correlated")
+	rate := flag.Float64("rate", 10, "background rate for -kind burst")
+	amp := flag.Float64("amp", 40, "burst amplitude for -kind burst")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var data [][]float64
+	switch *kind {
+	case "randomwalk":
+		data = gen.RandomWalks(rng, *streams, *n)
+	case "correlated":
+		data = gen.CorrelatedWalks(rng, *streams, *n, *group, *jitter)
+	case "burst":
+		data = perStream(*streams, func() []float64 { return gen.Burst(rng, *n, *rate, *amp) })
+	case "packet":
+		data = perStream(*streams, func() []float64 { return gen.Packet(rng, *n) })
+	case "hostload":
+		data = gen.HostLoads(rng, *streams, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, data); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func perStream(m int, one func() []float64) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = one()
+	}
+	return out
+}
+
+// write emits "value" lines for a single stream, or "stream,value" lines
+// for multiple streams in arrival order (time-major).
+func write(w io.Writer, data [][]float64) error {
+	if len(data) == 1 {
+		return trace.WriteValues(w, data[0])
+	}
+	return trace.WriteStreams(w, data)
+}

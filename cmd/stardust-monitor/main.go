@@ -1,0 +1,160 @@
+// Command stardust-monitor tails a stream on stdin (or a file) and raises
+// multi-timescale aggregate alarms in real time — the paper's
+// Gamma-ray-burst scenario as a command-line tool.
+//
+// Usage:
+//
+//	stardust-gen -kind burst -n 9382 | stardust-monitor -w 20 -windows 5 -lambda 8
+//	stardust-gen -kind packet -streams 4 -n 50000 | stardust-monitor -multi -spread
+//
+// Input is one value per line, or "stream,value" lines with -multi. The
+// monitor trains per-stream thresholds on the first -train arrivals
+// (mean + λ·σ of the sliding aggregate per window), then reports every
+// verified alarm as
+//
+//	ALARM stream=<s> t=<time> window=<w> value=<exact> threshold=<τ>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stardust"
+	"stardust/internal/adaptive"
+	"stardust/internal/aggregate"
+)
+
+func main() {
+	w := flag.Int("w", 20, "base window size W (smallest monitored timescale)")
+	nWindows := flag.Int("windows", 5, "number of monitored windows: W, 2W, ..., nW")
+	lambda := flag.Float64("lambda", 8, "threshold factor: τ_w = μ + λ·σ over the training prefix")
+	train := flag.Int("train", 1000, "training prefix length")
+	capacity := flag.Int("c", 8, "box capacity (1 = exact, larger = smaller index)")
+	spread := flag.Bool("spread", false, "monitor SPREAD (volatility) instead of SUM (bursts)")
+	multi := flag.Bool("multi", false, "multi-stream input: \"stream,value\" lines")
+	streams := flag.Int("streams", 8, "maximum stream id + 1 accepted with -multi")
+	in := flag.String("f", "", "input file (default stdin)")
+	flag.Parse()
+
+	input := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		input = f
+	}
+
+	tr := stardust.Sum
+	agg := aggregate.Sum
+	if *spread {
+		tr = stardust.Spread
+		agg = aggregate.Spread
+	}
+	levels := 1
+	for *w<<uint(levels-1) < *w**nWindows {
+		levels++
+	}
+	numStreams := 1
+	if *multi {
+		numStreams = *streams
+	}
+	mon, err := stardust.New(stardust.Config{
+		Streams: numStreams, W: *w, Levels: levels,
+		Transform: tr, BoxCapacity: *capacity,
+		History: 2 * *w << uint(levels-1),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	windows := make([]int, *nWindows)
+	for i := range windows {
+		windows[i] = (i + 1) * *w
+	}
+	// Per-stream trainers and thresholds.
+	trainers := make([]*adaptive.ThresholdTrainer, numStreams)
+	thresholds := make([]map[int]float64, numStreams)
+	trained := make([]int, numStreams)
+	for sid := range trainers {
+		tr, err := adaptive.NewThresholdTrainer(agg, windows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trainers[sid] = tr
+		thresholds[sid] = make(map[int]float64)
+	}
+
+	scanner := bufio.NewScanner(input)
+	total, alarms := 0, 0
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sid := 0
+		valueText := line
+		if *multi {
+			comma := strings.IndexByte(line, ',')
+			if comma < 0 {
+				fmt.Fprintf(os.Stderr, "skipping %q: want stream,value\n", line)
+				continue
+			}
+			id, err := strconv.Atoi(strings.TrimSpace(line[:comma]))
+			if err != nil || id < 0 || id >= numStreams {
+				fmt.Fprintf(os.Stderr, "skipping %q: bad stream id\n", line)
+				continue
+			}
+			sid = id
+			valueText = line[comma+1:]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valueText), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+			continue
+		}
+		total++
+		mon.Append(sid, v)
+		if trained[sid] < *train {
+			trainers[sid].Push(v)
+			trained[sid]++
+			if trained[sid] == *train {
+				for _, wi := range windows {
+					thresholds[sid][wi] = trainers[sid].ThresholdLambda(wi, *lambda)
+				}
+				fmt.Printf("# stream %d trained; recommended windows: %v\n",
+					sid, trainers[sid].RecommendWindows())
+			}
+			continue
+		}
+		t := mon.Now(sid)
+		for _, wi := range windows {
+			if t < int64(wi)-1 {
+				continue
+			}
+			res, err := mon.CheckAggregate(sid, wi, thresholds[sid][wi])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if res.Alarm {
+				alarms++
+				fmt.Printf("ALARM stream=%d t=%d window=%d value=%.3f threshold=%.3f\n",
+					sid, t, wi, res.Exact, thresholds[sid][wi])
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# done: %d values, %d alarms\n", total, alarms)
+}

@@ -1,0 +1,115 @@
+// Command stardust-server runs the HTTP monitoring service: JSON ingestion
+// plus aggregate, pattern and correlation queries over a shared Stardust
+// summary, with optional snapshot persistence across restarts.
+//
+// Usage:
+//
+//	stardust-server -addr :8080 -streams 16 -w 16 -levels 5 \
+//	    -transform dwt -mode batch -norm z -snapshot state.snap
+//
+// If the snapshot file exists at startup, state is restored from it. See
+// internal/server for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"stardust"
+	"stardust/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	streams := flag.Int("streams", 4, "number of streams")
+	w := flag.Int("w", 16, "base window size")
+	levels := flag.Int("levels", 4, "resolution levels")
+	transform := flag.String("transform", "sum", "feature transform: sum, max, min, spread, dwt")
+	mode := flag.String("mode", "online", "maintenance mode: online, batch, swat")
+	norm := flag.String("norm", "none", "DWT normalization: none, unit, z")
+	rmax := flag.Float64("rmax", 0, "value-range bound for -norm unit")
+	coeffs := flag.Int("f", 2, "DWT coefficients per feature")
+	capacity := flag.Int("c", 0, "box capacity (0 = default)")
+	history := flag.Int("history", 0, "raw history retained (0 = default)")
+	snapshot := flag.String("snapshot", "", "snapshot file (restored at startup when present)")
+	watch := flag.Bool("watch", false, "enable standing queries: POST /watch registers them, GET /events drains alarms")
+	flag.Parse()
+
+	cfg := stardust.Config{
+		Streams:      *streams,
+		W:            *w,
+		Levels:       *levels,
+		BoxCapacity:  *capacity,
+		Coefficients: *coeffs,
+		Rmax:         *rmax,
+		History:      *history,
+	}
+	switch *transform {
+	case "sum":
+		cfg.Transform = stardust.Sum
+	case "max":
+		cfg.Transform = stardust.Max
+	case "min":
+		cfg.Transform = stardust.Min
+	case "spread":
+		cfg.Transform = stardust.Spread
+	case "dwt":
+		cfg.Transform = stardust.DWT
+	default:
+		log.Fatalf("unknown transform %q", *transform)
+	}
+	switch *mode {
+	case "online":
+		cfg.Mode = stardust.Online
+	case "batch":
+		cfg.Mode = stardust.Batch
+	case "swat":
+		cfg.Mode = stardust.SWAT
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	switch *norm {
+	case "none":
+		cfg.Normalization = stardust.NormNone
+	case "unit":
+		cfg.Normalization = stardust.NormUnit
+	case "z":
+		cfg.Normalization = stardust.NormZ
+	default:
+		log.Fatalf("unknown normalization %q", *norm)
+	}
+
+	mon, err := buildMonitor(cfg, *snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var srv *server.Server
+	if *watch {
+		srv = server.NewWithWatcher(stardust.NewSafeWatcher(mon), *snapshot)
+	} else {
+		srv = server.New(stardust.WrapSafe(mon), *snapshot)
+	}
+	log.Printf("stardust-server listening on %s (%d streams, W=%d, %d levels, %s/%s, watch=%v)",
+		*addr, *streams, *w, *levels, *transform, *mode, *watch)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// buildMonitor restores from the snapshot when present, otherwise builds a
+// fresh monitor from flags.
+func buildMonitor(cfg stardust.Config, path string) (*stardust.Monitor, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			m, err := stardust.Load(f)
+			if err != nil {
+				return nil, fmt.Errorf("restoring %s: %v", path, err)
+			}
+			log.Printf("restored state from %s (%d streams at t=%d)", path, m.NumStreams(), m.Now(0))
+			return m, nil
+		}
+	}
+	return stardust.New(cfg)
+}

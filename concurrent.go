@@ -1,0 +1,231 @@
+package stardust
+
+import (
+	"io"
+	"sync"
+)
+
+// SafeMonitor wraps a Monitor for concurrent use: appends take the write
+// lock, queries the read lock, so any number of goroutines may query while
+// ingestion proceeds from another. For write-heavy multi-stream pipelines,
+// sharding streams across independent Monitors scales better than a single
+// lock.
+type SafeMonitor struct {
+	mu sync.RWMutex
+	m  *Monitor
+}
+
+// NewSafe constructs a concurrency-safe monitor.
+func NewSafe(cfg Config) (*SafeMonitor, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeMonitor{m: m}, nil
+}
+
+// Append ingests one value for one stream.
+func (s *SafeMonitor) Append(stream int, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Append(stream, v)
+}
+
+// AppendAll ingests one synchronized arrival across all streams.
+func (s *SafeMonitor) AppendAll(vs []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.AppendAll(vs)
+}
+
+// Now returns the discrete time of the stream's most recent value.
+func (s *SafeMonitor) Now(stream int) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.Now(stream)
+}
+
+// NumStreams returns the number of monitored streams.
+func (s *SafeMonitor) NumStreams() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.NumStreams()
+}
+
+// CheckAggregate runs one aggregate monitoring check (see
+// Monitor.CheckAggregate).
+func (s *SafeMonitor) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.CheckAggregate(stream, window, threshold)
+}
+
+// AggregateBound returns the certified interval around the exact aggregate.
+func (s *SafeMonitor) AggregateBound(stream, window int) (Interval, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.AggregateBound(stream, window)
+}
+
+// FindPattern answers a variable-length similarity query.
+func (s *SafeMonitor) FindPattern(q []float64, r float64) (PatternResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.FindPattern(q, r)
+}
+
+// Correlations reports verified correlated stream pairs.
+func (s *SafeMonitor) Correlations(level int, r float64) (CorrelationResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.Correlations(level, r)
+}
+
+// LaggedCorrelations reports screened pairs across lags.
+func (s *SafeMonitor) LaggedCorrelations(level int, r float64, maxLag int) ([]CorrPair, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.LaggedCorrelations(level, r, maxLag)
+}
+
+// Unwrap returns the underlying Monitor. The caller must not use it
+// concurrently with this wrapper.
+func (s *SafeMonitor) Unwrap() *Monitor { return s.m }
+
+// Stats returns a space-usage snapshot under the read lock.
+func (s *SafeMonitor) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.Stats()
+}
+
+// Snapshot serializes the monitor state while holding the read lock, so
+// concurrent ingestion cannot tear the snapshot.
+func (s *SafeMonitor) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.Snapshot(w)
+}
+
+// WrapSafe adapts an existing Monitor (e.g. one restored with Load) into
+// the concurrent wrapper. The caller must stop using the bare monitor
+// afterwards.
+func WrapSafe(m *Monitor) *SafeMonitor { return &SafeMonitor{m: m} }
+
+// SafeWatcher wraps a Watcher for concurrent use: pushes and watch
+// registration serialize behind one mutex (events are produced in push
+// order). Queries against the underlying monitor should go through a
+// separate SafeMonitor only if ingestion is quiesced; the usual pattern is
+// to consume the events Push returns.
+type SafeWatcher struct {
+	mu sync.Mutex
+	w  *Watcher
+}
+
+// NewSafeWatcher wraps a monitor in a locked watcher.
+func NewSafeWatcher(m *Monitor) *SafeWatcher {
+	return &SafeWatcher{w: NewWatcher(m)}
+}
+
+// WatchAggregate registers a standing aggregate query.
+func (s *SafeWatcher) WatchAggregate(stream, window int, threshold float64, edgeTriggered bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.WatchAggregate(stream, window, threshold, edgeTriggered)
+}
+
+// WatchPattern registers a standing pattern query.
+func (s *SafeWatcher) WatchPattern(query []float64, radius float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.WatchPattern(query, radius)
+}
+
+// Unwatch removes a standing query.
+func (s *SafeWatcher) Unwatch(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Unwatch(id)
+}
+
+// Push ingests one value and returns the events it triggered.
+func (s *SafeWatcher) Push(stream int, v float64) ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Push(stream, v)
+}
+
+// Query passthroughs so a SafeWatcher can back the HTTP service: standing
+// queries and on-demand queries share one lock.
+
+// CheckAggregate runs one on-demand aggregate check under the lock.
+func (s *SafeWatcher) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.CheckAggregate(stream, window, threshold)
+}
+
+// FindPattern runs one on-demand pattern query under the lock.
+func (s *SafeWatcher) FindPattern(q []float64, r float64) (PatternResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.FindPattern(q, r)
+}
+
+// Correlations runs one detection round under the lock.
+func (s *SafeWatcher) Correlations(level int, r float64) (CorrelationResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.Correlations(level, r)
+}
+
+// LaggedCorrelations runs one lagged screen under the lock.
+func (s *SafeWatcher) LaggedCorrelations(level int, r float64, maxLag int) ([]CorrPair, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.LaggedCorrelations(level, r, maxLag)
+}
+
+// AppendAll pushes one synchronized arrival through the watcher, returning
+// the events of each stream's push concatenated.
+func (s *SafeWatcher) AppendAll(vs []float64) ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var events []Event
+	for i, v := range vs {
+		evs, err := s.w.Push(i, v)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// NumStreams returns the stream count.
+func (s *SafeWatcher) NumStreams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.NumStreams()
+}
+
+// Now returns the stream's most recent discrete time.
+func (s *SafeWatcher) Now(stream int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.Now(stream)
+}
+
+// Stats returns the summary's space snapshot.
+func (s *SafeWatcher) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.Stats()
+}
+
+// Snapshot serializes the monitor state under the lock.
+func (s *SafeWatcher) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.Snapshot(w)
+}

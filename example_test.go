@@ -1,0 +1,91 @@
+package stardust_test
+
+import (
+	"fmt"
+
+	"stardust"
+)
+
+// ExampleNew shows the minimal burst-monitoring setup: one stream, SUM
+// features over windows 4 and 8, a verified alarm when a burst arrives.
+func ExampleNew() {
+	mon, err := stardust.New(stardust.Config{
+		Streams:   1,
+		W:         4,
+		Levels:    2,
+		Transform: stardust.Sum,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Quiet values, then a burst.
+	for _, v := range []float64{1, 1, 1, 1, 1, 1, 10, 10, 10, 10} {
+		mon.Append(0, v)
+	}
+	res, err := mon.CheckAggregate(0, 8, 30) // last 8 values, threshold 30
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alarm=%v sum=%.0f\n", res.Alarm, res.Exact)
+	// Output: alarm=true sum=44
+}
+
+// ExampleMonitor_AggregateBound shows the certified interval: with box
+// capacity 1 the bound is exact; with a larger capacity it widens but
+// always contains the true aggregate.
+func ExampleMonitor_AggregateBound() {
+	mon, _ := stardust.New(stardust.Config{
+		Streams: 1, W: 4, Levels: 3, Transform: stardust.Sum,
+	})
+	for i := 1; i <= 16; i++ {
+		mon.Append(0, float64(i))
+	}
+	// Window 12 = 4 + 8: composed from levels 0 and 1.
+	bound, _ := mon.AggregateBound(0, 12)
+	fmt.Printf("[%.0f, %.0f]\n", bound.Lo, bound.Hi)
+	// Output: [126, 126]
+}
+
+// ExampleMonitor_FindPattern plants a shape in a stream and finds it with
+// a variable-length query.
+func ExampleMonitor_FindPattern() {
+	mon, _ := stardust.New(stardust.Config{
+		Streams: 1, W: 8, Levels: 3,
+		Transform: stardust.DWT, Mode: stardust.Batch,
+		Coefficients: 4, Normalization: stardust.NormUnit, Rmax: 10,
+		History: 256,
+	})
+	ramp := func(i int) float64 { return float64(i%32) / 4 }
+	for i := 0; i < 200; i++ {
+		mon.Append(0, ramp(i))
+	}
+	// Query: one full ramp period, as last seen ending at t = 191.
+	q := make([]float64, 32)
+	for i := range q {
+		q[i] = ramp(i)
+	}
+	res, _ := mon.FindPattern(q, 0.01)
+	fmt.Printf("found=%v\n", len(res.Matches) > 0)
+	// Output: found=true
+}
+
+// ExampleWatcher shows the continuous-query model: standing aggregate
+// queries evaluated as values arrive, edge-triggered.
+func ExampleWatcher() {
+	mon, _ := stardust.New(stardust.Config{
+		Streams: 1, W: 4, Levels: 2, Transform: stardust.Sum,
+	})
+	w := stardust.NewWatcher(mon)
+	id, _ := w.WatchAggregate(0, 8, 100, true)
+
+	values := []float64{1, 1, 1, 1, 1, 1, 1, 1, 40, 40, 40, 1, 1, 1, 1, 1, 1, 1, 1}
+	for _, v := range values {
+		events, _ := w.Push(0, v)
+		for _, e := range events {
+			fmt.Printf("watch %d: %v at t=%d (value %.0f)\n", id, e.Kind, e.Time, e.Value)
+		}
+	}
+	// Output:
+	// watch 1: aggregate-alarm at t=10 (value 125)
+	// watch 1: aggregate-cleared at t=16 (value 86)
+}

@@ -1,0 +1,91 @@
+// Finance: variable-length pattern search over tick streams (Section 1's
+// stock-trend scenario). A pattern database is not needed — the analyst
+// sketches a shape (here: a V-shaped reversal) and asks which instruments
+// recently traced it, at a query length chosen at ask time, not at index
+// construction time. The batch-maintained index (Algorithm 4) answers any
+// length ≥ 2W−1 with no false dismissals.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stardust"
+	"stardust/internal/gen"
+)
+
+const (
+	instruments = 12
+	ticks       = 4000
+	w           = 32 // base window
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Price streams: random walks; instrument 3 gets a V-shaped reversal
+	// planted near the end, instrument 9 an inverted V.
+	prices := gen.RandomWalks(rng, instruments, ticks)
+	plantV(prices[3], ticks-400, 256, -1)
+	plantV(prices[9], ticks-500, 256, +1)
+
+	mon, err := stardust.New(stardust.Config{
+		Streams: instruments, W: w, Levels: 5, // windows 32 .. 512
+		Transform: stardust.DWT, Mode: stardust.Batch,
+		Coefficients: 8, Normalization: stardust.NormUnit, Rmax: 160,
+		History: ticks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < ticks; t++ {
+		for s := 0; s < instruments; s++ {
+			mon.Append(s, prices[s][t])
+		}
+	}
+
+	// The analyst's sketch: a V reversal over 256 ticks around price 50.
+	query := make([]float64, 256)
+	for i := range query {
+		query[i] = 80 - vShape(i, len(query), -1)*30
+	}
+
+	for _, r := range []float64{0.05, 0.1} {
+		res, err := mon.FindPattern(query, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("radius %.2f: %d candidates screened, %d verified matches (precision %.2f)\n",
+			r, len(res.Candidates), len(res.Matches), res.Precision())
+		seen := map[int]bool{}
+		for _, m := range res.Matches {
+			if seen[m.Stream] {
+				continue
+			}
+			seen[m.Stream] = true
+			fmt.Printf("  instrument %2d traced the reversal ending at tick %d (distance %.4f)\n",
+				m.Stream, m.End, m.Dist)
+		}
+	}
+}
+
+// plantV overwrites a window of the series with a V (dir=-1) or inverted V
+// (dir=+1) anchored at the local price level.
+func plantV(series []float64, start, length int, dir float64) {
+	base := series[start]
+	for i := 0; i < length && start+i < len(series); i++ {
+		series[start+i] = base + vShape(i, length, dir)*25
+	}
+}
+
+// vShape traces 0 → dir → 0 linearly over n points.
+func vShape(i, n int, dir float64) float64 {
+	half := n / 2
+	if i < half {
+		return dir * float64(i) / float64(half)
+	}
+	return dir * float64(n-1-i) / float64(half)
+}

@@ -1,0 +1,59 @@
+// Quickstart: monitor one stream for bursts at several timescales at once.
+//
+// A Stardust monitor summarizes the stream at windows of size W, 2W, 4W,
+// ... in a single pass; CheckAggregate answers "did the moving sum over the
+// last w values cross τ?" for ANY such window using the multi-resolution
+// summary, verifying candidates against raw history so reported alarms are
+// never false.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stardust"
+)
+
+func main() {
+	mon, err := stardust.New(stardust.Config{
+		Streams:     1,
+		W:           10,           // smallest monitored window
+		Levels:      4,            // windows 10, 20, 40, 80
+		Transform:   stardust.Sum, // burst detection
+		BoxCapacity: 4,            // trade a little screening precision for 4x less space
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A noisy stream with a burst injected at t = 300..340.
+	rng := rand.New(rand.NewSource(1))
+	for t := 0; t < 500; t++ {
+		v := 5 + rng.Float64()*2
+		if t >= 300 && t < 340 {
+			v += 25
+		}
+		mon.Append(0, v)
+
+		// Watch two timescales with different thresholds.
+		for _, q := range []struct {
+			w   int
+			tau float64
+		}{{20, 300}, {80, 1000}} {
+			if t < q.w {
+				continue
+			}
+			res, err := mon.CheckAggregate(0, q.w, q.tau)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Alarm {
+				fmt.Printf("t=%3d: burst over window %2d — sum %.1f ≥ %.0f (bound was [%.1f, %.1f])\n",
+					t, q.w, res.Exact, q.tau, res.Bound.Lo, res.Bound.Hi)
+			}
+		}
+	}
+}

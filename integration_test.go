@@ -1,0 +1,125 @@
+package stardust
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestFullLifecycle drives the public API through a realistic operational
+// sequence: ingest with standing queries, snapshot mid-stream, restore
+// into a fresh watcher, keep ingesting, and confirm the restored monitor
+// produces the same remaining events as the uninterrupted one.
+func TestFullLifecycle(t *testing.T) {
+	cfg := Config{
+		Streams: 2, W: 8, Levels: 3, Transform: Sum, BoxCapacity: 4,
+	}
+	build := func() (*Watcher, int) {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWatcher(m)
+		id, err := w.WatchAggregate(0, 16, 400, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, id
+	}
+	contRun, _ := build()
+	snapRun, _ := build()
+
+	rng := rand.New(rand.NewSource(291))
+	data := gen.RandomWalks(rng, 2, 400)
+	// Inject two bursts into stream 0: one before the snapshot point, one
+	// after.
+	for i := 100; i < 130; i++ {
+		data[0][i] += 80
+	}
+	for i := 300; i < 330; i++ {
+		data[0][i] += 80
+	}
+
+	collect := func(w *Watcher, from, to int) []Event {
+		var out []Event
+		for i := from; i < to; i++ {
+			for s := 0; s < 2; s++ {
+				evs, err := w.Push(s, data[s][i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, evs...)
+			}
+		}
+		return out
+	}
+
+	// Phase 1: both runs see the first half.
+	ev1cont := collect(contRun, 0, 200)
+	ev1snap := collect(snapRun, 0, 200)
+	if len(ev1cont) != len(ev1snap) {
+		t.Fatalf("pre-snapshot event divergence: %d vs %d", len(ev1cont), len(ev1snap))
+	}
+	if len(ev1cont) == 0 {
+		t.Fatal("first burst produced no events")
+	}
+
+	// Snapshot snapRun's monitor and restore it into a new watcher with
+	// the same standing query.
+	var buf bytes.Buffer
+	if err := snapRun.Monitor().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredWatcher := NewWatcher(restored)
+	if _, err := restoredWatcher.WatchAggregate(0, 16, 400, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the continuous run and the restored run see the second half.
+	ev2cont := collect(contRun, 200, 400)
+	ev2rest := collect(restoredWatcher, 200, 400)
+	if len(ev2cont) == 0 {
+		t.Fatal("second burst produced no events")
+	}
+	if len(ev2cont) != len(ev2rest) {
+		t.Fatalf("post-restore event divergence: %d vs %d", len(ev2cont), len(ev2rest))
+	}
+	for i := range ev2cont {
+		a, b := ev2cont[i], ev2rest[i]
+		if a.Kind != b.Kind || a.Time != b.Time || a.Stream != b.Stream {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestNearestPatternsPublicAPI exercises the kNN query through the Monitor.
+func TestNearestPatternsPublicAPI(t *testing.T) {
+	m, err := New(Config{
+		Streams: 2, W: 16, Levels: 3, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormUnit, Rmax: 150, History: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(292))
+	data := gen.RandomWalks(rng, 2, 500)
+	for i := 0; i < 500; i++ {
+		m.Append(0, data[0][i])
+		m.Append(1, data[1][i])
+	}
+	q := make([]float64, 64)
+	copy(q, data[1][300:364])
+	got, err := m.NearestPatterns(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].Stream != 1 || got[0].End != 363 {
+		t.Fatalf("top result = %+v", got)
+	}
+}

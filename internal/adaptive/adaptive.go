@@ -1,0 +1,295 @@
+// Package adaptive implements the parameter-estimation extension the paper
+// sketches as future work (Section 7): "fitting incremental regression
+// models in our framework in order to enable parameter estimation, e.g.,
+// determining the right window sizes to monitor". It provides
+//
+//   - ThresholdTrainer: streaming per-window moment estimation of the
+//     sliding aggregate, yielding thresholds either as μ + λ·σ (the
+//     experimental convention of Section 6.1) or calibrated to a target
+//     false-alarm probability via the normal quantile (the model behind
+//     Equation 4);
+//   - window recommendation: ranking the monitored window sizes by the
+//     burst detectability of their aggregate distribution;
+//   - Regression: an O(1)-per-update sliding-window linear regression
+//     (value against time) for trend estimation.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stardust/internal/aggregate"
+	"stardust/internal/stats"
+	"stardust/internal/window"
+)
+
+// ThresholdTrainer observes a stream and maintains, for every requested
+// window size, streaming moments of the sliding aggregate over that
+// window. All windows are maintained in one pass with O(1) amortized work
+// per window per arrival.
+type ThresholdTrainer struct {
+	agg     aggregate.Func
+	windows []int
+	states  []trainState
+	hist    *window.History
+	t       int64
+}
+
+type trainState struct {
+	w       int
+	sum     float64
+	maxDq   *window.MonoDeque
+	minDq   *window.MonoDeque
+	moments stats.Moments
+	peak    float64
+	q25     *stats.Quantile
+	q50     *stats.Quantile
+	q75     *stats.Quantile
+}
+
+// NewThresholdTrainer builds a trainer for the aggregate over the given
+// window sizes. SUM, MAX, MIN and SPREAD are supported.
+func NewThresholdTrainer(agg aggregate.Func, windows []int) (*ThresholdTrainer, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("adaptive: empty window set")
+	}
+	maxW := 0
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("adaptive: non-positive window %d", w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	tr := &ThresholdTrainer{
+		agg:     agg,
+		windows: append([]int(nil), windows...),
+		states:  make([]trainState, len(windows)),
+		hist:    window.NewHistory(maxW + 1),
+		t:       -1,
+	}
+	for i, w := range windows {
+		tr.states[i] = trainState{
+			w:    w,
+			peak: math.Inf(-1),
+			q25:  stats.NewQuantile(0.25),
+			q50:  stats.NewQuantile(0.5),
+			q75:  stats.NewQuantile(0.75),
+		}
+		if agg != aggregate.Sum {
+			tr.states[i].maxDq = window.NewMaxDeque()
+			tr.states[i].minDq = window.NewMinDeque()
+		}
+	}
+	return tr, nil
+}
+
+// Push observes one value, updating every window's sliding aggregate and
+// its moments.
+func (tr *ThresholdTrainer) Push(v float64) {
+	tr.t++
+	tr.hist.Append(v)
+	for i := range tr.states {
+		st := &tr.states[i]
+		switch tr.agg {
+		case aggregate.Sum:
+			st.sum += v
+			if old, ok := tr.hist.At(tr.t - int64(st.w)); ok {
+				st.sum -= old
+			}
+		default:
+			st.maxDq.Push(tr.t, v)
+			st.minDq.Push(tr.t, v)
+			st.maxDq.Expire(tr.t - int64(st.w) + 1)
+			st.minDq.Expire(tr.t - int64(st.w) + 1)
+		}
+		if tr.t < int64(st.w)-1 {
+			continue
+		}
+		cur := tr.current(st)
+		st.moments.Add(cur)
+		if cur > st.peak {
+			st.peak = cur
+		}
+		st.q25.Add(cur)
+		st.q50.Add(cur)
+		st.q75.Add(cur)
+	}
+}
+
+// current returns the sliding aggregate of the state's window.
+func (tr *ThresholdTrainer) current(st *trainState) float64 {
+	switch tr.agg {
+	case aggregate.Sum:
+		return st.sum
+	case aggregate.Max:
+		return st.maxDq.Front()
+	case aggregate.Min:
+		return st.minDq.Front()
+	case aggregate.Spread:
+		return st.maxDq.Front() - st.minDq.Front()
+	default:
+		panic(fmt.Sprintf("adaptive: unsupported aggregate %v", tr.agg))
+	}
+}
+
+// Samples returns how many aggregate observations the window has
+// accumulated.
+func (tr *ThresholdTrainer) Samples(w int) int {
+	return tr.state(w).moments.N()
+}
+
+// ThresholdLambda returns μ_w + λ·σ_w, the experimental convention of
+// Section 6.1.
+func (tr *ThresholdTrainer) ThresholdLambda(w int, lambda float64) float64 {
+	m := &tr.state(w).moments
+	return m.Mean() + lambda*m.StdDev()
+}
+
+// ThresholdForRate returns the threshold calibrated so that, under the
+// normal model of Equation 4, the sliding aggregate exceeds it with
+// probability at most p: τ = μ_w + Φ⁻¹(1−p)·σ_w.
+func (tr *ThresholdTrainer) ThresholdForRate(w int, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("adaptive: false-alarm rate %g outside (0, 1)", p))
+	}
+	m := &tr.state(w).moments
+	return m.Mean() + stats.NormalQuantile(1-p)*m.StdDev()
+}
+
+// Detectability returns the robust peak z-score of the window's sliding
+// aggregate: (max − median) / (IQR + ε). Under a matched-filter view, a
+// burst of duration D contributes signal ∝ min(w, D) to the window-w
+// aggregate while the background's robust spread grows like √w, so the
+// score peaks for windows near the burst timescale — windows much shorter
+// drown the burst in per-window noise, much longer windows wash it out
+// (and eventually every window contains a burst, collapsing the peak).
+// The median/IQR come from streaming P² estimators, so outliers (the
+// bursts themselves) do not inflate the baseline the peak is measured
+// against, unlike a plain (max − μ)/σ score.
+func (tr *ThresholdTrainer) Detectability(w int) float64 {
+	st := tr.state(w)
+	if st.moments.N() == 0 || math.IsInf(st.peak, -1) {
+		return 0
+	}
+	iqr := st.q75.Value() - st.q25.Value()
+	scale := iqr
+	if spread := st.moments.StdDev() * 1e-3; scale < spread {
+		// Degenerate IQR (near-constant background): fall back to a small
+		// fraction of σ to keep the score finite and comparable.
+		scale = spread
+	}
+	if scale == 0 {
+		return 0
+	}
+	return (st.peak - st.q50.Value()) / scale
+}
+
+// RecommendWindows returns the monitored windows ranked by Detectability,
+// best first — the paper's "determining the right window sizes to monitor".
+func (tr *ThresholdTrainer) RecommendWindows() []int {
+	out := append([]int(nil), tr.windows...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return tr.Detectability(out[i]) > tr.Detectability(out[j])
+	})
+	return out
+}
+
+func (tr *ThresholdTrainer) state(w int) *trainState {
+	for i := range tr.states {
+		if tr.states[i].w == w {
+			return &tr.states[i]
+		}
+	}
+	panic(fmt.Sprintf("adaptive: window %d not trained", w))
+}
+
+// Regression is a sliding-window simple linear regression of value against
+// time, maintained in O(1) per arrival via running sums over a ring. It
+// estimates the local trend (slope per time step) and the fit quality.
+type Regression struct {
+	ring *window.Ring
+	t    int64
+	// Running sums over the live window with absolute time x = t.
+	sx, sxx, sy, syy, sxy float64
+}
+
+// NewRegression returns a regression over a sliding window of size w.
+func NewRegression(w int) *Regression {
+	if w < 2 {
+		panic(fmt.Sprintf("adaptive: regression window %d too small", w))
+	}
+	return &Regression{ring: window.NewRing(w), t: -1}
+}
+
+// Push observes the next value.
+func (r *Regression) Push(v float64) {
+	r.t++
+	x := float64(r.t)
+	if old, evicted := r.ring.Push(v); evicted {
+		ox := float64(r.t - int64(r.ring.Cap()))
+		r.sx -= ox
+		r.sxx -= ox * ox
+		r.sy -= old
+		r.syy -= old * old
+		r.sxy -= ox * old
+	}
+	r.sx += x
+	r.sxx += x * x
+	r.sy += v
+	r.syy += v * v
+	r.sxy += x * v
+}
+
+// Ready reports whether a full window has been observed.
+func (r *Regression) Ready() bool { return r.ring.Full() }
+
+// Slope returns the fitted trend per time step over the current window.
+func (r *Regression) Slope() float64 {
+	n := float64(r.ring.Len())
+	den := n*r.sxx - r.sx*r.sx
+	if den == 0 {
+		return 0
+	}
+	return (n*r.sxy - r.sx*r.sy) / den
+}
+
+// Intercept returns the fitted value at time 0 (absolute time origin).
+func (r *Regression) Intercept() float64 {
+	n := float64(r.ring.Len())
+	if n == 0 {
+		return 0
+	}
+	return (r.sy - r.Slope()*r.sx) / n
+}
+
+// Forecast extrapolates the fit h steps past the newest observation.
+func (r *Regression) Forecast(h int) float64 {
+	return r.Intercept() + r.Slope()*float64(r.t+int64(h))
+}
+
+// R2 returns the coefficient of determination of the fit (0 when the
+// window is degenerate).
+func (r *Regression) R2() float64 {
+	n := float64(r.ring.Len())
+	if n < 2 {
+		return 0
+	}
+	ssTot := r.syy - r.sy*r.sy/n
+	if ssTot <= 0 {
+		return 0
+	}
+	sxx := r.sxx - r.sx*r.sx/n
+	sxy := r.sxy - r.sx*r.sy/n
+	if sxx == 0 {
+		return 0
+	}
+	ssReg := sxy * sxy / sxx
+	r2 := ssReg / ssTot
+	if r2 > 1 {
+		r2 = 1
+	}
+	return r2
+}

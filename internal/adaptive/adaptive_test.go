@@ -1,0 +1,229 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/aggregate"
+	"stardust/internal/gen"
+	"stardust/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewThresholdTrainer(aggregate.Sum, nil); err == nil {
+		t.Fatal("empty windows should fail")
+	}
+	if _, err := NewThresholdTrainer(aggregate.Sum, []int{0}); err == nil {
+		t.Fatal("zero window should fail")
+	}
+}
+
+// TestMomentsMatchBatch: the trainer's streaming moments must equal batch
+// moments of the sliding aggregate, for every supported aggregate.
+func TestMomentsMatchBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = rng.Float64() * 100
+	}
+	for _, agg := range []aggregate.Func{aggregate.Sum, aggregate.Max, aggregate.Min, aggregate.Spread} {
+		const w = 25
+		tr, err := NewThresholdTrainer(agg, []int{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch stats.Moments
+		for i, v := range data {
+			tr.Push(v)
+			if i >= w-1 {
+				batch.Add(agg.Scalar(agg.Eval(data[i-w+1 : i+1])))
+			}
+		}
+		if tr.Samples(w) != batch.N() {
+			t.Fatalf("%v: samples %d vs %d", agg, tr.Samples(w), batch.N())
+		}
+		if math.Abs(tr.ThresholdLambda(w, 0)-batch.Mean()) > 1e-6 {
+			t.Fatalf("%v: mean %g vs %g", agg, tr.ThresholdLambda(w, 0), batch.Mean())
+		}
+		got := tr.ThresholdLambda(w, 2)
+		want := batch.Mean() + 2*batch.StdDev()
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("%v: λ-threshold %g vs %g", agg, got, want)
+		}
+	}
+}
+
+// TestThresholdForRateCalibration: for Gaussian-ish aggregates, the
+// quantile-calibrated threshold should be exceeded roughly p of the time.
+func TestThresholdForRateCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	const w, n = 50, 30000
+	tr, err := NewThresholdTrainer(aggregate.Sum, []int{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() + 10
+	}
+	for _, v := range data {
+		tr.Push(v)
+	}
+	const p = 0.05
+	tau := tr.ThresholdForRate(w, p)
+	// Measure the empirical exceedance rate.
+	exceed, total := 0, 0
+	run := 0.0
+	for i, v := range data {
+		run += v
+		if i >= w {
+			run -= data[i-w]
+		}
+		if i >= w-1 {
+			total++
+			if run >= tau {
+				exceed++
+			}
+		}
+	}
+	rate := float64(exceed) / float64(total)
+	// Sliding sums are auto-correlated, so allow generous tolerance around
+	// the nominal rate.
+	if rate < p/4 || rate > p*4 {
+		t.Fatalf("empirical exceedance %g far from nominal %g (τ=%g)", rate, p, tau)
+	}
+}
+
+func TestThresholdForRatePanics(t *testing.T) {
+	tr, _ := NewThresholdTrainer(aggregate.Sum, []int{4})
+	for _, p := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%g should panic", p)
+				}
+			}()
+			tr.ThresholdForRate(4, p)
+		}()
+	}
+}
+
+func TestUnknownWindowPanics(t *testing.T) {
+	tr, _ := NewThresholdTrainer(aggregate.Sum, []int{4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown window should panic")
+		}
+	}()
+	tr.ThresholdLambda(8, 1)
+}
+
+// TestRecommendWindowsFindsBurstScale: a stream with bursts of a known
+// duration should rank windows near that duration above far-off ones.
+func TestRecommendWindowsFindsBurstScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	const n = 20000
+	const burstLen = 64
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 10 + rng.Float64()
+	}
+	// Periodic bursts of fixed duration.
+	for start := 500; start < n; start += 1000 {
+		for j := 0; j < burstLen && start+j < n; j++ {
+			data[start+j] += 30
+		}
+	}
+	windows := []int{4, 16, 64, 256, 1024}
+	tr, err := NewThresholdTrainer(aggregate.Sum, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		tr.Push(v)
+	}
+	ranked := tr.RecommendWindows()
+	// The burst scale must beat the extremes.
+	pos := map[int]int{}
+	for i, w := range ranked {
+		pos[w] = i
+	}
+	if pos[burstLen] > pos[4] || pos[burstLen] > pos[1024] {
+		t.Fatalf("burst window %d ranked %v (detectabilities: 4→%.3f 64→%.3f 1024→%.3f)",
+			burstLen, ranked, tr.Detectability(4), tr.Detectability(64), tr.Detectability(1024))
+	}
+}
+
+func TestRegressionExactLine(t *testing.T) {
+	r := NewRegression(10)
+	for i := 0; i < 25; i++ {
+		r.Push(3 + 2*float64(i))
+	}
+	if !r.Ready() {
+		t.Fatal("should be ready")
+	}
+	if math.Abs(r.Slope()-2) > 1e-9 {
+		t.Fatalf("slope = %g, want 2", r.Slope())
+	}
+	if math.Abs(r.Intercept()-3) > 1e-6 {
+		t.Fatalf("intercept = %g, want 3", r.Intercept())
+	}
+	if math.Abs(r.R2()-1) > 1e-9 {
+		t.Fatalf("R² = %g, want 1", r.R2())
+	}
+	// Forecast 5 steps ahead: 3 + 2·(24+5).
+	if math.Abs(r.Forecast(5)-61) > 1e-6 {
+		t.Fatalf("forecast = %g, want 61", r.Forecast(5))
+	}
+}
+
+func TestRegressionMatchesBatchFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	const w = 40
+	r := NewRegression(w)
+	data := gen.RandomWalk(rng, 300)
+	for i, v := range data {
+		r.Push(v)
+		if i < w-1 {
+			continue
+		}
+		// Batch least squares over the window with x = absolute time.
+		var sx, sxx, sy, sxy float64
+		n := float64(w)
+		for k := 0; k < w; k++ {
+			x := float64(i - w + 1 + k)
+			y := data[i-w+1+k]
+			sx += x
+			sxx += x * x
+			sy += y
+			sxy += x * y
+		}
+		slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+		if math.Abs(r.Slope()-slope) > 1e-6 {
+			t.Fatalf("t=%d: slope %g vs batch %g", i, r.Slope(), slope)
+		}
+	}
+}
+
+func TestRegressionConstant(t *testing.T) {
+	r := NewRegression(5)
+	for i := 0; i < 10; i++ {
+		r.Push(4)
+	}
+	if r.Slope() != 0 {
+		t.Fatalf("constant slope = %g", r.Slope())
+	}
+	if r.R2() != 0 {
+		t.Fatalf("constant R² = %g (degenerate fit)", r.R2())
+	}
+}
+
+func TestRegressionSmallWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 1 should panic")
+		}
+	}()
+	NewRegression(1)
+}

@@ -1,0 +1,199 @@
+// Package aggregate implements the incremental aggregate transformations of
+// Section 4: SUM, MAX, MIN and SPREAD (MAX−MIN) features over windows,
+// their exact half-window merges (Lemma 4.1) and the interval arithmetic
+// that merges MBR extents into bounds on the parent feature (Lemma 4.2).
+package aggregate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func identifies an aggregate transformation.
+type Func int
+
+const (
+	// Sum monitors moving sums (burst detection).
+	Sum Func = iota
+	// Max monitors moving maxima.
+	Max
+	// Min monitors moving minima.
+	Min
+	// Spread monitors MAX−MIN (volatility detection). A Spread feature is
+	// carried as the pair (min, max) so it merges exactly; the scalar
+	// spread is derived on demand.
+	Spread
+)
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	switch f {
+	case Sum:
+		return "SUM"
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case Spread:
+		return "SPREAD"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// Dim returns the dimensionality of the feature vector the aggregate
+// produces: 1 for SUM/MAX/MIN, 2 for SPREAD (min and max are tracked
+// jointly so the pair merges exactly across halves).
+func (f Func) Dim() int {
+	if f == Spread {
+		return 2
+	}
+	return 1
+}
+
+// Eval computes the exact aggregate feature of the window xs. For Spread
+// the result is [min, max]; for the others a single-element vector.
+func (f Func) Eval(xs []float64) []float64 {
+	if len(xs) == 0 {
+		panic("aggregate: Eval of empty window")
+	}
+	switch f {
+	case Sum:
+		s := 0.0
+		for _, v := range xs {
+			s += v
+		}
+		return []float64{s}
+	case Max:
+		m := xs[0]
+		for _, v := range xs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return []float64{m}
+	case Min:
+		m := xs[0]
+		for _, v := range xs[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return []float64{m}
+	case Spread:
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return []float64{lo, hi}
+	default:
+		panic(fmt.Sprintf("aggregate: unknown func %d", int(f)))
+	}
+}
+
+// Scalar reduces a feature vector to the scalar the user-facing threshold
+// applies to: the sum, max, min, or spread (max−min) respectively.
+func (f Func) Scalar(feature []float64) float64 {
+	switch f {
+	case Sum, Max, Min:
+		return feature[0]
+	case Spread:
+		return feature[1] - feature[0]
+	default:
+		panic(fmt.Sprintf("aggregate: unknown func %d", int(f)))
+	}
+}
+
+// Merge computes the exact parent feature from the features of the two
+// window halves (Lemma 4.1): max, min, sum, or the joined (min, max) pair.
+func (f Func) Merge(left, right []float64) []float64 {
+	switch f {
+	case Sum:
+		return []float64{left[0] + right[0]}
+	case Max:
+		return []float64{math.Max(left[0], right[0])}
+	case Min:
+		return []float64{math.Min(left[0], right[0])}
+	case Spread:
+		return []float64{math.Min(left[0], right[0]), math.Max(left[1], right[1])}
+	default:
+		panic(fmt.Sprintf("aggregate: unknown func %d", int(f)))
+	}
+}
+
+// Interval is a closed interval [Lo, Hi] bounding a scalar aggregate. The
+// aggregate-query composition of Algorithm 2 accumulates one Interval per
+// sub-window and reports an alarm candidate when Hi crosses the threshold.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Contains reports whether v ∈ [Lo, Hi].
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// MergeInterval combines the interval bounds of the two halves into a bound
+// on the parent aggregate (Lemma 4.2):
+//
+//	SUM:  [a.Lo+b.Lo, a.Hi+b.Hi]
+//	MAX:  [max(a.Lo,b.Lo), max(a.Hi,b.Hi)]
+//	MIN:  [min(a.Lo,b.Lo), min(a.Hi,b.Hi)]
+//
+// Spread is handled by MergeSpread because it needs the min and max bounds
+// jointly.
+func (f Func) MergeInterval(a, b Interval) Interval {
+	switch f {
+	case Sum:
+		return Interval{Lo: a.Lo + b.Lo, Hi: a.Hi + b.Hi}
+	case Max:
+		return Interval{Lo: math.Max(a.Lo, b.Lo), Hi: math.Max(a.Hi, b.Hi)}
+	case Min:
+		return Interval{Lo: math.Min(a.Lo, b.Lo), Hi: math.Min(a.Hi, b.Hi)}
+	default:
+		panic(fmt.Sprintf("aggregate: MergeInterval unsupported for %v", f))
+	}
+}
+
+// SpreadBound is the joint bound on (min, max) of a window used for SPREAD
+// monitoring: MinIv bounds the window minimum, MaxIv bounds the window
+// maximum.
+type SpreadBound struct {
+	MinIv Interval
+	MaxIv Interval
+}
+
+// SpreadFromFeature converts an exact (min, max) Spread feature to a
+// degenerate bound.
+func SpreadFromFeature(feature []float64) SpreadBound {
+	return SpreadBound{MinIv: Point(feature[0]), MaxIv: Point(feature[1])}
+}
+
+// Merge combines the bounds of two window halves: the parent minimum is the
+// min of the half minima and the parent maximum the max of the half maxima,
+// each bounded by the interval images of those operators.
+func (s SpreadBound) Merge(o SpreadBound) SpreadBound {
+	return SpreadBound{
+		MinIv: Min.MergeInterval(s.MinIv, o.MinIv),
+		MaxIv: Max.MergeInterval(s.MaxIv, o.MaxIv),
+	}
+}
+
+// SpreadInterval bounds the scalar spread MAX−MIN of the window:
+// [max(0, MaxIv.Lo − MinIv.Hi), MaxIv.Hi − MinIv.Lo].
+func (s SpreadBound) SpreadInterval() Interval {
+	lo := s.MaxIv.Lo - s.MinIv.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	return Interval{Lo: lo, Hi: s.MaxIv.Hi - s.MinIv.Lo}
+}

@@ -1,0 +1,188 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncStringsAndDims(t *testing.T) {
+	cases := []struct {
+		f    Func
+		name string
+		dim  int
+	}{
+		{Sum, "SUM", 1}, {Max, "MAX", 1}, {Min, "MIN", 1}, {Spread, "SPREAD", 2},
+	}
+	for _, c := range cases {
+		if c.f.String() != c.name {
+			t.Errorf("String(%v) = %q", c.f, c.f.String())
+		}
+		if c.f.Dim() != c.dim {
+			t.Errorf("Dim(%v) = %d, want %d", c.f, c.f.Dim(), c.dim)
+		}
+	}
+	if Func(99).String() == "" {
+		t.Error("unknown func should still print")
+	}
+}
+
+func TestEvalKnown(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if v := Sum.Eval(xs)[0]; v != 12 {
+		t.Errorf("sum = %g", v)
+	}
+	if v := Max.Eval(xs)[0]; v != 5 {
+		t.Errorf("max = %g", v)
+	}
+	if v := Min.Eval(xs)[0]; v != -1 {
+		t.Errorf("min = %g", v)
+	}
+	sp := Spread.Eval(xs)
+	if sp[0] != -1 || sp[1] != 5 {
+		t.Errorf("spread feature = %v", sp)
+	}
+	if s := Spread.Scalar(sp); s != 6 {
+		t.Errorf("spread scalar = %g", s)
+	}
+}
+
+func TestEvalEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval(empty) should panic")
+		}
+	}()
+	Sum.Eval(nil)
+}
+
+// TestMergeLemma41 verifies the exact half-window merge for every
+// aggregate: F(whole) = Merge(F(left), F(right)).
+func TestMergeLemma41(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * (1 + rng.Intn(32))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 - 50
+		}
+		l, r := xs[:n/2], xs[n/2:]
+		for _, f := range []Func{Sum, Max, Min, Spread} {
+			merged := f.Merge(f.Eval(l), f.Eval(r))
+			direct := f.Eval(xs)
+			for i := range direct {
+				if diff := merged[i] - direct[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%v: merged %v != direct %v", f, merged, direct)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if !iv.Contains(2) || iv.Contains(0) || iv.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if iv.Width() != 2 {
+		t.Fatalf("width = %g", iv.Width())
+	}
+	p := Point(5)
+	if p.Lo != 5 || p.Hi != 5 {
+		t.Fatalf("point = %v", p)
+	}
+}
+
+// TestMergeIntervalSound verifies Lemma 4.2: the merged interval contains
+// the exact merged value whenever the inputs contain the exact halves.
+func TestMergeIntervalSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 300; trial++ {
+		a := rng.Float64()*20 - 10
+		b := rng.Float64()*20 - 10
+		wrap := func(v float64) Interval {
+			return Interval{Lo: v - rng.Float64(), Hi: v + rng.Float64()}
+		}
+		ia, ib := wrap(a), wrap(b)
+		for _, f := range []Func{Sum, Max, Min} {
+			exact := f.Merge([]float64{a}, []float64{b})[0]
+			got := f.MergeInterval(ia, ib)
+			if !got.Contains(exact) {
+				t.Fatalf("%v: exact %g outside merged %v", f, exact, got)
+			}
+		}
+	}
+}
+
+func TestMergeIntervalSpreadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeInterval(Spread) should panic")
+		}
+	}()
+	Spread.MergeInterval(Interval{}, Interval{})
+}
+
+// TestSpreadBoundSound: the spread interval of merged bounds contains the
+// exact spread of the whole window.
+func TestSpreadBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 * (1 + rng.Intn(16))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 - 50
+		}
+		l, r := xs[:n/2], xs[n/2:]
+		slack := func(f []float64) SpreadBound {
+			sb := SpreadFromFeature(f)
+			sb.MinIv.Lo -= rng.Float64()
+			sb.MinIv.Hi += rng.Float64()
+			sb.MaxIv.Lo -= rng.Float64()
+			sb.MaxIv.Hi += rng.Float64()
+			return sb
+		}
+		merged := slack(Spread.Eval(l)).Merge(slack(Spread.Eval(r)))
+		exact := Spread.Scalar(Spread.Eval(xs))
+		if !merged.SpreadInterval().Contains(exact) {
+			t.Fatalf("exact spread %g outside %v", exact, merged.SpreadInterval())
+		}
+	}
+}
+
+func TestSpreadIntervalNonNegative(t *testing.T) {
+	// Overlapping min/max bounds must clamp the lower spread bound at 0.
+	sb := SpreadBound{
+		MinIv: Interval{Lo: 0, Hi: 10},
+		MaxIv: Interval{Lo: 5, Hi: 8},
+	}
+	iv := sb.SpreadInterval()
+	if iv.Lo != 0 {
+		t.Fatalf("spread lower bound = %g, want 0", iv.Lo)
+	}
+	if iv.Hi != 8 {
+		t.Fatalf("spread upper bound = %g, want 8", iv.Hi)
+	}
+}
+
+// TestMergeAssociativityProperty: SUM/MAX/MIN merges compose associatively,
+// which the aggregate-query fold relies on.
+func TestMergeAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := []float64{rng.Float64()}
+		b := []float64{rng.Float64()}
+		c := []float64{rng.Float64()}
+		for _, fn := range []Func{Sum, Max, Min} {
+			l := fn.Merge(fn.Merge(a, b), c)[0]
+			r := fn.Merge(a, fn.Merge(b, c))[0]
+			if d := l - r; d > 1e-12 || d < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestBatchLevelChoice: MaxBatchLevel implements the paper's "largest level
+// j with 2^j·W + W − 1 ≤ |Q|" rule.
+func TestBatchLevelChoice(t *testing.T) {
+	s := batchPatternSummary(t, 1, 2048) // W = 8, 5 levels
+	cases := []struct {
+		qlen int
+		want int
+	}{
+		{15, 0},   // 8+7 = 15 fits level 0 only
+		{22, 0},   // 16+7 = 23 > 22
+		{23, 1},   // exactly level 1
+		{39, 2},   // 32+7 = 39
+		{100, 3},  // 64+7 = 71 ≤ 100 < 128+7
+		{1000, 4}, // capped at the summary's top level
+	}
+	for _, c := range cases {
+		got, err := s.MaxBatchLevel(c.qlen)
+		if err != nil {
+			t.Fatalf("qlen=%d: %v", c.qlen, err)
+		}
+		if got != c.want {
+			t.Fatalf("qlen=%d: level %d, want %d", c.qlen, got, c.want)
+		}
+	}
+	if _, err := s.MaxBatchLevel(10); err == nil {
+		t.Fatal("too-short query should fail")
+	}
+}
+
+// TestBatchAtEveryLevelNoFalseDismissal: Algorithm 4 must find every true
+// match at EVERY usable level, not just the maximum.
+func TestBatchAtEveryLevelNoFalseDismissal(t *testing.T) {
+	rng := rand.New(rand.NewSource(261))
+	s := batchPatternSummary(t, 3, 2048)
+	feedWalks(s, rng, 500)
+	q := gen.RandomWalk(rng, 100)
+	const r = 0.06
+	want := matchSet(s.ScanPatternMatches(q, r))
+	maxJ, err := s.MaxBatchLevel(len(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= maxJ; j++ {
+		res, err := s.PatternQueryBatchAt(q, r, j)
+		if err != nil {
+			t.Fatalf("level %d: %v", j, err)
+		}
+		got := matchSet(res.Matches)
+		for m := range want {
+			if !got[m] {
+				t.Fatalf("level %d: true match %v missed", j, m)
+			}
+		}
+		for m := range got {
+			if !want[m] {
+				t.Fatalf("level %d: spurious match %v", j, m)
+			}
+		}
+	}
+}
+
+// TestBatchAtLevelBounds: out-of-range levels are rejected.
+func TestBatchAtLevelBounds(t *testing.T) {
+	s := batchPatternSummary(t, 1, 1024)
+	q := make([]float64, 40)
+	if _, err := s.PatternQueryBatchAt(q, 0.1, -1); err == nil {
+		t.Fatal("negative level should fail")
+	}
+	if _, err := s.PatternQueryBatchAt(q, 0.1, 4); err == nil {
+		t.Fatal("level above the usable maximum should fail")
+	}
+	agg := newSummary(t, Config{W: 8, Levels: 2, Transform: TransformSum}, 1)
+	if _, err := agg.PatternQueryBatchAt(q, 0.1, 0); err == nil {
+		t.Fatal("aggregate summary should fail")
+	}
+}

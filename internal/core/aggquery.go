@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"stardust/internal/aggregate"
+	"stardust/internal/mbr"
+)
+
+// DecomposeWindow partitions a query window of size w = b·W into the
+// sub-window levels given by the ones in the binary representation of b
+// (Section 5.1): w = Σ W·2^{j_i} with j_1 < j_2 < ... < j_n. It returns the
+// levels in ascending order and fails when w is not a positive multiple of
+// W or needs a level the summary does not maintain.
+func (c Config) DecomposeWindow(w int) ([]int, error) {
+	if w <= 0 || w%c.W != 0 {
+		return nil, fmt.Errorf("core: query window %d is not a positive multiple of W=%d", w, c.W)
+	}
+	b := w / c.W
+	var levels []int
+	for j := 0; b != 0; j++ {
+		if b&1 == 1 {
+			if j >= c.Levels {
+				return nil, fmt.Errorf("core: query window %d needs level %d but summary has %d levels", w, j, c.Levels)
+			}
+			levels = append(levels, j)
+		}
+		b >>= 1
+	}
+	return levels, nil
+}
+
+// AggregateResult is the outcome of one aggregate monitoring check
+// (Algorithm 2) at the current time.
+type AggregateResult struct {
+	// Bound is the composed interval guaranteed to contain the true
+	// aggregate: Bound.Lo ≤ F(x[t−w+1 : t]) ≤ Bound.Hi.
+	Bound aggregate.Interval
+	// Candidate reports whether the upper bound crossed the threshold
+	// (an alarm is raised only after exact verification).
+	Candidate bool
+	// Alarm reports whether the exact aggregate crossed the threshold.
+	// Only meaningful when Candidate is true (verification is skipped
+	// otherwise).
+	Alarm bool
+	// Exact is the verified aggregate value (set when Candidate).
+	Exact float64
+}
+
+// AggregateBound composes the interval bound on the aggregate of the most
+// recent window of size w of the stream, using the sub-window MBR extents
+// per Algorithm 2. It fails when w does not decompose or when a sub-window
+// feature is not (or no longer) available.
+func (s *Summary) AggregateBound(stream int, w int) (aggregate.Interval, error) {
+	if s.cfg.Transform == TransformDWT {
+		return aggregate.Interval{}, fmt.Errorf("core: aggregate query on a DWT summary")
+	}
+	levels, err := s.cfg.DecomposeWindow(w)
+	if err != nil {
+		return aggregate.Interval{}, err
+	}
+	st := s.stream(stream)
+	t := st.hist.Now()
+	if t < int64(w)-1 {
+		return aggregate.Interval{}, fmt.Errorf("core: stream %d has only %d values for window %d", stream, t+1, w)
+	}
+	var acc mbr.MBR
+	first := true
+	for _, j := range levels {
+		wi := int64(s.cfg.LevelWindow(j))
+		box, ok := st.levels[j].lookup(t)
+		if !ok {
+			return aggregate.Interval{}, fmt.Errorf("core: no level-%d feature at time %d for stream %d", j, t, stream)
+		}
+		if first {
+			acc = box.Clone()
+			first = false
+		} else {
+			acc = mergeAggregate(acc, box, s.agg)
+		}
+		t -= wi
+	}
+	return s.scalarInterval(acc), nil
+}
+
+// scalarInterval converts a feature box to the interval bounding the scalar
+// the user's threshold applies to.
+func (s *Summary) scalarInterval(box mbr.MBR) aggregate.Interval {
+	if s.agg == aggregate.Spread {
+		sb := aggregate.SpreadBound{
+			MinIv: aggregate.Interval{Lo: box.Min[0], Hi: box.Max[0]},
+			MaxIv: aggregate.Interval{Lo: box.Min[1], Hi: box.Max[1]},
+		}
+		return sb.SpreadInterval()
+	}
+	return aggregate.Interval{Lo: box.Min[0], Hi: box.Max[0]}
+}
+
+// AggregateQuery runs one monitoring check of Algorithm 2: compose the
+// bound; if the upper bound reaches the threshold, verify against the exact
+// aggregate over raw history and report an alarm when it truly exceeds.
+func (s *Summary) AggregateQuery(stream int, w int, threshold float64) (AggregateResult, error) {
+	bound, err := s.AggregateBound(stream, w)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	res := AggregateResult{Bound: bound}
+	if bound.Hi < threshold {
+		return res, nil
+	}
+	res.Candidate = true
+	win, err := s.stream(stream).hist.Last(w)
+	if err != nil {
+		return res, fmt.Errorf("core: cannot verify alarm: %v", err)
+	}
+	res.Exact = s.agg.Scalar(s.agg.Eval(win))
+	res.Alarm = res.Exact >= threshold
+	return res, nil
+}
+
+// ExactAggregate computes the exact aggregate scalar over the most recent
+// window of size w from raw history.
+func (s *Summary) ExactAggregate(stream int, w int) (float64, error) {
+	win, err := s.stream(stream).hist.Last(w)
+	if err != nil {
+		return 0, err
+	}
+	return s.agg.Scalar(s.agg.Eval(win)), nil
+}

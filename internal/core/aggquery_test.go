@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestAggregateBoundSound: for random streams, windows, times and box
+// capacities, the composed bound must always contain the exact aggregate
+// (the central soundness property of Algorithm 2).
+func TestAggregateBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, tr := range []Transform{TransformSum, TransformMax, TransformMin, TransformSpread} {
+		for _, c := range []int{1, 3, 10} {
+			cfg := Config{W: 4, Levels: 5, Transform: tr, BoxCapacity: c, HistoryN: 512}
+			s := newSummary(t, cfg, 1)
+			data := gen.RandomWalk(rng, 600)
+			for i, v := range data {
+				s.Append(0, v)
+				if i < 200 || i%17 != 0 {
+					continue
+				}
+				for _, w := range []int{4, 8, 12, 20, 52, 124} {
+					bound, err := s.AggregateBound(0, w)
+					if err != nil {
+						t.Fatalf("%v c=%d w=%d t=%d: %v", tr, c, w, i, err)
+					}
+					exact, err := s.ExactAggregate(0, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if exact < bound.Lo-1e-6 || exact > bound.Hi+1e-6 {
+						t.Fatalf("%v c=%d w=%d t=%d: exact %g outside [%g, %g]",
+							tr, c, w, i, exact, bound.Lo, bound.Hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAggregateBoundExactWhenC1: with capacity 1 the bound degenerates to
+// the exact value ("Stardust with c = 1 is the exact algorithm").
+func TestAggregateBoundExactWhenC1(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	cfg := Config{W: 4, Levels: 5, Transform: TransformSum, BoxCapacity: 1, HistoryN: 512}
+	s := newSummary(t, cfg, 1)
+	for i := 0; i < 500; i++ {
+		s.Append(0, rng.Float64()*10)
+	}
+	for _, w := range []int{4, 8, 28, 60, 116} {
+		bound, err := s.AggregateBound(0, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := s.ExactAggregate(0, w)
+		if math.Abs(bound.Lo-exact) > 1e-9 || math.Abs(bound.Hi-exact) > 1e-9 {
+			t.Fatalf("w=%d: bound [%g, %g] not exact %g", w, bound.Lo, bound.Hi, exact)
+		}
+	}
+}
+
+// TestAggregateQueryNoFalseDismissal: every time the exact aggregate
+// crosses the threshold, the query must flag a candidate and confirm it.
+func TestAggregateQueryNoFalseDismissal(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	data := gen.Burst(rng, 2000, 5, 30)
+	cfg := Config{W: 5, Levels: 5, Transform: TransformSum, BoxCapacity: 8, HistoryN: 512}
+	s := newSummary(t, cfg, 1)
+	const w = 35
+	const tau = 400.0
+	for i, v := range data {
+		s.Append(0, v)
+		if i < w {
+			continue
+		}
+		res, err := s.AggregateQuery(0, w, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := s.ExactAggregate(0, w)
+		if exact >= tau {
+			if !res.Candidate {
+				t.Fatalf("t=%d: true alarm (exact %g) dismissed", i, exact)
+			}
+			if !res.Alarm {
+				t.Fatalf("t=%d: confirmed alarm not reported", i)
+			}
+			if res.Exact != exact {
+				t.Fatalf("t=%d: reported exact %g vs %g", i, res.Exact, exact)
+			}
+		} else if res.Alarm {
+			t.Fatalf("t=%d: false alarm confirmed (exact %g < %g)", i, exact, tau)
+		}
+	}
+}
+
+// TestAggregateCandidateRateShrinksWithC: smaller box capacity means a
+// tighter bound and hence no more candidates than a looser configuration.
+func TestAggregateCandidateRateShrinksWithC(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	data := gen.Burst(rng, 3000, 5, 25)
+	counts := make(map[int]int)
+	for _, c := range []int{1, 10, 100} {
+		cfg := Config{W: 5, Levels: 5, Transform: TransformSum, BoxCapacity: c, HistoryN: 512}
+		s := newSummary(t, cfg, 1)
+		const w, tau = 40, 420.0
+		for i, v := range data {
+			s.Append(0, v)
+			if i < w {
+				continue
+			}
+			res, err := s.AggregateQuery(0, w, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Candidate {
+				counts[c]++
+			}
+		}
+	}
+	if counts[1] > counts[10] || counts[10] > counts[100] {
+		t.Fatalf("candidate counts should grow with c: %v", counts)
+	}
+	if counts[1] == counts[100] {
+		t.Logf("warning: capacities produced identical counts %v (data may be too easy)", counts)
+	}
+}
+
+func TestAggregateQueryErrors(t *testing.T) {
+	s := newSummary(t, Config{W: 4, Levels: 3, Transform: TransformSum}, 1)
+	// Not enough data yet.
+	for i := 0; i < 3; i++ {
+		s.Append(0, 1)
+	}
+	if _, err := s.AggregateBound(0, 4); err == nil {
+		t.Fatal("underfilled stream should fail")
+	}
+	for i := 0; i < 20; i++ {
+		s.Append(0, 1)
+	}
+	if _, err := s.AggregateBound(0, 6); err == nil {
+		t.Fatal("non-multiple window should fail")
+	}
+	if _, err := s.AggregateBound(0, 64); err == nil {
+		t.Fatal("window beyond levels should fail")
+	}
+	// DWT summaries reject aggregate queries.
+	ds := newSummary(t, Config{W: 4, Levels: 1, Transform: TransformDWT}, 1)
+	if _, err := ds.AggregateBound(0, 4); err == nil {
+		t.Fatal("aggregate query on DWT summary should fail")
+	}
+}
+
+// TestSpreadQueryEndToEnd: volatility monitoring with SPREAD over a stream
+// with a known quiet/volatile structure.
+func TestSpreadQueryEndToEnd(t *testing.T) {
+	cfg := Config{W: 4, Levels: 4, Transform: TransformSpread, BoxCapacity: 4, HistoryN: 256}
+	s := newSummary(t, cfg, 1)
+	// Quiet phase: constant. Then a volatile phase.
+	for i := 0; i < 100; i++ {
+		s.Append(0, 10)
+	}
+	res, err := s.AggregateQuery(0, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidate {
+		t.Fatalf("quiet phase flagged: bound [%g, %g]", res.Bound.Lo, res.Bound.Hi)
+	}
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			s.Append(0, 0)
+		} else {
+			s.Append(0, 20)
+		}
+	}
+	res, err = s.AggregateQuery(0, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Alarm {
+		t.Fatalf("volatile phase missed: bound [%g, %g] exact %g", res.Bound.Lo, res.Bound.Hi, res.Exact)
+	}
+	if res.Exact != 20 {
+		t.Fatalf("spread = %g, want 20", res.Exact)
+	}
+}
+
+// TestMaxMinQueries cover the remaining aggregate paths end to end.
+func TestMaxMinQueries(t *testing.T) {
+	for _, tr := range []Transform{TransformMax, TransformMin} {
+		s := newSummary(t, Config{W: 4, Levels: 3, Transform: tr, HistoryN: 128}, 1)
+		for i := 0; i < 50; i++ {
+			s.Append(0, float64(i%10))
+		}
+		bound, err := s.AggregateBound(0, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := s.ExactAggregate(0, 12)
+		if !bound.Contains(exact) {
+			t.Fatalf("%v: exact %g outside [%g, %g]", tr, exact, bound.Lo, bound.Hi)
+		}
+		if bound.Lo != bound.Hi {
+			t.Fatalf("%v c=1 should be exact", tr)
+		}
+	}
+}

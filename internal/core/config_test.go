@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stardust/internal/wavelet"
+)
+
+func TestValidateDefaults(t *testing.T) {
+	cfg, err := Config{W: 8, Levels: 3, Transform: TransformDWT}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BoxCapacity != 1 {
+		t.Fatalf("default capacity = %d", cfg.BoxCapacity)
+	}
+	if cfg.F != 2 {
+		t.Fatalf("default F = %d", cfg.F)
+	}
+	if cfg.Filter.Name() != "haar" {
+		t.Fatalf("default filter = %q", cfg.Filter.Name())
+	}
+	if cfg.Rate(5) != 1 {
+		t.Fatal("default rate should be online")
+	}
+	if cfg.HistoryN != 2*8*4 {
+		t.Fatalf("default history = %d", cfg.HistoryN)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Config{
+		{W: 0, Levels: 1},
+		{W: 4, Levels: 0},
+		{W: 4, Levels: 40},
+		{W: 6, Levels: 2, Transform: TransformDWT},                                       // non-power-of-two W
+		{W: 8, Levels: 2, Transform: TransformDWT, F: 3},                                 // F not power of two
+		{W: 8, Levels: 2, Transform: TransformDWT, F: 16},                                // F > W
+		{W: 8, Levels: 2, Transform: TransformDWT, Normalization: NormUnit},              // missing Rmax
+		{W: 8, Levels: 2, Transform: TransformDWT, Normalization: NormZ, BoxCapacity: 4}, // merged NormZ needs c=1
+		{W: 8, Levels: 2, HistoryN: 10},                                                  // history below largest window
+		{W: 8, Levels: 2, Rate: func(int) int { return 0 }},                              // bad rate
+		{W: 8, Levels: 3, Rate: func(j int) int { return []int{1, 3, 4}[j] }},            // non-nested rates
+		{W: 8, Levels: 2, Transform: TransformDWT, Filter: wavelet.Daubechies4()},        // merged non-Haar
+	}
+	for i, c := range cases {
+		if _, err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, c)
+		}
+	}
+}
+
+func TestValidateDirectAllowsNonHaar(t *testing.T) {
+	_, err := Config{
+		W: 8, Levels: 2, Transform: TransformDWT,
+		Filter: wavelet.Daubechies4(), Direct: true, Rate: RateBatch(8),
+	}.Validate()
+	if err != nil {
+		t.Fatalf("direct D4 should validate: %v", err)
+	}
+}
+
+func TestTransformStrings(t *testing.T) {
+	for tr, want := range map[Transform]string{
+		TransformSum: "SUM", TransformMax: "MAX", TransformMin: "MIN",
+		TransformSpread: "SPREAD", TransformDWT: "DWT",
+	} {
+		if tr.String() != want {
+			t.Errorf("String(%d) = %q", int(tr), tr.String())
+		}
+	}
+	if Transform(42).String() == "" || Normalization(42).String() == "" {
+		t.Error("unknown values should still print")
+	}
+	for n, want := range map[Normalization]string{NormNone: "none", NormUnit: "unit", NormZ: "z"} {
+		if n.String() != want {
+			t.Errorf("norm String = %q, want %q", n.String(), want)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	if RateOnline(3) != 1 {
+		t.Fatal("online rate")
+	}
+	if RateBatch(16)(5) != 16 {
+		t.Fatal("batch rate")
+	}
+	if RateSWAT(0) != 1 || RateSWAT(3) != 8 {
+		t.Fatal("SWAT rate")
+	}
+}
+
+func TestFeatureDim(t *testing.T) {
+	cfg, _ := Config{W: 8, Levels: 1, Transform: TransformDWT, F: 4}.Validate()
+	if cfg.FeatureDim() != 4 {
+		t.Fatalf("DWT dim = %d", cfg.FeatureDim())
+	}
+	cfg, _ = Config{W: 8, Levels: 1, Transform: TransformSpread}.Validate()
+	if cfg.FeatureDim() != 2 {
+		t.Fatalf("spread dim = %d", cfg.FeatureDim())
+	}
+	cfg, _ = Config{W: 8, Levels: 1, Transform: TransformSum}.Validate()
+	if cfg.FeatureDim() != 1 {
+		t.Fatalf("sum dim = %d", cfg.FeatureDim())
+	}
+}
+
+func TestLevelWindow(t *testing.T) {
+	cfg := Config{W: 20}
+	if cfg.LevelWindow(0) != 20 || cfg.LevelWindow(3) != 160 {
+		t.Fatal("level window wrong")
+	}
+}
+
+// TestEffectiveTPaperExample reproduces the worked example of Section 5.1:
+// c = W = 64, b = 12 versus SWT's T = 1.3333. Note the paper quotes
+// T' = 1.2987, which follows from plugging c (not c−1) into its own
+// Equation 7; evaluating Equation 7 as printed gives 1.2940. We implement
+// the equation as printed and accept either rounding here.
+func TestEffectiveTPaperExample(t *testing.T) {
+	tp := EffectiveT(12, 64, 64)
+	if math.Abs(tp-1.2940) > 5e-4 {
+		t.Fatalf("T' = %.4f, want ≈ 1.2940 (paper's c-vs-c−1 variant: 1.2987)", tp)
+	}
+	swt := SWTStretch(12*64, 64)
+	if math.Abs(swt-4.0/3.0) > 1e-9 {
+		t.Fatalf("SWT T = %.4f, want 4/3", swt)
+	}
+	if tp >= swt {
+		t.Fatal("Stardust's effective stretch must beat SWT's")
+	}
+	// c = 1 is the optimal algorithm: T' = 1.
+	if opt := EffectiveT(12, 64, 1); opt != 1 {
+		t.Fatalf("T'(c=1) = %g, want 1", opt)
+	}
+}
+
+// TestEffectiveTDecreasesWithB per the discussion after Equation 7
+// (non-increasing: log2(b)/b ties exactly at b = 2 and b = 4, then falls).
+func TestEffectiveTDecreasesWithB(t *testing.T) {
+	prev := math.Inf(1)
+	for _, b := range []int{2, 4, 8, 16, 64, 256} {
+		cur := EffectiveT(b, 64, 64)
+		if cur > prev {
+			t.Fatalf("T' increased at b=%d: %g > %g", b, cur, prev)
+		}
+		prev = cur
+	}
+	if EffectiveT(256, 64, 64) >= EffectiveT(8, 64, 64) {
+		t.Fatal("T' should strictly fall over a wide b range")
+	}
+}
+
+func TestDecomposeWindow(t *testing.T) {
+	cfg, _ := Config{W: 2, Levels: 5, Transform: TransformSum}.Validate()
+	// The paper's example: w = 26 = 13·2, 13 = 1101b → levels 0, 2, 3.
+	levels, err := cfg.DecomposeWindow(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 3}
+	if len(levels) != 3 || levels[0] != 0 || levels[1] != 2 || levels[2] != 3 {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+	// Sanity: the sub-windows sum to the query window.
+	sum := 0
+	for _, j := range levels {
+		sum += cfg.LevelWindow(j)
+	}
+	if sum != 26 {
+		t.Fatalf("sub-windows sum to %d", sum)
+	}
+}
+
+func TestDecomposeWindowErrors(t *testing.T) {
+	cfg, _ := Config{W: 4, Levels: 2, Transform: TransformSum}.Validate()
+	if _, err := cfg.DecomposeWindow(0); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := cfg.DecomposeWindow(6); err == nil {
+		t.Error("non-multiple should fail")
+	}
+	if _, err := cfg.DecomposeWindow(16); err == nil {
+		t.Error("window needing level 2 should fail with 2 levels")
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stardust/internal/mbr"
+	"stardust/internal/stats"
+)
+
+// CorrPair reports one correlated stream pair found at a resolution level:
+// the feature of stream A ending at TimeA was within the query radius of
+// the feature of stream B ending at TimeB. Dist is the verified exact
+// distance between the z-normalized raw windows (set when verified);
+// Correlation is the corresponding Pearson coefficient 1 − Dist²/2.
+type CorrPair struct {
+	A, B         int
+	TimeA, TimeB int64
+	Dist         float64
+	Correlation  float64
+}
+
+// CorrelationResult is the outcome of one correlation detection round.
+type CorrelationResult struct {
+	// Candidates passed the index range query.
+	Candidates []CorrPair
+	// Pairs verified within the distance threshold on raw history.
+	Pairs []CorrPair
+}
+
+// Precision returns verified pairs over candidates (1 when none were
+// retrieved).
+func (r CorrelationResult) Precision() float64 {
+	if len(r.Candidates) == 0 {
+		return 1
+	}
+	return float64(len(r.Pairs)) / float64(len(r.Candidates))
+}
+
+// CorrelationScreen performs one detection round per Section 5.3 at the
+// given level and returns the screened candidate pairs: for every stream
+// whose current level feature ends at the stream's most recent feature
+// time, a range query with radius r retrieves nearby features of other
+// streams (synchronous — only features ending at the same time are
+// considered). This is what the monitor reports in real time; precision is
+// governed by how much signal the f retained coefficients carry. Pairs are
+// reported once (A < B).
+func (s *Summary) CorrelationScreen(level int, r float64) ([]CorrPair, error) {
+	if s.cfg.Transform != TransformDWT {
+		return nil, fmt.Errorf("core: correlation query on a %v summary", s.cfg.Transform)
+	}
+	if level < 0 || level >= s.cfg.Levels {
+		return nil, fmt.Errorf("core: level %d out of range [0, %d)", level, s.cfg.Levels)
+	}
+	// Collect the still-unsealed (hence unindexed) trailing boxes once;
+	// they must be screened alongside the index so fresh features are not
+	// missed.
+	type pending struct {
+		box mbr.MBR
+		ref BoxRef
+	}
+	var unsealed []pending
+	for _, other := range s.streams {
+		sl := other.levels[level]
+		if len(sl.boxes) == 0 {
+			continue
+		}
+		lb := &sl.boxes[len(sl.boxes)-1]
+		if lb.indexed {
+			continue
+		}
+		unsealed = append(unsealed, pending{box: s.featureView(lb.box, level), ref: BoxRef{Stream: other.id, T1: lb.t1, T2: lb.t2}})
+	}
+	// (With the index disabled every latest box is unindexed, so this list
+	// covers all current features and synchronous screening degrades to a
+	// pairwise scan — older sealed boxes can never satisfy the synchronous
+	// time filter, so skipping them is safe.)
+
+	var out []CorrPair
+	for _, st := range s.streams {
+		box, _, t2, ok := st.levels[level].latest()
+		if !ok {
+			continue
+		}
+		center := s.featureView(box, level).Center()
+		// Each unordered pair is discovered from both endpoints' range
+		// queries (the distance screen is symmetric); keeping only
+		// higher-id partners reports it exactly once without a dedup map.
+		consider := func(cb mbr.MBR, ref BoxRef) {
+			if ref.Stream <= st.id || ref.T2 != t2 {
+				return
+			}
+			out = append(out, CorrPair{A: st.id, B: ref.Stream, TimeA: t2, TimeB: ref.T2})
+		}
+		s.trees[level].SearchSphere(center, r, func(cb mbr.MBR, ref BoxRef) bool {
+			consider(cb, ref)
+			return true
+		})
+		for i := range unsealed {
+			p := &unsealed[i]
+			if p.ref.Stream == st.id || p.box.MinDist2(center) > r*r {
+				continue
+			}
+			consider(p.box, p.ref)
+		}
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+// VerifyPairs computes the exact z-norm distance of each screened pair on
+// raw history and returns those truly within r, with Dist and Correlation
+// filled in. Intended to run outside any timed detection path.
+func (s *Summary) VerifyPairs(level int, pairs []CorrPair, r float64) []CorrPair {
+	var out []CorrPair
+	for _, p := range pairs {
+		if dist, ok := s.verifyCorrelation(p.A, p.B, level, p.TimeA, p.TimeB); ok && dist <= r {
+			p.Dist = dist
+			p.Correlation = stats.CorrelationFromZDist(dist)
+			out = append(out, p)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// CorrelationQuery runs one screened + verified detection round: the
+// Candidates are the screened pairs the monitor reports, the Pairs are the
+// subset confirmed on raw history.
+func (s *Summary) CorrelationQuery(level int, r float64) (CorrelationResult, error) {
+	cands, err := s.CorrelationScreen(level, r)
+	if err != nil {
+		return CorrelationResult{}, err
+	}
+	return CorrelationResult{
+		Candidates: cands,
+		Pairs:      s.VerifyPairs(level, cands, r),
+	}, nil
+}
+
+// verifyCorrelation computes the exact distance between the z-normalized
+// windows of streams a and b at the given level ending at times ta and tb.
+func (s *Summary) verifyCorrelation(a, b, level int, ta, tb int64) (float64, bool) {
+	w := int64(s.cfg.LevelWindow(level))
+	ra, err := s.stream(a).hist.Range(ta-w+1, ta)
+	if err != nil {
+		return 0, false
+	}
+	rb, err := s.stream(b).hist.Range(tb-w+1, tb)
+	if err != nil {
+		return 0, false
+	}
+	return stats.Euclidean(stats.ZNormalize(ra), stats.ZNormalize(rb)), true
+}
+
+// ScanCorrelatedPairs is the linear-scan ground truth: every stream pair
+// whose current level-window z-norms are within distance r, computed
+// directly from raw history at the given feature end-time.
+func (s *Summary) ScanCorrelatedPairs(level int, t int64, r float64) []CorrPair {
+	var out []CorrPair
+	for a := 0; a < len(s.streams); a++ {
+		for b := a + 1; b < len(s.streams); b++ {
+			if dist, ok := s.verifyCorrelation(a, b, level, t, t); ok && dist <= r {
+				out = append(out, CorrPair{
+					A: a, B: b, TimeA: t, TimeB: t,
+					Dist: dist, Correlation: stats.CorrelationFromZDist(dist),
+				})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+type pairsByID []CorrPair
+
+func (p pairsByID) Len() int      { return len(p) }
+func (p pairsByID) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p pairsByID) Less(i, j int) bool {
+	if p[i].A != p[j].A {
+		return p[i].A < p[j].A
+	}
+	return p[i].B < p[j].B
+}
+
+func sortPairs(ps []CorrPair) { sort.Sort(pairsByID(ps)) }

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"stardust/internal/mbr"
+	"stardust/internal/wavelet"
+)
+
+// mergeDWT computes the level-j DWT feature bound from the two level-(j−1)
+// boxes: concatenate the extents into a box in R^{2f} and push it through
+// one analysis step with the corner-enumeration Online I algorithm or the
+// Θ(f) Online II bound of Lemma A.2. With point boxes (capacity 1) both
+// reduce to the exact Lemma A.1 merge.
+func mergeDWT(left, right mbr.MBR, cfg Config) mbr.MBR {
+	return wavelet.MergeMBRs(left, right, cfg.Filter, cfg.OnlineI)
+}

@@ -1,0 +1,24 @@
+package core
+
+import "stardust/internal/stats"
+
+// SWTFalseAlarmRate evaluates the normal-model false-alarm rate of
+// Equation 6: monitoring a burst query of window w with threshold
+// calibrated to exceedance probability p, via a proxy window stretched by
+// factor T ≥ 1 (SWT uses T = 2^j·W/w ∈ [1, 2); Stardust's composition
+// achieves the smaller T' of Equation 7). The rate is
+//
+//	Pr(Z > τ) = Φ(1 − (1 − Φ⁻¹(p)) / T)
+//
+// which is increasing in T and collapses to p at T = 1 in the model's
+// regime (the paper's argument for why smaller effective windows give
+// fewer false alarms).
+func SWTFalseAlarmRate(p, t float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("core: exceedance probability outside (0, 1)")
+	}
+	if t < 1 {
+		panic("core: stretch factor below 1")
+	}
+	return stats.NormalCDF(1 - (1-stats.NormalQuantile(p))/t)
+}

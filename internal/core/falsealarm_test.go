@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+// TestSWTFalseAlarmRateMonotoneInT: the model's central claim — the false
+// alarm rate grows with the monitoring stretch factor T, so Stardust's
+// smaller T' (Equation 7) yields fewer false alarms than SWT's T ∈ [1, 2).
+func TestSWTFalseAlarmRateMonotoneInT(t *testing.T) {
+	const p = 0.01
+	prev := -1.0
+	for _, stretch := range []float64{1, 1.1, 1.3, 1.5, 1.8, 2} {
+		rate := SWTFalseAlarmRate(p, stretch)
+		if rate <= prev {
+			t.Fatalf("rate not increasing at T=%g: %g <= %g", stretch, rate, prev)
+		}
+		if rate < 0 || rate > 1 {
+			t.Fatalf("rate %g outside [0,1]", rate)
+		}
+		prev = rate
+	}
+}
+
+// TestSWTFalseAlarmStardustBeatsSWT combines Equations 6 and 7 on the
+// paper's worked example: the composed window's T' gives a lower modeled
+// false-alarm rate than SWT's T.
+func TestSWTFalseAlarmStardustBeatsSWT(t *testing.T) {
+	const p = 0.01
+	tStardust := EffectiveT(12, 64, 64) // ≈ 1.294
+	tSWT := SWTStretch(12*64, 64)       // = 4/3
+	if SWTFalseAlarmRate(p, tStardust) >= SWTFalseAlarmRate(p, tSWT) {
+		t.Fatal("Stardust's modeled false-alarm rate should be below SWT's")
+	}
+	// And c = 1 is optimal: T' = 1.
+	if SWTFalseAlarmRate(p, EffectiveT(12, 64, 1)) >= SWTFalseAlarmRate(p, tStardust) {
+		t.Fatal("c=1 should minimize the modeled rate")
+	}
+}
+
+func TestSWTFalseAlarmRatePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SWTFalseAlarmRate(0, 1.5) },
+		func() { SWTFalseAlarmRate(1, 1.5) },
+		func() { SWTFalseAlarmRate(0.1, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

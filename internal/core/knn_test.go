@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestNearestPatternsFindsClosest: the top result for a planted query must
+// be its own origin at distance ~0, and results come back sorted.
+func TestNearestPatternsFindsClosest(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	s := batchPatternSummary(t, 3, 2048)
+	data := feedWalks(s, rng, 600)
+	q := make([]float64, 80)
+	copy(q, data[2][400:480])
+	got, err := s.NearestPatterns(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	if got[0].Stream != 2 || got[0].End != 479 {
+		t.Fatalf("top result = %+v, want stream 2 end 479", got[0])
+	}
+	if got[0].Dist > 1e-9 {
+		t.Fatalf("self distance = %g", got[0].Dist)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].Dist < got[b].Dist }) {
+		t.Fatal("results not sorted by distance")
+	}
+	if len(got) > 5 {
+		t.Fatalf("returned %d > k", len(got))
+	}
+}
+
+// TestNearestPatternsAgainstScan: the top-1 result must match the global
+// best alignment found by a linear scan.
+func TestNearestPatternsAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(282))
+	s := batchPatternSummary(t, 4, 2048)
+	feedWalks(s, rng, 500)
+	q := gen.RandomWalk(rng, 64)
+	got, err := s.NearestPatterns(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d results", len(got))
+	}
+	// Scan with a generous radius and find the true minimum.
+	scan := s.ScanPatternMatches(q, 10)
+	best := scan[0]
+	for _, m := range scan[1:] {
+		if m.Dist < best.Dist {
+			best = m
+		}
+	}
+	// The kNN oversampling is a heuristic, so allow the result to be close
+	// to (within 25% of) the global optimum rather than exactly it.
+	if got[0].Dist > best.Dist*1.25+1e-9 {
+		t.Fatalf("kNN best %g far from scan best %g", got[0].Dist, best.Dist)
+	}
+}
+
+func TestNearestPatternsErrors(t *testing.T) {
+	s := batchPatternSummary(t, 1, 512)
+	if _, err := s.NearestPatterns(make([]float64, 40), 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := s.NearestPatterns(make([]float64, 4), 3); err == nil {
+		t.Fatal("short query should fail")
+	}
+	agg := newSummary(t, Config{W: 8, Levels: 2, Transform: TransformSum}, 1)
+	if _, err := agg.NearestPatterns(make([]float64, 40), 3); err == nil {
+		t.Fatal("aggregate summary should fail")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"stardust/internal/mbr"
+)
+
+// CorrelationScreenLagged extends the synchronous screen of Section 5.3 to
+// lagged correlations, as StatStream's "lag time" does: for every stream's
+// CURRENT level feature (ending at its latest feature time t), the range
+// query also admits features of other streams ending up to maxLag time
+// steps earlier. A reported pair (A, B, TimeA, TimeB) means "A's window
+// ending at TimeA resembles B's window ending at TimeB" — TimeA − TimeB is
+// the lag. Pairs are screened only; use VerifyPairs for exact confirmation.
+//
+// Historical features are only available while they remain indexed, so the
+// summary must be configured with IndexHorizon ≥ maxLag plus one update
+// period.
+func (s *Summary) CorrelationScreenLagged(level int, r float64, maxLag int) ([]CorrPair, error) {
+	if s.cfg.Transform != TransformDWT {
+		return nil, fmt.Errorf("core: correlation query on a %v summary", s.cfg.Transform)
+	}
+	if level < 0 || level >= s.cfg.Levels {
+		return nil, fmt.Errorf("core: level %d out of range [0, %d)", level, s.cfg.Levels)
+	}
+	if maxLag < 0 {
+		return nil, fmt.Errorf("core: negative lag %d", maxLag)
+	}
+	tj := int64(s.cfg.Rate(level))
+
+	// Unsealed trailing boxes, collected once (see CorrelationScreen).
+	type pending struct {
+		box mbr.MBR
+		ref BoxRef
+	}
+	var unsealed []pending
+	for _, other := range s.streams {
+		sl := other.levels[level]
+		if len(sl.boxes) == 0 {
+			continue
+		}
+		lb := &sl.boxes[len(sl.boxes)-1]
+		if lb.indexed {
+			continue
+		}
+		unsealed = append(unsealed, pending{box: s.featureView(lb.box, level), ref: BoxRef{Stream: other.id, T1: lb.t1, T2: lb.t2}})
+	}
+
+	var out []CorrPair
+	seen := make(map[CorrPair]bool)
+	for _, st := range s.streams {
+		box, _, t2, ok := st.levels[level].latest()
+		if !ok {
+			continue
+		}
+		center := s.featureView(box, level).Center()
+		oldest := t2 - int64(maxLag)
+		consider := func(ref BoxRef) {
+			if ref.Stream == st.id || ref.T2 < oldest || ref.T1 > t2 {
+				return
+			}
+			lo := ref.T1
+			if lo < oldest {
+				// Advance to the first feature time inside the lag window,
+				// preserving the level's schedule alignment.
+				steps := (oldest - ref.T1 + tj - 1) / tj
+				lo = ref.T1 + steps*tj
+			}
+			for tau := lo; tau <= ref.T2 && tau <= t2; tau += tj {
+				p := CorrPair{A: st.id, B: ref.Stream, TimeA: t2, TimeB: tau}
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		s.trees[level].SearchSphere(center, r, func(_ mbr.MBR, ref BoxRef) bool {
+			consider(ref)
+			return true
+		})
+		for i := range unsealed {
+			p := &unsealed[i]
+			if p.ref.Stream == st.id || p.box.MinDist2(center) > r*r {
+				continue
+			}
+			consider(p.ref)
+		}
+	}
+	sortPairs(out)
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestLaggedCorrelationFindsShiftedCopy: stream 1 replays stream 0 with a
+// delay of exactly one update period; the lagged screen must report the
+// pair at that lag, and the synchronous screen must not (at a tight
+// radius).
+func TestLaggedCorrelationFindsShiftedCopy(t *testing.T) {
+	const (
+		w      = 16
+		levels = 3
+		lag    = 16 // one update period at the batch rate
+		n      = 512
+	)
+	cfg := Config{
+		W: w, Levels: levels, Transform: TransformDWT, F: 8,
+		Normalization: NormZ, Rate: RateBatch(w),
+		HistoryN: n,
+	}
+	s := newSummary(t, cfg, 3)
+	rng := rand.New(rand.NewSource(161))
+	base := gen.RandomWalk(rng, n)
+	other := gen.RandomWalk(rng, n)
+	for i := 0; i < n; i++ {
+		s.Append(0, base[i])
+		if i >= lag {
+			s.Append(1, base[i-lag])
+		} else {
+			s.Append(1, base[0])
+		}
+		s.Append(2, other[i])
+	}
+
+	const r = 0.05
+	level := levels - 1
+	lagged, err := s.CorrelationScreenLagged(level, r, 2*lag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range lagged {
+		if p.A == 1 && p.B == 0 && p.TimeA-p.TimeB == int64(lag) {
+			found = true
+			// Confirm exactly on raw history.
+			dist, ok := s.verifyCorrelation(p.A, p.B, level, p.TimeA, p.TimeB)
+			if !ok || dist > r {
+				t.Fatalf("lagged pair failed verification: dist=%g ok=%v", dist, ok)
+			}
+		}
+		if (p.A == 2 || p.B == 2) && p.TimeA == p.TimeB {
+			// The independent stream should not match synchronously at this
+			// radius (probabilistically safe for this seed).
+			t.Fatalf("independent stream screened synchronously: %+v", p)
+		}
+	}
+	if !found {
+		t.Fatalf("shifted copy not found at lag %d; screened %d pairs", lag, len(lagged))
+	}
+
+	sync, err := s.CorrelationScreen(level, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sync {
+		if p.A == 0 && p.B == 1 {
+			t.Fatal("synchronous screen should not match the lagged copy at this radius")
+		}
+	}
+}
+
+// TestLaggedZeroLagEqualsSynchronous: with maxLag = 0 the lagged screen
+// reports the synchronous pairs (in both orientations).
+func TestLaggedZeroLagEqualsSynchronous(t *testing.T) {
+	cfg := Config{
+		W: 16, Levels: 3, Transform: TransformDWT, F: 4,
+		Normalization: NormZ, Rate: RateBatch(16), HistoryN: 256,
+	}
+	s := newSummary(t, cfg, 6)
+	rng := rand.New(rand.NewSource(162))
+	data := gen.CorrelatedWalks(rng, 6, 256, 2, 0.3)
+	for i := 0; i < 256; i++ {
+		for st := 0; st < 6; st++ {
+			s.Append(st, data[st][i])
+		}
+	}
+	const r = 0.6
+	level := 2
+	sync, err := s.CorrelationScreen(level, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagged, err := s.CorrelationScreenLagged(level, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lagged reports both (a,b) and (b,a); fold to unordered and compare.
+	fold := make(map[[2]int]bool)
+	for _, p := range lagged {
+		if p.TimeA != p.TimeB {
+			t.Fatalf("zero-lag screen returned lagged pair %+v", p)
+		}
+		a, b := p.A, p.B
+		if a > b {
+			a, b = b, a
+		}
+		fold[[2]int{a, b}] = true
+	}
+	if len(fold) != len(sync) {
+		t.Fatalf("zero-lag folded %d pairs vs %d synchronous", len(fold), len(sync))
+	}
+	for _, p := range sync {
+		if !fold[[2]int{p.A, p.B}] {
+			t.Fatalf("synchronous pair %+v missing from zero-lag screen", p)
+		}
+	}
+}
+
+func TestLaggedErrors(t *testing.T) {
+	s := newSummary(t, Config{W: 4, Levels: 2, Transform: TransformSum}, 2)
+	if _, err := s.CorrelationScreenLagged(0, 0.1, 4); err == nil {
+		t.Fatal("lagged screen on aggregate summary should fail")
+	}
+	d := corrSummary(t, 2, 8, 2, 2)
+	if _, err := d.CorrelationScreenLagged(5, 0.1, 4); err == nil {
+		t.Fatal("out-of-range level should fail")
+	}
+	if _, err := d.CorrelationScreenLagged(0, 0.1, -1); err == nil {
+		t.Fatal("negative lag should fail")
+	}
+}

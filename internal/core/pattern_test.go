@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+func onlinePatternSummary(t *testing.T, capacity int, streams int, historyN int) *Summary {
+	t.Helper()
+	return newSummary(t, Config{
+		W: 8, Levels: 5, Transform: TransformDWT, F: 4,
+		Normalization: NormUnit, Rmax: 120, BoxCapacity: capacity,
+		HistoryN: historyN,
+	}, streams)
+}
+
+func batchPatternSummary(t *testing.T, streams int, historyN int) *Summary {
+	t.Helper()
+	return newSummary(t, Config{
+		W: 8, Levels: 5, Transform: TransformDWT, F: 4,
+		Normalization: NormUnit, Rmax: 120,
+		Rate: RateBatch(8), Direct: true, HistoryN: historyN,
+	}, streams)
+}
+
+func feedWalks(s *Summary, rng *rand.Rand, n int) [][]float64 {
+	data := gen.RandomWalks(rng, s.NumStreams(), n)
+	for i := 0; i < n; i++ {
+		for st := 0; st < s.NumStreams(); st++ {
+			s.Append(st, data[st][i])
+		}
+	}
+	return data
+}
+
+func matchSet(ms []Match) map[Match]bool {
+	out := make(map[Match]bool, len(ms))
+	for _, m := range ms {
+		out[Match{Stream: m.Stream, End: m.End}] = true
+	}
+	return out
+}
+
+// TestPatternOnlineFindsPlanted: a query copied verbatim from the stream
+// must always be found with a tiny radius.
+func TestPatternOnlineFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, capacity := range []int{1, 16} {
+		s := onlinePatternSummary(t, capacity, 3, 1024)
+		data := feedWalks(s, rng, 700)
+		// Take an in-history subsequence of decomposable length 88 = 11·8.
+		q := make([]float64, 88)
+		copy(q, data[1][500:588])
+		res, err := s.PatternQueryOnline(q, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range res.Matches {
+			if m.Stream == 1 && m.End == 587 {
+				found = true
+				if m.Dist > 1e-9 {
+					t.Fatalf("self-match distance = %g", m.Dist)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("c=%d: planted pattern not found; matches = %v", capacity, res.Matches)
+		}
+	}
+}
+
+// TestPatternOnlineNoFalseDismissal: the candidate set must be a superset
+// of the linear-scan matches, and verified matches must equal the scan
+// exactly (within retained history), for several radii and capacities.
+func TestPatternOnlineNoFalseDismissal(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, capacity := range []int{1, 8} {
+		s := onlinePatternSummary(t, capacity, 4, 2048)
+		feedWalks(s, rng, 600)
+		q := gen.RandomWalk(rng, 120) // 15·8: levels 0,1,2,3
+		for _, r := range []float64{0.02, 0.05, 0.1} {
+			res, err := s.PatternQueryOnline(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan := s.ScanPatternMatches(q, r)
+			cand := matchSet(res.Candidates)
+			got := matchSet(res.Matches)
+			want := matchSet(scan)
+			for m := range want {
+				if !cand[m] {
+					t.Fatalf("c=%d r=%g: true match %v missing from candidates", capacity, r, m)
+				}
+				if !got[m] {
+					t.Fatalf("c=%d r=%g: true match %v missing from matches", capacity, r, m)
+				}
+			}
+			for m := range got {
+				if !want[m] {
+					t.Fatalf("c=%d r=%g: spurious match %v", capacity, r, m)
+				}
+			}
+		}
+	}
+}
+
+// TestPatternBatchNoFalseDismissal: Algorithm 4's matches must equal the
+// linear scan within retained history.
+func TestPatternBatchNoFalseDismissal(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	s := batchPatternSummary(t, 4, 2048)
+	feedWalks(s, rng, 600)
+	for _, qlen := range []int{40, 88, 120} {
+		q := gen.RandomWalk(rng, qlen)
+		for _, r := range []float64{0.02, 0.05, 0.1} {
+			res, err := s.PatternQueryBatch(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan := s.ScanPatternMatches(q, r)
+			got := matchSet(res.Matches)
+			want := matchSet(scan)
+			for m := range want {
+				if !got[m] {
+					t.Fatalf("qlen=%d r=%g: true match %v missed", qlen, r, m)
+				}
+			}
+			for m := range got {
+				if !want[m] {
+					t.Fatalf("qlen=%d r=%g: spurious match %v", qlen, r, m)
+				}
+			}
+		}
+	}
+}
+
+// TestPatternBatchFindsPlanted with a non-multiple-of-W query length
+// (Algorithm 4 supports arbitrary lengths ≥ 2^jW + W − 1).
+func TestPatternBatchFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	s := batchPatternSummary(t, 2, 1024)
+	data := feedWalks(s, rng, 500)
+	q := make([]float64, 77) // deliberately not a multiple of W
+	copy(q, data[0][400:477])
+	res, err := s.PatternQueryBatch(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.Stream == 0 && m.End == 476 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted pattern not found; %d matches", len(res.Matches))
+	}
+}
+
+func TestPatternQueryErrors(t *testing.T) {
+	s := newSummary(t, Config{W: 8, Levels: 2, Transform: TransformSum}, 1)
+	if _, err := s.PatternQueryOnline(make([]float64, 16), 0.1); err == nil {
+		t.Fatal("pattern query on aggregate summary should fail")
+	}
+	if _, err := s.PatternQueryBatch(make([]float64, 16), 0.1); err == nil {
+		t.Fatal("batch pattern query on aggregate summary should fail")
+	}
+	d := onlinePatternSummary(t, 1, 1, 512)
+	if _, err := d.PatternQueryOnline(make([]float64, 12), 0.1); err == nil {
+		t.Fatal("non-decomposable query length should fail")
+	}
+	b := batchPatternSummary(t, 1, 512)
+	if _, err := b.PatternQueryBatch(make([]float64, 4), 0.1); err == nil {
+		t.Fatal("too-short batch query should fail")
+	}
+}
+
+// TestPatternPrecisionImprovesWithTightBoxes: capacity 1 yields screening
+// at least as precise as a large capacity on the same data and queries.
+func TestPatternPrecisionImprovesWithTightBoxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	data := gen.HostLoads(rng, 4, 800)
+	build := func(capacity int) *Summary {
+		s := onlinePatternSummary(t, capacity, 4, 2048)
+		for i := 0; i < 800; i++ {
+			for st := 0; st < 4; st++ {
+				s.Append(st, data[st][i])
+			}
+		}
+		return s
+	}
+	tight, loose := build(1), build(32)
+	var candTight, candLoose int
+	for k := 0; k < 10; k++ {
+		q := gen.HostLoad(rng, 120)
+		r := 0.15
+		rt, err := tight.PatternQueryOnline(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := loose.PatternQueryOnline(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		candTight += len(rt.Candidates)
+		candLoose += len(rl.Candidates)
+	}
+	if candTight > candLoose {
+		t.Fatalf("tight boxes produced more candidates (%d) than loose (%d)", candTight, candLoose)
+	}
+}
+
+func TestPatternResultPrecision(t *testing.T) {
+	var r PatternResult
+	if r.Precision() != 1 {
+		t.Fatal("empty precision should be 1")
+	}
+	r.Candidates = []Match{{}, {}, {}, {}}
+	r.Matches = []Match{{}}
+	r.Relevant = 1
+	if r.Precision() != 0.25 {
+		t.Fatalf("precision = %g", r.Precision())
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStatsSnapshot checks the introspection snapshot against the space
+// bound of Theorem 4.3: at level j with capacity c and rate T, the steady
+// state retains about HistoryN/(c·T) boxes per stream.
+func TestStatsSnapshot(t *testing.T) {
+	const (
+		history = 512
+		cap     = 8
+		streams = 3
+	)
+	s := newSummary(t, Config{
+		W: 4, Levels: 4, Transform: TransformSum,
+		BoxCapacity: cap, HistoryN: history,
+	}, streams)
+	rng := rand.New(rand.NewSource(151))
+	for i := 0; i < 4000; i++ {
+		for st := 0; st < streams; st++ {
+			s.Append(st, rng.Float64())
+		}
+	}
+	st := s.Stats()
+	if st.Streams != streams {
+		t.Fatalf("streams = %d", st.Streams)
+	}
+	if st.RawHistory != streams*history {
+		t.Fatalf("raw history = %d, want %d", st.RawHistory, streams*history)
+	}
+	if st.FeatureDim != 1 {
+		t.Fatalf("feature dim = %d", st.FeatureDim)
+	}
+	for j, l := range st.Levels {
+		if l.Window != 4<<uint(j) {
+			t.Fatalf("level %d window = %d", j, l.Window)
+		}
+		if l.UpdateRate != 1 {
+			t.Fatalf("level %d rate = %d", j, l.UpdateRate)
+		}
+		if !l.Indexed {
+			t.Fatalf("level %d should be indexed by default", j)
+		}
+		// Theorem 4.3: ≈ history/(c·T) boxes per stream.
+		want := streams * history / cap
+		if l.ThreadBoxes < want-2*streams || l.ThreadBoxes > want+2*streams {
+			t.Fatalf("level %d boxes = %d, want ≈ %d", j, l.ThreadBoxes, want)
+		}
+		if l.IndexEntries <= 0 || l.IndexHeight < 1 {
+			t.Fatalf("level %d index stats: %d entries height %d", j, l.IndexEntries, l.IndexHeight)
+		}
+	}
+	if st.TotalBoxes() <= 0 {
+		t.Fatal("total boxes should be positive")
+	}
+}
+
+// TestStatsIndexLevels: restricted index levels show up in the snapshot.
+func TestStatsIndexLevels(t *testing.T) {
+	s := newSummary(t, Config{
+		W: 4, Levels: 3, Transform: TransformSum,
+		IndexLevels: []int{2},
+	}, 1)
+	for i := 0; i < 100; i++ {
+		s.Append(0, 1)
+	}
+	st := s.Stats()
+	if st.Levels[0].Indexed || st.Levels[1].Indexed || !st.Levels[2].Indexed {
+		t.Fatalf("indexed flags wrong: %+v", st.Levels)
+	}
+	if st.Levels[0].IndexEntries != 0 {
+		t.Fatalf("level 0 should have no index entries, got %d", st.Levels[0].IndexEntries)
+	}
+	if st.Levels[2].IndexEntries == 0 {
+		t.Fatal("level 2 should have index entries")
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	s := newSummary(t, Config{W: 4, Levels: 2, Transform: TransformSum, HistoryN: 64}, 1)
+	empty := s.Stats().ApproxBytes()
+	for i := 0; i < 200; i++ {
+		s.Append(0, 1)
+	}
+	full := s.Stats().ApproxBytes()
+	if full <= empty {
+		t.Fatalf("footprint did not grow: %d -> %d", empty, full)
+	}
+	// Order of magnitude: 64 raw values + ~96 boxes of dim 1 + index.
+	if full < 1000 || full > 100000 {
+		t.Fatalf("footprint %d outside plausible range", full)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+
+	"stardust/internal/mbr"
+)
+
+// This file implements single-pass maintenance of z-normalized DWT
+// features. Z-norms of half windows do not concatenate into the z-norm of
+// the whole window (the mean and energy differ), so the level threads store
+// a mergeable COMPOSITE instead: the raw (un-normalized) Haar approximation
+// coefficients plus the window sum and sum of squares, a vector of
+// dimension f+2. All three components merge exactly across half windows
+// (Lemma A.1 for the coefficients, addition for the moments), keeping the
+// per-level update cost at Θ(f) as in Theorem 4.3. The z-normalized
+// feature is derived on demand:
+//
+//	DWT(ẑ)[i] = (A_raw[i] − μ·√(w/f)) / sqrt(E − w·μ²)
+//
+// using linearity of the DWT and the fact that the Haar approximation of
+// the all-ones window at the feature depth is √(w/f) in every coordinate.
+
+// zcomposite reports whether level threads store raw composites rather
+// than normalized features.
+func (s *Summary) zcomposite() bool {
+	return s.cfg.Transform == TransformDWT && s.cfg.Normalization == NormZ && !s.cfg.Direct
+}
+
+// threadDim is the dimensionality of the boxes stored in level threads.
+func (s *Summary) threadDim() int {
+	if s.zcomposite() {
+		return s.cfg.F + 2
+	}
+	return s.dim
+}
+
+// evalComposite computes the composite point for a raw window: the first F
+// raw approximation coefficients followed by the window sum and sum of
+// squares.
+func (s *Summary) evalComposite(win []float64) mbr.MBR {
+	depth := 0
+	for m := len(win); m > s.cfg.F; m /= 2 {
+		depth++
+	}
+	coeffs := s.cfg.Filter.ApproxDepth(win, depth)
+	comp := make([]float64, s.cfg.F+2)
+	copy(comp, coeffs)
+	var sum, sumsq float64
+	for _, v := range win {
+		sum += v
+		sumsq += v * v
+	}
+	comp[s.cfg.F] = sum
+	comp[s.cfg.F+1] = sumsq
+	return mbr.FromPoint(comp)
+}
+
+// mergeComposite merges the composite points of two half windows into the
+// parent composite: one Haar analysis step over the concatenated raw
+// coefficients, sums added.
+func (s *Summary) mergeComposite(left, right mbr.MBR) mbr.MBR {
+	f := s.cfg.F
+	cat := make([]float64, 2*f)
+	copy(cat[:f], left.Min[:f])
+	copy(cat[f:], right.Min[:f])
+	coeffs := s.cfg.Filter.ConvDown(cat)
+	comp := make([]float64, f+2)
+	copy(comp, coeffs)
+	comp[f] = left.Min[f] + right.Min[f]
+	comp[f+1] = left.Min[f+1] + right.Min[f+1]
+	return mbr.FromPoint(comp)
+}
+
+// featureView converts a thread box into the externally visible feature
+// box: for composite threads, the z-normalized coefficients derived from
+// the composite point; otherwise the box itself. A constant window (zero
+// variance) maps to the all-zero feature, mirroring stats.ZNormalize.
+func (s *Summary) featureView(box mbr.MBR, level int) mbr.MBR {
+	if !s.zcomposite() {
+		return box
+	}
+	f := s.cfg.F
+	w := float64(s.cfg.LevelWindow(level))
+	sum := box.Min[f]
+	energy := box.Min[f+1]
+	mu := sum / w
+	ss := energy - w*mu*mu
+	feat := make([]float64, f)
+	if ss > 0 {
+		norm := math.Sqrt(ss)
+		ones := math.Sqrt(w / float64(f))
+		for i := 0; i < f; i++ {
+			feat[i] = (box.Min[i] - mu*ones) / norm
+		}
+	}
+	return mbr.FromPoint(feat)
+}

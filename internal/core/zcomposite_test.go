@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestCompositeMatchesDirect: the single-pass composite maintenance of
+// z-normalized features (merged raw coefficients + moments) must produce
+// exactly the same features as direct per-window computation, at every
+// level and feature time.
+func TestCompositeMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	const n = 512
+	data := gen.RandomWalk(rng, n)
+	base := Config{
+		W: 8, Levels: 5, Transform: TransformDWT, F: 4,
+		Normalization: NormZ, HistoryN: n,
+	}
+	merged := base
+	merged.Direct = false // composite merge path
+	direct := base
+	direct.Direct = true
+
+	sm := newSummary(t, merged, 1)
+	sd := newSummary(t, direct, 1)
+	if !sm.zcomposite() {
+		t.Fatal("merged summary should use the composite path")
+	}
+	if sd.zcomposite() {
+		t.Fatal("direct summary should not use the composite path")
+	}
+	for i, v := range data {
+		sm.Append(0, v)
+		sd.Append(0, v)
+		ti := int64(i)
+		for j := 0; j < 5; j++ {
+			wj := int64(base.LevelWindow(j))
+			if ti < wj-1 {
+				continue
+			}
+			bm, okM := sm.FeatureBoxAt(0, j, ti)
+			bd, okD := sd.FeatureBoxAt(0, j, ti)
+			if okM != okD {
+				t.Fatalf("t=%d level %d: availability mismatch %v vs %v", ti, j, okM, okD)
+			}
+			if !okM {
+				continue
+			}
+			for d := range bm.Min {
+				if math.Abs(bm.Min[d]-bd.Min[d]) > 1e-6 {
+					t.Fatalf("t=%d level %d dim %d: composite %g vs direct %g",
+						ti, j, d, bm.Min[d], bd.Min[d])
+				}
+			}
+		}
+	}
+}
+
+// TestCompositeBatchSchedule: the composite path also works under the batch
+// rate, which is the correlation-monitoring configuration.
+func TestCompositeBatchSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	cfg := Config{
+		W: 16, Levels: 4, Transform: TransformDWT, F: 4,
+		Normalization: NormZ, Rate: RateBatch(16), HistoryN: 16 << 3,
+	}
+	s := newSummary(t, cfg, 1)
+	if !s.zcomposite() {
+		t.Fatal("expected composite path")
+	}
+	data := gen.RandomWalk(rng, 400)
+	for i, v := range data {
+		s.Append(0, v)
+		ti := int64(i)
+		if (ti+1)%16 != 0 || ti < 127 {
+			continue
+		}
+		got, ok := s.FeatureBoxAt(0, 3, ti)
+		if !ok {
+			t.Fatalf("t=%d: missing top-level feature", ti)
+		}
+		exact, err := s.ExactFeature(0, 3, ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range exact {
+			if math.Abs(got.Min[d]-exact[d]) > 1e-6 {
+				t.Fatalf("t=%d dim %d: composite %g vs exact %g", ti, d, got.Min[d], exact[d])
+			}
+		}
+	}
+}
+
+// TestCompositeCorrelationMatchesDirect: correlation screening over a
+// composite-maintained summary must report exactly the same pairs as over a
+// direct-maintained one.
+func TestCompositeCorrelationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	const M, n = 12, 256
+	data := gen.CorrelatedWalks(rng, M, n, 3, 0.5)
+	base := Config{
+		W: 16, Levels: 4, Transform: TransformDWT, F: 4,
+		Normalization: NormZ, Rate: RateBatch(16), HistoryN: 16 << 3,
+	}
+	direct := base
+	direct.Direct = true
+	sm := newSummary(t, base, M)
+	sd := newSummary(t, direct, M)
+	for i := 0; i < n; i++ {
+		for st := 0; st < M; st++ {
+			sm.Append(st, data[st][i])
+			sd.Append(st, data[st][i])
+		}
+	}
+	for _, r := range []float64{0.2, 0.6, 1.0} {
+		pm, err := sm.CorrelationScreen(3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := sd.CorrelationScreen(3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pm) != len(pd) {
+			t.Fatalf("r=%g: composite screened %d pairs, direct %d", r, len(pm), len(pd))
+		}
+		for i := range pm {
+			if pm[i].A != pd[i].A || pm[i].B != pd[i].B {
+				t.Fatalf("r=%g: pair %d differs: %v vs %v", r, i, pm[i], pd[i])
+			}
+		}
+	}
+}
+
+// TestCompositeConstantWindow: a constant window has zero variance; the
+// derived feature must be the zero vector, not NaN.
+func TestCompositeConstantWindow(t *testing.T) {
+	cfg := Config{
+		W: 8, Levels: 2, Transform: TransformDWT, F: 2,
+		Normalization: NormZ, HistoryN: 64,
+	}
+	s := newSummary(t, cfg, 1)
+	for i := 0; i < 32; i++ {
+		s.Append(0, 7)
+	}
+	box, ok := s.FeatureBoxAt(0, 1, 31)
+	if !ok {
+		t.Fatal("missing feature")
+	}
+	for d, v := range box.Min {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("dim %d: constant window feature = %g, want 0", d, v)
+		}
+	}
+}

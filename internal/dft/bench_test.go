@@ -1,0 +1,29 @@
+package dft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCoefficientsDirect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Coefficients(xs, 4)
+	}
+}
+
+// BenchmarkSlidingPush measures the O(m) incremental update that makes
+// StatStream's maintenance cheap — compare with the direct transform.
+func BenchmarkSlidingPush(b *testing.B) {
+	s := NewSliding(256, 4)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(rng.Float64())
+	}
+}

@@ -1,0 +1,120 @@
+// Package dft implements the Discrete Fourier Transform substrate used by
+// the StatStream baseline (Zhu & Shasha, VLDB 2002): direct computation of
+// the leading normalized DFT coefficients of a window, and the O(1)-per-item
+// sliding update that makes per-basic-window maintenance cheap.
+package dft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Coefficients returns the first m complex DFT coefficients (frequencies
+// 0..m−1) of xs under the 1/√n normalization StatStream uses:
+//
+//	X_F = (1/√n) Σ_i x_i · e^{−j2πFi/n}
+func Coefficients(xs []float64, m int) []complex128 {
+	n := len(xs)
+	if n == 0 {
+		panic("dft: empty input")
+	}
+	if m < 0 || m > n {
+		panic(fmt.Sprintf("dft: coefficient count %d out of range [0, %d]", m, n))
+	}
+	out := make([]complex128, m)
+	scale := 1 / math.Sqrt(float64(n))
+	for f := 0; f < m; f++ {
+		var acc complex128
+		for i, v := range xs {
+			theta := -2 * math.Pi * float64(f) * float64(i) / float64(n)
+			acc += complex(v, 0) * cmplx.Exp(complex(0, theta))
+		}
+		out[f] = acc * complex(scale, 0)
+	}
+	return out
+}
+
+// FeatureVector flattens the first m complex coefficients of xs into a
+// 2m-dimensional real feature [Re X_0, Im X_0, Re X_1, Im X_1, ...], the
+// representation indexed by StatStream's grid.
+func FeatureVector(xs []float64, m int) []float64 {
+	cs := Coefficients(xs, m)
+	out := make([]float64, 0, 2*m)
+	for _, c := range cs {
+		out = append(out, real(c), imag(c))
+	}
+	return out
+}
+
+// Sliding maintains the first m DFT coefficients of a fixed-size sliding
+// window incrementally: when the window slides by one value, each
+// coefficient is updated in O(1) via
+//
+//	X_F ← e^{j2πF/n} · (X_F + (x_new − x_old)/√n)
+type Sliding struct {
+	n      int
+	m      int
+	coeffs []complex128
+	twids  []complex128 // e^{j2πF/n}
+	window []float64
+	head   int
+	filled int
+}
+
+// NewSliding returns a sliding DFT over windows of size n keeping m
+// coefficients.
+func NewSliding(n, m int) *Sliding {
+	if n <= 0 {
+		panic(fmt.Sprintf("dft: non-positive window %d", n))
+	}
+	if m < 0 || m > n {
+		panic(fmt.Sprintf("dft: coefficient count %d out of range [0, %d]", m, n))
+	}
+	s := &Sliding{
+		n:      n,
+		m:      m,
+		coeffs: make([]complex128, m),
+		twids:  make([]complex128, m),
+		window: make([]float64, n),
+	}
+	for f := 0; f < m; f++ {
+		theta := 2 * math.Pi * float64(f) / float64(n)
+		s.twids[f] = cmplx.Exp(complex(0, theta))
+	}
+	return s
+}
+
+// Ready reports whether a full window has been observed.
+func (s *Sliding) Ready() bool { return s.filled == s.n }
+
+// Push slides the window by one value and updates all coefficients.
+func (s *Sliding) Push(v float64) {
+	old := s.window[s.head]
+	s.window[s.head] = v
+	s.head = (s.head + 1) % s.n
+	if s.filled < s.n {
+		s.filled++
+		old = 0
+	}
+	delta := complex((v-old)/math.Sqrt(float64(s.n)), 0)
+	for f := range s.coeffs {
+		s.coeffs[f] = s.twids[f] * (s.coeffs[f] + delta)
+	}
+}
+
+// Coefficients returns a copy of the current m coefficients.
+func (s *Sliding) Coefficients() []complex128 {
+	out := make([]complex128, len(s.coeffs))
+	copy(out, s.coeffs)
+	return out
+}
+
+// Feature returns the flattened real feature vector of the current window.
+func (s *Sliding) Feature() []float64 {
+	out := make([]float64, 0, 2*len(s.coeffs))
+	for _, c := range s.coeffs {
+		out = append(out, real(c), imag(c))
+	}
+	return out
+}

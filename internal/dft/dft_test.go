@@ -1,0 +1,179 @@
+package dft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoefficientsDC(t *testing.T) {
+	xs := []float64{2, 2, 2, 2}
+	cs := Coefficients(xs, 2)
+	// DC term: (1/√4)·Σx = 4. Higher terms vanish for a constant signal.
+	if math.Abs(real(cs[0])-4) > 1e-12 || math.Abs(imag(cs[0])) > 1e-12 {
+		t.Fatalf("DC = %v", cs[0])
+	}
+	if cmplx.Abs(cs[1]) > 1e-12 {
+		t.Fatalf("X_1 = %v, want 0", cs[1])
+	}
+}
+
+func TestCoefficientsSinusoid(t *testing.T) {
+	n := 64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Cos(2 * math.Pi * 3 * float64(i) / float64(n))
+	}
+	cs := Coefficients(xs, 8)
+	// A pure cosine at frequency 3 concentrates at X_3: |X_3| = n/2/√n.
+	want := float64(n) / 2 / math.Sqrt(float64(n))
+	if math.Abs(cmplx.Abs(cs[3])-want) > 1e-9 {
+		t.Fatalf("|X_3| = %g, want %g", cmplx.Abs(cs[3]), want)
+	}
+	for k := 0; k < 8; k++ {
+		if k != 3 && cmplx.Abs(cs[k]) > 1e-9 {
+			t.Fatalf("|X_%d| = %g, want 0", k, cmplx.Abs(cs[k]))
+		}
+	}
+}
+
+func TestCoefficientsParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 32
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	cs := Coefficients(xs, n)
+	e := 0.0
+	for _, c := range cs {
+		e += real(c)*real(c) + imag(c)*imag(c)
+	}
+	raw := 0.0
+	for _, v := range xs {
+		raw += v * v
+	}
+	if math.Abs(e-raw) > 1e-9 {
+		t.Fatalf("Parseval: %g vs %g", e, raw)
+	}
+}
+
+func TestCoefficientsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Coefficients(nil, 1) },
+		func() { Coefficients([]float64{1, 2}, 3) },
+		func() { Coefficients([]float64{1, 2}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	xs := []float64{1, 0, -1, 0}
+	fv := FeatureVector(xs, 2)
+	if len(fv) != 4 {
+		t.Fatalf("len = %d", len(fv))
+	}
+	cs := Coefficients(xs, 2)
+	if fv[0] != real(cs[0]) || fv[1] != imag(cs[0]) || fv[2] != real(cs[1]) || fv[3] != imag(cs[1]) {
+		t.Fatal("flattening wrong")
+	}
+}
+
+// TestSlidingMatchesDirect drives the incremental DFT through random data
+// and checks every coefficient against the direct transform of the current
+// window.
+func TestSlidingMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const n, m = 16, 5
+	s := NewSliding(n, m)
+	var window []float64
+	for i := 0; i < 200; i++ {
+		v := rng.NormFloat64() * 10
+		window = append(window, v)
+		s.Push(v)
+		if len(window) < n {
+			if s.Ready() {
+				t.Fatal("Ready before a full window")
+			}
+			continue
+		}
+		cur := window[len(window)-n:]
+		want := Coefficients(cur, m)
+		got := s.Coefficients()
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-8 {
+				t.Fatalf("step %d coeff %d: %v vs %v", i, k, got[k], want[k])
+			}
+		}
+	}
+	if !s.Ready() {
+		t.Fatal("should be ready")
+	}
+}
+
+func TestSlidingFeature(t *testing.T) {
+	s := NewSliding(8, 2)
+	for i := 0; i < 8; i++ {
+		s.Push(float64(i))
+	}
+	f := s.Feature()
+	if len(f) != 4 {
+		t.Fatalf("feature len = %d", len(f))
+	}
+	cs := s.Coefficients()
+	if f[0] != real(cs[0]) || f[3] != imag(cs[1]) {
+		t.Fatal("feature layout wrong")
+	}
+}
+
+func TestNewSlidingPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSliding(0, 0) },
+		func() { NewSliding(4, 5) },
+		func() { NewSliding(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropertySlidingStability(t *testing.T) {
+	// Long runs must not accumulate numeric drift beyond tolerance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSliding(8, 3)
+		var window []float64
+		for i := 0; i < 500; i++ {
+			v := rng.Float64()*100 - 50
+			window = append(window, v)
+			s.Push(v)
+		}
+		want := Coefficients(window[len(window)-8:], 3)
+		got := s.Coefficients()
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// TestExperimentsDeterministic: the precision/count columns of every
+// experiment must be identical across runs with the same seed — any
+// nondeterminism (map iteration leaking into results, uninitialized state)
+// would silently invalidate EXPERIMENTS.md. Timing columns are stripped
+// before comparison.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	// Timing-dominated experiments are covered by their smoke tests; the
+	// quality-metric experiments must be bit-identical.
+	for _, name := range []string{"fig4a", "fig5"} {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		var a, b bytes.Buffer
+		if err := e.Run(Options{Out: &a, Seed: 99}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(Options{Out: &b, Seed: 99}); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s: output differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				name, a.String(), b.String())
+		}
+	}
+}
+
+// TestFig6PrecisionDeterministic strips the timing table and compares the
+// precision table across runs.
+func TestFig6PrecisionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig6 twice")
+	}
+	precisionOnly := func(out string) string {
+		// Keep everything up to the "(b) detection time" header.
+		re := regexp.MustCompile(`(?s)^(.*)\(b\) detection time`)
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("unexpected fig6 output:\n%s", out)
+		}
+		return m[1]
+	}
+	var a, b bytes.Buffer
+	if err := Fig6(Options{Out: &a, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig6(Options{Out: &b, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if precisionOnly(a.String()) != precisionOnly(b.String()) {
+		t.Fatal("fig6 precision table differs between identical runs")
+	}
+}

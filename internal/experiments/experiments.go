@@ -1,0 +1,93 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6). Each driver builds the workload, runs Stardust
+// and the relevant baseline(s) with the paper's parameters, and prints the
+// same rows/series the paper reports. Real datasets are replaced by the
+// synthetic substitutes in internal/gen (see DESIGN.md); absolute numbers
+// therefore differ from the paper, but the comparative shapes are
+// reproduced and recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Out receives the experiment's table. Required.
+	Out io.Writer
+	// Full selects the paper-scale parameters; the default is a scaled-down
+	// configuration that finishes in seconds.
+	Full bool
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Experiment is one registered driver.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Options) error
+}
+
+var registry = []Experiment{
+	{Name: "fig4a", Title: "Fig 4(a): burst detection precision vs threshold factor (Stardust vs SWT)", Run: Fig4a},
+	{Name: "fig4b", Title: "Fig 4(b)/(c): volatility precision and alarm counts vs NW (Stardust vs SWT)", Run: Fig4bc},
+	{Name: "fig4c", Title: "Fig 4(c): alias of fig4b (alarm counts are the same driver's second column)", Run: Fig4bc},
+	{Name: "fig5", Title: "Fig 5: pattern query precision (online, batch, MR-Index, GeneralMatch)", Run: Fig5},
+	{Name: "table1", Title: "Table 1: correlation detection time vs streams (Stardust vs StatStream)", Run: Table1},
+	{Name: "fig6", Title: "Fig 6: correlation precision/time vs threshold and dimensionality", Run: Fig6},
+}
+
+// All returns the registered experiments in run order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	var names []string
+	for _, e := range registry {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// header prints a section header for an experiment.
+func header(w io.Writer, title string, full bool) {
+	scale := "scaled-down"
+	if full {
+		scale = "paper-scale"
+	}
+	fmt.Fprintf(w, "\n=== %s [%s] ===\n", title, scale)
+}
+
+// ratio guards division by zero, defaulting to 1 (the convention for
+// precision with no retrievals).
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

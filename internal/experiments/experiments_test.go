@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("expected 6 experiments, got %d", len(all))
+	}
+	names := Names()
+	for _, want := range []string{"fig4a", "fig4b", "fig5", "table1", "fig6"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+		if _, ok := ByName(want); !ok {
+			t.Errorf("ByName(%q) failed", want)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(1, 0) != 1 {
+		t.Fatal("ratio with zero denominator should be 1")
+	}
+	if ratio(1, 4) != 0.25 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+// smokeExperiment runs a driver at scaled-down size and sanity-checks the
+// output table.
+func smokeExperiment(t *testing.T, name string, wantSubstrings ...string) {
+	t.Helper()
+	e, ok := ByName(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Out: &buf, Seed: 7}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) < 100 {
+		t.Fatalf("%s: suspiciously short output:\n%s", name, out)
+	}
+	for _, sub := range wantSubstrings {
+		if !strings.Contains(out, sub) {
+			t.Errorf("%s: output missing %q:\n%s", name, sub, out)
+		}
+	}
+}
+
+func TestFig4aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	smokeExperiment(t, "fig4a", "lambda", "SWT", "stardust(c=1)")
+}
+
+func TestFig4bSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	smokeExperiment(t, "fig4b", "NW", "SWT prec/alarms")
+}
+
+func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	smokeExperiment(t, "fig5", "online", "batch", "mrindex", "genmatch", "selectivity")
+}
+
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	smokeExperiment(t, "table1", "streams", "statstream(r=0.01)", "stardust(r=0.08)")
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	smokeExperiment(t, "fig6", "(a) average precision", "(b) detection time", "stardust(f=16)", "statstream(f=2)")
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stardust/internal/core"
+	"stardust/internal/gen"
+	"stardust/internal/generalmatch"
+	"stardust/internal/mrindex"
+)
+
+// Fig5 reproduces Figure 5: average precision of one-time pattern queries
+// of uniformly random length over the host-load-like dataset, comparing
+// four techniques — Stardust online, Stardust batch, MR-Index and
+// GeneralMatch. Paper settings: N = 1024, W = 64, M = 25, c = 64, f = 2,
+// 100 queries of lengths 192 .. 1024 in steps of 64.
+//
+// Queries are noisy copies of random data subsequences so that selectivity
+// spans a useful range (the paper draws random-walk queries against real
+// host-load traces; with both sides synthetic here, planted queries keep
+// the true-match counts comparable).
+func Fig5(opt Options) error {
+	header(opt.Out, "Fig 5 pattern monitoring: average precision by query length and selectivity", opt.Full)
+	rng := rand.New(rand.NewSource(opt.seed()))
+
+	mStreams, arrivals, queries := 8, 1500, 30
+	w, capacity, f := 64, 64, 2
+	levels := 5 // windows 64 .. 1024 = N
+	const rmax = 4.0
+	if opt.Full {
+		mStreams, arrivals, queries = 25, 3000, 100
+	}
+	data := gen.HostLoads(rng, mStreams, arrivals)
+
+	// Stardust online: merge-based maintenance, capacity c.
+	online, err := core.NewSummary(core.Config{
+		W: w, Levels: levels, Transform: core.TransformDWT, F: f,
+		Normalization: core.NormUnit, Rmax: rmax, BoxCapacity: capacity,
+		HistoryN: arrivals,
+	}, mStreams)
+	if err != nil {
+		return err
+	}
+	// Stardust batch: T = W, capacity 1, direct features.
+	batch, err := core.NewSummary(core.Config{
+		W: w, Levels: levels, Transform: core.TransformDWT, F: f,
+		Normalization: core.NormUnit, Rmax: rmax,
+		Rate: core.RateBatch(w), Direct: true, HistoryN: arrivals,
+	}, mStreams)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < arrivals; i++ {
+		for s := 0; s < mStreams; s++ {
+			online.Append(s, data[s][i])
+			batch.Append(s, data[s][i])
+		}
+	}
+	mri, err := mrindex.Build(mrindex.Config{
+		W: w, Levels: levels, BoxCapacity: capacity, F: f, Rmax: rmax,
+	}, data)
+	if err != nil {
+		return err
+	}
+	gm, err := generalmatch.Build(generalmatch.Config{
+		MinQueryLen: 3 * w, W: w, F: f, Rmax: rmax,
+	}, data)
+	if err != nil {
+		return err
+	}
+
+	type tech struct {
+		name string
+		run  func(q []float64, r float64) (core.PatternResult, error)
+	}
+	techs := []tech{
+		{"online", online.PatternQueryOnline},
+		{"batch", batch.PatternQueryBatch},
+		{"mrindex", mri.Query},
+		{"genmatch", gm.Query},
+	}
+
+	// Buckets: by query length and by selectivity (true match count).
+	type bucketKey struct {
+		tech string
+		bin  int
+	}
+	lenPrec := make(map[bucketKey][]float64)
+	selPrec := make(map[bucketKey][]float64)
+
+	for qi := 0; qi < queries; qi++ {
+		qlen := (3 + rng.Intn(14)) * w // 192 .. 1024
+		src := rng.Intn(mStreams)
+		start := rng.Intn(arrivals - qlen)
+		q := make([]float64, qlen)
+		noise := 0.02 + 0.2*rng.Float64()
+		for i := range q {
+			q[i] = data[src][start+i] + noise*(rng.Float64()-0.5)
+		}
+		r := 0.005 + 0.03*rng.Float64()
+
+		truth := len(batch.ScanPatternMatches(q, r))
+		selBin := 0
+		switch {
+		case truth > 50:
+			selBin = 2
+		case truth > 5:
+			selBin = 1
+		}
+		lenBin := qlen / (4 * w) // 0: <256, 1: <512, 2: <768, 3: ≤1024
+
+		for _, tc := range techs {
+			res, err := tc.run(q, r)
+			if err != nil {
+				return fmt.Errorf("%s: %v", tc.name, err)
+			}
+			p := res.Precision()
+			lenPrec[bucketKey{tc.name, lenBin}] = append(lenPrec[bucketKey{tc.name, lenBin}], p)
+			selPrec[bucketKey{tc.name, selBin}] = append(selPrec[bucketKey{tc.name, selBin}], p)
+		}
+	}
+
+	avg := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 1
+		}
+		s := 0.0
+		for _, v := range xs {
+			s += v
+		}
+		return s / float64(len(xs))
+	}
+
+	fmt.Fprintf(opt.Out, "average precision by query length bucket:\n")
+	fmt.Fprintf(opt.Out, "%-12s %10s %10s %10s %10s\n", "len bucket", "online", "batch", "mrindex", "genmatch")
+	lenLabels := []string{"192-255", "256-511", "512-767", "768-1024"}
+	for bin, label := range lenLabels {
+		fmt.Fprintf(opt.Out, "%-12s", label)
+		for _, name := range []string{"online", "batch", "mrindex", "genmatch"} {
+			fmt.Fprintf(opt.Out, " %10.3f", avg(lenPrec[bucketKey{name, bin}]))
+		}
+		fmt.Fprintln(opt.Out)
+	}
+	fmt.Fprintf(opt.Out, "\naverage precision by selectivity bucket:\n")
+	fmt.Fprintf(opt.Out, "%-12s %10s %10s %10s %10s\n", "selectivity", "online", "batch", "mrindex", "genmatch")
+	selLabels := []string{"low(<=5)", "mid(6-50)", "high(>50)"}
+	for bin, label := range selLabels {
+		fmt.Fprintf(opt.Out, "%-12s", label)
+		for _, name := range []string{"online", "batch", "mrindex", "genmatch"} {
+			fmt.Fprintf(opt.Out, " %10.3f", avg(selPrec[bucketKey{name, bin}]))
+		}
+		fmt.Fprintln(opt.Out)
+	}
+	return nil
+}

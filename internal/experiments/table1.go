@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stardust/internal/core"
+	"stardust/internal/gen"
+	"stardust/internal/statstream"
+)
+
+// Table1 reproduces Table 1: total wall-clock time (maintenance +
+// correlation detection, ms) for an increasing number of synthetic
+// random-walk streams under correlation thresholds r ∈ {0.01, 0.02, 0.04,
+// 0.08}, Stardust (batch, c = 1) versus StatStream (cell radius 0.01).
+// Paper settings: N = 256, W = 16, f = 2, 256 arrivals per stream.
+func Table1(opt Options) error {
+	header(opt.Out, "Table 1 correlation scalability: total time (ms)", opt.Full)
+	rng := rand.New(rand.NewSource(opt.seed()))
+
+	const (
+		n      = 256 // history N
+		w      = 16
+		f      = 2
+		arrive = 256
+		cell   = 0.01
+	)
+	levels := 5 // 16·2^4 = 256 = N
+	streamCounts := []int{64, 128, 256}
+	if opt.Full {
+		streamCounts = []int{256, 512, 1024, 2048, 4096, 8192}
+	}
+	radii := []float64{0.01, 0.02, 0.04, 0.08}
+
+	fmt.Fprintf(opt.Out, "%-8s", "streams")
+	for _, r := range radii {
+		fmt.Fprintf(opt.Out, "  statstream(r=%.2f)  stardust(r=%.2f)", r, r)
+	}
+	fmt.Fprintln(opt.Out)
+
+	for _, m := range streamCounts {
+		data := gen.RandomWalks(rng, m, arrive)
+		fmt.Fprintf(opt.Out, "%-8d", m)
+		for _, r := range radii {
+			ssMs, err := runStatStreamCorr(data, n, w, f, cell, r)
+			if err != nil {
+				return err
+			}
+			sdMs, err := runStardustCorr(data, w, levels, f, r)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(opt.Out, "  %18.0f  %16.0f", ssMs, sdMs)
+		}
+		fmt.Fprintln(opt.Out)
+	}
+	return nil
+}
+
+// runStatStreamCorr feeds the data through StatStream, running a detection
+// round at every basic-window boundary, and returns total milliseconds.
+func runStatStreamCorr(data [][]float64, n, w, f int, cell, r float64) (float64, error) {
+	mon, err := statstream.New(statstream.Config{
+		N: n, BasicWindow: w, F: f, CellSize: cell,
+	}, len(data))
+	if err != nil {
+		return 0, err
+	}
+	arrivals := len(data[0])
+	vs := make([]float64, len(data))
+	start := time.Now()
+	for t := 0; t < arrivals; t++ {
+		for s := range data {
+			vs[s] = data[s][t]
+		}
+		if mon.Push(vs) {
+			mon.DetectScreen(r)
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// runStardustCorr feeds the data through a batch Stardust summary, running
+// a correlation round whenever the top level refreshes, and returns total
+// milliseconds.
+func runStardustCorr(data [][]float64, w, levels, f int, r float64) (float64, error) {
+	sum, err := core.NewSummary(core.Config{
+		W: w, Levels: levels, Transform: core.TransformDWT, F: f,
+		Normalization: core.NormZ, Rate: core.RateBatch(w),
+		HistoryN:     w << uint(levels-1),
+		IndexLevels:  []int{levels - 1}, // correlation detection queries only the top level
+		IndexHorizon: w,                 // synchronous detection needs only current features
+	}, len(data))
+	if err != nil {
+		return 0, err
+	}
+	arrivals := len(data[0])
+	topWindow := w << uint(levels-1)
+	start := time.Now()
+	for t := 0; t < arrivals; t++ {
+		for s := range data {
+			sum.Append(s, data[s][t])
+		}
+		if t+1 >= topWindow && (t+1)%w == 0 {
+			if _, err := sum.CorrelationScreen(levels-1, r); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}

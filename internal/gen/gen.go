@@ -1,0 +1,201 @@
+// Package gen generates the synthetic workloads used by the experiment
+// harness. The paper evaluates on a random-walk synthetic model plus three
+// real datasets (burst.dat and packet.dat from the UCR archive, and the CMU
+// Host Load traces) that are not redistributable here; gen provides
+// statistically similar substitutes whose properties match what each
+// experiment exercises (see DESIGN.md, "Substitutions").
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomWalk produces one stream of length n under the paper's model
+// (Section 6): x[i] = R + Σ_{j≤i} (u_j − 0.5) with R uniform in [0, 100]
+// and u_j uniform in [0, 1].
+func RandomWalk(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	r := rng.Float64() * 100
+	acc := r
+	for i := 0; i < n; i++ {
+		acc += rng.Float64() - 0.5
+		out[i] = acc
+	}
+	return out
+}
+
+// RandomWalks produces m independent random-walk streams of length n.
+func RandomWalks(rng *rand.Rand, m, n int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = RandomWalk(rng, n)
+	}
+	return out
+}
+
+// CorrelatedWalks produces m streams of length n in groups: streams in the
+// same group share a common random-walk base with small independent jitter,
+// so pairs within a group are strongly correlated while pairs across groups
+// are not. groupSize controls the group width (1 means fully independent).
+// Used to give correlation-monitoring experiments a ground truth with a
+// controllable number of true positives.
+func CorrelatedWalks(rng *rand.Rand, m, n, groupSize int, jitter float64) [][]float64 {
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	out := make([][]float64, m)
+	for g := 0; g < m; g += groupSize {
+		base := RandomWalk(rng, n)
+		for s := g; s < g+groupSize && s < m; s++ {
+			stream := make([]float64, n)
+			eps := 0.0
+			for i := 0; i < n; i++ {
+				eps += (rng.Float64() - 0.5) * jitter
+				stream[i] = base[i] + eps
+			}
+			out[s] = stream
+		}
+	}
+	return out
+}
+
+// Burst synthesizes a burst.dat-like event-count series of length n: a
+// Poisson-like noise floor with injected bursts of geometrically varied
+// duration (the Gamma-ray scenario of Section 1: bursts last from
+// milliseconds to days, i.e. across the whole range of monitored window
+// sizes). rate is the background mean, amp the typical burst elevation.
+func Burst(rng *rand.Rand, n int, rate, amp float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = poisson(rng, rate)
+	}
+	// Inject bursts: expected one burst start per 600 samples, duration
+	// drawn from a geometric mixture spanning two orders of magnitude.
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 1.0/600 {
+			dur := 1 << uint(rng.Intn(9)) // 1..256 samples
+			dur += rng.Intn(dur + 1)
+			level := amp * (0.5 + rng.Float64())
+			for j := i; j < i+dur && j < n; j++ {
+				out[j] += level * (0.8 + 0.4*rng.Float64())
+			}
+			i += dur
+		}
+	}
+	return out
+}
+
+// Packet synthesizes a packet.dat-like traffic-volume series of length n:
+// multiplicative modulation at several timescales (an approximation of
+// self-similar traffic) with occasional heavy bursts, producing high
+// variability of SPREAD at many window sizes.
+func Packet(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	// Slow, medium and fast multiplicative components built from smoothed
+	// random walks.
+	slow := smoothWalk(rng, n, 2048, 0.3)
+	med := smoothWalk(rng, n, 256, 0.5)
+	for i := 0; i < n; i++ {
+		base := 50 * (1 + 0.6*slow[i]) * (1 + 0.4*med[i])
+		if base < 1 {
+			base = 1
+		}
+		out[i] = base * (0.5 + rng.Float64())
+	}
+	// Heavy bursts.
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 1.0/2000 {
+			dur := 10 + rng.Intn(400)
+			level := 3 + 7*rng.Float64()
+			for j := i; j < i+dur && j < n; j++ {
+				out[j] *= level
+			}
+			i += dur
+		}
+	}
+	return out
+}
+
+// HostLoad synthesizes one CMU-host-load-like trace of length n: an AR(1)
+// process around a slowly drifting mean, clamped non-negative. The result
+// is smooth and strongly auto-correlated, concentrating DWT energy in the
+// leading coefficients like real host-load data.
+func HostLoad(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	mean := 0.5 + rng.Float64() // base load level
+	drift := smoothWalk(rng, n, 512, 0.4)
+	x := mean
+	const phi = 0.97
+	for i := 0; i < n; i++ {
+		target := mean * (1 + drift[i])
+		x = phi*x + (1-phi)*target + 0.05*(rng.Float64()-0.5)
+		if x < 0 {
+			x = 0
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// HostLoads produces m independent host-load traces of length n.
+func HostLoads(rng *rand.Rand, m, n int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = HostLoad(rng, n)
+	}
+	return out
+}
+
+// smoothWalk returns a length-n series in roughly [−1, 1] varying on the
+// given timescale: a random walk refreshed every `scale` steps and linearly
+// interpolated, scaled by amp.
+func smoothWalk(rng *rand.Rand, n, scale int, amp float64) []float64 {
+	if scale < 1 {
+		scale = 1
+	}
+	knots := n/scale + 2
+	ks := make([]float64, knots)
+	v := 0.0
+	for i := range ks {
+		v += rng.NormFloat64() * 0.5
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		ks[i] = v * amp
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k := i / scale
+		frac := float64(i%scale) / float64(scale)
+		out[i] = ks[k]*(1-frac) + ks[k+1]*frac
+	}
+	return out
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's method for small means and a normal approximation for large ones.
+func poisson(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + rng.NormFloat64()*math.Sqrt(mean)
+		if v < 0 {
+			v = 0
+		}
+		return float64(int(v + 0.5))
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= rng.Float64()
+	}
+	return float64(k - 1)
+}

@@ -1,0 +1,164 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/stats"
+)
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := RandomWalk(rand.New(rand.NewSource(1)), 100)
+	b := RandomWalk(rand.New(rand.NewSource(1)), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same walk")
+		}
+	}
+	c := RandomWalk(rand.New(rand.NewSource(2)), 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandomWalkStepBound(t *testing.T) {
+	xs := RandomWalk(rand.New(rand.NewSource(3)), 1000)
+	for i := 1; i < len(xs); i++ {
+		d := xs[i] - xs[i-1]
+		if d < -0.5 || d > 0.5 {
+			t.Fatalf("step %d = %g outside [-0.5, 0.5]", i, d)
+		}
+	}
+}
+
+func TestRandomWalks(t *testing.T) {
+	ws := RandomWalks(rand.New(rand.NewSource(4)), 5, 50)
+	if len(ws) != 5 {
+		t.Fatalf("got %d walks", len(ws))
+	}
+	for _, w := range ws {
+		if len(w) != 50 {
+			t.Fatalf("walk length %d", len(w))
+		}
+	}
+}
+
+func TestCorrelatedWalksGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ws := CorrelatedWalks(rng, 6, 512, 3, 0.05)
+	// Streams 0-2 share a base, as do 3-5; in-group correlation must beat
+	// cross-group correlation on average.
+	in := stats.Correlation(ws[0], ws[1])
+	cross := stats.Correlation(ws[0], ws[3])
+	if in < 0.9 {
+		t.Fatalf("in-group correlation = %g, want high", in)
+	}
+	if in <= cross {
+		t.Fatalf("in-group %g should exceed cross-group %g", in, cross)
+	}
+}
+
+func TestCorrelatedWalksGroupSizeClamp(t *testing.T) {
+	ws := CorrelatedWalks(rand.New(rand.NewSource(6)), 3, 10, 0, 0.1)
+	if len(ws) != 3 {
+		t.Fatalf("got %d walks", len(ws))
+	}
+}
+
+func TestBurstProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := Burst(rng, 9382, 10, 40)
+	if len(xs) != 9382 {
+		t.Fatalf("length %d", len(xs))
+	}
+	for i, v := range xs {
+		if v < 0 {
+			t.Fatalf("negative count at %d: %g", i, v)
+		}
+	}
+	// The series must contain genuine bursts: the max should far exceed
+	// the background mean.
+	mu := stats.Mean(xs)
+	_, max := stats.MinMax(xs)
+	if max < 3*mu {
+		t.Fatalf("no bursts present: max %g vs mean %g", max, mu)
+	}
+}
+
+func TestPacketProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := Packet(rng, 20000)
+	if len(xs) != 20000 {
+		t.Fatalf("length %d", len(xs))
+	}
+	for i, v := range xs {
+		if v < 0 {
+			t.Fatalf("negative volume at %d", i)
+		}
+	}
+	// Coefficient of variation must indicate bursty traffic.
+	if cv := stats.StdDev(xs) / stats.Mean(xs); cv < 0.3 {
+		t.Fatalf("traffic too smooth: cv = %g", cv)
+	}
+}
+
+func TestHostLoadProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := HostLoad(rng, 3000)
+	if len(xs) != 3000 {
+		t.Fatalf("length %d", len(xs))
+	}
+	for i, v := range xs {
+		if v < 0 {
+			t.Fatalf("negative load at %d", i)
+		}
+	}
+	// Strong lag-1 autocorrelation is the defining property we rely on.
+	if r := stats.Correlation(xs[:len(xs)-1], xs[1:]); r < 0.9 {
+		t.Fatalf("lag-1 autocorrelation = %g, want > 0.9", r)
+	}
+}
+
+func TestHostLoads(t *testing.T) {
+	hs := HostLoads(rand.New(rand.NewSource(10)), 4, 100)
+	if len(hs) != 4 || len(hs[0]) != 100 {
+		t.Fatal("shape wrong")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mean := range []float64{0.5, 5, 100} {
+		var m stats.Moments
+		for i := 0; i < 20000; i++ {
+			m.Add(poisson(rng, mean))
+		}
+		if got := m.Mean(); got < mean*0.9 || got > mean*1.1 {
+			t.Fatalf("poisson(%g) sample mean = %g", mean, got)
+		}
+		// Poisson variance equals the mean.
+		if v := m.Variance(); v < mean*0.8 || v > mean*1.25 {
+			t.Fatalf("poisson(%g) sample variance = %g", mean, v)
+		}
+	}
+	if v := poisson(rng, 0); v != 0 {
+		t.Fatalf("poisson(0) = %g", v)
+	}
+}
+
+func TestSmoothWalkRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := smoothWalk(rng, 5000, 100, 0.5)
+	for i, v := range xs {
+		if v < -0.5-1e-9 || v > 0.5+1e-9 {
+			t.Fatalf("smoothWalk[%d] = %g outside ±amp", i, v)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package generalmatch implements the GeneralMatch baseline of Moon, Whang
+// & Han (SIGMOD 2002) as used in the paper's Section 6.2: the "dual" of
+// conventional subsequence matching — the data sequences are divided into
+// DISJOINT windows of a fixed size w, the query into SLIDING windows of the
+// same size, and a candidate arises whenever a query sliding window's
+// feature falls within the refined radius r/√p of an indexed data window's
+// feature. The window size is the maximum allowed by the a-priori minimum
+// query length: the largest w with 2w − 1 ≤ minQuery, so that every
+// alignment of a minimum-length query contains at least one disjoint data
+// window.
+package generalmatch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stardust/internal/core"
+	"stardust/internal/mbr"
+	"stardust/internal/rstar"
+	"stardust/internal/stats"
+	"stardust/internal/wavelet"
+)
+
+// Config parameterizes the index.
+type Config struct {
+	// MinQueryLen is the a-priori minimum query length that fixes the
+	// window size.
+	MinQueryLen int
+	// W is the alignment granularity used to derive the window size (the
+	// same role as Stardust's W, so the two systems see comparable
+	// constraints).
+	W int
+	// F is the number of wavelet coefficients kept per feature (power of
+	// two).
+	F int
+	// Rmax bounds the value range for unit normalization.
+	Rmax float64
+}
+
+// Index is a single-resolution dual-match index over a set of sequences.
+type Index struct {
+	cfg  Config
+	w    int // disjoint window size
+	data [][]float64
+	tree *rstar.Tree[ref]
+}
+
+type ref struct {
+	seq int
+	k   int // disjoint window index: covers data[seq][k·w : (k+1)·w]
+}
+
+// WindowSize returns the derived disjoint-window size.
+func (ix *Index) WindowSize() int { return ix.w }
+
+// Build constructs the index over the database.
+func Build(cfg Config, data [][]float64) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("generalmatch: empty database")
+	}
+	if cfg.MinQueryLen <= cfg.W {
+		return nil, fmt.Errorf("generalmatch: min query length %d must exceed W=%d", cfg.MinQueryLen, cfg.W)
+	}
+	if cfg.F <= 0 || cfg.F&(cfg.F-1) != 0 {
+		return nil, fmt.Errorf("generalmatch: F must be a power of two, got %d", cfg.F)
+	}
+	// Largest power-of-two window w (divisible DWT windows) such that any
+	// subsequence of the minimum query length contains at least one
+	// disjoint data window regardless of alignment, i.e. 2w − 1 ≤ minQ.
+	limit := (cfg.MinQueryLen + 1) / 2
+	w := cfg.F
+	for w*2 <= limit {
+		w *= 2
+	}
+	if w < cfg.F {
+		return nil, fmt.Errorf("generalmatch: derived window %d below F=%d", w, cfg.F)
+	}
+	ix := &Index{cfg: cfg, w: w, data: data, tree: rstar.New[ref](cfg.F)}
+	for si, seq := range data {
+		for k := 0; (k+1)*w <= len(seq); k++ {
+			feat := feature(seq[k*w:(k+1)*w], cfg.F, cfg.Rmax)
+			ix.tree.Insert(mbr.FromPoint(feat), ref{seq: si, k: k})
+		}
+	}
+	return ix, nil
+}
+
+// feature computes the unit-normalized leading wavelet coefficients of a
+// window.
+func feature(win []float64, f int, rmax float64) []float64 {
+	return wavelet.ApproxTo(stats.UnitNormalize(win, rmax), f)
+}
+
+// Query answers a range query of length ≥ MinQueryLen with radius r under
+// the full-window unit normalization, using the multi-piece refinement: if
+// the whole query matches within r, at least one of its p disjoint pieces
+// matches a data window within r/√p (in full-normalized space), i.e.
+// within (r/√p)·√(|Q|/w) between per-window-normalized features.
+func (ix *Index) Query(q []float64, r float64) (core.PatternResult, error) {
+	if len(q) < ix.cfg.MinQueryLen {
+		return core.PatternResult{}, fmt.Errorf("generalmatch: query length %d below minimum %d", len(q), ix.cfg.MinQueryLen)
+	}
+	// Any subsequence of length |Q| contains at least ⌊(|Q|+1)/w⌋ − 1
+	// disjoint data windows, whatever its alignment.
+	p := (len(q)+1)/ix.w - 1
+	if p < 1 {
+		p = 1
+	}
+	// Piece radius in per-window-normalized feature space.
+	pieceR := r / math.Sqrt(float64(p)) * math.Sqrt(float64(len(q))/float64(ix.w))
+
+	var res core.PatternResult
+	nq := stats.UnitNormalize(q, ix.cfg.Rmax)
+	// Candidates are the distinct subsequence alignments implied by the
+	// retrieved data windows (duplicates across sliding offsets collapse).
+	seen := make(map[core.Match]bool)
+	for off := 0; off+ix.w <= len(q); off++ {
+		qf := feature(q[off:off+ix.w], ix.cfg.F, ix.cfg.Rmax)
+		ix.tree.SearchSphere(qf, pieceR, func(_ mbr.MBR, rf ref) bool {
+			// The data window starts at rf.k·w and aligns with query
+			// offset off: the subsequence starts at rf.k·w − off.
+			start := rf.k*ix.w - off
+			end := start + len(q) - 1
+			if start < 0 || end >= len(ix.data[rf.seq]) {
+				return true
+			}
+			key := core.Match{Stream: rf.seq, End: int64(end)}
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			res.Candidates = append(res.Candidates, key)
+			sub := ix.data[rf.seq][start : end+1]
+			d := stats.Euclidean(nq, stats.UnitNormalize(sub, ix.cfg.Rmax))
+			if d <= r {
+				res.Relevant++
+				res.Matches = append(res.Matches, core.Match{Stream: rf.seq, End: int64(end), Dist: d})
+			}
+			return true
+		})
+	}
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.End < b.End
+	})
+	sort.Slice(res.Matches, func(i, j int) bool {
+		a, b := res.Matches[i], res.Matches[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.End < b.End
+	})
+	return res, nil
+}
+
+// Scan returns the linear-scan ground truth: every subsequence of query
+// length whose exact normalized distance is within r.
+func (ix *Index) Scan(q []float64, r float64) []core.Match {
+	var out []core.Match
+	nq := stats.UnitNormalize(q, ix.cfg.Rmax)
+	for si, seq := range ix.data {
+		for start := 0; start+len(q) <= len(seq); start++ {
+			sub := seq[start : start+len(q)]
+			if d := stats.Euclidean(nq, stats.UnitNormalize(sub, ix.cfg.Rmax)); d <= r {
+				out = append(out, core.Match{Stream: si, End: int64(start + len(q) - 1), Dist: d})
+			}
+		}
+	}
+	return out
+}

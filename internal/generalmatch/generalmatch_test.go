@@ -1,0 +1,105 @@
+package generalmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/core"
+	"stardust/internal/gen"
+)
+
+func testConfig() Config {
+	return Config{MinQueryLen: 96, W: 8, F: 4, Rmax: 120}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(testConfig(), nil); err == nil {
+		t.Fatal("empty database should fail")
+	}
+	if _, err := Build(Config{MinQueryLen: 4, W: 8, F: 4, Rmax: 1}, [][]float64{{1}}); err == nil {
+		t.Fatal("min query ≤ W should fail")
+	}
+	if _, err := Build(Config{MinQueryLen: 96, W: 8, F: 3, Rmax: 1}, [][]float64{{1}}); err == nil {
+		t.Fatal("non-power-of-two F should fail")
+	}
+}
+
+func TestWindowSizeDerivation(t *testing.T) {
+	ix, err := Build(testConfig(), gen.RandomWalks(rand.New(rand.NewSource(1)), 1, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest power of two with 2w − 1 ≤ 96 is 32.
+	if ix.WindowSize() != 32 {
+		t.Fatalf("window = %d, want 32", ix.WindowSize())
+	}
+}
+
+func TestQueryTooShort(t *testing.T) {
+	ix, _ := Build(testConfig(), gen.RandomWalks(rand.New(rand.NewSource(2)), 1, 300))
+	if _, err := ix.Query(make([]float64, 50), 0.1); err == nil {
+		t.Fatal("short query should fail")
+	}
+}
+
+func TestQueryFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	data := gen.RandomWalks(rng, 3, 400)
+	ix, err := Build(testConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 100)
+	copy(q, data[1][200:300])
+	res, err := ix.Query(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.Stream == 1 && m.End == 299 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted query not found: %v", res.Matches)
+	}
+}
+
+// TestQueryMatchesScan: dual match must have no false dismissals.
+func TestQueryMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	data := gen.HostLoads(rng, 4, 400)
+	cfg := testConfig()
+	cfg.Rmax = 3
+	ix, err := Build(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0.05, 0.15} {
+		q := gen.HostLoad(rng, 128)
+		res, err := ix.Query(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := ix.Scan(q, r)
+		want := make(map[core.Match]bool)
+		for _, m := range scan {
+			want[core.Match{Stream: m.Stream, End: m.End}] = true
+		}
+		got := make(map[core.Match]bool)
+		for _, m := range res.Matches {
+			got[core.Match{Stream: m.Stream, End: m.End}] = true
+		}
+		for m := range want {
+			if !got[m] {
+				t.Fatalf("r=%g: true match %v missed", r, m)
+			}
+		}
+		for m := range got {
+			if !want[m] {
+				t.Fatalf("r=%g: spurious match %v", r, m)
+			}
+		}
+	}
+}

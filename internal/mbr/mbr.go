@@ -1,0 +1,338 @@
+// Package mbr implements minimum bounding rectangles (hyper-rectangles) in
+// f-dimensional Euclidean space. MBRs are the unit of storage in the
+// multi-resolution index: every box groups up to c consecutive stream
+// features, and all index-level geometry (extension, overlap, minimum
+// distance to a query point) is expressed in terms of MBRs.
+package mbr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MBR is an axis-aligned hyper-rectangle. Min and Max hold the low and high
+// coordinates along each dimension; len(Min) == len(Max) is the
+// dimensionality. The zero value is an "empty" MBR of dimension 0 that can
+// be extended with points of any dimensionality.
+type MBR struct {
+	Min []float64
+	Max []float64
+}
+
+// New returns an empty MBR of the given dimensionality. An empty MBR has
+// inverted extents (Min=+Inf, Max=-Inf) so that the first Extend sets both
+// coordinates.
+func New(dim int) MBR {
+	if dim < 0 {
+		panic("mbr: negative dimension")
+	}
+	b := MBR{Min: make([]float64, dim), Max: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		b.Min[i] = math.Inf(1)
+		b.Max[i] = math.Inf(-1)
+	}
+	return b
+}
+
+// FromPoint returns a degenerate MBR containing exactly p.
+func FromPoint(p []float64) MBR {
+	b := MBR{Min: make([]float64, len(p)), Max: make([]float64, len(p))}
+	copy(b.Min, p)
+	copy(b.Max, p)
+	return b
+}
+
+// FromBounds returns an MBR with the given low and high coordinates. It
+// panics if the slices differ in length or if lo[i] > hi[i] for some i.
+func FromBounds(lo, hi []float64) MBR {
+	if len(lo) != len(hi) {
+		panic("mbr: bounds dimensionality mismatch")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("mbr: inverted bounds on dim %d: %g > %g", i, lo[i], hi[i]))
+		}
+	}
+	b := MBR{Min: make([]float64, len(lo)), Max: make([]float64, len(hi))}
+	copy(b.Min, lo)
+	copy(b.Max, hi)
+	return b
+}
+
+// Dim returns the dimensionality of the MBR.
+func (b MBR) Dim() int { return len(b.Min) }
+
+// IsEmpty reports whether the MBR contains no points (inverted extents or
+// zero dimensions that were never extended).
+func (b MBR) IsEmpty() bool {
+	if len(b.Min) == 0 {
+		return true
+	}
+	for i := range b.Min {
+		if b.Min[i] > b.Max[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of b.
+func (b MBR) Clone() MBR {
+	c := MBR{Min: make([]float64, len(b.Min)), Max: make([]float64, len(b.Max))}
+	copy(c.Min, b.Min)
+	copy(c.Max, b.Max)
+	return c
+}
+
+// Equal reports whether b and o have identical extents.
+func (b MBR) Equal(o MBR) bool {
+	if len(b.Min) != len(o.Min) {
+		return false
+	}
+	for i := range b.Min {
+		if b.Min[i] != o.Min[i] || b.Max[i] != o.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendPoint grows b in place so it contains point p. If b is the zero
+// value (dimension 0) it adopts p's dimensionality.
+func (b *MBR) ExtendPoint(p []float64) {
+	if len(b.Min) == 0 {
+		*b = FromPoint(p)
+		return
+	}
+	if len(p) != len(b.Min) {
+		panic("mbr: point dimensionality mismatch")
+	}
+	for i, v := range p {
+		if v < b.Min[i] {
+			b.Min[i] = v
+		}
+		if v > b.Max[i] {
+			b.Max[i] = v
+		}
+	}
+}
+
+// Extend grows b in place so it contains o. If b is the zero value it
+// becomes a copy of o.
+func (b *MBR) Extend(o MBR) {
+	if o.IsEmpty() {
+		return
+	}
+	if len(b.Min) == 0 || b.IsEmpty() {
+		*b = o.Clone()
+		return
+	}
+	if len(o.Min) != len(b.Min) {
+		panic("mbr: extend dimensionality mismatch")
+	}
+	for i := range o.Min {
+		if o.Min[i] < b.Min[i] {
+			b.Min[i] = o.Min[i]
+		}
+		if o.Max[i] > b.Max[i] {
+			b.Max[i] = o.Max[i]
+		}
+	}
+}
+
+// Union returns the smallest MBR containing both b and o.
+func Union(b, o MBR) MBR {
+	u := b.Clone()
+	u.Extend(o)
+	return u
+}
+
+// ContainsPoint reports whether p lies inside b (boundaries inclusive).
+func (b MBR) ContainsPoint(p []float64) bool {
+	if len(p) != len(b.Min) {
+		return false
+	}
+	for i, v := range p {
+		if v < b.Min[i] || v > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies entirely inside b.
+func (b MBR) Contains(o MBR) bool {
+	if len(o.Min) != len(b.Min) || o.IsEmpty() {
+		return false
+	}
+	for i := range o.Min {
+		if o.Min[i] < b.Min[i] || o.Max[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and o share at least one point.
+func (b MBR) Intersects(o MBR) bool {
+	if len(o.Min) != len(b.Min) || b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	for i := range b.Min {
+		if b.Min[i] > o.Max[i] || o.Min[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the hyper-volume of b (product of side lengths). Empty
+// MBRs have volume 0.
+func (b MBR) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := range b.Min {
+		v *= b.Max[i] - b.Min[i]
+	}
+	return v
+}
+
+// Margin returns the sum of the side lengths of b (the L1 "perimeter" used
+// by the R*-tree split heuristic).
+func (b MBR) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	m := 0.0
+	for i := range b.Min {
+		m += b.Max[i] - b.Min[i]
+	}
+	return m
+}
+
+// OverlapVolume returns the volume of the intersection of b and o, or 0 if
+// they do not intersect.
+func (b MBR) OverlapVolume(o MBR) float64 {
+	if len(o.Min) != len(b.Min) || b.IsEmpty() || o.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := range b.Min {
+		lo := math.Max(b.Min[i], o.Min[i])
+		hi := math.Min(b.Max[i], o.Max[i])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Center returns the center point of b.
+func (b MBR) Center() []float64 {
+	c := make([]float64, len(b.Min))
+	for i := range b.Min {
+		c[i] = (b.Min[i] + b.Max[i]) / 2
+	}
+	return c
+}
+
+// Enlargement returns the increase in volume of b needed to include o.
+func (b MBR) Enlargement(o MBR) float64 {
+	return Union(b, o).Volume() - b.Volume()
+}
+
+// MinDist returns the minimum Euclidean distance between point p and any
+// point of b (Roussopoulos et al., "Nearest Neighbor Queries"). It is 0 if
+// p is inside b.
+func (b MBR) MinDist(p []float64) float64 {
+	return math.Sqrt(b.MinDist2(p))
+}
+
+// MinDist2 returns the squared minimum Euclidean distance between p and b.
+func (b MBR) MinDist2(p []float64) float64 {
+	if len(p) != len(b.Min) {
+		panic("mbr: mindist dimensionality mismatch")
+	}
+	d2 := 0.0
+	for i, v := range p {
+		switch {
+		case v < b.Min[i]:
+			d := b.Min[i] - v
+			d2 += d * d
+		case v > b.Max[i]:
+			d := v - b.Max[i]
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
+// MaxDist2 returns the squared maximum Euclidean distance from p to any
+// point of b.
+func (b MBR) MaxDist2(p []float64) float64 {
+	if len(p) != len(b.Min) {
+		panic("mbr: maxdist dimensionality mismatch")
+	}
+	d2 := 0.0
+	for i, v := range p {
+		lo := math.Abs(v - b.Min[i])
+		hi := math.Abs(v - b.Max[i])
+		d := math.Max(lo, hi)
+		d2 += d * d
+	}
+	return d2
+}
+
+// MinDistRect2 returns the squared minimum Euclidean distance between the
+// two rectangles b and o (0 if they intersect).
+func (b MBR) MinDistRect2(o MBR) float64 {
+	if len(o.Min) != len(b.Min) {
+		panic("mbr: mindistrect dimensionality mismatch")
+	}
+	d2 := 0.0
+	for i := range b.Min {
+		switch {
+		case o.Max[i] < b.Min[i]:
+			d := b.Min[i] - o.Max[i]
+			d2 += d * d
+		case b.Max[i] < o.Min[i]:
+			d := o.Min[i] - b.Max[i]
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
+// Enlarge returns a copy of b grown by delta on both sides of every
+// dimension. A negative delta shrinks the box; extents never invert below a
+// degenerate (point) box at the center.
+func (b MBR) Enlarge(delta float64) MBR {
+	e := b.Clone()
+	for i := range e.Min {
+		lo, hi := e.Min[i]-delta, e.Max[i]+delta
+		if lo > hi {
+			c := (e.Min[i] + e.Max[i]) / 2
+			lo, hi = c, c
+		}
+		e.Min[i], e.Max[i] = lo, hi
+	}
+	return e
+}
+
+// String implements fmt.Stringer.
+func (b MBR) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := range b.Min {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%.4g..%.4g", b.Min[i], b.Max[i])
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

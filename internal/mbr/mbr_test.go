@@ -1,0 +1,363 @@
+package mbr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	b := New(3)
+	if !b.IsEmpty() {
+		t.Fatalf("New(3) should be empty, got %v", b)
+	}
+	if b.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", b.Dim())
+	}
+	if v := b.Volume(); v != 0 {
+		t.Fatalf("empty volume = %g, want 0", v)
+	}
+	if m := b.Margin(); m != 0 {
+		t.Fatalf("empty margin = %g, want 0", m)
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromPoint(t *testing.T) {
+	p := []float64{1, 2, 3}
+	b := FromPoint(p)
+	if b.IsEmpty() {
+		t.Fatal("point box should not be empty")
+	}
+	if !b.ContainsPoint(p) {
+		t.Fatal("point box should contain its point")
+	}
+	if v := b.Volume(); v != 0 {
+		t.Fatalf("point volume = %g, want 0", v)
+	}
+	// Mutating the source must not affect the box.
+	p[0] = 99
+	if b.Min[0] != 1 {
+		t.Fatal("FromPoint aliased its input")
+	}
+}
+
+func TestFromBounds(t *testing.T) {
+	b := FromBounds([]float64{0, -1}, []float64{2, 1})
+	if b.Volume() != 4 {
+		t.Fatalf("volume = %g, want 4", b.Volume())
+	}
+	if b.Margin() != 4 {
+		t.Fatalf("margin = %g, want 4", b.Margin())
+	}
+}
+
+func TestFromBoundsInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted bounds should panic")
+		}
+	}()
+	FromBounds([]float64{1}, []float64{0})
+}
+
+func TestExtendPointAdoptsDim(t *testing.T) {
+	var b MBR
+	b.ExtendPoint([]float64{1, 2})
+	if b.Dim() != 2 || !b.ContainsPoint([]float64{1, 2}) {
+		t.Fatalf("zero-value extend failed: %v", b)
+	}
+}
+
+func TestExtendAndUnion(t *testing.T) {
+	a := FromBounds([]float64{0, 0}, []float64{1, 1})
+	c := FromBounds([]float64{2, -1}, []float64{3, 0.5})
+	u := Union(a, c)
+	if !u.Contains(a) || !u.Contains(c) {
+		t.Fatalf("union %v should contain both inputs", u)
+	}
+	if u.Min[0] != 0 || u.Max[0] != 3 || u.Min[1] != -1 || u.Max[1] != 1 {
+		t.Fatalf("union extents wrong: %v", u)
+	}
+	// Union must not alias inputs.
+	u.Min[0] = -100
+	if a.Min[0] != 0 {
+		t.Fatal("Union aliased input")
+	}
+}
+
+func TestExtendEmpty(t *testing.T) {
+	a := New(2)
+	c := FromBounds([]float64{1, 1}, []float64{2, 2})
+	a.Extend(c)
+	if !a.Equal(c) {
+		t.Fatalf("extending empty should copy: %v", a)
+	}
+	// Extending by an empty MBR is a no-op.
+	before := a.Clone()
+	a.Extend(New(2))
+	if !a.Equal(before) {
+		t.Fatal("extending by empty changed the box")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromBounds([]float64{0, 0}, []float64{2, 2})
+	cases := []struct {
+		b    MBR
+		want bool
+	}{
+		{FromBounds([]float64{1, 1}, []float64{3, 3}), true},
+		{FromBounds([]float64{2, 2}, []float64{3, 3}), true}, // touching corners intersect
+		{FromBounds([]float64{3, 0}, []float64{4, 2}), false},
+		{FromBounds([]float64{0, 3}, []float64{2, 4}), false},
+		{FromBounds([]float64{0.5, 0.5}, []float64{1.5, 1.5}), true}, // contained
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects(%v) = %v, want %v", i, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+}
+
+func TestOverlapVolume(t *testing.T) {
+	a := FromBounds([]float64{0, 0}, []float64{2, 2})
+	b := FromBounds([]float64{1, 1}, []float64{3, 3})
+	if v := a.OverlapVolume(b); v != 1 {
+		t.Fatalf("overlap = %g, want 1", v)
+	}
+	c := FromBounds([]float64{2, 2}, []float64{3, 3})
+	if v := a.OverlapVolume(c); v != 0 {
+		t.Fatalf("touching overlap = %g, want 0", v)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	b := FromBounds([]float64{0, 0}, []float64{1, 1})
+	cases := []struct {
+		p    []float64
+		want float64
+	}{
+		{[]float64{0.5, 0.5}, 0},      // inside
+		{[]float64{1, 1}, 0},          // on boundary
+		{[]float64{2, 1}, 1},          // right
+		{[]float64{-3, 0.5}, 3},       // left
+		{[]float64{2, 2}, math.Sqrt2}, // diagonal
+	}
+	for i, c := range cases {
+		if got := b.MinDist(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: MinDist(%v) = %g, want %g", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestMaxDist2(t *testing.T) {
+	b := FromBounds([]float64{0, 0}, []float64{1, 1})
+	if got := b.MaxDist2([]float64{0, 0}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MaxDist2 from corner = %g, want 2", got)
+	}
+}
+
+func TestMinDistRect2(t *testing.T) {
+	a := FromBounds([]float64{0, 0}, []float64{1, 1})
+	b := FromBounds([]float64{3, 1}, []float64{4, 2})
+	if got := a.MinDistRect2(b); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("MinDistRect2 = %g, want 4", got)
+	}
+	c := FromBounds([]float64{0.5, 0.5}, []float64{2, 2})
+	if got := a.MinDistRect2(c); got != 0 {
+		t.Fatalf("intersecting rect dist = %g, want 0", got)
+	}
+}
+
+func TestEnlarge(t *testing.T) {
+	b := FromBounds([]float64{0, 0}, []float64{1, 1})
+	e := b.Enlarge(0.5)
+	if e.Min[0] != -0.5 || e.Max[0] != 1.5 {
+		t.Fatalf("enlarged = %v", e)
+	}
+	// Shrinking past degeneracy collapses to the center.
+	s := b.Enlarge(-10)
+	if s.Min[0] != 0.5 || s.Max[0] != 0.5 {
+		t.Fatalf("over-shrunk = %v, want point at center", s)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	b := FromBounds([]float64{0, 2}, []float64{4, 6})
+	c := b.Center()
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("center = %v", c)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := FromBounds([]float64{0, 0}, []float64{1, 1})
+	b := FromBounds([]float64{0, 0}, []float64{2, 1})
+	if got := a.Enlargement(b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("enlargement = %g, want 1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := FromBounds([]float64{0}, []float64{1})
+	if s := b.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// randomBox draws a box with sorted random coordinates.
+func randomBox(rng *rand.Rand, dim int) MBR {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		a, b := rng.Float64()*10-5, rng.Float64()*10-5
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return FromBounds(lo, hi)
+}
+
+func TestPropertyUnionContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBox(r, 3), randomBox(r, 3)
+		u := Union(a, b)
+		return u.Contains(a) && u.Contains(b) && u.Volume() >= a.Volume() && u.Volume() >= b.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMinMaxDistOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomBox(r, 3)
+		p := []float64{r.Float64()*20 - 10, r.Float64()*20 - 10, r.Float64()*20 - 10}
+		return b.MinDist2(p) <= b.MaxDist2(p)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyContainedPointDistZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomBox(r, 2)
+		// Sample a point inside.
+		p := []float64{
+			b.Min[0] + r.Float64()*(b.Max[0]-b.Min[0]),
+			b.Min[1] + r.Float64()*(b.Max[1]-b.Min[1]),
+		}
+		return b.ContainsPoint(p) && b.MinDist2(p) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOverlapSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBox(r, 3), randomBox(r, 3)
+		ov := a.OverlapVolume(b)
+		if math.Abs(ov-b.OverlapVolume(a)) > 1e-12 {
+			return false
+		}
+		return ov <= a.Volume()+1e-12 && ov <= b.Volume()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndMismatchedDims(t *testing.T) {
+	a := FromBounds([]float64{0}, []float64{1})
+	b := FromBounds([]float64{0, 0}, []float64{1, 1})
+	if a.Equal(b) {
+		t.Fatal("different dims should not be equal")
+	}
+	c := FromBounds([]float64{0}, []float64{2})
+	if a.Equal(c) {
+		t.Fatal("different extents should not be equal")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone should be equal")
+	}
+	// Cross-dimension predicates are false rather than panicking.
+	if a.ContainsPoint([]float64{0, 0}) {
+		t.Fatal("dim-mismatched point containment should be false")
+	}
+	if a.Contains(b) || a.Intersects(b) {
+		t.Fatal("dim-mismatched box predicates should be false")
+	}
+	if a.OverlapVolume(b) != 0 {
+		t.Fatal("dim-mismatched overlap should be 0")
+	}
+}
+
+func TestExtendPointGrowth(t *testing.T) {
+	b := FromPoint([]float64{1, 1})
+	b.ExtendPoint([]float64{3, 0})
+	if b.Min[1] != 0 || b.Max[0] != 3 {
+		t.Fatalf("extended = %v", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim-mismatched ExtendPoint should panic")
+		}
+	}()
+	b.ExtendPoint([]float64{1})
+}
+
+func TestContainsEmptyAndEmptyOps(t *testing.T) {
+	a := FromBounds([]float64{0, 0}, []float64{2, 2})
+	empty := New(2)
+	if a.Contains(empty) {
+		t.Fatal("nothing contains the empty box")
+	}
+	if a.Intersects(empty) || empty.Intersects(a) {
+		t.Fatal("empty box intersects nothing")
+	}
+	if empty.OverlapVolume(a) != 0 {
+		t.Fatal("empty overlap should be 0")
+	}
+	if empty.Center()[0] == 0 { // inverted extents average to something odd but must not panic
+		_ = empty
+	}
+}
+
+func TestDistPanicsOnDimMismatch(t *testing.T) {
+	b := FromBounds([]float64{0}, []float64{1})
+	for _, fn := range []func(){
+		func() { b.MinDist2([]float64{0, 0}) },
+		func() { b.MaxDist2([]float64{0, 0}) },
+		func() { b.MinDistRect2(New(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("dim mismatch should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,85 @@
+package mrindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/core"
+	"stardust/internal/gen"
+)
+
+func testConfig() Config {
+	return Config{W: 8, Levels: 4, BoxCapacity: 8, F: 4, Rmax: 120}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(testConfig(), nil); err == nil {
+		t.Fatal("empty database should fail")
+	}
+	bad := testConfig()
+	bad.W = 6 // not a power of two
+	if _, err := Build(bad, [][]float64{make([]float64, 100)}); err == nil {
+		t.Fatal("non-power-of-two W should fail")
+	}
+}
+
+func TestQueryFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	data := gen.RandomWalks(rng, 3, 400)
+	ix, err := Build(testConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 88)
+	copy(q, data[2][250:338])
+	res, err := ix.Query(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.Stream == 2 && m.End == 337 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted query not found: %v", res.Matches)
+	}
+}
+
+func TestQueryMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	data := gen.HostLoads(rng, 4, 400)
+	cfg := testConfig()
+	cfg.Rmax = 3
+	ix, err := Build(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0.05, 0.15} {
+		q := gen.HostLoad(rng, 120)
+		res, err := ix.Query(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := ix.Scan(q, r)
+		want := make(map[core.Match]bool)
+		for _, m := range scan {
+			want[core.Match{Stream: m.Stream, End: m.End}] = true
+		}
+		got := make(map[core.Match]bool)
+		for _, m := range res.Matches {
+			got[core.Match{Stream: m.Stream, End: m.End}] = true
+		}
+		for m := range want {
+			if !got[m] {
+				t.Fatalf("r=%g: true match %v missed", r, m)
+			}
+		}
+		for m := range got {
+			if !want[m] {
+				t.Fatalf("r=%g: spurious match %v", r, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func bulkItems(rng *rand.Rand, n, dim int) []Item[int] {
+	items := make([]Item[int], n)
+	for i := range items {
+		items[i] = Item[int]{Box: randBox(rng, dim, 100), Value: i}
+	}
+	return items
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad[int](2, nil)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty bulk load: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	tr.Insert(pointBox(1, 1), 1)
+	if tr.Len() != 1 {
+		t.Fatal("empty bulk-loaded tree should accept inserts")
+	}
+}
+
+func TestBulkLoadInvariantsAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for _, n := range []int{1, 5, 33, 100, 1000, 5000} {
+		items := bulkItems(rng, n, 3)
+		tr := BulkLoad(3, items, Options{MaxEntries: 16})
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Queries must match linear scan.
+		for q := 0; q < 10; q++ {
+			query := randBox(rng, 3, 100).Enlarge(5)
+			got := tr.SearchAll(query)
+			sort.Ints(got)
+			var want []int
+			for _, it := range items {
+				if it.Box.Intersects(query) {
+					want = append(want, it.Value)
+				}
+			}
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d query %d: %d vs %d results", n, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d query %d: result mismatch", n, q)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	items := bulkItems(rng, 2000, 2)
+	tr := BulkLoad(2, items, Options{MaxEntries: 8})
+	// Delete half, insert new ones, re-check.
+	for i := 0; i < 1000; i++ {
+		if !tr.Delete(items[i].Box, func(v int) bool { return v == items[i].Value }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		tr.Insert(randBox(rng, 2, 100), 10000+i)
+	}
+	if tr.Len() != 1500 {
+		t.Fatalf("len = %d, want 1500", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadHeightCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	items := bulkItems(rng, 4096, 2)
+	packed := BulkLoad(2, items, Options{MaxEntries: 16})
+	incremental := New[int](2, Options{MaxEntries: 16})
+	for _, it := range items {
+		incremental.Insert(it.Box, it.Value)
+	}
+	if packed.Height() > incremental.Height() {
+		t.Fatalf("packed height %d exceeds incremental %d", packed.Height(), incremental.Height())
+	}
+	// The packed tree should be essentially full: height near the
+	// information-theoretic minimum log_16(4096) = 3.
+	if packed.Height() > 4 {
+		t.Fatalf("packed height %d too tall", packed.Height())
+	}
+}
+
+func TestBulkLoadDoesNotAliasInput(t *testing.T) {
+	items := []Item[int]{{Box: pointBox(1, 2), Value: 7}}
+	tr := BulkLoad(2, items)
+	items[0].Box.Min[0] = 99
+	got := tr.SearchAll(pointBox(1, 2))
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatal("bulk load aliased caller's boxes")
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(174))
+	items := bulkItems(rng, 20000, 4)
+	b.Run("bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BulkLoad(4, items)
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New[int](4)
+			for _, it := range items {
+				tr.Insert(it.Box, it.Value)
+			}
+		}
+	})
+}

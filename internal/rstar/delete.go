@@ -1,0 +1,112 @@
+package rstar
+
+import "stardust/internal/mbr"
+
+// Delete removes the first leaf entry whose box intersects hint and whose
+// payload satisfies match. It returns whether an entry was removed.
+// Underfull nodes along the deletion path are dissolved and their entries
+// reinserted at their original level (the CondenseTree step of the R-tree
+// family); a root with a single child is collapsed.
+func (t *Tree[T]) Delete(hint mbr.MBR, match func(T) bool) bool {
+	t.checkBox(hint)
+	path, leafIdx := t.findLeafEntry(t.root, hint, match, t.height)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:leafIdx], leaf.entries[leafIdx+1:]...)
+	t.size--
+	t.condense(path)
+	return true
+}
+
+// findLeafEntry locates the leaf holding a matching entry, returning the
+// root-to-leaf path and the entry index, or nil if absent.
+func (t *Tree[T]) findLeafEntry(n *node[T], hint mbr.MBR, match func(T) bool, level int) ([]*node[T], int) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].box.Intersects(hint) && match(n.entries[i].value) {
+				return []*node[T]{n}, i
+			}
+		}
+		return nil, 0
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.box.Intersects(hint) {
+			continue
+		}
+		if path, idx := t.findLeafEntry(e.child, hint, match, level-1); path != nil {
+			return append([]*node[T]{n}, path...), idx
+		}
+	}
+	return nil, 0
+}
+
+// condense walks the deletion path bottom-up, removing underfull nodes and
+// queueing their entries for reinsertion at the correct level, then
+// collapses a single-child root.
+func (t *Tree[T]) condense(path []*node[T]) {
+	type orphan struct {
+		e     entry[T]
+		level int
+	}
+	var orphans []orphan
+
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		level := t.height - i
+		if len(n.entries) < t.minEntries {
+			// Dissolve n: detach from parent and queue its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: level})
+			}
+		} else {
+			t.refreshParentBox(parent, n)
+		}
+	}
+
+	// Collapse the root while it is an internal node with one child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		// All children dissolved; restart from an empty leaf.
+		t.root = &node[T]{leaf: true}
+		t.height = 1
+	}
+
+	// Reinsert orphans at their original level. Leaf-level orphans (level
+	// 1) are plain entries; higher-level orphans carry whole subtrees. If
+	// the tree shrank below an orphan's level, its subtree is unpacked one
+	// level at a time.
+	for _, o := range orphans {
+		t.reinsertOrphan(o.e, o.level)
+	}
+}
+
+// reinsertOrphan inserts e at the given level, unpacking the subtree when
+// the tree is no longer tall enough to host it directly.
+func (t *Tree[T]) reinsertOrphan(e entry[T], level int) {
+	for level > t.height && e.child != nil {
+		// Cannot attach a subtree at or above the root; unpack one level.
+		children := e.child.entries
+		for _, c := range children[1:] {
+			t.reinsertOrphan(c, level-1)
+		}
+		e = children[0]
+		level--
+	}
+	if e.child == nil {
+		level = 1
+	}
+	reinserted := make(map[int]bool)
+	t.insertAtLevel(e, level, reinserted)
+}

@@ -1,0 +1,280 @@
+package rstar
+
+import (
+	"math"
+	"sort"
+
+	"stardust/internal/mbr"
+)
+
+// Insert adds a box/payload pair to the tree.
+func (t *Tree[T]) Insert(box mbr.MBR, value T) {
+	t.checkBox(box)
+	// The reinserted map tracks which levels already performed forced
+	// reinsertion during this insertion (R* performs it at most once per
+	// level per insertion; see OverflowTreatment in the paper). It is
+	// allocated lazily on first overflow — most inserts never need it.
+	t.insertAtLevel(entry[T]{box: box.Clone(), value: value}, 1, nil)
+	t.size++
+}
+
+// insertAtLevel places e into a node at the target level (leaf = 1),
+// handling overflow by forced reinsert or split.
+func (t *Tree[T]) insertAtLevel(e entry[T], level int, reinserted map[int]bool) {
+	path := t.choosePath(e.box, level)
+	n := path[len(path)-1]
+	n.entries = append(n.entries, e)
+	t.adjustPath(path, e.box)
+
+	// Resolve overflows bottom-up along the path.
+	for i := len(path) - 1; i >= 0; i-- {
+		nd := path[i]
+		if len(nd.entries) <= t.maxEntries {
+			break
+		}
+		lvl := t.height - i // node level: root is t.height, leaf is 1
+		if lvl < t.height && !reinserted[lvl] {
+			if reinserted == nil {
+				reinserted = make(map[int]bool)
+			}
+			reinserted[lvl] = true
+			t.forcedReinsert(path, i, lvl, reinserted)
+			// forcedReinsert re-enters insertAtLevel; tree may have been
+			// restructured, so stop processing this stale path.
+			return
+		}
+		t.splitAt(path, i)
+		if i == 0 {
+			break // splitAt grew the root; nothing above to overflow
+		}
+	}
+}
+
+// choosePath descends from the root to the node at targetLevel (leaf = 1)
+// using the R* ChooseSubtree criterion, returning the path of nodes visited
+// (root first).
+func (t *Tree[T]) choosePath(box mbr.MBR, targetLevel int) []*node[T] {
+	path := make([]*node[T], 0, t.height)
+	n := t.root
+	level := t.height
+	path = append(path, n)
+	for level > targetLevel {
+		idx := t.chooseSubtree(n, box, level-1 == 1)
+		n = n.entries[idx].child
+		level--
+		path = append(path, n)
+	}
+	return path
+}
+
+// overlapCandidates caps how many entries the leaf-level overlap criterion
+// evaluates: Beckmann et al.'s CS2 optimization restricts the quadratic
+// overlap computation to the entries whose area enlargement is smallest.
+const overlapCandidates = 8
+
+// chooseSubtree picks the child entry of n to descend into. When the
+// children are leaves, R* minimizes overlap enlargement (ties: area
+// enlargement, then area), evaluated for the overlapCandidates entries of
+// least area enlargement; otherwise it minimizes area enlargement (ties:
+// area).
+func (t *Tree[T]) chooseSubtree(n *node[T], box mbr.MBR, childrenAreLeaves bool) int {
+	if !childrenAreLeaves {
+		best := 0
+		bestEnl, bestArea := math.Inf(1), math.Inf(1)
+		for i := range n.entries {
+			e := &n.entries[i]
+			area := e.box.Volume()
+			enl := unionVolume(e.box, box) - area
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		return best
+	}
+
+	// Select the overlapCandidates entries of least area enlargement
+	// (ties: least area) with a bounded insertion pass.
+	type cand struct {
+		idx  int
+		enl  float64
+		area float64
+	}
+	var candBuf [overlapCandidates]cand
+	limit := 0
+	for i := range n.entries {
+		e := &n.entries[i]
+		area := e.box.Volume()
+		c := cand{idx: i, enl: unionVolume(e.box, box) - area, area: area}
+		pos := limit
+		for pos > 0 {
+			p := candBuf[pos-1]
+			if p.enl < c.enl || (p.enl == c.enl && p.area <= c.area) {
+				break
+			}
+			pos--
+		}
+		if pos >= overlapCandidates {
+			continue
+		}
+		end := limit
+		if end >= overlapCandidates {
+			end = overlapCandidates - 1
+		}
+		copy(candBuf[pos+1:end+1], candBuf[pos:end])
+		candBuf[pos] = c
+		if limit < overlapCandidates {
+			limit++
+		}
+	}
+
+	dim := t.dim
+	uLo := make([]float64, dim)
+	uHi := make([]float64, dim)
+	best := candBuf[0].idx
+	bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+	for ci := 0; ci < limit; ci++ {
+		c := candBuf[ci]
+		e := &n.entries[c.idx]
+		for d := 0; d < dim; d++ {
+			uLo[d] = math.Min(e.box.Min[d], box.Min[d])
+			uHi[d] = math.Max(e.box.Max[d], box.Max[d])
+		}
+		var overlapDelta float64
+		for j := range n.entries {
+			if j == c.idx {
+				continue
+			}
+			sib := &n.entries[j]
+			// Overlap of the union with the sibling minus the current
+			// overlap, computed without allocation.
+			uo, eo := 1.0, 1.0
+			for d := 0; d < dim; d++ {
+				lo := math.Max(uLo[d], sib.box.Min[d])
+				hi := math.Min(uHi[d], sib.box.Max[d])
+				if hi <= lo {
+					uo = 0
+					break
+				}
+				uo *= hi - lo
+			}
+			if eo != 0 {
+				for d := 0; d < dim; d++ {
+					lo := math.Max(e.box.Min[d], sib.box.Min[d])
+					hi := math.Min(e.box.Max[d], sib.box.Max[d])
+					if hi <= lo {
+						eo = 0
+						break
+					}
+					eo *= hi - lo
+				}
+			}
+			overlapDelta += uo - eo
+		}
+		if overlapDelta < bestOverlap ||
+			(overlapDelta == bestOverlap && (c.enl < bestEnl ||
+				(c.enl == bestEnl && c.area < bestArea))) {
+			best, bestOverlap, bestEnl, bestArea = c.idx, overlapDelta, c.enl, c.area
+		}
+	}
+	return best
+}
+
+// adjustPath extends the parent entry boxes along path to cover box.
+func (t *Tree[T]) adjustPath(path []*node[T], box mbr.MBR) {
+	for i := 0; i < len(path)-1; i++ {
+		parent, child := path[i], path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].box.Extend(box)
+				break
+			}
+		}
+	}
+}
+
+// refreshParentBox recomputes the parent entry box of child exactly.
+func (t *Tree[T]) refreshParentBox(parent, child *node[T]) {
+	for j := range parent.entries {
+		if parent.entries[j].child == child {
+			parent.entries[j].box = child.boundingBox(t.dim)
+			return
+		}
+	}
+}
+
+// forcedReinsert removes the reinsertP entries of path[idx] whose centers
+// are farthest from the node's center and reinserts them at nodeLevel
+// (close reinsert: farthest first per Beckmann et al.'s experiments the
+// paper reinserts in "close" order — we sort descending and reinsert the
+// closest of the removed set first).
+func (t *Tree[T]) forcedReinsert(path []*node[T], idx, nodeLevel int, reinserted map[int]bool) {
+	n := path[idx]
+	center := n.boundingBox(t.dim).Center()
+	type distEntry struct {
+		d float64
+		e entry[T]
+	}
+	des := make([]distEntry, len(n.entries))
+	for i := range n.entries {
+		c := n.entries[i].box.Center()
+		d := 0.0
+		for k := range c {
+			dd := c[k] - center[k]
+			d += dd * dd
+		}
+		des[i] = distEntry{d: d, e: n.entries[i]}
+	}
+	sort.Slice(des, func(i, j int) bool { return des[i].d < des[j].d })
+
+	keep := len(des) - t.reinsertP
+	n.entries = n.entries[:0]
+	for i := 0; i < keep; i++ {
+		n.entries = append(n.entries, des[i].e)
+	}
+	// Tighten ancestors now that the node shrank.
+	for i := idx; i >= 1; i-- {
+		t.refreshParentBox(path[i-1], path[i])
+	}
+	// Close reinsert: nearest of the removed entries first.
+	for i := keep; i < len(des); i++ {
+		t.insertAtLevel(des[i].e, nodeLevel, reinserted)
+	}
+}
+
+// splitAt splits path[idx], installing the new sibling in the parent (or
+// growing a new root when idx == 0).
+func (t *Tree[T]) splitAt(path []*node[T], idx int) {
+	n := path[idx]
+	sibling := t.split(n)
+	if idx == 0 {
+		newRoot := &node[T]{leaf: false}
+		newRoot.entries = append(newRoot.entries,
+			entry[T]{box: n.boundingBox(t.dim), child: n},
+			entry[T]{box: sibling.boundingBox(t.dim), child: sibling},
+		)
+		t.root = newRoot
+		t.height++
+		return
+	}
+	parent := path[idx-1]
+	t.refreshParentBox(parent, n)
+	parent.entries = append(parent.entries, entry[T]{box: sibling.boundingBox(t.dim), child: sibling})
+}
+
+// unionVolume returns the volume of the bounding box of a and b without
+// allocating.
+func unionVolume(a, b mbr.MBR) float64 {
+	v := 1.0
+	for d := range a.Min {
+		lo := a.Min[d]
+		if b.Min[d] < lo {
+			lo = b.Min[d]
+		}
+		hi := a.Max[d]
+		if b.Max[d] > hi {
+			hi = b.Max[d]
+		}
+		v *= hi - lo
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package rstar
+
+import (
+	"container/heap"
+
+	"stardust/internal/mbr"
+)
+
+// Visitor receives leaf entries during a search. Returning false stops the
+// search early.
+type Visitor[T any] func(box mbr.MBR, value T) bool
+
+// Search visits every leaf entry whose box intersects query.
+func (t *Tree[T]) Search(query mbr.MBR, visit Visitor[T]) {
+	t.checkBox(query)
+	t.searchNode(t.root, query, visit)
+}
+
+func (t *Tree[T]) searchNode(n *node[T], query mbr.MBR, visit Visitor[T]) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.box.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !visit(e.box, e.value) {
+				return false
+			}
+		} else if !t.searchNode(e.child, query, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchAll returns the payloads of every leaf entry intersecting query.
+func (t *Tree[T]) SearchAll(query mbr.MBR) []T {
+	var out []T
+	t.Search(query, func(_ mbr.MBR, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// SearchSphere visits every leaf entry whose box lies within Euclidean
+// distance r of the point center (MinDist(center, box) ≤ r) — the range
+// query used by pattern and correlation monitoring.
+func (t *Tree[T]) SearchSphere(center []float64, r float64, visit Visitor[T]) {
+	if len(center) != t.dim {
+		panic("rstar: query point dimensionality mismatch")
+	}
+	r2 := r * r
+	t.searchSphereNode(t.root, center, r2, visit)
+}
+
+func (t *Tree[T]) searchSphereNode(n *node[T], center []float64, r2 float64, visit Visitor[T]) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.box.MinDist2(center) > r2 {
+			continue
+		}
+		if n.leaf {
+			if !visit(e.box, e.value) {
+				return false
+			}
+		} else if !t.searchSphereNode(e.child, center, r2, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// All visits every leaf entry in the tree.
+func (t *Tree[T]) All(visit Visitor[T]) {
+	t.allNode(t.root, visit)
+}
+
+func (t *Tree[T]) allNode(n *node[T], visit Visitor[T]) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			if !visit(e.box, e.value) {
+				return false
+			}
+		} else if !t.allNode(e.child, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbor is one result of a nearest-neighbor query.
+type Neighbor[T any] struct {
+	Box   mbr.MBR
+	Value T
+	Dist2 float64
+}
+
+// nnItem is one best-first queue element: either a subtree or a leaf
+// entry, keyed by its MinDist² to the query point.
+type nnItem[T any] struct {
+	d2   float64
+	node *node[T]
+	leaf *entry[T]
+}
+
+// nnQueue is a min-heap over nnItems.
+type nnQueue[T any] []nnItem[T]
+
+func (q nnQueue[T]) Len() int           { return len(q) }
+func (q nnQueue[T]) Less(i, j int) bool { return q[i].d2 < q[j].d2 }
+func (q nnQueue[T]) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue[T]) Push(x any)        { *q = append(*q, x.(nnItem[T])) }
+func (q *nnQueue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NearestNeighbors returns the k leaf entries with the smallest MinDist to
+// the query point, ordered by increasing distance. It implements the
+// best-first branch-and-bound traversal of Roussopoulos et al. over a
+// min-heap: a leaf entry popped from the heap is guaranteed closer than
+// everything unexplored, so the first k pops are exactly the answer.
+func (t *Tree[T]) NearestNeighbors(center []float64, k int) []Neighbor[T] {
+	if len(center) != t.dim {
+		panic("rstar: query point dimensionality mismatch")
+	}
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	queue := nnQueue[T]{{d2: 0, node: t.root}}
+	var out []Neighbor[T]
+	for queue.Len() > 0 && len(out) < k {
+		item := heap.Pop(&queue).(nnItem[T])
+		if item.leaf != nil {
+			out = append(out, Neighbor[T]{Box: item.leaf.box, Value: item.leaf.value, Dist2: item.d2})
+			continue
+		}
+		n := item.node
+		for i := range n.entries {
+			e := &n.entries[i]
+			it := nnItem[T]{d2: e.box.MinDist2(center)}
+			if n.leaf {
+				it.leaf = e
+			} else {
+				it.node = e.child
+			}
+			heap.Push(&queue, it)
+		}
+	}
+	return out
+}

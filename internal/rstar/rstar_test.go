@@ -1,0 +1,428 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stardust/internal/mbr"
+)
+
+func pointBox(xs ...float64) mbr.MBR { return mbr.FromPoint(xs) }
+
+func randBox(rng *rand.Rand, dim int, span float64) mbr.MBR {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		c := rng.Float64() * span
+		w := rng.Float64() * span / 20
+		lo[i], hi[i] = c, c+w
+	}
+	return mbr.FromBounds(lo, hi)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int](2)
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Dim() != 2 {
+		t.Fatalf("fresh tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Fatal("empty tree bounds should be empty")
+	}
+}
+
+func TestNewBadDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New[int](2)
+	tr.Insert(pointBox(1, 1), 10)
+	tr.Insert(pointBox(2, 2), 20)
+	tr.Insert(pointBox(10, 10), 30)
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	got := tr.SearchAll(mbr.FromBounds([]float64{0, 0}, []float64{5, 5}))
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("search = %v", got)
+	}
+}
+
+func TestInsertEmptyBoxPanics(t *testing.T) {
+	tr := New[int](2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inserting empty box should panic")
+		}
+	}()
+	tr.Insert(mbr.New(2), 1)
+}
+
+func TestInsertWrongDimPanics(t *testing.T) {
+	tr := New[int](2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dim insert should panic")
+		}
+	}()
+	tr.Insert(pointBox(1, 2, 3), 1)
+}
+
+// TestManyInsertsInvariants drives the tree through thousands of inserts,
+// checking structural invariants throughout and exact query answers against
+// a linear scan.
+func TestManyInsertsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := New[int](3, Options{MaxEntries: 8})
+	type rec struct {
+		box mbr.MBR
+		id  int
+	}
+	var recs []rec
+	for i := 0; i < 3000; i++ {
+		b := randBox(rng, 3, 100)
+		tr.Insert(b, i)
+		recs = append(recs, rec{box: b, id: i})
+		if i%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d, expected a real tree", tr.Height())
+	}
+
+	for q := 0; q < 50; q++ {
+		query := randBox(rng, 3, 100).Enlarge(5)
+		got := tr.SearchAll(query)
+		sort.Ints(got)
+		var want []int
+		for _, r := range recs {
+			if r.box.Intersects(query) {
+				want = append(want, r.id)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: results differ at %d", q, i)
+			}
+		}
+	}
+}
+
+func TestSearchSphereMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int](2, Options{MaxEntries: 6})
+	var boxes []mbr.MBR
+	for i := 0; i < 1000; i++ {
+		b := randBox(rng, 2, 50)
+		tr.Insert(b, i)
+		boxes = append(boxes, b)
+	}
+	for q := 0; q < 30; q++ {
+		center := []float64{rng.Float64() * 50, rng.Float64() * 50}
+		r := rng.Float64() * 10
+		var got []int
+		tr.SearchSphere(center, r, func(_ mbr.MBR, v int) bool {
+			got = append(got, v)
+			return true
+		})
+		sort.Ints(got)
+		var want []int
+		for i, b := range boxes {
+			if b.MinDist(center) <= r {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("sphere query %d: got %d want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("sphere query %d mismatch", q)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New[int](1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(pointBox(float64(i)), i)
+	}
+	count := 0
+	tr.Search(mbr.FromBounds([]float64{0}, []float64{99}), func(_ mbr.MBR, _ int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	tr := New[int](2, Options{MaxEntries: 4})
+	for i := 0; i < 200; i++ {
+		tr.Insert(pointBox(float64(i%17), float64(i%13)), i)
+	}
+	seen := make(map[int]bool)
+	tr.All(func(_ mbr.MBR, v int) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 200 {
+		t.Fatalf("All visited %d, want 200", len(seen))
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New[int](2)
+	tr.Insert(pointBox(1, 1), 1)
+	tr.Insert(pointBox(2, 2), 2)
+	if !tr.Delete(pointBox(1, 1), func(v int) bool { return v == 1 }) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Delete(pointBox(1, 1), func(v int) bool { return v == 1 }) {
+		t.Fatal("double delete should fail")
+	}
+	got := tr.SearchAll(mbr.FromBounds([]float64{0, 0}, []float64{3, 3}))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("post-delete search = %v", got)
+	}
+}
+
+// TestInsertDeleteChurn mixes inserts and deletes, verifying invariants and
+// exact membership against a reference map.
+func TestInsertDeleteChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := New[int](2, Options{MaxEntries: 8})
+	live := make(map[int]mbr.MBR)
+	next := 0
+	for step := 0; step < 4000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			b := randBox(rng, 2, 100)
+			tr.Insert(b, next)
+			live[next] = b
+			next++
+		} else {
+			// Delete a random live id.
+			var id int
+			for k := range live {
+				id = k
+				break
+			}
+			b := live[id]
+			if !tr.Delete(b, func(v int) bool { return v == id }) {
+				t.Fatalf("step %d: delete of %d failed", step, id)
+			}
+			delete(live, id)
+		}
+		if step%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("step %d: len %d vs %d live", step, tr.Len(), len(live))
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final exhaustive check.
+	seen := make(map[int]bool)
+	tr.All(func(_ mbr.MBR, v int) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != len(live) {
+		t.Fatalf("tree has %d entries, want %d", len(seen), len(live))
+	}
+	for id := range live {
+		if !seen[id] {
+			t.Fatalf("live id %d missing from tree", id)
+		}
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tr := New[int](2, Options{MaxEntries: 4})
+	var boxes []mbr.MBR
+	for i := 0; i < 300; i++ {
+		b := randBox(rng, 2, 10)
+		boxes = append(boxes, b)
+		tr.Insert(b, i)
+	}
+	for i, b := range boxes {
+		id := i
+		if !tr.Delete(b, func(v int) bool { return v == id }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting everything", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d, want 1", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree must remain usable.
+	tr.Insert(pointBox(1, 1), 999)
+	if got := tr.SearchAll(pointBox(1, 1)); len(got) != 1 || got[0] != 999 {
+		t.Fatalf("post-rebuild search = %v", got)
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	tr := New[int](2, Options{MaxEntries: 4})
+	for i := 0; i < 100; i++ {
+		tr.Insert(pointBox(float64(i), 0), i)
+	}
+	nn := tr.NearestNeighbors([]float64{42.2, 0}, 3)
+	if len(nn) != 3 {
+		t.Fatalf("got %d neighbors", len(nn))
+	}
+	if nn[0].Value != 42 || nn[1].Value != 43 || nn[2].Value != 41 {
+		t.Fatalf("neighbors = %v, %v, %v", nn[0].Value, nn[1].Value, nn[2].Value)
+	}
+	if nn[0].Dist2 > nn[1].Dist2 || nn[1].Dist2 > nn[2].Dist2 {
+		t.Fatal("neighbors not sorted by distance")
+	}
+	if got := tr.NearestNeighbors([]float64{0, 0}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestNearestNeighborsMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	tr := New[int](3, Options{MaxEntries: 8})
+	var boxes []mbr.MBR
+	for i := 0; i < 500; i++ {
+		b := randBox(rng, 3, 100)
+		boxes = append(boxes, b)
+		tr.Insert(b, i)
+	}
+	for q := 0; q < 20; q++ {
+		p := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		nn := tr.NearestNeighbors(p, 5)
+		dists := make([]float64, len(boxes))
+		for i, b := range boxes {
+			dists[i] = b.MinDist2(p)
+		}
+		sort.Float64s(dists)
+		for i, neigh := range nn {
+			if d := neigh.Dist2 - dists[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("query %d: neighbor %d dist %g, want %g", q, i, neigh.Dist2, dists[i])
+			}
+		}
+	}
+}
+
+func TestDuplicateBoxes(t *testing.T) {
+	tr := New[int](2, Options{MaxEntries: 4})
+	for i := 0; i < 100; i++ {
+		tr.Insert(pointBox(1, 1), i) // all identical
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchAll(pointBox(1, 1))
+	if len(got) != 100 {
+		t.Fatalf("found %d duplicates, want 100", len(got))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	tr := New[int](2, Options{MaxEntries: 3}) // below minimum, clamped to 4
+	for i := 0; i < 50; i++ {
+		tr.Insert(pointBox(float64(i), float64(i)), i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInsertedAlwaysFindable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int](2, Options{MaxEntries: 4 + rng.Intn(12)})
+		n := 50 + rng.Intn(200)
+		boxes := make([]mbr.MBR, n)
+		for i := 0; i < n; i++ {
+			boxes[i] = randBox(rng, 2, 40)
+			tr.Insert(boxes[i], i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		// Every inserted box must be found by a query of itself.
+		for i, b := range boxes {
+			found := false
+			tr.Search(b, func(_ mbr.MBR, v int) bool {
+				if v == i {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int](4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(randBox(rng, 4, 1000), i)
+	}
+}
+
+func BenchmarkSearchSphere(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New[int](4)
+	for i := 0; i < 20000; i++ {
+		tr.Insert(randBox(rng, 4, 1000), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		center := []float64{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		tr.SearchSphere(center, 50, func(_ mbr.MBR, _ int) bool { return true })
+	}
+}

@@ -1,0 +1,108 @@
+package rstar
+
+import (
+	"math"
+	"sort"
+
+	"stardust/internal/mbr"
+)
+
+// split performs the R* topological split of an overflowing node n,
+// returning the new sibling. Axis choice minimizes the sum of margins over
+// all candidate distributions; the distribution along the chosen axis
+// minimizes overlap (ties: combined area).
+func (t *Tree[T]) split(n *node[T]) *node[T] {
+	axis := t.chooseSplitAxis(n)
+	splitIdx, byUpper := t.chooseSplitIndex(n, axis)
+
+	sortEntriesByAxis(n.entries, axis, byUpper)
+	right := &node[T]{leaf: n.leaf}
+	right.entries = append(right.entries, n.entries[splitIdx:]...)
+	n.entries = n.entries[:splitIdx]
+	return right
+}
+
+// sortEntriesByAxis sorts entries by their lower (or upper) coordinate on
+// the axis, tie-broken by the other coordinate for determinism.
+func sortEntriesByAxis[T any](entries []entry[T], axis int, byUpper bool) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		var a1, a2, b1, b2 float64
+		if byUpper {
+			a1, b1 = entries[i].box.Max[axis], entries[j].box.Max[axis]
+			a2, b2 = entries[i].box.Min[axis], entries[j].box.Min[axis]
+		} else {
+			a1, b1 = entries[i].box.Min[axis], entries[j].box.Min[axis]
+			a2, b2 = entries[i].box.Max[axis], entries[j].box.Max[axis]
+		}
+		if a1 != b1 {
+			return a1 < b1
+		}
+		return a2 < b2
+	})
+}
+
+// distributions enumerates the M − 2m + 2 candidate split points: the first
+// group takes the m + k − 1 leading entries for k = 1..M−2m+2.
+func (t *Tree[T]) distributions(total int) (first, last int) {
+	return t.minEntries, total - t.minEntries
+}
+
+// chooseSplitAxis returns the axis whose candidate distributions have the
+// smallest total margin (S in the R* paper), considering both lower- and
+// upper-coordinate sortings.
+func (t *Tree[T]) chooseSplitAxis(n *node[T]) int {
+	bestAxis, bestS := 0, math.Inf(1)
+	scratch := make([]entry[T], len(n.entries))
+	for axis := 0; axis < t.dim; axis++ {
+		s := 0.0
+		for _, byUpper := range []bool{false, true} {
+			copy(scratch, n.entries)
+			sortEntriesByAxis(scratch, axis, byUpper)
+			lo, hi := t.distributions(len(scratch))
+			for k := lo; k <= hi; k++ {
+				left, right := groupBoxes(scratch, k, t.dim)
+				s += left.Margin() + right.Margin()
+			}
+		}
+		if s < bestS {
+			bestAxis, bestS = axis, s
+		}
+	}
+	return bestAxis
+}
+
+// chooseSplitIndex returns the split position and sort direction along the
+// chosen axis minimizing overlap volume between the two groups (ties:
+// minimal combined area).
+func (t *Tree[T]) chooseSplitIndex(n *node[T], axis int) (idx int, byUpper bool) {
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	scratch := make([]entry[T], len(n.entries))
+	idx = t.minEntries
+	for _, upper := range []bool{false, true} {
+		copy(scratch, n.entries)
+		sortEntriesByAxis(scratch, axis, upper)
+		lo, hi := t.distributions(len(scratch))
+		for k := lo; k <= hi; k++ {
+			left, right := groupBoxes(scratch, k, t.dim)
+			overlap := left.OverlapVolume(right)
+			area := left.Volume() + right.Volume()
+			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea = overlap, area
+				idx, byUpper = k, upper
+			}
+		}
+	}
+	return idx, byUpper
+}
+
+// groupBoxes returns the bounding boxes of entries[:k] and entries[k:].
+func groupBoxes[T any](entries []entry[T], k, dim int) (left, right mbr.MBR) {
+	left, right = mbr.New(dim), mbr.New(dim)
+	for i := 0; i < k; i++ {
+		left.Extend(entries[i].box)
+	}
+	for i := k; i < len(entries); i++ {
+		right.Extend(entries[i].box)
+	}
+	return left, right
+}

@@ -1,0 +1,170 @@
+// Package rstar implements the R*-tree of Beckmann, Kriegel, Schneider and
+// Seeger (SIGMOD 1990): ChooseSubtree with minimum overlap enlargement at
+// the leaf level, forced reinsertion on first overflow per level, and the
+// margin/overlap/area topological split. Stardust maintains one tree per
+// resolution level; each tree indexes the feature MBRs of all streams.
+//
+// The tree is generic over the leaf payload type T so the same structure
+// serves aggregate features (stream + time interval payloads) and DWT
+// features.
+package rstar
+
+import (
+	"fmt"
+
+	"stardust/internal/mbr"
+)
+
+// Default fan-out parameters. Beckmann et al. recommend m ≈ 40% of M and
+// reinsertion of p = 30% of M entries.
+const (
+	DefaultMaxEntries = 32
+	DefaultMinEntries = 13 // ~40% of max
+)
+
+// Tree is an R*-tree over axis-aligned boxes with payloads of type T. The
+// zero value is not usable; construct with New.
+type Tree[T any] struct {
+	dim        int
+	minEntries int
+	maxEntries int
+	reinsertP  int
+	root       *node[T]
+	height     int // levels, leaf = 1
+	size       int
+}
+
+type entry[T any] struct {
+	box   mbr.MBR
+	child *node[T] // non-nil for internal entries
+	value T        // payload for leaf entries
+}
+
+type node[T any] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+func (n *node[T]) boundingBox(dim int) mbr.MBR {
+	b := mbr.New(dim)
+	for i := range n.entries {
+		b.Extend(n.entries[i].box)
+	}
+	return b
+}
+
+// Options configures tree construction.
+type Options struct {
+	// MaxEntries is the node fan-out M (default DefaultMaxEntries).
+	MaxEntries int
+	// MinEntries is the minimum fill m (default 40% of MaxEntries).
+	MinEntries int
+}
+
+// New returns an empty R*-tree over boxes of the given dimensionality.
+func New[T any](dim int, opts ...Options) *Tree[T] {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rstar: non-positive dimension %d", dim))
+	}
+	maxE, minE := DefaultMaxEntries, 0
+	if len(opts) > 0 {
+		if opts[0].MaxEntries > 0 {
+			maxE = opts[0].MaxEntries
+		}
+		minE = opts[0].MinEntries
+	}
+	if maxE < 4 {
+		maxE = 4
+	}
+	if minE <= 0 {
+		minE = (maxE * 2) / 5
+	}
+	if minE < 2 {
+		minE = 2
+	}
+	if minE > maxE/2 {
+		minE = maxE / 2
+	}
+	p := (maxE * 3) / 10
+	if p < 1 {
+		p = 1
+	}
+	return &Tree[T]{
+		dim:        dim,
+		minEntries: minE,
+		maxEntries: maxE,
+		reinsertP:  p,
+		root:       &node[T]{leaf: true},
+		height:     1,
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Dim returns the box dimensionality.
+func (t *Tree[T]) Dim() int { return t.dim }
+
+// Height returns the tree height in levels (an empty tree has height 1).
+func (t *Tree[T]) Height() int { return t.height }
+
+// Bounds returns the bounding box of all entries (empty MBR when empty).
+func (t *Tree[T]) Bounds() mbr.MBR { return t.root.boundingBox(t.dim) }
+
+// checkBox validates an input box against the tree dimensionality.
+func (t *Tree[T]) checkBox(b mbr.MBR) {
+	if b.Dim() != t.dim {
+		panic(fmt.Sprintf("rstar: box dimension %d does not match tree dimension %d", b.Dim(), t.dim))
+	}
+	if b.IsEmpty() {
+		panic("rstar: empty box")
+	}
+}
+
+// CheckInvariants walks the tree verifying structural invariants: child
+// boxes are contained in parent entry boxes, node fills respect [m, M]
+// (except the root), all leaves share the recorded height, and the entry
+// count matches Len. Intended for tests; returns a descriptive error on the
+// first violation.
+func (t *Tree[T]) CheckInvariants() error {
+	count := 0
+	var walk func(n *node[T], level int, isRoot bool) error
+	walk = func(n *node[T], level int, isRoot bool) error {
+		if !isRoot {
+			if len(n.entries) < t.minEntries || len(n.entries) > t.maxEntries {
+				return fmt.Errorf("rstar: node at level %d has %d entries outside [%d, %d]",
+					level, len(n.entries), t.minEntries, t.maxEntries)
+			}
+		} else if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("rstar: root has %d entries above max %d", len(n.entries), t.maxEntries)
+		}
+		if n.leaf {
+			if level != 1 {
+				return fmt.Errorf("rstar: leaf at level %d, expected 1", level)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("rstar: internal entry without child at level %d", level)
+			}
+			cb := e.child.boundingBox(t.dim)
+			if !e.box.Equal(cb) {
+				return fmt.Errorf("rstar: stale parent box at level %d: have %v want %v", level, e.box, cb)
+			}
+			if err := walk(e.child, level-1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rstar: counted %d entries, Len reports %d", count, t.size)
+	}
+	return nil
+}

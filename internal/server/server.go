@@ -1,0 +1,400 @@
+// Package server exposes a Monitor over HTTP: JSON ingestion and the three
+// query classes, plus introspection and durable snapshots. It wraps a
+// SafeMonitor, so ingestion and queries may arrive concurrently.
+//
+// Endpoints:
+//
+//	POST /ingest        {"stream": 0, "values": [1, 2, 3]}            — append to one stream
+//	POST /ingest        {"rows": [[s0v, s1v, ...], ...]}              — synchronized arrivals
+//	GET  /aggregate     ?stream=0&window=40&threshold=300             — one Algorithm-2 check
+//	POST /pattern       {"query": [...], "radius": 0.05}              — variable-length similarity
+//	GET  /correlations  ?level=3&radius=0.5[&lag=32]                  — correlated pairs
+//	GET  /stats                                                       — summary space snapshot
+//	POST /snapshot                                                    — persist state to the snapshot path
+//	POST /watch         {"type":"aggregate", "stream":0, ...}         — register a standing query (watcher-backed servers)
+//	GET  /events        ?since=N                                      — drain standing-query events (watcher-backed servers)
+//
+// Errors are JSON {"error": "..."} with a 4xx/5xx status.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"stardust"
+)
+
+// Backend is the locked monitor surface the server serves. Both
+// stardust.SafeMonitor (plain ingestion) and stardust.SafeWatcher
+// (ingestion evaluating standing queries) implement it.
+type Backend interface {
+	Append(stream int, v float64)
+	AppendAll(vs []float64)
+	NumStreams() int
+	Now(stream int) int64
+	CheckAggregate(stream, window int, threshold float64) (stardust.AggregateResult, error)
+	FindPattern(q []float64, r float64) (stardust.PatternResult, error)
+	Correlations(level int, r float64) (stardust.CorrelationResult, error)
+	LaggedCorrelations(level int, r float64, maxLag int) ([]stardust.CorrPair, error)
+	Stats() stardust.Stats
+	Snapshot(w io.Writer) error
+}
+
+// monitorBackend adapts SafeMonitor's event-less ingestion.
+type monitorBackend struct{ *stardust.SafeMonitor }
+
+// watcherBackend adapts SafeWatcher, capturing the events its pushes
+// produce so the server can expose them.
+type watcherBackend struct {
+	*stardust.SafeWatcher
+	sink func([]stardust.Event)
+}
+
+func (b watcherBackend) Append(stream int, v float64) {
+	events, err := b.SafeWatcher.Push(stream, v)
+	if err == nil && len(events) > 0 {
+		b.sink(events)
+	}
+}
+
+func (b watcherBackend) AppendAll(vs []float64) {
+	events, err := b.SafeWatcher.AppendAll(vs)
+	if err == nil && len(events) > 0 {
+		b.sink(events)
+	}
+}
+
+// Server routes HTTP requests to a Backend.
+type Server struct {
+	mon  Backend
+	mux  *http.ServeMux
+	path string // snapshot file path ("" disables POST /snapshot)
+
+	watcher *stardust.SafeWatcher // non-nil when standing queries are enabled
+	evMu    sync.Mutex
+	events  []stardust.Event
+	evBase  int // sequence number of events[0]
+}
+
+// eventBuffer bounds the retained event backlog.
+const eventBuffer = 4096
+
+// New builds a server around the monitor. snapshotPath may be empty to
+// disable persistence.
+func New(mon *stardust.SafeMonitor, snapshotPath string) *Server {
+	return newServer(monitorBackend{mon}, nil, snapshotPath)
+}
+
+// NewWithWatcher builds a server whose ingestion evaluates the watcher's
+// standing queries; triggered events accumulate in a bounded buffer served
+// by GET /events, and new watches can be registered via POST /watch.
+func NewWithWatcher(w *stardust.SafeWatcher, snapshotPath string) *Server {
+	s := newServer(nil, w, snapshotPath)
+	s.mon = watcherBackend{SafeWatcher: w, sink: s.appendEvents}
+	return s
+}
+
+func newServer(mon Backend, w *stardust.SafeWatcher, snapshotPath string) *Server {
+	s := &Server{mon: mon, mux: http.NewServeMux(), path: snapshotPath, watcher: w}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /pattern", s.handlePattern)
+	s.mux.HandleFunc("GET /correlations", s.handleCorrelations)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /watch", s.handleWatch)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	return s
+}
+
+// appendEvents adds triggered events to the bounded buffer.
+func (s *Server) appendEvents(events []stardust.Event) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	s.events = append(s.events, events...)
+	if drop := len(s.events) - eventBuffer; drop > 0 {
+		s.events = s.events[drop:]
+		s.evBase += drop
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ingestRequest accepts either per-stream values or synchronized rows.
+type ingestRequest struct {
+	Stream *int        `json:"stream,omitempty"`
+	Values []float64   `json:"values,omitempty"`
+	Rows   [][]float64 `json:"rows,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	switch {
+	case len(req.Rows) > 0:
+		for i, row := range req.Rows {
+			if len(row) != s.mon.NumStreams() {
+				writeErr(w, http.StatusBadRequest, "row %d has %d values for %d streams", i, len(row), s.mon.NumStreams())
+				return
+			}
+			s.mon.AppendAll(row)
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"rows": len(req.Rows)})
+	case req.Stream != nil:
+		if *req.Stream < 0 || *req.Stream >= s.mon.NumStreams() {
+			writeErr(w, http.StatusBadRequest, "stream %d out of range [0, %d)", *req.Stream, s.mon.NumStreams())
+			return
+		}
+		for _, v := range req.Values {
+			s.mon.Append(*req.Stream, v)
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"values": len(req.Values)})
+	default:
+		writeErr(w, http.StatusBadRequest, "provide either stream+values or rows")
+	}
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	return strconv.Atoi(raw)
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	stream, err := intParam(r, "stream")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	window, err := intParam(r, "window")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	threshold, err := floatParam(r, "threshold")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if stream < 0 || stream >= s.mon.NumStreams() {
+		writeErr(w, http.StatusBadRequest, "stream %d out of range", stream)
+		return
+	}
+	res, err := s.mon.CheckAggregate(stream, window, threshold)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"bound":     map[string]float64{"lo": res.Bound.Lo, "hi": res.Bound.Hi},
+		"candidate": res.Candidate,
+		"alarm":     res.Alarm,
+		"exact":     res.Exact,
+	})
+}
+
+type patternRequest struct {
+	Query  []float64 `json:"query"`
+	Radius float64   `json:"radius"`
+}
+
+func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
+	var req patternRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Query) == 0 || req.Radius <= 0 {
+		writeErr(w, http.StatusBadRequest, "query and positive radius required")
+		return
+	}
+	res, err := s.mon.FindPattern(req.Query, req.Radius)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"candidates": len(res.Candidates),
+		"precision":  res.Precision(),
+		"matches":    res.Matches,
+	})
+}
+
+func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
+	level, err := intParam(r, "level")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := floatParam(r, "radius")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if lagRaw := r.URL.Query().Get("lag"); lagRaw != "" {
+		lag, err := strconv.Atoi(lagRaw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad lag: %v", err)
+			return
+		}
+		pairs, err := s.mon.LaggedCorrelations(level, radius, lag)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"screened": pairs})
+		return
+	}
+	res, err := s.mon.Correlations(level, radius)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"screened":  len(res.Candidates),
+		"precision": res.Precision(),
+		"pairs":     res.Pairs,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mon.Stats())
+}
+
+// watchRequest registers a standing query.
+type watchRequest struct {
+	Type          string    `json:"type"` // "aggregate" or "pattern"
+	Stream        int       `json:"stream"`
+	Window        int       `json:"window"`
+	Threshold     float64   `json:"threshold"`
+	EdgeTriggered *bool     `json:"edge,omitempty"` // default true
+	Query         []float64 `json:"query,omitempty"`
+	Radius        float64   `json:"radius,omitempty"`
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if s.watcher == nil {
+		writeErr(w, http.StatusNotImplemented, "standing queries require a watcher-backed server")
+		return
+	}
+	var req watchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	var id int
+	var err error
+	switch req.Type {
+	case "aggregate":
+		edge := true
+		if req.EdgeTriggered != nil {
+			edge = *req.EdgeTriggered
+		}
+		id, err = s.watcher.WatchAggregate(req.Stream, req.Window, req.Threshold, edge)
+	case "pattern":
+		id, err = s.watcher.WatchPattern(req.Query, req.Radius)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown watch type %q", req.Type)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}
+
+// handleEvents returns buffered events with sequence numbers; ?since=N
+// skips already-consumed ones.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.watcher == nil {
+		writeErr(w, http.StatusNotImplemented, "standing queries require a watcher-backed server")
+		return
+	}
+	since := 0
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad since: %v", err)
+			return
+		}
+		since = v
+	}
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	start := since - s.evBase
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s.events) {
+		start = len(s.events)
+	}
+	type seqEvent struct {
+		Seq int `json:"seq"`
+		stardust.Event
+	}
+	out := make([]seqEvent, 0, len(s.events)-start)
+	for i := start; i < len(s.events); i++ {
+		out = append(out, seqEvent{Seq: s.evBase + i, Event: s.events[i]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"next":   s.evBase + len(s.events),
+		"events": out,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.path == "" {
+		writeErr(w, http.StatusNotImplemented, "no snapshot path configured")
+		return
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "creating snapshot: %v", err)
+		return
+	}
+	// Snapshot under the monitor's read lock via the public wrapper.
+	err = func() error {
+		defer f.Close()
+		return s.mon.Snapshot(f)
+	}()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "writing snapshot: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		writeErr(w, http.StatusInternalServerError, "committing snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"path": s.path})
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile is a streaming quantile estimator using the P² algorithm of
+// Jain & Chlamtac (CACM 1985): five markers track the running quantile in
+// O(1) space and O(1) per observation, adjusting marker heights with a
+// piecewise-parabolic interpolation. Accuracy is ample for the robust
+// detectability statistics the adaptive package derives.
+type Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments per observation
+	initial []float64  // first five observations, before steady state
+}
+
+// NewQuantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside (0, 1)", p))
+	}
+	q := &Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add observes one value.
+func (q *Quantile) Add(v float64) {
+	q.n++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, v)
+		if len(q.initial) == 5 {
+			sort.Float64s(q.initial)
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing v and update extreme markers.
+	var k int
+	switch {
+	case v < q.heights[0]:
+		q.heights[0] = v
+		k = 0
+	case v >= q.heights[4]:
+		q.heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if v < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (q *Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (q *Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return q.heights[i] + d*(q.heights[i+di]-q.heights[i])/(q.pos[i+di]-q.pos[i])
+}
+
+// N returns the number of observations.
+func (q *Quantile) N() int { return q.n }
+
+// Value returns the current quantile estimate. Before five observations it
+// falls back to the exact small-sample quantile.
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.initial) < 5 {
+		tmp := append([]float64(nil), q.initial...)
+		sort.Float64s(tmp)
+		idx := int(q.p * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return q.heights[2]
+}

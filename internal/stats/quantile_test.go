@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuantile(%g) should panic", p)
+				}
+			}()
+			NewQuantile(p)
+		}()
+	}
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := NewQuantile(0.5)
+	if q.Value() != 0 || q.N() != 0 {
+		t.Fatal("empty estimator state wrong")
+	}
+	q.Add(3)
+	if q.Value() != 3 {
+		t.Fatalf("single value median = %g", q.Value())
+	}
+	q.Add(1)
+	q.Add(2)
+	if v := q.Value(); v != 2 {
+		t.Fatalf("median of {1,2,3} = %g", v)
+	}
+}
+
+// TestQuantileUniform: the estimator converges to the true quantile of a
+// uniform distribution.
+func TestQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.95} {
+		q := NewQuantile(p)
+		for i := 0; i < 50000; i++ {
+			q.Add(rng.Float64() * 10)
+		}
+		want := p * 10
+		if math.Abs(q.Value()-want) > 0.25 {
+			t.Fatalf("p=%g: estimate %g, want ≈ %g", p, q.Value(), want)
+		}
+	}
+}
+
+// TestQuantileNormal against the exact quantile of N(5, 2²).
+func TestQuantileNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	q := NewQuantile(0.9)
+	for i := 0; i < 50000; i++ {
+		q.Add(5 + 2*rng.NormFloat64())
+	}
+	want := 5 + 2*NormalQuantile(0.9)
+	if math.Abs(q.Value()-want) > 0.15 {
+		t.Fatalf("estimate %g, want ≈ %g", q.Value(), want)
+	}
+}
+
+// TestQuantileVsExact compares against exact order statistics on a mixed
+// bimodal stream (the adaptive package's use case).
+func TestQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	var data []float64
+	q25, q50, q75 := NewQuantile(0.25), NewQuantile(0.5), NewQuantile(0.75)
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64()
+		if rng.Float64() < 0.1 {
+			v += 20 // burst mode
+		}
+		data = append(data, v)
+		q25.Add(v)
+		q50.Add(v)
+		q75.Add(v)
+	}
+	sort.Float64s(data)
+	exact := func(p float64) float64 { return data[int(p*float64(len(data)))] }
+	// The bulk of the distribution is in [0, 1]; estimates must land there.
+	for _, c := range []struct {
+		est  *Quantile
+		p    float64
+		name string
+	}{{q25, 0.25, "q25"}, {q50, 0.5, "q50"}, {q75, 0.75, "q75"}} {
+		if math.Abs(c.est.Value()-exact(c.p)) > 0.2 {
+			t.Fatalf("%s: estimate %g, exact %g", c.name, c.est.Value(), exact(c.p))
+		}
+	}
+}
+
+func TestQuantileMonotoneMarkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(194))
+	q := NewQuantile(0.5)
+	for i := 0; i < 10000; i++ {
+		q.Add(rng.NormFloat64())
+		if i > 10 {
+			for k := 0; k < 4; k++ {
+				if q.heights[k] > q.heights[k+1] {
+					t.Fatalf("marker heights not monotone at %d: %v", i, q.heights)
+				}
+			}
+		}
+	}
+}

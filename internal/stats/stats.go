@@ -1,0 +1,191 @@
+// Package stats provides the small statistical substrate Stardust depends
+// on: running moments, the standard normal distribution (used for the
+// threshold model of Section 5.1, Equations 4-7), Pearson correlation and
+// the z-normalization that reduces correlation to Euclidean distance
+// (Section 2.4).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than one
+// element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		d := v - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest values in xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Moments accumulates streaming count/mean/variance using Welford's
+// algorithm. The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates v into the accumulator.
+func (m *Moments) Add(v float64) {
+	m.n++
+	d := v - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (v - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the running population variance.
+func (m *Moments) Variance() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// ZNormalize maps xs to its z-norm per Equation 3 of the paper:
+//
+//	x̂[i] = (x[i] − μ) / sqrt(Σ (x[j] − μ)²)
+//
+// so that the result has zero mean and unit L2 norm. If xs is constant the
+// result is the all-zero vector (the paper's model leaves this case
+// undefined; zero keeps downstream distances finite).
+func ZNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	mu := Mean(xs)
+	ss := 0.0
+	for _, v := range xs {
+		d := v - mu
+		ss += d * d
+	}
+	if ss == 0 {
+		return out
+	}
+	norm := math.Sqrt(ss)
+	for i, v := range xs {
+		out[i] = (v - mu) / norm
+	}
+	return out
+}
+
+// UnitNormalize maps a window of values to the unit hyper-sphere per
+// Equation 2 of the paper: x̂[i] = x[i] / (sqrt(w) * Rmax).
+func UnitNormalize(xs []float64, rmax float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 || rmax == 0 {
+		return out
+	}
+	den := math.Sqrt(float64(len(xs))) * rmax
+	for i, v := range xs {
+		out[i] = v / den
+	}
+	return out
+}
+
+// Euclidean returns the L2 distance between a and b. It panics if the
+// lengths differ.
+func Euclidean(a, b []float64) float64 {
+	return math.Sqrt(Euclidean2(a, b))
+}
+
+// Euclidean2 returns the squared L2 distance between a and b.
+func Euclidean2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Correlation returns the Pearson correlation coefficient of a and b, or 0
+// if either input is constant.
+func Correlation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("stats: correlation length mismatch")
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// CorrelationFromZDist converts the L2 distance between two z-normalized
+// sequences into the Pearson correlation coefficient: corr = 1 − d²/2
+// (Section 2.4 of the paper).
+func CorrelationFromZDist(d float64) float64 { return 1 - d*d/2 }
+
+// ZDistFromCorrelation is the inverse of CorrelationFromZDist: the L2
+// distance between z-norms corresponding to correlation ≥ corr.
+func ZDistFromCorrelation(corr float64) float64 {
+	v := 2 * (1 - corr)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Fatalf("mean = %g, want 2.5", m)
+	}
+	if v := Variance(xs); !almost(v, 1.25, 1e-12) {
+		t.Fatalf("variance = %g, want 1.25", v)
+	}
+	if s := StdDev(xs); !almost(s, math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("stddev = %g", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-slice moments should be 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	lo, hi := MinMax(xs)
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g, %g)", lo, hi)
+	}
+	if s := Sum(xs); s != 11 {
+		t.Fatalf("sum = %g", s)
+	}
+}
+
+func TestMinMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(nil) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestMomentsMatchBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		m.Add(xs[i])
+	}
+	if m.N() != 500 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almost(m.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("running mean %g vs batch %g", m.Mean(), Mean(xs))
+	}
+	if !almost(m.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("running var %g vs batch %g", m.Variance(), Variance(xs))
+	}
+}
+
+func TestZNormalizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = rng.Float64()*100 - 50
+	}
+	z := ZNormalize(xs)
+	if !almost(Mean(z), 0, 1e-12) {
+		t.Fatalf("z-norm mean = %g", Mean(z))
+	}
+	ss := 0.0
+	for _, v := range z {
+		ss += v * v
+	}
+	if !almost(ss, 1, 1e-12) {
+		t.Fatalf("z-norm energy = %g, want 1", ss)
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	z := ZNormalize([]float64{5, 5, 5})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("constant z-norm should be zero, got %v", z)
+		}
+	}
+}
+
+func TestUnitNormalize(t *testing.T) {
+	xs := []float64{2, 2, 2, 2}
+	u := UnitNormalize(xs, 2)
+	// Each entry: 2/(sqrt(4)*2) = 0.5; the max-valued window maps onto the
+	// unit sphere: sum of squares = 4·0.25 = 1.
+	ss := 0.0
+	for _, v := range u {
+		if !almost(v, 0.5, 1e-12) {
+			t.Fatalf("unit norm = %v", u)
+		}
+		ss += v * v
+	}
+	if !almost(ss, 1, 1e-12) {
+		t.Fatalf("max window should have unit norm, got %g", ss)
+	}
+	if out := UnitNormalize(nil, 1); len(out) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if d := Euclidean(a, b); !almost(d, 5, 1e-12) {
+		t.Fatalf("distance = %g, want 5", d)
+	}
+	if d2 := Euclidean2(a, b); !almost(d2, 25, 1e-12) {
+		t.Fatalf("squared = %g, want 25", d2)
+	}
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(a, b); !almost(c, 1, 1e-12) {
+		t.Fatalf("corr = %g, want 1", c)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if c := Correlation(a, neg); !almost(c, -1, 1e-12) {
+		t.Fatalf("corr = %g, want -1", c)
+	}
+	if c := Correlation(a, []float64{7, 7, 7, 7, 7}); c != 0 {
+		t.Fatalf("constant corr = %g, want 0", c)
+	}
+}
+
+// TestCorrelationZDistIdentity verifies the Section 2.4 reduction:
+// corr(x, y) = 1 − ||ẑx − ẑy||²/2.
+func TestCorrelationZDistIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 32 + rng.Intn(64)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = 0.5*a[i] + rng.NormFloat64()
+		}
+		direct := Correlation(a, b)
+		viaDist := CorrelationFromZDist(Euclidean(ZNormalize(a), ZNormalize(b)))
+		if !almost(direct, viaDist, 1e-9) {
+			t.Fatalf("trial %d: corr %g vs z-dist derived %g", trial, direct, viaDist)
+		}
+	}
+}
+
+func TestZDistCorrelationRoundTrip(t *testing.T) {
+	for _, c := range []float64{-1, -0.5, 0, 0.3, 0.9, 1} {
+		back := CorrelationFromZDist(ZDistFromCorrelation(c))
+		if !almost(back, c, 1e-12) {
+			t.Fatalf("round trip %g -> %g", c, back)
+		}
+	}
+	if d := ZDistFromCorrelation(1.5); d != 0 {
+		t.Fatalf("over-unity correlation should clamp, got %g", d)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("Φ(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 0.001, 0.025, 0.3, 0.5, 0.7, 0.975, 0.999, 1 - 1e-9} {
+		x := NormalQuantile(p)
+		if back := NormalCDF(x); !almost(back, p, 1e-12*math.Max(1, 1/p)) {
+			t.Errorf("Φ(Φ⁻¹(%g)) = %g", p, back)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("quantile endpoints should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Fatal("out-of-range quantile should be NaN")
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the density should recover the CDF.
+	sum := 0.0
+	dx := 1e-3
+	for x := -8.0; x < 1.0; x += dx {
+		sum += (NormalPDF(x) + NormalPDF(x+dx)) / 2 * dx
+	}
+	if !almost(sum, NormalCDF(1), 1e-6) {
+		t.Fatalf("integral %g vs Φ(1) %g", sum, NormalCDF(1))
+	}
+}
+
+func TestPropertyCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(64)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		c := Correlation(a, b)
+		return c >= -1-1e-12 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p1, p2 := r.Float64(), r.Float64()
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		if p1 == 0 || p2 == 1 || p1 == p2 {
+			return true
+		}
+		return NormalQuantile(p1) <= NormalQuantile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

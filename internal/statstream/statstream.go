@@ -1,0 +1,294 @@
+// Package statstream implements the StatStream correlation monitor of Zhu &
+// Shasha (VLDB 2002), the baseline of the paper's Section 6.3. Each stream
+// maintains the leading DFT coefficients of its sliding window
+// incrementally (batch-refreshed every basic window); the z-normalized
+// coefficient vector places the stream in an orthogonal grid of cells of
+// side equal to the detection radius, and correlated pairs are found by
+// probing the 3^f − 1 neighbouring cells — or, for a threshold of b·cell,
+// the (2b+1)^f − 1 surrounding cells, which is the blow-up Stardust
+// exploits.
+package statstream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stardust/internal/dft"
+	"stardust/internal/stats"
+	"stardust/internal/window"
+)
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// N is the sliding window (history) length the correlation is defined
+	// over.
+	N int
+	// BasicWindow is the grid refresh period (StatStream's "basic window").
+	BasicWindow int
+	// F is the number of real feature dimensions kept: coefficients
+	// 1..F/2 of the DFT (the DC term vanishes under z-normalization), as
+	// [Re X_1, Im X_1, ...]. Must be even.
+	F int
+	// CellSize is the grid cell side length (the paper's cell "radius").
+	CellSize float64
+}
+
+// Pair is one reported correlation candidate/result.
+type Pair struct {
+	A, B        int
+	Dist        float64
+	Correlation float64
+}
+
+// Monitor tracks M streams and detects pairs whose z-normalized sliding
+// windows are within a distance threshold.
+type Monitor struct {
+	cfg     Config
+	streams []*stream
+	grid    map[string][]int // cell key -> stream ids (refreshed per round)
+	arrived int
+}
+
+type stream struct {
+	id   int
+	sdft *dft.Sliding
+	hist *window.History
+	sum  float64
+	sum2 float64
+	feat []float64 // current z-normalized feature (valid once warm)
+	warm bool
+}
+
+// New constructs a monitor over m streams.
+func New(cfg Config, m int) (*Monitor, error) {
+	if cfg.N <= 0 || cfg.BasicWindow <= 0 || cfg.BasicWindow > cfg.N {
+		return nil, fmt.Errorf("statstream: invalid N=%d basic=%d", cfg.N, cfg.BasicWindow)
+	}
+	if cfg.F <= 0 || cfg.F%2 != 0 {
+		return nil, fmt.Errorf("statstream: F must be positive and even, got %d", cfg.F)
+	}
+	if cfg.CellSize <= 0 {
+		return nil, fmt.Errorf("statstream: non-positive cell size %g", cfg.CellSize)
+	}
+	mon := &Monitor{cfg: cfg, grid: make(map[string][]int)}
+	for i := 0; i < m; i++ {
+		mon.streams = append(mon.streams, &stream{
+			id: i,
+			// Track coefficients 0..F/2 (the DC term is maintained but
+			// unused post-normalization).
+			sdft: dft.NewSliding(cfg.N, cfg.F/2+1),
+			hist: window.NewHistory(cfg.N),
+		})
+	}
+	return mon, nil
+}
+
+// NumStreams returns the number of monitored streams.
+func (m *Monitor) NumStreams() int { return len(m.streams) }
+
+// Push ingests one synchronized arrival (vs[i] for stream i). It returns
+// true when a basic window completed and the grid was refreshed, i.e. a
+// detection round is due.
+func (m *Monitor) Push(vs []float64) bool {
+	if len(vs) != len(m.streams) {
+		panic(fmt.Sprintf("statstream: %d values for %d streams", len(vs), len(m.streams)))
+	}
+	for i, v := range vs {
+		st := m.streams[i]
+		if st.hist.Len() == st.hist.Cap() {
+			old, _ := st.hist.At(st.hist.OldestTime())
+			st.sum -= old
+			st.sum2 -= old * old
+		}
+		st.hist.Append(v)
+		st.sum += v
+		st.sum2 += v * v
+		st.sdft.Push(v)
+	}
+	m.arrived++
+	if m.arrived < m.cfg.N || m.arrived%m.cfg.BasicWindow != 0 {
+		return false
+	}
+	m.refreshGrid()
+	return true
+}
+
+// refreshGrid recomputes every stream's normalized feature and grid cell.
+func (m *Monitor) refreshGrid() {
+	for k := range m.grid {
+		delete(m.grid, k)
+	}
+	for _, st := range m.streams {
+		st.feat = m.normalizedFeature(st)
+		st.warm = st.feat != nil
+		if !st.warm {
+			continue
+		}
+		key := m.cellKey(st.feat)
+		m.grid[key] = append(m.grid[key], st.id)
+	}
+}
+
+// normalizedFeature converts the raw sliding DFT coefficients into the
+// z-normalized feature: for k ≥ 1, DFT(ẑ)[k] = DFT(x)[k] / sqrt(Σ(x−μ)²)
+// under the unitary 1/√n convention (the mean only contributes to the DC
+// term). Each kept coefficient is scaled by √2 to account for its conjugate
+// mirror, so the feature distance lower-bounds the true z-norm distance.
+func (m *Monitor) normalizedFeature(st *stream) []float64 {
+	n := float64(m.cfg.N)
+	ss := st.sum2 - st.sum*st.sum/n
+	if ss <= 0 {
+		return nil
+	}
+	norm := math.Sqrt(ss)
+	cs := st.sdft.Coefficients()
+	out := make([]float64, 0, m.cfg.F)
+	for k := 1; k <= m.cfg.F/2; k++ {
+		out = append(out, math.Sqrt2*real(cs[k])/norm, math.Sqrt2*imag(cs[k])/norm)
+	}
+	return out
+}
+
+// cellKey maps a feature to its grid cell identifier.
+func (m *Monitor) cellKey(feat []float64) string {
+	return keyOf(m.cellCoords(feat))
+}
+
+func (m *Monitor) cellCoords(feat []float64) []int {
+	c := make([]int, len(feat))
+	for i, v := range feat {
+		c[i] = int(math.Floor(v / m.cfg.CellSize))
+	}
+	return c
+}
+
+func keyOf(coords []int) string {
+	b := make([]byte, 0, len(coords)*4)
+	for _, c := range coords {
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(b)
+}
+
+// Result is one detection round's outcome.
+type Result struct {
+	Candidates []Pair
+	Pairs      []Pair
+	// CellsProbed counts grid cell lookups performed, the dominant cost
+	// term for thresholds above the cell size.
+	CellsProbed int64
+}
+
+// Precision returns verified pairs over candidates (1 when none).
+func (r Result) Precision() float64 {
+	if len(r.Candidates) == 0 {
+		return 1
+	}
+	return float64(len(r.Pairs)) / float64(len(r.Candidates))
+}
+
+// DetectScreen reports the screened stream pairs: for every stream it
+// probes the (2b+1)^f cells with b = ceil(r/cell) around its cell and
+// keeps pairs whose feature distance is within r. This is the real-time
+// answer; exact verification is a separate offline step (Verify).
+func (m *Monitor) DetectScreen(r float64) ([]Pair, int64) {
+	if r <= 0 {
+		return nil, 0
+	}
+	var pairs []Pair
+	var probed int64
+	b := int(math.Ceil(r / m.cfg.CellSize))
+	seen := make(map[[2]int]bool)
+	for _, st := range m.streams {
+		if !st.warm {
+			continue
+		}
+		base := m.cellCoords(st.feat)
+		probe := make([]int, len(base))
+		m.enumerate(base, probe, 0, b, func(coords []int) {
+			probed++
+			for _, other := range m.grid[keyOf(coords)] {
+				if other == st.id {
+					continue
+				}
+				a, o := st.id, other
+				if a > o {
+					a, o = o, a
+				}
+				key := [2]int{a, o}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				ost := m.streams[other]
+				fd := stats.Euclidean(st.feat, ost.feat)
+				if fd > r {
+					continue
+				}
+				pairs = append(pairs, Pair{A: a, B: o, Dist: fd})
+			}
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return pairs, probed
+}
+
+// Verify filters screened pairs by the exact z-norm distance on raw
+// windows, filling Dist and Correlation.
+func (m *Monitor) Verify(pairs []Pair, r float64) []Pair {
+	var out []Pair
+	for _, p := range pairs {
+		if d, ok := m.exactDistance(m.streams[p.A], m.streams[p.B]); ok && d <= r {
+			p.Dist = d
+			p.Correlation = stats.CorrelationFromZDist(d)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Detect runs a screened + verified detection round: Candidates are the
+// screened pairs, Pairs the subset confirmed on raw windows.
+func (m *Monitor) Detect(r float64) Result {
+	var res Result
+	if r <= 0 {
+		return res
+	}
+	cands, probed := m.DetectScreen(r)
+	res.Candidates = cands
+	res.CellsProbed = probed
+	res.Pairs = m.Verify(cands, r)
+	return res
+}
+
+// enumerate visits every cell whose coordinates differ from base by at most
+// b per dimension.
+func (m *Monitor) enumerate(base, probe []int, dim, b int, visit func([]int)) {
+	if dim == len(base) {
+		visit(probe)
+		return
+	}
+	for d := -b; d <= b; d++ {
+		probe[dim] = base[dim] + d
+		m.enumerate(base, probe, dim+1, b, visit)
+	}
+}
+
+// exactDistance verifies a pair on raw history.
+func (m *Monitor) exactDistance(a, b *stream) (float64, bool) {
+	ra, err := a.hist.Last(m.cfg.N)
+	if err != nil {
+		return 0, false
+	}
+	rb, err := b.hist.Last(m.cfg.N)
+	if err != nil {
+		return 0, false
+	}
+	return stats.Euclidean(stats.ZNormalize(ra), stats.ZNormalize(rb)), true
+}

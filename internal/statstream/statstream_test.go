@@ -1,0 +1,203 @@
+package statstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+	"stardust/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, BasicWindow: 4, F: 2, CellSize: 0.1},
+		{N: 16, BasicWindow: 0, F: 2, CellSize: 0.1},
+		{N: 16, BasicWindow: 32, F: 2, CellSize: 0.1},
+		{N: 16, BasicWindow: 4, F: 3, CellSize: 0.1},
+		{N: 16, BasicWindow: 4, F: 0, CellSize: 0.1},
+		{N: 16, BasicWindow: 4, F: 2, CellSize: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, 2); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if m, err := New(Config{N: 16, BasicWindow: 4, F: 2, CellSize: 0.1}, 3); err != nil || m.NumStreams() != 3 {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestPushRounds(t *testing.T) {
+	m, _ := New(Config{N: 8, BasicWindow: 4, F: 2, CellSize: 0.5}, 2)
+	rounds := 0
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 32; i++ {
+		if m.Push([]float64{rng.Float64(), rng.Float64()}) {
+			rounds++
+		}
+	}
+	// Rounds fire every BasicWindow arrivals once N values have arrived:
+	// at t=8,12,16,20,24,28,32 → 7 rounds.
+	if rounds != 7 {
+		t.Fatalf("rounds = %d, want 7", rounds)
+	}
+}
+
+func TestPushWrongLenPanics(t *testing.T) {
+	m, _ := New(Config{N: 8, BasicWindow: 4, F: 2, CellSize: 0.5}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Push should panic")
+		}
+	}()
+	m.Push([]float64{1})
+}
+
+// TestFeatureDistanceLowerBounds verifies the screening property: the
+// feature distance never exceeds the true z-norm distance.
+func TestFeatureDistanceLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	m, _ := New(Config{N: 64, BasicWindow: 8, F: 4, CellSize: 0.1}, 4)
+	data := gen.RandomWalks(rng, 4, 256)
+	for i := 0; i < 256; i++ {
+		vs := make([]float64, 4)
+		for s := range vs {
+			vs[s] = data[s][i]
+		}
+		m.Push(vs)
+	}
+	m.refreshGrid()
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			sa, sb := m.streams[a], m.streams[b]
+			if !sa.warm || !sb.warm {
+				t.Fatal("streams should be warm")
+			}
+			fd := stats.Euclidean(sa.feat, sb.feat)
+			td, ok := m.exactDistance(sa, sb)
+			if !ok {
+				t.Fatal("exact distance unavailable")
+			}
+			if fd > td+1e-9 {
+				t.Fatalf("pair (%d,%d): feature dist %g exceeds true %g", a, b, fd, td)
+			}
+		}
+	}
+}
+
+// TestDetectFindsCorrelatedPair: two near-identical streams and two
+// independent ones — detection must report exactly the correlated pair at a
+// tight threshold.
+func TestDetectFindsCorrelatedPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m, _ := New(Config{N: 64, BasicWindow: 8, F: 4, CellSize: 0.05}, 4)
+	base := gen.RandomWalk(rng, 256)
+	other1 := gen.RandomWalk(rng, 256)
+	other2 := gen.RandomWalk(rng, 256)
+	for i := 0; i < 256; i++ {
+		m.Push([]float64{base[i], base[i] + 0.001*rng.Float64(), other1[i], other2[i]})
+	}
+	m.refreshGrid()
+	res := m.Detect(0.2)
+	found := false
+	for _, p := range res.Pairs {
+		if p.A == 0 && p.B == 1 {
+			found = true
+			if p.Correlation < 0.97 {
+				t.Fatalf("pair correlation = %g", p.Correlation)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("correlated pair not detected; pairs = %v", res.Pairs)
+	}
+}
+
+// TestDetectMatchesBruteForce compares detection output with an exhaustive
+// pairwise scan.
+func TestDetectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	const M, n = 12, 192
+	m, _ := New(Config{N: 64, BasicWindow: 8, F: 4, CellSize: 0.1}, M)
+	data := gen.CorrelatedWalks(rng, M, n, 3, 0.2)
+	for i := 0; i < n; i++ {
+		vs := make([]float64, M)
+		for s := range vs {
+			vs[s] = data[s][i]
+		}
+		m.Push(vs)
+	}
+	m.refreshGrid()
+	r := 0.5
+	res := m.Detect(r)
+	// Brute force on the same window.
+	want := make(map[[2]int]bool)
+	for a := 0; a < M; a++ {
+		for b := a + 1; b < M; b++ {
+			wa := data[a][n-64 : n]
+			wb := data[b][n-64 : n]
+			if stats.Euclidean(stats.ZNormalize(wa), stats.ZNormalize(wb)) <= r {
+				want[[2]int{a, b}] = true
+			}
+		}
+	}
+	got := make(map[[2]int]bool)
+	for _, p := range res.Pairs {
+		got[[2]int{p.A, p.B}] = true
+	}
+	for k := range got {
+		if !want[k] {
+			t.Fatalf("false pair %v", k)
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missed pair %v", k)
+		}
+	}
+}
+
+// TestCellsProbedGrowsWithThreshold: the documented blow-up — probing
+// (2b+1)^f cells — must show up in the counter.
+func TestCellsProbedGrowsWithThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	m, _ := New(Config{N: 32, BasicWindow: 8, F: 4, CellSize: 0.01}, 8)
+	data := gen.RandomWalks(rng, 8, 64)
+	for i := 0; i < 64; i++ {
+		vs := make([]float64, 8)
+		for s := range vs {
+			vs[s] = data[s][i]
+		}
+		m.Push(vs)
+	}
+	small := m.Detect(0.01).CellsProbed
+	large := m.Detect(0.08).CellsProbed
+	if large <= small {
+		t.Fatalf("cells probed should grow with threshold: %d vs %d", small, large)
+	}
+	// b grows 8×, cells grow like (2b+1)^f: expect ≳ 1000× here.
+	if large < small*100 {
+		t.Fatalf("expected sharp growth, got %d -> %d", small, large)
+	}
+}
+
+func TestDetectZeroRadius(t *testing.T) {
+	m, _ := New(Config{N: 8, BasicWindow: 4, F: 2, CellSize: 0.1}, 2)
+	res := m.Detect(0)
+	if len(res.Candidates) != 0 || res.CellsProbed != 0 {
+		t.Fatal("zero radius should do nothing")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	r := Result{}
+	if r.Precision() != 1 {
+		t.Fatal("empty result precision should be 1")
+	}
+	r.Candidates = []Pair{{}, {}}
+	r.Pairs = []Pair{{}}
+	if p := r.Precision(); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("precision = %g", p)
+	}
+}

@@ -1,0 +1,173 @@
+// Package swt implements the Shifted-Wavelet-Tree burst detector of Zhu &
+// Shasha (SIGKDD 2003), the aggregate-monitoring baseline of the paper's
+// Section 6.1. For query windows w_1 ≤ ... ≤ w_m it maintains one moving
+// aggregate per dyadic level j (window 2^j·W); window w_i is monitored by
+// the smallest level with w_i ≤ 2^j·W. Because SUM and SPREAD are monotone
+// under window inclusion, a level aggregate below the window's threshold
+// proves no alarm, so exact (brute-force) checks run only when the level
+// aggregate crosses it — at the cost of false alarms proportional to the
+// stretch T = 2^j·W / w_i (Equation 6 of the Stardust paper).
+package swt
+
+import (
+	"fmt"
+	"math"
+
+	"stardust/internal/aggregate"
+	"stardust/internal/window"
+)
+
+// Query is one monitored window with its alarm threshold.
+type Query struct {
+	W         int
+	Threshold float64
+}
+
+// Alarm reports one candidate raised by the detector and whether the
+// brute-force verification confirmed it.
+type Alarm struct {
+	Time      int64
+	Window    int
+	Exact     float64
+	Confirmed bool
+}
+
+// Detector monitors one stream. Only Sum and Spread aggregates are
+// supported (they are the monotone aggregates the SWT construction
+// requires).
+type Detector struct {
+	agg     aggregate.Func
+	baseW   int
+	queries []Query
+	levels  []level
+	hist    *window.History
+
+	// Stats accumulate across the stream.
+	Candidates int64
+	Confirmed  int64
+}
+
+type level struct {
+	size    int // 2^j · W
+	queries []int
+	sum     float64
+	maxDq   *window.MonoDeque
+	minDq   *window.MonoDeque
+}
+
+// New builds a detector for the given aggregate over the query set. baseW
+// is the detector's smallest dyadic window W; levels are created up to the
+// smallest 2^j·W covering the largest query window.
+func New(agg aggregate.Func, baseW int, queries []Query) (*Detector, error) {
+	if agg != aggregate.Sum && agg != aggregate.Spread {
+		return nil, fmt.Errorf("swt: unsupported aggregate %v (monotone SUM and SPREAD only)", agg)
+	}
+	if baseW <= 0 {
+		return nil, fmt.Errorf("swt: non-positive base window %d", baseW)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("swt: empty query set")
+	}
+	maxW := 0
+	for _, q := range queries {
+		if q.W <= 0 {
+			return nil, fmt.Errorf("swt: non-positive query window %d", q.W)
+		}
+		if q.W > maxW {
+			maxW = q.W
+		}
+	}
+	nLevels := 1
+	for baseW<<uint(nLevels-1) < maxW {
+		nLevels++
+	}
+	d := &Detector{
+		agg:     agg,
+		baseW:   baseW,
+		queries: queries,
+		levels:  make([]level, nLevels),
+		hist:    window.NewHistory(baseW << uint(nLevels-1)),
+	}
+	for j := range d.levels {
+		d.levels[j].size = baseW << uint(j)
+		if agg == aggregate.Spread {
+			d.levels[j].maxDq = window.NewMaxDeque()
+			d.levels[j].minDq = window.NewMinDeque()
+		}
+	}
+	for qi, q := range queries {
+		j := 0
+		for d.levels[j].size < q.W {
+			j++
+		}
+		d.levels[j].queries = append(d.levels[j].queries, qi)
+	}
+	return d, nil
+}
+
+// Push ingests one value and returns the alarms checked at this time step.
+// Every returned alarm was a candidate (the level aggregate crossed the
+// query's threshold); Confirmed marks the true ones.
+func (d *Detector) Push(v float64) []Alarm {
+	d.hist.Append(v)
+	t := d.hist.Now()
+	var alarms []Alarm
+	for j := range d.levels {
+		lv := &d.levels[j]
+		// Maintain the level's moving aggregate over the last lv.size
+		// values.
+		switch d.agg {
+		case aggregate.Sum:
+			lv.sum += v
+			if old, ok := d.hist.At(t - int64(lv.size)); ok {
+				lv.sum -= old
+			}
+		case aggregate.Spread:
+			lv.maxDq.Push(t, v)
+			lv.minDq.Push(t, v)
+			lv.maxDq.Expire(t - int64(lv.size) + 1)
+			lv.minDq.Expire(t - int64(lv.size) + 1)
+		}
+		if t < int64(lv.size)-1 {
+			continue
+		}
+		agg := d.levelAggregate(lv)
+		for _, qi := range lv.queries {
+			q := d.queries[qi]
+			if t < int64(q.W)-1 || agg < q.Threshold {
+				continue
+			}
+			exact := d.exactAggregate(q.W)
+			a := Alarm{Time: t, Window: q.W, Exact: exact, Confirmed: exact >= q.Threshold}
+			d.Candidates++
+			if a.Confirmed {
+				d.Confirmed++
+			}
+			alarms = append(alarms, a)
+		}
+	}
+	return alarms
+}
+
+// Precision returns confirmed alarms over candidates so far (1 when none).
+func (d *Detector) Precision() float64 {
+	if d.Candidates == 0 {
+		return 1
+	}
+	return float64(d.Confirmed) / float64(d.Candidates)
+}
+
+func (d *Detector) levelAggregate(lv *level) float64 {
+	if d.agg == aggregate.Sum {
+		return lv.sum
+	}
+	return lv.maxDq.Front() - lv.minDq.Front()
+}
+
+func (d *Detector) exactAggregate(w int) float64 {
+	win, err := d.hist.Last(w)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return d.agg.Scalar(d.agg.Eval(win))
+}

@@ -1,0 +1,200 @@
+package swt
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/aggregate"
+	"stardust/internal/gen"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(aggregate.Max, 4, []Query{{W: 4, Threshold: 1}}); err == nil {
+		t.Fatal("MAX should be rejected (not monotone-composable the SWT way)")
+	}
+	if _, err := New(aggregate.Sum, 0, []Query{{W: 4, Threshold: 1}}); err == nil {
+		t.Fatal("zero base window should be rejected")
+	}
+	if _, err := New(aggregate.Sum, 4, nil); err == nil {
+		t.Fatal("empty query set should be rejected")
+	}
+	if _, err := New(aggregate.Sum, 4, []Query{{W: 0, Threshold: 1}}); err == nil {
+		t.Fatal("zero query window should be rejected")
+	}
+}
+
+func TestLevelAssignment(t *testing.T) {
+	d, err := New(aggregate.Sum, 4, []Query{
+		{W: 3, Threshold: 1},  // level 0 (4)
+		{W: 4, Threshold: 1},  // level 0 (4)
+		{W: 5, Threshold: 1},  // level 1 (8)
+		{W: 16, Threshold: 1}, // level 2 (16)
+		{W: 17, Threshold: 1}, // level 3 (32)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.levels) != 4 {
+		t.Fatalf("levels = %d, want 4", len(d.levels))
+	}
+	if len(d.levels[0].queries) != 2 || len(d.levels[1].queries) != 1 ||
+		len(d.levels[2].queries) != 1 || len(d.levels[3].queries) != 1 {
+		t.Fatalf("assignment wrong: %v", []int{
+			len(d.levels[0].queries), len(d.levels[1].queries),
+			len(d.levels[2].queries), len(d.levels[3].queries)})
+	}
+}
+
+// TestNoFalseDismissals: SWT must raise a candidate at every time a true
+// alarm exists (the level aggregate upper-bounds the window aggregate for
+// monotone aggregates).
+func TestNoFalseDismissals(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := gen.Burst(rng, 3000, 5, 30)
+	queries := []Query{{W: 10, Threshold: 120}, {W: 37, Threshold: 350}, {W: 80, Threshold: 650}}
+	d, err := New(aggregate.Sum, 5, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference sliding sums.
+	type truth struct{ confirmed map[int64]bool }
+	truths := make([]truth, len(queries))
+	for i := range truths {
+		truths[i].confirmed = make(map[int64]bool)
+	}
+	for i, q := range queries {
+		run := 0.0
+		for t0 := 0; t0 < len(data); t0++ {
+			run += data[t0]
+			if t0 >= q.W {
+				run -= data[t0-q.W]
+			}
+			if t0 >= q.W-1 && run >= q.Threshold {
+				truths[i].confirmed[int64(t0)] = true
+			}
+		}
+	}
+	got := make([]map[int64]bool, len(queries))
+	for i := range got {
+		got[i] = make(map[int64]bool)
+	}
+	for _, v := range data {
+		for _, a := range d.Push(v) {
+			if a.Confirmed {
+				for qi, q := range queries {
+					if q.W == a.Window {
+						got[qi][a.Time] = true
+					}
+				}
+			}
+		}
+	}
+	for qi := range queries {
+		for tm := range truths[qi].confirmed {
+			if !got[qi][tm] {
+				t.Fatalf("query %d: true alarm at %d missed", qi, tm)
+			}
+		}
+		for tm := range got[qi] {
+			if !truths[qi].confirmed[tm] {
+				t.Fatalf("query %d: confirmed alarm at %d is not true", qi, tm)
+			}
+		}
+	}
+}
+
+// TestSpreadDetector exercises the SPREAD path with monotonic deques.
+func TestSpreadDetector(t *testing.T) {
+	d, err := New(aggregate.Spread, 4, []Query{{W: 6, Threshold: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat data: no alarms.
+	for i := 0; i < 50; i++ {
+		if alarms := d.Push(10); len(alarms) != 0 {
+			t.Fatalf("flat data raised alarm at %d", i)
+		}
+	}
+	// A spike of +9 within the window must confirm.
+	d.Push(19)
+	found := false
+	for i := 0; i < 5; i++ {
+		for _, a := range d.Push(10) {
+			if a.Confirmed {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("spike not detected")
+	}
+}
+
+// TestSpreadMatchesBrute compares the level SPREAD aggregates against brute
+// force throughout a noisy stream.
+func TestSpreadMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	d, err := New(aggregate.Spread, 4, []Query{{W: 16, Threshold: 1e12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 100
+		data = append(data, v)
+		d.Push(v)
+		lv := &d.levels[2] // window 16
+		if i >= 15 {
+			win := data[len(data)-16:]
+			lo, hi := win[0], win[0]
+			for _, x := range win {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			if got := d.levelAggregate(lv); got != hi-lo {
+				t.Fatalf("step %d: deque spread %g vs brute %g", i, got, hi-lo)
+			}
+		}
+	}
+}
+
+func TestPrecisionAccounting(t *testing.T) {
+	d, _ := New(aggregate.Sum, 2, []Query{{W: 2, Threshold: 10}})
+	if p := d.Precision(); p != 1 {
+		t.Fatalf("initial precision = %g, want 1", p)
+	}
+	d.Push(6)
+	d.Push(6) // sum 12 ≥ 10: confirmed candidate
+	if d.Candidates != 1 || d.Confirmed != 1 {
+		t.Fatalf("counts = %d/%d", d.Confirmed, d.Candidates)
+	}
+	if p := d.Precision(); p != 1 {
+		t.Fatalf("precision = %g", p)
+	}
+}
+
+// TestFalseAlarms: with a query window much smaller than its level window,
+// SWT must produce unconfirmed candidates (that is its documented
+// weakness).
+func TestFalseAlarms(t *testing.T) {
+	// Base 16 so the window-20 query is monitored by level 1 (32): a burst
+	// spread across 32 values can trip the level sum without any window of
+	// 20 exceeding the threshold.
+	d, _ := New(aggregate.Sum, 16, []Query{{W: 20, Threshold: 100}})
+	// 32 values of 4: level-1 sum = 128 ≥ 100, but any 20-window sums 80.
+	sawFalse := false
+	for i := 0; i < 64; i++ {
+		for _, a := range d.Push(4) {
+			if !a.Confirmed {
+				sawFalse = true
+			}
+		}
+	}
+	if !sawFalse {
+		t.Fatal("expected SWT false alarms in this construction")
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace reads and writes the plain-text stream formats the command
+// line tools exchange: one float per line for a single stream, or
+// "stream,value" lines in arrival (time-major) order for multiple streams.
+// Blank lines and lines starting with '#' are ignored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadValues parses a single-stream trace: one value per line.
+func ReadValues(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(txt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return out, nil
+}
+
+// ReadStreams parses a multi-stream trace of "stream,value" lines in
+// arrival order. Stream ids must be 0..S−1 for some S; values for each
+// stream are returned in their arrival order. Streams may have unequal
+// lengths (e.g. a truncated tail).
+func ReadStreams(r io.Reader) ([][]float64, error) {
+	var out [][]float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		comma := strings.IndexByte(txt, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("trace: line %d: expected \"stream,value\", got %q", line, txt)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(txt[:comma]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad stream id: %v", line, err)
+		}
+		if id < 0 || id > 1<<20 {
+			return nil, fmt.Errorf("trace: line %d: stream id %d out of range", line, id)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(txt[comma+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad value: %v", line, err)
+		}
+		for id >= len(out) {
+			out = append(out, nil)
+		}
+		out[id] = append(out[id], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return out, nil
+}
+
+// WriteValues emits a single-stream trace.
+func WriteValues(w io.Writer, vs []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range vs {
+		if _, err := fmt.Fprintf(bw, "%g\n", v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteStreams emits a multi-stream trace in time-major order: at each
+// time step, one "stream,value" line per stream that still has a value.
+func WriteStreams(w io.Writer, data [][]float64) error {
+	bw := bufio.NewWriter(w)
+	maxLen := 0
+	for _, s := range data {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	for t := 0; t < maxLen; t++ {
+		for id, s := range data {
+			if t >= len(s) {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d,%g\n", id, s[t]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadValues(t *testing.T) {
+	in := "1.5\n\n# comment\n2\n-3e2\n"
+	vs, err := ReadValues(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, -300}
+	if len(vs) != len(want) {
+		t.Fatalf("got %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("got %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestReadValuesBadLine(t *testing.T) {
+	if _, err := ReadValues(strings.NewReader("1\nxyz\n")); err == nil {
+		t.Fatal("bad value should fail")
+	}
+}
+
+func TestReadStreams(t *testing.T) {
+	in := "0,1\n1,10\n0,2\n1,20\n# note\n0,3\n"
+	ss, err := ReadStreams(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 2 {
+		t.Fatalf("streams = %d", len(ss))
+	}
+	if len(ss[0]) != 3 || ss[0][2] != 3 {
+		t.Fatalf("stream 0 = %v", ss[0])
+	}
+	if len(ss[1]) != 2 || ss[1][1] != 20 {
+		t.Fatalf("stream 1 = %v", ss[1])
+	}
+}
+
+func TestReadStreamsErrors(t *testing.T) {
+	for _, in := range []string{"no-comma\n", "x,1\n", "0,abc\n", "-1,5\n"} {
+		if _, err := ReadStreams(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestRoundTripValues(t *testing.T) {
+	vs := []float64{1, -2.5, 3e10, 0}
+	var buf bytes.Buffer
+	if err := WriteValues(&buf, vs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadValues(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if back[i] != vs[i] {
+			t.Fatalf("round trip: %v vs %v", back, vs)
+		}
+	}
+}
+
+func TestRoundTripStreams(t *testing.T) {
+	data := [][]float64{{1, 2, 3}, {10, 20}, {100, 200, 300, 400}}
+	var buf bytes.Buffer
+	if err := WriteStreams(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStreams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) {
+		t.Fatalf("streams = %d", len(back))
+	}
+	for s := range data {
+		if len(back[s]) != len(data[s]) {
+			t.Fatalf("stream %d: %v vs %v", s, back[s], data[s])
+		}
+		for i := range data[s] {
+			if back[s][i] != data[s][i] {
+				t.Fatalf("stream %d differs", s)
+			}
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	vs, err := ReadValues(strings.NewReader(""))
+	if err != nil || len(vs) != 0 {
+		t.Fatal("empty input should yield empty slice")
+	}
+	ss, err := ReadStreams(strings.NewReader("# only comments\n"))
+	if err != nil || len(ss) != 0 {
+		t.Fatal("comment-only input should yield no streams")
+	}
+}

@@ -1,0 +1,69 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	return randomSignal(rng, n)
+}
+
+func BenchmarkTransform1024(b *testing.B) {
+	xs := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(xs)
+	}
+}
+
+func BenchmarkApproxTo(b *testing.B) {
+	xs := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ApproxTo(xs, 8)
+	}
+}
+
+// BenchmarkMergeApprox measures the Θ(f) incremental step Theorem 4.3 is
+// built on — compare with BenchmarkApproxTo's Θ(w) direct computation.
+func BenchmarkMergeApprox(b *testing.B) {
+	xs := benchSignal(1024)
+	l := ApproxTo(xs[:512], 8)
+	r := ApproxTo(xs[512:], 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeApprox(l, r)
+	}
+}
+
+func BenchmarkTransformMBROnlineII(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	box, _ := randomBoxAround(rng, 16)
+	f := Haar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TransformMBROnlineII(box, f)
+	}
+}
+
+func BenchmarkConvDownD4(b *testing.B) {
+	xs := benchSignal(256)
+	f := Daubechies4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.ConvDown(xs)
+	}
+}
+
+func BenchmarkMergeMBRs(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	l, _ := randomBoxAround(rng, 8)
+	r, _ := randomBoxAround(rng, 8)
+	f := Haar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeMBRs(l, r, f, false)
+	}
+}

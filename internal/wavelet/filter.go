@@ -1,0 +1,119 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a low-pass analysis (decomposition) filter h̃. Approximation
+// coefficients are computed by circular convolution with the filter
+// followed by down-sampling by two (Equations 11-12 of the paper).
+type Filter struct {
+	name string
+	taps []float64
+}
+
+// Haar returns the orthonormal Haar low-pass filter [1/√2, 1/√2]. All taps
+// are non-negative, so MBR bounds propagate through it exactly (the "if the
+// low-pass filter contains all non-negative entries as in Haar wavelets"
+// case of Lemma A.2).
+func Haar() Filter {
+	return Filter{name: "haar", taps: []float64{invSqrt2, invSqrt2}}
+}
+
+// Daubechies4 returns the D4 low-pass analysis filter. It has a negative
+// tap, exercising the amplitude-shift (δ) construction of Lemma A.2.
+func Daubechies4() Filter {
+	s3 := math.Sqrt(3)
+	den := 4 * math.Sqrt2
+	return Filter{name: "db4", taps: []float64{
+		(1 + s3) / den, (3 + s3) / den, (3 - s3) / den, (1 - s3) / den,
+	}}
+}
+
+// Name returns the filter's identifier.
+func (f Filter) Name() string { return f.name }
+
+// Len returns the number of taps.
+func (f Filter) Len() int { return len(f.taps) }
+
+// Taps returns a copy of the filter taps.
+func (f Filter) Taps() []float64 {
+	out := make([]float64, len(f.taps))
+	copy(out, f.taps)
+	return out
+}
+
+// Delta returns the smallest non-negative amplitude δ that makes every tap
+// of h̃+δ non-negative (Lemma A.2). It is 0 for filters that are already
+// non-negative, such as Haar.
+func (f Filter) Delta() float64 {
+	d := 0.0
+	for _, t := range f.taps {
+		if -t > d {
+			d = -t
+		}
+	}
+	return d
+}
+
+// ConvDown computes one analysis step: circular convolution of xs with the
+// filter, down-sampled by two. len(xs) must be even and at least the filter
+// length. The output has len(xs)/2 entries:
+//
+//	out[n] = Σ_k h̃[k] · xs[(2n+k) mod len(xs)]
+func (f Filter) ConvDown(xs []float64) []float64 {
+	n := len(xs)
+	if n%2 != 0 {
+		panic("wavelet: ConvDown on odd-length signal")
+	}
+	if n < len(f.taps) {
+		panic(fmt.Sprintf("wavelet: signal length %d shorter than filter %d", n, len(f.taps)))
+	}
+	out := make([]float64, n/2)
+	for i := range out {
+		s := 0.0
+		base := 2 * i
+		for k, t := range f.taps {
+			s += t * xs[(base+k)%n]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ApproxDepth applies depth analysis steps of the filter to xs. len(xs)
+// must be a power of two and remain at least the filter length at every
+// step.
+func (f Filter) ApproxDepth(xs []float64, depth int) []float64 {
+	cur := make([]float64, len(xs))
+	copy(cur, xs)
+	for d := 0; d < depth; d++ {
+		cur = f.ConvDown(cur)
+	}
+	return cur
+}
+
+// convDownShifted computes ↓(xs * (h̃+δ)) − ↓(ys * δ), the building block of
+// the Lemma A.2 bound. Passing xs == ys recovers plain ConvDown because
+// x*(h̃+δ) − x*δ = x*h̃ by linearity of convolution.
+func (f Filter) convDownShifted(xs, ys []float64, delta float64) []float64 {
+	n := len(xs)
+	if len(ys) != n {
+		panic("wavelet: convDownShifted length mismatch")
+	}
+	if n%2 != 0 {
+		panic("wavelet: convDownShifted on odd-length signal")
+	}
+	out := make([]float64, n/2)
+	for i := range out {
+		s := 0.0
+		base := 2 * i
+		for k, t := range f.taps {
+			idx := (base + k) % n
+			s += (t+delta)*xs[idx] - delta*ys[idx]
+		}
+		out[i] = s
+	}
+	return out
+}

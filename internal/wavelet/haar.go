@@ -1,0 +1,171 @@
+// Package wavelet implements the Discrete Wavelet Transform substrate of
+// Stardust (Appendix A of the paper): full Haar decomposition, exact
+// incremental computation of level-j approximation coefficients from the
+// two level-(j-1) halves of the window (Lemma A.1), and the two approximate
+// MBR transforms — corner enumeration ("Online I") and low/high bound
+// propagation ("Online II", Lemma A.2).
+//
+// Throughout, "approximation coefficients at depth d" means the signal
+// convolved d times with the low-pass filter and down-sampled by 2 each
+// time; a window of length w has w/2^d coefficients at depth d. Stardust
+// keeps the first f coefficients of the depth that reduces a window to
+// exactly f values, so a level-j window (length W·2^j) always maps to an
+// f-dimensional feature regardless of j.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// invSqrt2 is the orthonormal Haar low-pass filter tap.
+var invSqrt2 = 1 / math.Sqrt2
+
+// HaarStep performs one orthonormal Haar analysis step, returning the
+// approximation and detail halves of xs. len(xs) must be even.
+func HaarStep(xs []float64) (approx, detail []float64) {
+	if len(xs)%2 != 0 {
+		panic("wavelet: HaarStep on odd-length signal")
+	}
+	n := len(xs) / 2
+	approx = make([]float64, n)
+	detail = make([]float64, n)
+	for i := 0; i < n; i++ {
+		approx[i] = (xs[2*i] + xs[2*i+1]) * invSqrt2
+		detail[i] = (xs[2*i] - xs[2*i+1]) * invSqrt2
+	}
+	return approx, detail
+}
+
+// Transform computes the full orthonormal Haar decomposition of xs, whose
+// length must be a power of two. The result is laid out as
+// [overall, d_top, d_top-1 ..., d_1...] i.e. the standard pyramid ordering
+// with the single top approximation coefficient first followed by detail
+// coefficients from coarsest to finest.
+func Transform(xs []float64) []float64 {
+	n := len(xs)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("wavelet: Transform length %d is not a power of two", n))
+	}
+	out := make([]float64, n)
+	work := make([]float64, n)
+	copy(work, xs)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		a, d := HaarStep(work[:length])
+		copy(work[:half], a)
+		copy(out[half:length], d)
+	}
+	out[0] = work[0]
+	return out
+}
+
+// Inverse reconstructs the signal from a pyramid-ordered orthonormal Haar
+// decomposition produced by Transform.
+func Inverse(coeffs []float64) []float64 {
+	n := len(coeffs)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("wavelet: Inverse length %d is not a power of two", n))
+	}
+	work := make([]float64, n)
+	copy(work, coeffs)
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		tmp := make([]float64, length)
+		for i := 0; i < half; i++ {
+			a, d := work[i], work[half+i]
+			tmp[2*i] = (a + d) * invSqrt2
+			tmp[2*i+1] = (a - d) * invSqrt2
+		}
+		copy(work[:length], tmp)
+	}
+	return work
+}
+
+// Approx returns the approximation coefficients of xs at the given depth:
+// depth applications of the Haar low-pass analysis step. len(xs) must be a
+// power of two and depth must satisfy 2^depth <= len(xs).
+func Approx(xs []float64, depth int) []float64 {
+	n := len(xs)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("wavelet: Approx length %d is not a power of two", n))
+	}
+	if depth < 0 || 1<<uint(depth) > n {
+		panic(fmt.Sprintf("wavelet: Approx depth %d out of range for length %d", depth, n))
+	}
+	work := make([]float64, n)
+	copy(work, xs)
+	cur := work
+	for d := 0; d < depth; d++ {
+		a, _ := HaarStep(cur)
+		cur = a
+	}
+	out := make([]float64, len(cur))
+	copy(out, cur)
+	return out
+}
+
+// ApproxTo returns the approximation coefficients of xs at the depth that
+// reduces it to exactly f coefficients. len(xs) and f must be powers of two
+// with f <= len(xs). This is the feature map used by the index: a window at
+// any resolution maps to an f-dimensional DWT feature.
+func ApproxTo(xs []float64, f int) []float64 {
+	n := len(xs)
+	if f <= 0 || f&(f-1) != 0 {
+		panic(fmt.Sprintf("wavelet: target dimensionality %d is not a power of two", f))
+	}
+	if f > n {
+		panic(fmt.Sprintf("wavelet: target dimensionality %d exceeds window %d", f, n))
+	}
+	depth := 0
+	for m := n; m > f; m /= 2 {
+		depth++
+	}
+	return Approx(xs, depth)
+}
+
+// MergeApprox implements Lemma A.1: given the approximation coefficients of
+// the two halves of a window at a common depth, the approximation
+// coefficients of the whole window at that same depth are exactly their
+// concatenation (Haar scaling functions at a fixed scale have disjoint
+// support, so coefficients of the left half stay coefficients of the whole
+// signal, and likewise for the right half shifted in position). One further
+// HaarStep then yields the coefficients one depth higher.
+//
+// MergeApprox returns the concatenated coefficients advanced by one
+// low-pass step, i.e. the approximation of the full window at depth d+1
+// given halves at depth d — exactly the "compute F_j from F'_{j-1} and
+// F_{j-1}" primitive of the paper. Both halves must have equal length.
+func MergeApprox(left, right []float64) []float64 {
+	if len(left) != len(right) {
+		panic("wavelet: MergeApprox halves differ in length")
+	}
+	cat := make([]float64, 0, len(left)*2)
+	cat = append(cat, left...)
+	cat = append(cat, right...)
+	a, _ := HaarStep(cat)
+	return a
+}
+
+// Energy returns the squared L2 norm of xs. The orthonormal transform
+// preserves it (Parseval), which tests rely on.
+func Energy(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v * v
+	}
+	return s
+}
+
+// EnergyFraction returns the share of the signal's energy captured by its
+// first f approximation coefficients — the quantity behind the paper's
+// premise that "for most real time series, the first f (f ≪ w) DWT
+// coefficients retain most of the energy of the signal". len(xs) and f
+// must be powers of two with f ≤ len(xs).
+func EnergyFraction(xs []float64, f int) float64 {
+	total := Energy(xs)
+	if total == 0 {
+		return 1
+	}
+	return Energy(ApproxTo(xs, f)) / total
+}

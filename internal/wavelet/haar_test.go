@@ -1,0 +1,267 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSignal(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*20 - 10
+	}
+	return xs
+}
+
+func almostSlice(a, b []float64, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHaarStepKnown(t *testing.T) {
+	a, d := HaarStep([]float64{1, 3, 5, 7})
+	want := []float64{4 / math.Sqrt2, 12 / math.Sqrt2}
+	if !almostSlice(a, want, 1e-12) {
+		t.Fatalf("approx = %v, want %v", a, want)
+	}
+	wantD := []float64{-2 / math.Sqrt2, -2 / math.Sqrt2}
+	if !almostSlice(d, wantD, 1e-12) {
+		t.Fatalf("detail = %v, want %v", d, wantD)
+	}
+}
+
+func TestHaarStepOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd-length HaarStep should panic")
+		}
+	}()
+	HaarStep([]float64{1, 2, 3})
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 4, 8, 32, 256} {
+		xs := randomSignal(rng, n)
+		back := Inverse(Transform(xs))
+		if !almostSlice(xs, back, 1e-9) {
+			t.Fatalf("n=%d: round trip failed", n)
+		}
+	}
+}
+
+func TestTransformParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := randomSignal(rng, 128)
+	if e1, e2 := Energy(xs), Energy(Transform(xs)); math.Abs(e1-e2) > 1e-8 {
+		t.Fatalf("energy not preserved: %g vs %g", e1, e2)
+	}
+}
+
+func TestTransformNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two Transform should panic")
+		}
+	}()
+	Transform(make([]float64, 6))
+}
+
+func TestTransformConstantSignal(t *testing.T) {
+	xs := []float64{3, 3, 3, 3}
+	c := Transform(xs)
+	// All detail coefficients vanish; the approximation carries all energy.
+	if math.Abs(c[0]-6) > 1e-12 { // 3·sqrt(4)
+		t.Fatalf("top coefficient = %g, want 6", c[0])
+	}
+	for i := 1; i < len(c); i++ {
+		if math.Abs(c[i]) > 1e-12 {
+			t.Fatalf("detail %d = %g, want 0", i, c[i])
+		}
+	}
+}
+
+func TestApproxDepths(t *testing.T) {
+	xs := []float64{1, 3, 5, 7}
+	if a := Approx(xs, 0); !almostSlice(a, xs, 0) {
+		t.Fatal("depth 0 should be identity")
+	}
+	a1 := Approx(xs, 1)
+	if !almostSlice(a1, []float64{4 / math.Sqrt2, 12 / math.Sqrt2}, 1e-12) {
+		t.Fatalf("depth 1 = %v", a1)
+	}
+	a2 := Approx(xs, 2)
+	if !almostSlice(a2, []float64{8}, 1e-12) { // 16/√2/√2
+		t.Fatalf("depth 2 = %v", a2)
+	}
+}
+
+func TestApproxTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := randomSignal(rng, 64)
+	f4 := ApproxTo(xs, 4)
+	if len(f4) != 4 {
+		t.Fatalf("len = %d, want 4", len(f4))
+	}
+	if !almostSlice(f4, Approx(xs, 4), 1e-12) { // 64 -> 4 is 4 steps
+		t.Fatal("ApproxTo disagrees with Approx at matching depth")
+	}
+	full := ApproxTo(xs, 64)
+	if !almostSlice(full, xs, 0) {
+		t.Fatal("ApproxTo(x, len(x)) should be identity")
+	}
+}
+
+func TestApproxToBadDims(t *testing.T) {
+	for _, f := range []int{0, 3, 128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ApproxTo with f=%d should panic", f)
+				}
+			}()
+			ApproxTo(make([]float64, 64), f)
+		}()
+	}
+}
+
+// TestMergeApproxLemmaA1 is the core Lemma A.1 check: approximation
+// coefficients of a window computed by merging the two halves' coefficients
+// equal the direct computation, at every depth.
+func TestMergeApproxLemmaA1(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, w := range []int{4, 8, 64, 256} {
+		xs := randomSignal(rng, w)
+		left, right := xs[:w/2], xs[w/2:]
+		for f := 1; f <= w/2; f *= 2 {
+			merged := MergeApprox(ApproxTo(left, f), ApproxTo(right, f))
+			direct := ApproxTo(xs, f)
+			if !almostSlice(merged, direct, 1e-9) {
+				t.Fatalf("w=%d f=%d: merged %v != direct %v", w, f, merged, direct)
+			}
+		}
+	}
+}
+
+func TestMergeApproxLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched halves should panic")
+		}
+	}()
+	MergeApprox([]float64{1}, []float64{1, 2})
+}
+
+func TestPropertyMergeEqualsDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := randomSignal(r, 32)
+		merged := MergeApprox(ApproxTo(xs[:16], 2), ApproxTo(xs[16:], 2))
+		return almostSlice(merged, ApproxTo(xs, 2), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterHaarMatchesHaarStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := randomSignal(rng, 32)
+	a, _ := HaarStep(xs)
+	if got := Haar().ConvDown(xs); !almostSlice(got, a, 1e-12) {
+		t.Fatalf("filter ConvDown disagrees with HaarStep")
+	}
+}
+
+func TestFilterDelta(t *testing.T) {
+	if d := Haar().Delta(); d != 0 {
+		t.Fatalf("Haar delta = %g, want 0", d)
+	}
+	if d := Daubechies4().Delta(); d <= 0 {
+		t.Fatalf("D4 delta = %g, want > 0 (D4 has a negative tap)", d)
+	}
+}
+
+func TestDaubechies4LowPassProperties(t *testing.T) {
+	taps := Daubechies4().Taps()
+	if len(taps) != 4 {
+		t.Fatalf("D4 should have 4 taps")
+	}
+	sum := 0.0
+	ss := 0.0
+	for _, h := range taps {
+		sum += h
+		ss += h * h
+	}
+	// Orthonormal low-pass filters satisfy Σh = √2 and Σh² = 1.
+	if math.Abs(sum-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Σtaps = %g, want √2", sum)
+	}
+	if math.Abs(ss-1) > 1e-12 {
+		t.Fatalf("Σtaps² = %g, want 1", ss)
+	}
+}
+
+func TestApproxDepthMatchesIterated(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := randomSignal(rng, 64)
+	h := Haar()
+	step := h.ConvDown(h.ConvDown(xs))
+	if got := h.ApproxDepth(xs, 2); !almostSlice(got, step, 1e-12) {
+		t.Fatal("ApproxDepth(2) disagrees with two ConvDown steps")
+	}
+	if got := h.ApproxDepth(xs, 0); !almostSlice(got, xs, 0) {
+		t.Fatal("ApproxDepth(0) should copy")
+	}
+}
+
+// TestEnergyFractionSmoothSignals: smooth (auto-correlated) signals
+// concentrate energy in the leading coefficients; white noise does not.
+func TestEnergyFractionSmoothSignals(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	// Smooth: a slow ramp plus small noise.
+	smooth := make([]float64, 256)
+	for i := range smooth {
+		smooth[i] = 10 + float64(i)*0.1 + rng.NormFloat64()*0.05
+	}
+	if frac := EnergyFraction(smooth, 8); frac < 0.99 {
+		t.Fatalf("smooth signal energy fraction = %g, want ≈ 1", frac)
+	}
+	// Zero-mean white noise spreads energy across all coefficients.
+	noise := make([]float64, 256)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if frac := EnergyFraction(noise, 8); frac > 0.3 {
+		t.Fatalf("white-noise energy fraction = %g, want small", frac)
+	}
+	if EnergyFraction(make([]float64, 16), 4) != 1 {
+		t.Fatal("zero signal should report full capture")
+	}
+}
+
+// TestEnergyFractionMonotone: more coefficients never capture less energy.
+func TestEnergyFractionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	xs := randomSignal(rng, 128)
+	prev := 0.0
+	for f := 1; f <= 128; f *= 2 {
+		frac := EnergyFraction(xs, f)
+		if frac < prev-1e-12 {
+			t.Fatalf("energy fraction decreased at f=%d: %g < %g", f, frac, prev)
+		}
+		prev = frac
+	}
+	if prev < 1-1e-9 {
+		t.Fatalf("full-width fraction = %g, want 1", prev)
+	}
+}

@@ -1,0 +1,106 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"stardust/internal/mbr"
+)
+
+// This file implements the approximate DWT-on-MBR machinery of Appendix A.
+// A level-j feature is computed from the two level-(j-1) MBRs that contain
+// the features of the two window halves: the MBRs are concatenated into a
+// box B in R^{f'} (f' = 2f for Haar), and one analysis step maps B to an
+// MBR in R^f guaranteed to contain the true level-j feature.
+//
+// Two algorithms are provided, matching the paper:
+//
+//   - Online I enumerates the 2^{f'} corners of B, transforms each exactly,
+//     and returns the tightest MBR around the images. Θ(2^{f'}·f) time.
+//   - Online II propagates only the low and high corners through the
+//     amplitude-shifted filter of Lemma A.2. Θ(f) time, looser bound for
+//     filters with negative taps; identical for non-negative filters (Haar).
+
+// ConcatMBR returns the box in R^{f1+f2} formed by concatenating the
+// extents of b1 and b2 — the joint bound on (left-half feature, right-half
+// feature) pairs used before one analysis step.
+func ConcatMBR(b1, b2 mbr.MBR) mbr.MBR {
+	f1, f2 := b1.Dim(), b2.Dim()
+	lo := make([]float64, 0, f1+f2)
+	hi := make([]float64, 0, f1+f2)
+	lo = append(lo, b1.Min...)
+	lo = append(lo, b2.Min...)
+	hi = append(hi, b1.Max...)
+	hi = append(hi, b2.Max...)
+	return mbr.MBR{Min: lo, Max: hi}
+}
+
+// TransformMBROnlineII maps box B ⊂ R^{f'} through one analysis step of the
+// filter using Lemma A.2:
+//
+//	A(B_lo) = ↓(x_lo * (h̃+δ) − x_hi * δ)
+//	A(B_hi) = ↓(x_hi * (h̃+δ) − x_lo * δ)
+//
+// For every x ∈ B, A(B_lo) ≤ A(x) ≤ A(B_hi) coordinate-wise. The result is
+// an MBR in R^{f'/2}. Θ(f') time.
+func TransformMBROnlineII(b mbr.MBR, f Filter) mbr.MBR {
+	if b.Dim()%2 != 0 {
+		panic(fmt.Sprintf("wavelet: TransformMBROnlineII on odd dimension %d", b.Dim()))
+	}
+	delta := f.Delta()
+	lo := f.convDownShifted(b.Min, b.Max, delta)
+	hi := f.convDownShifted(b.Max, b.Min, delta)
+	// Guard against floating-point jitter producing a microscopically
+	// inverted box when the input is degenerate.
+	for i := range lo {
+		if lo[i] > hi[i] {
+			lo[i], hi[i] = hi[i], lo[i]
+		}
+	}
+	return mbr.MBR{Min: lo, Max: hi}
+}
+
+// maxCornerDim bounds the corner enumeration of Online I; beyond this the
+// 2^{f'} blow-up is prohibitive and callers should use Online II.
+const maxCornerDim = 24
+
+// TransformMBROnlineI maps box B ⊂ R^{f'} through one analysis step by
+// enumerating all 2^{f'} corners, transforming each exactly, and returning
+// the tightest MBR that encloses the images (plus, for filters with
+// negative taps, interior extrema cannot occur because each output
+// coordinate is linear in the inputs — linear functions on a box attain
+// extrema at corners, so the corner sweep is exact for the box image
+// projection). Θ(2^{f'}·f') time.
+func TransformMBROnlineI(b mbr.MBR, f Filter) mbr.MBR {
+	d := b.Dim()
+	if d%2 != 0 {
+		panic(fmt.Sprintf("wavelet: TransformMBROnlineI on odd dimension %d", d))
+	}
+	if d > maxCornerDim {
+		panic(fmt.Sprintf("wavelet: TransformMBROnlineI dimension %d exceeds corner limit %d", d, maxCornerDim))
+	}
+	out := mbr.New(d / 2)
+	corner := make([]float64, d)
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				corner[i] = b.Max[i]
+			} else {
+				corner[i] = b.Min[i]
+			}
+		}
+		out.ExtendPoint(f.ConvDown(corner))
+	}
+	return out
+}
+
+// MergeMBRs computes the level-j feature bound from the two level-(j-1)
+// MBRs per Lemma 4.2 / A.2: concatenate, then one analysis step. online1
+// selects the corner-enumeration algorithm; otherwise the Θ(f) low/high
+// propagation is used.
+func MergeMBRs(left, right mbr.MBR, f Filter, online1 bool) mbr.MBR {
+	cat := ConcatMBR(left, right)
+	if online1 && cat.Dim() <= maxCornerDim {
+		return TransformMBROnlineI(cat, f)
+	}
+	return TransformMBROnlineII(cat, f)
+}

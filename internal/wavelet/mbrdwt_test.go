@@ -1,0 +1,254 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stardust/internal/mbr"
+)
+
+// randomBoxAround builds a box of the given dimension containing at least
+// the returned interior point.
+func randomBoxAround(rng *rand.Rand, dim int) (mbr.MBR, []float64) {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	pt := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		c := rng.Float64()*10 - 5
+		w := rng.Float64() * 3
+		lo[i], hi[i] = c-w, c+w
+		pt[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	}
+	return mbr.FromBounds(lo, hi), pt
+}
+
+func TestConcatMBR(t *testing.T) {
+	a := mbr.FromBounds([]float64{0, 1}, []float64{2, 3})
+	b := mbr.FromBounds([]float64{4}, []float64{5})
+	c := ConcatMBR(a, b)
+	if c.Dim() != 3 {
+		t.Fatalf("dim = %d, want 3", c.Dim())
+	}
+	if c.Min[2] != 4 || c.Max[2] != 5 || c.Min[0] != 0 || c.Max[1] != 3 {
+		t.Fatalf("concat = %v", c)
+	}
+}
+
+// TestOnlineIIBoundsLemmaA2 is the Lemma A.2 guarantee: for every point x
+// inside box B, A(B_lo) ≤ A(x) ≤ A(B_hi) coordinate-wise — for Haar (all
+// non-negative taps) and D4 (negative tap, exercising the δ shift).
+func TestOnlineIIBoundsLemmaA2(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, filt := range []Filter{Haar(), Daubechies4()} {
+		for trial := 0; trial < 300; trial++ {
+			dim := 4 + 2*rng.Intn(3) // 4, 6, 8
+			box, _ := randomBoxAround(rng, dim)
+			out := TransformMBROnlineII(box, filt)
+			if out.Dim() != dim/2 {
+				t.Fatalf("%s: out dim = %d, want %d", filt.Name(), out.Dim(), dim/2)
+			}
+			for k := 0; k < 20; k++ {
+				// Random point inside the box.
+				x := make([]float64, dim)
+				for i := range x {
+					x[i] = box.Min[i] + rng.Float64()*(box.Max[i]-box.Min[i])
+				}
+				img := filt.ConvDown(x)
+				for i, v := range img {
+					if v < out.Min[i]-1e-9 || v > out.Max[i]+1e-9 {
+						t.Fatalf("%s: image %v escapes bound %v", filt.Name(), img, out)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineIExactForLinearImages: each output coordinate is linear in the
+// inputs, so the corner sweep gives the exact per-coordinate extrema of the
+// box image.
+func TestOnlineIExactForLinearImages(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, filt := range []Filter{Haar(), Daubechies4()} {
+		for trial := 0; trial < 100; trial++ {
+			box, _ := randomBoxAround(rng, 6)
+			out := TransformMBROnlineI(box, filt)
+			// Sampling many interior points must stay inside, and extremes
+			// must be approached at corners (already enumerated).
+			for k := 0; k < 50; k++ {
+				x := make([]float64, 6)
+				for i := range x {
+					x[i] = box.Min[i] + rng.Float64()*(box.Max[i]-box.Min[i])
+				}
+				img := filt.ConvDown(x)
+				for i, v := range img {
+					if v < out.Min[i]-1e-9 || v > out.Max[i]+1e-9 {
+						t.Fatalf("%s: interior image escapes Online I box", filt.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineIWithinOnlineII: the corner enumeration is always at least as
+// tight as the low/high bound.
+func TestOnlineIWithinOnlineII(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, filt := range []Filter{Haar(), Daubechies4()} {
+		for trial := 0; trial < 200; trial++ {
+			box, _ := randomBoxAround(rng, 6)
+			o1 := TransformMBROnlineI(box, filt)
+			o2 := TransformMBROnlineII(box, filt)
+			for i := 0; i < o1.Dim(); i++ {
+				if o1.Min[i] < o2.Min[i]-1e-9 || o1.Max[i] > o2.Max[i]+1e-9 {
+					t.Fatalf("%s: Online I %v not within Online II %v", filt.Name(), o1, o2)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineIEqualsOnlineIIForHaar: with a non-negative filter the low/high
+// propagation is exact, so the two algorithms coincide.
+func TestOnlineIEqualsOnlineIIForHaar(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 100; trial++ {
+		box, _ := randomBoxAround(rng, 8)
+		o1 := TransformMBROnlineI(box, Haar())
+		o2 := TransformMBROnlineII(box, Haar())
+		for i := 0; i < o1.Dim(); i++ {
+			if diff := o1.Min[i] - o2.Min[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("min mismatch: %v vs %v", o1, o2)
+			}
+			if diff := o1.Max[i] - o2.Max[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("max mismatch: %v vs %v", o1, o2)
+			}
+		}
+	}
+}
+
+// TestOnlineIIDegenerateIsExact: a point box maps to the exact transform of
+// the point (the capacity-1 case that makes Stardust exact).
+func TestOnlineIIDegenerateIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, filt := range []Filter{Haar(), Daubechies4()} {
+		x := randomSignal(rng, 8)
+		box := mbr.FromPoint(x)
+		out := TransformMBROnlineII(box, filt)
+		img := filt.ConvDown(x)
+		for i := range img {
+			if d := out.Min[i] - img[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s: degenerate min %v != exact %v", filt.Name(), out.Min, img)
+			}
+			if d := out.Max[i] - img[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s: degenerate max %v != exact %v", filt.Name(), out.Max, img)
+			}
+		}
+	}
+}
+
+// TestMergeMBRsContainsTrueFeature: the end-to-end guarantee the index
+// relies on — merging the boxes of two window halves bounds the true
+// parent feature (Lemma 4.2 for DWT).
+func TestMergeMBRsContainsTrueFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	const w, f = 16, 4
+	for trial := 0; trial < 200; trial++ {
+		xs := randomSignal(rng, w)
+		lf := ApproxTo(xs[:w/2], f)
+		rf := ApproxTo(xs[w/2:], f)
+		// Boxes that contain the half features with random slack.
+		wrap := func(p []float64) mbr.MBR {
+			lo := make([]float64, len(p))
+			hi := make([]float64, len(p))
+			for i, v := range p {
+				lo[i] = v - rng.Float64()
+				hi[i] = v + rng.Float64()
+			}
+			return mbr.FromBounds(lo, hi)
+		}
+		truth := ApproxTo(xs, f)
+		for _, online1 := range []bool{false, true} {
+			out := MergeMBRs(wrap(lf), wrap(rf), Haar(), online1)
+			for i, v := range truth {
+				if v < out.Min[i]-1e-9 || v > out.Max[i]+1e-9 {
+					t.Fatalf("online1=%v: true feature %v escapes merged box %v", online1, truth, out)
+				}
+			}
+		}
+	}
+}
+
+// TestErrorBoundSectionA1: the feature-space extent along each dimension is
+// at most twice the corresponding... more precisely, the projection of the
+// rotated box is bounded by the box diameter; we verify the paper's claim
+// that each output extent ≤ 2× the max input extent for Haar.
+func TestErrorBoundSectionA1(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 200; trial++ {
+		box, _ := randomBoxAround(rng, 8)
+		maxExtent := 0.0
+		for i := range box.Min {
+			if e := box.Max[i] - box.Min[i]; e > maxExtent {
+				maxExtent = e
+			}
+		}
+		out := TransformMBROnlineII(box, Haar())
+		for i := range out.Min {
+			if e := out.Max[i] - out.Min[i]; e > 2*maxExtent+1e-9 {
+				t.Fatalf("output extent %g exceeds 2×%g", e, maxExtent)
+			}
+		}
+	}
+}
+
+func TestTransformMBRPanics(t *testing.T) {
+	oddBox := mbr.FromBounds([]float64{0, 0, 0}, []float64{1, 1, 1})
+	for _, fn := range []func(){
+		func() { TransformMBROnlineII(oddBox, Haar()) },
+		func() { TransformMBROnlineI(oddBox, Haar()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("odd-dimension transform should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	big := mbr.New(26)
+	for i := 0; i < 26; i++ {
+		big.Min[i], big.Max[i] = 0, 1
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized Online I should panic")
+			}
+		}()
+		TransformMBROnlineI(big, Haar())
+	}()
+}
+
+func TestPropertyMergedBoundContainsMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := randomSignal(r, 8)
+		l := mbr.FromPoint(ApproxTo(xs[:4], 2))
+		rr := mbr.FromPoint(ApproxTo(xs[4:], 2))
+		merged := MergeMBRs(l, rr, Haar(), false)
+		truth := ApproxTo(xs, 2)
+		for i, v := range truth {
+			if v < merged.Min[i]-1e-9 || v > merged.Max[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package window
+
+import "fmt"
+
+// History is a bounded raw-value history for one stream. Stardust keeps the
+// last N raw values so that a candidate alarm or pattern match (whose
+// approximate aggregate exceeded the threshold) can be verified against the
+// exact aggregate before being reported. Values are addressed by absolute
+// discrete time: the t-th value ever appended has time t (0-based).
+type History struct {
+	ring *Ring
+}
+
+// NewHistory returns a history retaining the most recent n values.
+func NewHistory(n int) *History {
+	return &History{ring: NewRing(n)}
+}
+
+// Append records v as the value at the next discrete time step.
+func (h *History) Append(v float64) { h.ring.Push(v) }
+
+// Now returns the discrete time of the most recent value, or -1 if empty.
+func (h *History) Now() int64 { return int64(h.ring.Total()) - 1 }
+
+// Len returns the number of retained values.
+func (h *History) Len() int { return h.ring.Len() }
+
+// Cap returns the retention capacity.
+func (h *History) Cap() int { return h.ring.Cap() }
+
+// OldestTime returns the discrete time of the oldest retained value, or -1
+// if empty.
+func (h *History) OldestTime() int64 {
+	if h.ring.Len() == 0 {
+		return -1
+	}
+	return int64(h.ring.Total()) - int64(h.ring.Len())
+}
+
+// At returns the value recorded at absolute time t. ok is false when t is
+// outside the retained range.
+func (h *History) At(t int64) (v float64, ok bool) {
+	oldest := h.OldestTime()
+	if t < oldest || t > h.Now() || oldest < 0 {
+		return 0, false
+	}
+	return h.ring.At(int(t - oldest)), true
+}
+
+// Range copies the values x[t1 : t2] (inclusive absolute times) into a new
+// slice. It returns an error when any part of the range has been evicted or
+// not yet observed.
+func (h *History) Range(t1, t2 int64) ([]float64, error) {
+	if t1 > t2 {
+		return nil, fmt.Errorf("window: inverted range [%d, %d]", t1, t2)
+	}
+	if t1 < h.OldestTime() || h.OldestTime() < 0 {
+		return nil, fmt.Errorf("window: range start %d evicted (oldest retained %d)", t1, h.OldestTime())
+	}
+	if t2 > h.Now() {
+		return nil, fmt.Errorf("window: range end %d beyond now %d", t2, h.Now())
+	}
+	out := make([]float64, 0, t2-t1+1)
+	base := h.OldestTime()
+	for t := t1; t <= t2; t++ {
+		out = append(out, h.ring.At(int(t-base)))
+	}
+	return out, nil
+}
+
+// Last returns the most recent w values, oldest first. It returns an error
+// when fewer than w values are retained.
+func (h *History) Last(w int) ([]float64, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("window: non-positive window %d", w)
+	}
+	if w > h.ring.Len() {
+		return nil, fmt.Errorf("window: window %d exceeds retained history %d", w, h.ring.Len())
+	}
+	out := make([]float64, w)
+	h.ring.CopyLast(out, w)
+	return out, nil
+}
+
+// RestoreHistory reconstructs a history with the given retention capacity
+// whose oldest retained value was observed at absolute time firstTime and
+// whose retained values are vs (oldest first). It is the inverse of
+// snapshotting a history as (OldestTime, values): the restored history
+// reports the same Now, OldestTime and contents.
+func RestoreHistory(capacity int, firstTime int64, vs []float64) (*History, error) {
+	if len(vs) > capacity {
+		return nil, fmt.Errorf("window: %d values exceed capacity %d", len(vs), capacity)
+	}
+	if firstTime < 0 && len(vs) > 0 {
+		return nil, fmt.Errorf("window: negative first time %d", firstTime)
+	}
+	h := NewHistory(capacity)
+	for _, v := range vs {
+		h.ring.Push(v)
+	}
+	// Account for the values that were observed and already evicted.
+	h.ring.total = uint64(firstTime) + uint64(len(vs))
+	return h, nil
+}
+
+// Values appends the retained values (oldest first) to dst.
+func (h *History) Values(dst []float64) []float64 {
+	return h.ring.Slice(dst)
+}

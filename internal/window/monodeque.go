@@ -1,0 +1,52 @@
+package window
+
+// MonoDeque is a monotonic deque supporting O(1) amortized sliding-window
+// maximum (descending mode) or minimum. Values are pushed with their
+// discrete time; entries outside the window are dropped with Expire.
+type MonoDeque struct {
+	desc  bool
+	times []int64
+	vals  []float64
+}
+
+// NewMaxDeque returns a deque whose Front is the window maximum.
+func NewMaxDeque() *MonoDeque { return &MonoDeque{desc: true} }
+
+// NewMinDeque returns a deque whose Front is the window minimum.
+func NewMinDeque() *MonoDeque { return &MonoDeque{desc: false} }
+
+// Push appends the value observed at time t, evicting dominated entries.
+func (m *MonoDeque) Push(t int64, v float64) {
+	for len(m.vals) > 0 {
+		last := m.vals[len(m.vals)-1]
+		if (m.desc && last <= v) || (!m.desc && last >= v) {
+			m.times = m.times[:len(m.times)-1]
+			m.vals = m.vals[:len(m.vals)-1]
+			continue
+		}
+		break
+	}
+	m.times = append(m.times, t)
+	m.vals = append(m.vals, v)
+}
+
+// Expire drops entries older than the window start time.
+func (m *MonoDeque) Expire(start int64) {
+	i := 0
+	for i < len(m.times) && m.times[i] < start {
+		i++
+	}
+	m.times = m.times[i:]
+	m.vals = m.vals[i:]
+}
+
+// Front returns the current window extremum. It panics on an empty deque.
+func (m *MonoDeque) Front() float64 {
+	if len(m.vals) == 0 {
+		panic("window: Front on empty MonoDeque")
+	}
+	return m.vals[0]
+}
+
+// Len returns the number of retained entries.
+func (m *MonoDeque) Len() int { return len(m.vals) }

@@ -1,0 +1,83 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonoDequeMaxBasics(t *testing.T) {
+	d := NewMaxDeque()
+	d.Push(0, 3)
+	d.Push(1, 1)
+	d.Push(2, 2)
+	if d.Front() != 3 {
+		t.Fatalf("front = %g, want 3", d.Front())
+	}
+	d.Expire(1) // drop the 3
+	if d.Front() != 2 {
+		t.Fatalf("front = %g, want 2 (the 1 was dominated)", d.Front())
+	}
+}
+
+func TestMonoDequeMinBasics(t *testing.T) {
+	d := NewMinDeque()
+	d.Push(0, 3)
+	d.Push(1, 5)
+	d.Push(2, 1)
+	if d.Front() != 1 {
+		t.Fatalf("front = %g, want 1", d.Front())
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d: dominated entries should be gone", d.Len())
+	}
+}
+
+func TestMonoDequeEmptyFrontPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Front on empty deque should panic")
+		}
+	}()
+	NewMaxDeque().Front()
+}
+
+// TestMonoDequeMatchesBruteForce slides a window over random data and
+// checks both extrema against direct scans.
+func TestMonoDequeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 1 + rng.Intn(20)
+		n := 50 + rng.Intn(200)
+		maxD, minD := NewMaxDeque(), NewMinDeque()
+		var data []float64
+		for i := 0; i < n; i++ {
+			v := rng.Float64() * 100
+			data = append(data, v)
+			maxD.Push(int64(i), v)
+			minD.Push(int64(i), v)
+			maxD.Expire(int64(i) - int64(w) + 1)
+			minD.Expire(int64(i) - int64(w) + 1)
+			start := i - w + 1
+			if start < 0 {
+				start = 0
+			}
+			lo, hi := data[start], data[start]
+			for _, x := range data[start : i+1] {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			if maxD.Front() != hi || minD.Front() != lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package window provides the sliding-window substrate: fixed-capacity
+// ring buffers over float64 streams and a bounded raw-history buffer used
+// to verify candidate alarms against exact aggregates (the post-processing
+// step of Algorithms 2-4).
+package window
+
+import "fmt"
+
+// Ring is a fixed-capacity circular buffer of float64 values. Pushing into
+// a full ring evicts the oldest value. The zero value is unusable; create
+// rings with NewRing.
+type Ring struct {
+	buf   []float64
+	head  int // index of the oldest element
+	size  int // number of live elements
+	total uint64
+}
+
+// NewRing returns a ring with the given capacity (> 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("window: non-positive ring capacity %d", capacity))
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of live values (≤ Cap).
+func (r *Ring) Len() int { return r.size }
+
+// Full reports whether the ring holds Cap values.
+func (r *Ring) Full() bool { return r.size == len(r.buf) }
+
+// Total returns the number of values ever pushed.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Push appends v, evicting the oldest value if the ring is full. It returns
+// the evicted value and whether an eviction happened.
+func (r *Ring) Push(v float64) (evicted float64, ok bool) {
+	r.total++
+	if r.size < len(r.buf) {
+		r.buf[(r.head+r.size)%len(r.buf)] = v
+		r.size++
+		return 0, false
+	}
+	evicted = r.buf[r.head]
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	return evicted, true
+}
+
+// At returns the i-th live value, 0 being the oldest. It panics when out of
+// range.
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("window: ring index %d out of range [0,%d)", i, r.size))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Last returns the most recently pushed value. It panics on an empty ring.
+func (r *Ring) Last() float64 {
+	if r.size == 0 {
+		panic("window: Last on empty ring")
+	}
+	return r.At(r.size - 1)
+}
+
+// Slice appends the live values, oldest first, to dst and returns the
+// extended slice.
+func (r *Ring) Slice(dst []float64) []float64 {
+	for i := 0; i < r.size; i++ {
+		dst = append(dst, r.At(i))
+	}
+	return dst
+}
+
+// CopyLast copies the most recent n live values into dst (oldest of the n
+// first) and returns the number copied. It panics if n exceeds Len or
+// len(dst) < n.
+func (r *Ring) CopyLast(dst []float64, n int) int {
+	if n > r.size {
+		panic(fmt.Sprintf("window: CopyLast(%d) exceeds size %d", n, r.size))
+	}
+	if len(dst) < n {
+		panic("window: CopyLast destination too small")
+	}
+	start := r.size - n
+	for i := 0; i < n; i++ {
+		dst[i] = r.At(start + i)
+	}
+	return n
+}
+
+// Reset empties the ring without releasing its storage.
+func (r *Ring) Reset() {
+	r.head, r.size, r.total = 0, 0, 0
+}

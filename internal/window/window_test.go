@@ -1,0 +1,287 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 || r.Len() != 0 || r.Full() {
+		t.Fatalf("fresh ring state wrong: cap=%d len=%d", r.Cap(), r.Len())
+	}
+	r.Push(1)
+	r.Push(2)
+	if r.Len() != 2 || r.Full() {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.At(0) != 1 || r.At(1) != 2 || r.Last() != 2 {
+		t.Fatal("ordering wrong")
+	}
+	r.Push(3)
+	if !r.Full() {
+		t.Fatal("should be full")
+	}
+	ev, ok := r.Push(4)
+	if !ok || ev != 1 {
+		t.Fatalf("eviction = (%g, %v), want (1, true)", ev, ok)
+	}
+	if r.At(0) != 2 || r.At(2) != 4 {
+		t.Fatalf("post-eviction order wrong: %v", r.Slice(nil))
+	}
+	if r.Total() != 4 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRingZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) should panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRingAtOutOfRangePanics(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(1) on 1-element ring should panic")
+		}
+	}()
+	r.At(1)
+}
+
+func TestRingLastEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Last on empty ring should panic")
+		}
+	}()
+	NewRing(2).Last()
+}
+
+func TestRingCopyLast(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Push(float64(i))
+	}
+	dst := make([]float64, 3)
+	r.CopyLast(dst, 3)
+	if dst[0] != 4 || dst[1] != 5 || dst[2] != 6 {
+		t.Fatalf("CopyLast = %v", dst)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRingWrapOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(16)
+		n := rng.Intn(100)
+		r := NewRing(capacity)
+		vals := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := rng.Float64()
+			vals = append(vals, v)
+			r.Push(v)
+		}
+		got := r.Slice(nil)
+		start := len(vals) - r.Len()
+		for i, v := range got {
+			if vals[start+i] != v {
+				return false
+			}
+		}
+		return r.Len() == min(capacity, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryTimes(t *testing.T) {
+	h := NewHistory(4)
+	if h.Now() != -1 || h.OldestTime() != -1 {
+		t.Fatal("empty history times wrong")
+	}
+	for i := 0; i < 6; i++ {
+		h.Append(float64(i * 10))
+	}
+	if h.Now() != 5 {
+		t.Fatalf("now = %d, want 5", h.Now())
+	}
+	if h.OldestTime() != 2 {
+		t.Fatalf("oldest = %d, want 2", h.OldestTime())
+	}
+	if v, ok := h.At(3); !ok || v != 30 {
+		t.Fatalf("At(3) = (%g, %v)", v, ok)
+	}
+	if _, ok := h.At(1); ok {
+		t.Fatal("evicted time should not be readable")
+	}
+	if _, ok := h.At(6); ok {
+		t.Fatal("future time should not be readable")
+	}
+}
+
+func TestHistoryRange(t *testing.T) {
+	h := NewHistory(8)
+	for i := 0; i < 8; i++ {
+		h.Append(float64(i))
+	}
+	got, err := h.Range(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v", got)
+		}
+	}
+	if _, err := h.Range(5, 2); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+	if _, err := h.Range(0, 9); err == nil {
+		t.Fatal("future range should fail")
+	}
+	h.Append(99) // evicts time 0
+	if _, err := h.Range(0, 3); err == nil {
+		t.Fatal("evicted range should fail")
+	}
+}
+
+func TestHistoryLast(t *testing.T) {
+	h := NewHistory(4)
+	for i := 1; i <= 4; i++ {
+		h.Append(float64(i))
+	}
+	got, err := h.Last(2)
+	if err != nil || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Last(2) = %v, %v", got, err)
+	}
+	if _, err := h.Last(5); err == nil {
+		t.Fatal("Last beyond retention should fail")
+	}
+	if _, err := h.Last(0); err == nil {
+		t.Fatal("Last(0) should fail")
+	}
+}
+
+func TestHistoryRangeMatchesAppendedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 4 + rng.Intn(20)
+		n := 1 + rng.Intn(60)
+		h := NewHistory(capacity)
+		all := make([]float64, n)
+		for i := range all {
+			all[i] = rng.Float64()
+			h.Append(all[i])
+		}
+		lo := h.OldestTime()
+		hi := h.Now()
+		t1 := lo + int64(rng.Intn(int(hi-lo)+1))
+		t2 := t1 + int64(rng.Intn(int(hi-t1)+1))
+		got, err := h.Range(t1, t2)
+		if err != nil {
+			return false
+		}
+		for i, v := range got {
+			if all[t1+int64(i)] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestHistoryLenCap(t *testing.T) {
+	h := NewHistory(4)
+	if h.Len() != 0 || h.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d", h.Len(), h.Cap())
+	}
+	h.Append(1)
+	if h.Len() != 1 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestRestoreHistory(t *testing.T) {
+	// A history that observed times 0..9 with capacity 4 retains 6..9.
+	h, err := RestoreHistory(4, 6, []float64{60, 70, 80, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Now() != 9 || h.OldestTime() != 6 {
+		t.Fatalf("times = %d..%d", h.OldestTime(), h.Now())
+	}
+	if v, ok := h.At(7); !ok || v != 70 {
+		t.Fatalf("At(7) = %g, %v", v, ok)
+	}
+	// Continue appending; absolute times keep advancing.
+	h.Append(100)
+	if h.Now() != 10 || h.OldestTime() != 7 {
+		t.Fatalf("post-append times = %d..%d", h.OldestTime(), h.Now())
+	}
+	got := h.Values(nil)
+	if len(got) != 4 || got[3] != 100 {
+		t.Fatalf("values = %v", got)
+	}
+}
+
+func TestRestoreHistoryErrors(t *testing.T) {
+	if _, err := RestoreHistory(2, 0, []float64{1, 2, 3}); err == nil {
+		t.Fatal("overfull restore should fail")
+	}
+	if _, err := RestoreHistory(4, -1, []float64{1}); err == nil {
+		t.Fatal("negative first time should fail")
+	}
+	h, err := RestoreHistory(4, 0, nil)
+	if err != nil || h.Now() != -1 {
+		t.Fatalf("empty restore: %v, now=%d", err, h.Now())
+	}
+}
+
+func TestRingCopyLastPanics(t *testing.T) {
+	r := NewRing(4)
+	r.Push(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CopyLast beyond size should panic")
+			}
+		}()
+		r.CopyLast(make([]float64, 2), 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CopyLast into small dst should panic")
+			}
+		}()
+		r.CopyLast(make([]float64, 0), 1)
+	}()
+}

@@ -1,0 +1,49 @@
+package stardust
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"stardust/internal/core"
+)
+
+// snapshotMagic guards against loading unrelated files.
+var snapshotMagic = [4]byte{'S', 'D', 'S', '1'}
+
+// Snapshot serializes the monitor's full state — configuration, raw
+// histories and every level's feature boxes — so a monitoring process can
+// restart without losing its summaries. The per-level indexes are rebuilt
+// on load.
+func (m *Monitor) Snapshot(w io.Writer) error {
+	if _, err := w.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("stardust: writing snapshot header: %v", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(m.mode)); err != nil {
+		return fmt.Errorf("stardust: writing snapshot header: %v", err)
+	}
+	return m.sum.Snapshot(w)
+}
+
+// Load reconstructs a monitor from a Snapshot stream.
+func Load(r io.Reader) (*Monitor, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("stardust: reading snapshot header: %v", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("stardust: not a monitor snapshot (bad magic %q)", magic[:])
+	}
+	var mode int32
+	if err := binary.Read(r, binary.LittleEndian, &mode); err != nil {
+		return nil, fmt.Errorf("stardust: reading snapshot header: %v", err)
+	}
+	if Mode(mode) != Online && Mode(mode) != Batch && Mode(mode) != SWAT {
+		return nil, fmt.Errorf("stardust: snapshot has unknown mode %d", mode)
+	}
+	sum, err := core.LoadSummary(r)
+	if err != nil {
+		return nil, fmt.Errorf("stardust: %v", err)
+	}
+	return &Monitor{sum: sum, mode: Mode(mode)}, nil
+}

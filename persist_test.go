@@ -1,0 +1,72 @@
+package stardust
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+// TestMonitorSnapshotRoundTrip covers the public persistence path end to
+// end: snapshot mid-stream, restore, and verify identical behavior.
+func TestMonitorSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	m, err := New(Config{
+		Streams: 2, W: 16, Levels: 4, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormUnit, Rmax: 150, History: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.RandomWalks(rng, 2, 500)
+	for i := 0; i < 500; i++ {
+		m.Append(0, data[0][i])
+		m.Append(1, data[1][i])
+	}
+
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumStreams() != 2 || loaded.Now(0) != 499 {
+		t.Fatalf("restored state wrong: streams=%d now=%d", loaded.NumStreams(), loaded.Now(0))
+	}
+
+	q := make([]float64, 80)
+	copy(q, data[1][400:480])
+	a, err := m.FindPattern(q, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.FindPattern(q, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Matches) != len(b.Matches) || len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("restored query differs: %d/%d vs %d/%d",
+			len(a.Candidates), len(a.Matches), len(b.Candidates), len(b.Matches))
+	}
+	// Restored monitor keeps the Batch mode dispatch.
+	if loaded.mode != Batch {
+		t.Fatalf("mode = %v, want Batch", loaded.mode)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("XXXXjunk"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	// Valid magic, bad mode.
+	buf := append(append([]byte{}, snapshotMagic[:]...), 0x7f, 0, 0, 0)
+	if _, err := Load(bytes.NewReader(buf)); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+}

@@ -1,0 +1,156 @@
+package stardust
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ShardedMonitor partitions streams across independent Monitors, each
+// behind its own lock, so ingestion scales across cores: appends to
+// streams in different shards never contend. Aggregate checks route to the
+// owning shard; pattern queries fan out to every shard and merge.
+//
+// Correlation monitoring is NOT available on a sharded monitor: it needs
+// one index over all streams' features, which sharding splits by design.
+// Use a single Monitor (or SafeMonitor) for correlation workloads.
+type ShardedMonitor struct {
+	shards  []*SafeMonitor
+	perShrd int
+	streams int
+}
+
+// NewSharded builds a sharded monitor. shards ≤ 0 selects GOMAXPROCS.
+// cfg.Streams is the TOTAL stream count; it is divided contiguously:
+// stream s lives in shard s / ceil(Streams/shards).
+func NewSharded(cfg Config, shards int) (*ShardedMonitor, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("stardust: Streams must be positive, got %d", cfg.Streams)
+	}
+	if cfg.Transform == DWT && cfg.Normalization == NormZ {
+		return nil, fmt.Errorf("stardust: correlation (NormZ) workloads cannot be sharded; use a single Monitor")
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Streams {
+		shards = cfg.Streams
+	}
+	per := (cfg.Streams + shards - 1) / shards
+	sm := &ShardedMonitor{perShrd: per, streams: cfg.Streams}
+	remaining := cfg.Streams
+	for remaining > 0 {
+		n := per
+		if n > remaining {
+			n = remaining
+		}
+		scfg := cfg
+		scfg.Streams = n
+		shard, err := NewSafe(scfg)
+		if err != nil {
+			return nil, err
+		}
+		sm.shards = append(sm.shards, shard)
+		remaining -= n
+	}
+	return sm, nil
+}
+
+// NumStreams returns the total stream count.
+func (sm *ShardedMonitor) NumStreams() int { return sm.streams }
+
+// NumShards returns the number of shards.
+func (sm *ShardedMonitor) NumShards() int { return len(sm.shards) }
+
+// locate maps a global stream id to (shard, local id).
+func (sm *ShardedMonitor) locate(stream int) (*SafeMonitor, int) {
+	if stream < 0 || stream >= sm.streams {
+		panic(fmt.Sprintf("stardust: stream %d out of range [0, %d)", stream, sm.streams))
+	}
+	return sm.shards[stream/sm.perShrd], stream % sm.perShrd
+}
+
+// Append ingests one value; only the owning shard locks.
+func (sm *ShardedMonitor) Append(stream int, v float64) {
+	shard, local := sm.locate(stream)
+	shard.Append(local, v)
+}
+
+// Now returns the stream's most recent discrete time.
+func (sm *ShardedMonitor) Now(stream int) int64 {
+	shard, local := sm.locate(stream)
+	return shard.Now(local)
+}
+
+// CheckAggregate routes to the owning shard.
+func (sm *ShardedMonitor) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
+	shard, local := sm.locate(stream)
+	return shard.CheckAggregate(local, window, threshold)
+}
+
+// FindPattern fans the query out to every shard in parallel and merges the
+// results, translating stream ids back to the global space.
+func (sm *ShardedMonitor) FindPattern(q []float64, r float64) (PatternResult, error) {
+	results := make([]PatternResult, len(sm.shards))
+	errs := make([]error, len(sm.shards))
+	var wg sync.WaitGroup
+	for i, shard := range sm.shards {
+		wg.Add(1)
+		go func(i int, shard *SafeMonitor) {
+			defer wg.Done()
+			results[i], errs[i] = shard.FindPattern(q, r)
+		}(i, shard)
+	}
+	wg.Wait()
+	var merged PatternResult
+	for i, res := range results {
+		if errs[i] != nil {
+			return PatternResult{}, fmt.Errorf("stardust: shard %d: %v", i, errs[i])
+		}
+		base := i * sm.perShrd
+		for _, c := range res.Candidates {
+			c.Stream += base
+			merged.Candidates = append(merged.Candidates, c)
+		}
+		for _, m := range res.Matches {
+			m.Stream += base
+			merged.Matches = append(merged.Matches, m)
+		}
+		merged.Relevant += res.Relevant
+	}
+	sortShardMatches(merged.Candidates)
+	sortShardMatches(merged.Matches)
+	return merged, nil
+}
+
+// Stats merges the shards' snapshots.
+func (sm *ShardedMonitor) Stats() Stats {
+	var out Stats
+	for i, shard := range sm.shards {
+		st := shard.Stats()
+		if i == 0 {
+			out = st
+			continue
+		}
+		out.Streams += st.Streams
+		out.RawHistory += st.RawHistory
+		for j := range out.Levels {
+			out.Levels[j].ThreadBoxes += st.Levels[j].ThreadBoxes
+			out.Levels[j].IndexEntries += st.Levels[j].IndexEntries
+			if st.Levels[j].IndexHeight > out.Levels[j].IndexHeight {
+				out.Levels[j].IndexHeight = st.Levels[j].IndexHeight
+			}
+		}
+	}
+	return out
+}
+
+func sortShardMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Stream != ms[j].Stream {
+			return ms[i].Stream < ms[j].Stream
+		}
+		return ms[i].End < ms[j].End
+	})
+}

@@ -1,0 +1,149 @@
+package stardust
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+func TestNewShardedValidation(t *testing.T) {
+	if _, err := NewSharded(Config{W: 8, Levels: 2}, 2); err == nil {
+		t.Fatal("zero streams should fail")
+	}
+	if _, err := NewSharded(Config{
+		Streams: 4, W: 16, Levels: 2, Transform: DWT, Mode: Batch, Normalization: NormZ,
+	}, 2); err == nil {
+		t.Fatal("NormZ workloads should be rejected")
+	}
+	sm, err := NewSharded(Config{Streams: 3, W: 8, Levels: 2, Transform: Sum}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.NumShards() > 3 {
+		t.Fatalf("shards = %d, want ≤ streams", sm.NumShards())
+	}
+	if sm.NumStreams() != 3 {
+		t.Fatalf("streams = %d", sm.NumStreams())
+	}
+}
+
+// TestShardedMatchesSingle: a sharded monitor must behave exactly like a
+// single monitor for aggregate checks and pattern queries.
+func TestShardedMatchesSingle(t *testing.T) {
+	cfg := Config{
+		Streams: 6, W: 16, Levels: 3, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormUnit, Rmax: 150, History: 512,
+	}
+	sm, err := NewSharded(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(251))
+	data := gen.RandomWalks(rng, 6, 400)
+	for i := 0; i < 400; i++ {
+		for s := 0; s < 6; s++ {
+			sm.Append(s, data[s][i])
+			single.Append(s, data[s][i])
+		}
+	}
+	for s := 0; s < 6; s++ {
+		if sm.Now(s) != single.Now(s) {
+			t.Fatalf("stream %d time mismatch", s)
+		}
+	}
+	q := make([]float64, 48)
+	copy(q, data[4][300:348])
+	a, err := sm.FindPattern(q, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := single.FindPattern(q, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Matches) != len(b.Matches) {
+		t.Fatalf("matches %d vs %d", len(a.Matches), len(b.Matches))
+	}
+	for i := range a.Matches {
+		if a.Matches[i].Stream != b.Matches[i].Stream || a.Matches[i].End != b.Matches[i].End {
+			t.Fatalf("match %d: %+v vs %+v", i, a.Matches[i], b.Matches[i])
+		}
+	}
+	found := false
+	for _, m := range a.Matches {
+		if m.Stream == 4 && m.End == 347 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted match missing (global stream id translation broken?)")
+	}
+}
+
+// TestShardedAggregate: checks route to the right shard with global ids.
+func TestShardedAggregate(t *testing.T) {
+	sm, err := NewSharded(Config{Streams: 5, W: 4, Levels: 3, Transform: Sum}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		for s := 0; s < 5; s++ {
+			sm.Append(s, float64(s+1)) // stream s gets constant s+1
+		}
+	}
+	for s := 0; s < 5; s++ {
+		res, err := sm.CheckAggregate(s, 12, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64((s + 1) * 12)
+		if res.Bound.Lo != want || res.Bound.Hi != want {
+			t.Fatalf("stream %d bound [%g, %g], want %g", s, res.Bound.Lo, res.Bound.Hi, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range stream should panic")
+		}
+	}()
+	sm.Append(9, 1)
+}
+
+// TestShardedConcurrentIngest drives all shards from parallel writers; run
+// with -race.
+func TestShardedConcurrentIngest(t *testing.T) {
+	sm, err := NewSharded(Config{Streams: 8, W: 8, Levels: 3, Transform: Sum}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(stream)))
+			for i := 0; i < 1000; i++ {
+				sm.Append(stream, rng.Float64())
+			}
+		}(s)
+	}
+	wg.Wait()
+	st := sm.Stats()
+	if st.Streams != 8 {
+		t.Fatalf("stats streams = %d", st.Streams)
+	}
+	if st.RawHistory == 0 || st.TotalBoxes() == 0 {
+		t.Fatal("stats should reflect ingested data")
+	}
+	for s := 0; s < 8; s++ {
+		if sm.Now(s) != 999 {
+			t.Fatalf("stream %d time = %d", s, sm.Now(s))
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package stardust is a unified framework for monitoring data streams in
+// real time, reproducing Bulut & Singh (ICDE 2005). A Monitor summarizes
+// any number of streams at multiple resolutions — sliding windows of size
+// W, 2W, 4W, ... — computing features (SUM, MAX, MIN, SPREAD aggregates or
+// wavelet coefficients) incrementally: each level's feature is derived from
+// the level below in O(f) time, and consecutive features are grouped into
+// minimum bounding rectangles indexed in per-level R*-trees. On top of the
+// summary run three query classes with provable no-false-dismissal bounds:
+//
+//   - aggregate monitoring: "alert when the sum/spread over ANY window from
+//     minutes to days crosses its threshold" (CheckAggregate);
+//   - pattern monitoring: "find streams whose recent history matches this
+//     shape", for query lengths unknown a priori (FindPattern);
+//   - correlation monitoring: "report stream pairs whose current windows
+//     are correlated above r" (Correlations).
+//
+// Every reported alarm, match or pair is first screened by the
+// multi-resolution index and then verified against retained raw history, so
+// results carry no false positives; the index tuning knobs (box capacity c,
+// update rate T) trade screening precision for space and per-item time as
+// analyzed in the paper.
+package stardust
+
+import (
+	"fmt"
+
+	"stardust/internal/aggregate"
+	"stardust/internal/core"
+	"stardust/internal/wavelet"
+)
+
+// Transform selects the feature transformation applied to stream windows.
+type Transform = core.Transform
+
+// Available transforms.
+const (
+	// Sum monitors moving sums (burst detection).
+	Sum = core.TransformSum
+	// Max monitors moving maxima.
+	Max = core.TransformMax
+	// Min monitors moving minima.
+	Min = core.TransformMin
+	// Spread monitors MAX−MIN (volatility detection).
+	Spread = core.TransformSpread
+	// DWT extracts leading wavelet coefficients (pattern and correlation
+	// monitoring).
+	DWT = core.TransformDWT
+)
+
+// Normalization selects window normalization for DWT features.
+type Normalization = core.Normalization
+
+// Available normalizations.
+const (
+	// NormNone indexes raw-signal coefficients.
+	NormNone = core.NormNone
+	// NormUnit maps windows to the unit hyper-sphere (pattern queries).
+	NormUnit = core.NormUnit
+	// NormZ z-normalizes windows (correlation queries); implies direct
+	// batch computation.
+	NormZ = core.NormZ
+)
+
+// Result and payload types of the three query classes.
+type (
+	// AggregateResult is one aggregate monitoring check: interval bound,
+	// candidate flag, verified alarm and exact value.
+	AggregateResult = core.AggregateResult
+	// Interval is a closed interval bounding a scalar aggregate.
+	Interval = aggregate.Interval
+	// Match identifies a stream subsequence matched by a pattern query.
+	Match = core.Match
+	// PatternResult carries a pattern query's candidates and verified
+	// matches.
+	PatternResult = core.PatternResult
+	// CorrPair is one correlated stream pair.
+	CorrPair = core.CorrPair
+	// CorrelationResult carries a correlation round's candidates and
+	// verified pairs.
+	CorrelationResult = core.CorrelationResult
+	// Stats is a space-usage snapshot of the summary (Theorem 4.3's
+	// quantity).
+	Stats = core.Stats
+	// LevelStats describes one resolution level in a Stats snapshot.
+	LevelStats = core.LevelStats
+)
+
+// Mode selects the index maintenance algorithm of Section 4.
+type Mode int
+
+const (
+	// Online computes a feature per arrival (T = 1) with box capacity c;
+	// the choice for aggregate monitoring.
+	Online Mode = iota
+	// Batch computes a feature every W arrivals (T = W) with capacity 1;
+	// the choice for pattern and correlation monitoring.
+	Batch
+	// SWAT uses the per-level rates T_j = 2^j of the authors' earlier
+	// system.
+	SWAT
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Online:
+		return "online"
+	case Batch:
+		return "batch"
+	case SWAT:
+		return "swat"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a Monitor. Zero values select documented defaults.
+type Config struct {
+	// Streams is the number of monitored streams (required).
+	Streams int
+	// W is the window size at the lowest resolution (required; a power of
+	// two for DWT).
+	W int
+	// Levels is the number of resolutions; level j covers windows of size
+	// W·2^j (required).
+	Levels int
+	// Transform selects the feature function (default Sum).
+	Transform Transform
+	// Mode selects online, batch, or SWAT maintenance (default Online).
+	Mode Mode
+	// BoxCapacity is c, the features grouped per MBR (default 1; > 1 is
+	// only meaningful in Online mode).
+	BoxCapacity int
+	// Coefficients is f, the DWT coefficients kept per feature (DWT only;
+	// default 2).
+	Coefficients int
+	// Normalization applies to DWT windows (default NormNone).
+	Normalization Normalization
+	// Rmax is the known value-range bound used by NormUnit.
+	Rmax float64
+	// History is the raw values retained per stream for verification
+	// (default twice the largest window).
+	History int
+	// Daubechies selects the D4 filter instead of Haar (requires Batch
+	// mode, where features are computed directly per window).
+	Daubechies bool
+	// OnlineI enables the exact-corner MBR wavelet transform (Appendix A
+	// Online I) instead of the Θ(f) bound.
+	OnlineI bool
+	// DisableIndex skips the cross-stream indexes. Aggregate monitoring
+	// never consults them, so aggregate-only deployments save all index
+	// maintenance; pattern queries and lagged correlations require the
+	// index and must leave this off.
+	DisableIndex bool
+}
+
+// Monitor is the Stardust summary over a set of streams. Monitors are not
+// safe for concurrent use; wrap with a mutex or shard streams across
+// monitors for parallel ingest.
+type Monitor struct {
+	sum  *core.Summary
+	mode Mode
+}
+
+// New constructs a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("stardust: Streams must be positive, got %d", cfg.Streams)
+	}
+	ccfg := core.Config{
+		W:             cfg.W,
+		Levels:        cfg.Levels,
+		BoxCapacity:   cfg.BoxCapacity,
+		Transform:     cfg.Transform,
+		F:             cfg.Coefficients,
+		Normalization: cfg.Normalization,
+		Rmax:          cfg.Rmax,
+		OnlineI:       cfg.OnlineI,
+		HistoryN:      cfg.History,
+		DisableIndex:  cfg.DisableIndex,
+	}
+	switch cfg.Mode {
+	case Online:
+		ccfg.Rate = core.RateOnline
+	case Batch:
+		ccfg.Rate = core.RateBatch(cfg.W)
+		if ccfg.BoxCapacity == 0 {
+			ccfg.BoxCapacity = 1
+		}
+		// Z-normalized Haar features at capacity 1 use the single-pass
+		// composite merge (Θ(f) per level); everything else computes
+		// batch features directly per window.
+		composite := cfg.Transform == DWT && cfg.Normalization == NormZ &&
+			!cfg.Daubechies && ccfg.BoxCapacity == 1
+		ccfg.Direct = !composite
+	case SWAT:
+		ccfg.Rate = core.RateSWAT
+	default:
+		return nil, fmt.Errorf("stardust: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Daubechies {
+		if cfg.Mode != Batch {
+			return nil, fmt.Errorf("stardust: the Daubechies filter requires Batch mode")
+		}
+		ccfg.Filter = wavelet.Daubechies4()
+	}
+	sum, err := core.NewSummary(ccfg, cfg.Streams)
+	if err != nil {
+		return nil, fmt.Errorf("stardust: %v", err)
+	}
+	return &Monitor{sum: sum, mode: cfg.Mode}, nil
+}
+
+// Append ingests one value for one stream, updating every resolution whose
+// schedule fires. Non-finite values panic (see core.Summary.Append).
+func (m *Monitor) Append(stream int, v float64) { m.sum.Append(stream, v) }
+
+// AddStream registers a new empty stream and returns its id.
+func (m *Monitor) AddStream() int { return m.sum.AddStream() }
+
+// AppendAll ingests one synchronized arrival across all streams.
+func (m *Monitor) AppendAll(vs []float64) { m.sum.AppendAll(vs) }
+
+// Now returns the discrete time of the stream's most recent value (−1
+// before any value).
+func (m *Monitor) Now(stream int) int64 { return m.sum.Now(stream) }
+
+// NumStreams returns the number of monitored streams.
+func (m *Monitor) NumStreams() int { return m.sum.NumStreams() }
+
+// CheckAggregate runs one aggregate monitoring check (Algorithm 2) over the
+// most recent window of the given size: the multi-resolution bound is
+// composed from sub-window MBRs and, when its upper end crosses the
+// threshold, verified against raw history. The window must be a multiple
+// of W decomposable within the configured levels.
+func (m *Monitor) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
+	return m.sum.AggregateQuery(stream, window, threshold)
+}
+
+// AggregateBound returns the interval guaranteed to contain the exact
+// aggregate of the most recent window of the given size.
+func (m *Monitor) AggregateBound(stream, window int) (Interval, error) {
+	return m.sum.AggregateBound(stream, window)
+}
+
+// FindPattern answers a variable-length similarity query: all stream
+// subsequences within distance r of the query under the configured
+// normalization. The monitor's mode selects the paper's Algorithm 3
+// (Online/SWAT) or Algorithm 4 (Batch).
+func (m *Monitor) FindPattern(q []float64, r float64) (PatternResult, error) {
+	if m.mode == Batch {
+		return m.sum.PatternQueryBatch(q, r)
+	}
+	return m.sum.PatternQueryOnline(q, r)
+}
+
+// Correlations reports stream pairs whose current windows at the given
+// resolution level are within z-norm distance r (correlation ≥ 1 − r²/2),
+// screened by the level index and verified on raw history.
+func (m *Monitor) Correlations(level int, r float64) (CorrelationResult, error) {
+	return m.sum.CorrelationQuery(level, r)
+}
+
+// NearestPatterns returns the k stream subsequences most similar to the
+// query (smallest normalized distance), verified on raw history and sorted
+// by increasing distance. Requires a Batch monitor.
+func (m *Monitor) NearestPatterns(q []float64, k int) ([]Match, error) {
+	return m.sum.NearestPatterns(q, k)
+}
+
+// LaggedCorrelations reports screened stream pairs whose current window on
+// one side resembles a window of the other side ending up to maxLag time
+// steps earlier (TimeA − TimeB is the lag). Pairs are screened only; pass
+// them to Summary().VerifyPairs for exact confirmation. Requires the
+// summary to retain indexed features across the lag range (IndexHorizon).
+func (m *Monitor) LaggedCorrelations(level int, r float64, maxLag int) ([]CorrPair, error) {
+	return m.sum.CorrelationScreenLagged(level, r, maxLag)
+}
+
+// LinearScanMatches is the brute-force ground truth for FindPattern,
+// scanning every retained alignment of every stream.
+func (m *Monitor) LinearScanMatches(q []float64, r float64) []Match {
+	return m.sum.ScanPatternMatches(q, r)
+}
+
+// Stats returns a space-usage snapshot: per-level box counts, index sizes
+// and retained raw history.
+func (m *Monitor) Stats() Stats { return m.sum.Stats() }
+
+// Summary exposes the underlying core summary for advanced use (per-level
+// index inspection, exact feature recomputation).
+func (m *Monitor) Summary() *core.Summary { return m.sum }

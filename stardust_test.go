@@ -1,0 +1,219 @@
+package stardust
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{W: 8, Levels: 2}); err == nil {
+		t.Fatal("missing Streams should fail")
+	}
+	if _, err := New(Config{Streams: 1, W: 0, Levels: 2}); err == nil {
+		t.Fatal("bad W should fail")
+	}
+	if _, err := New(Config{Streams: 1, W: 8, Levels: 2, Mode: Mode(99)}); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	if _, err := New(Config{Streams: 1, W: 8, Levels: 2, Transform: DWT, Daubechies: true}); err == nil {
+		t.Fatal("Daubechies outside Batch mode should fail")
+	}
+	m, err := New(Config{Streams: 3, W: 8, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStreams() != 3 {
+		t.Fatalf("streams = %d", m.NumStreams())
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for mode, want := range map[Mode]string{Online: "online", Batch: "batch", SWAT: "swat"} {
+		if mode.String() != want {
+			t.Errorf("%d prints %q", int(mode), mode.String())
+		}
+	}
+	if Mode(42).String() == "" {
+		t.Error("unknown mode should still print")
+	}
+}
+
+// TestBurstMonitoringEndToEnd drives the public API through the gamma-ray
+// scenario: multi-timescale SUM monitoring with verified alarms.
+func TestBurstMonitoringEndToEnd(t *testing.T) {
+	m, err := New(Config{
+		Streams: 1, W: 10, Levels: 5,
+		Transform: Sum, Mode: Online, BoxCapacity: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(141))
+	data := gen.Burst(rng, 2000, 5, 40)
+	alarms := 0
+	for i, v := range data {
+		m.Append(0, v)
+		if i < 80 {
+			continue
+		}
+		res, err := m.CheckAggregate(0, 80, 700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Alarm {
+			alarms++
+			if res.Exact < 700 {
+				t.Fatalf("alarm with exact %g below threshold", res.Exact)
+			}
+		}
+		// The bound must always contain the exact value.
+		exact, err := m.Summary().ExactAggregate(0, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Bound.Contains(exact) {
+			t.Fatalf("t=%d: exact %g outside bound [%g, %g]", i, exact, res.Bound.Lo, res.Bound.Hi)
+		}
+	}
+	if alarms == 0 {
+		t.Fatal("burst workload should raise alarms")
+	}
+	if m.Now(0) != int64(len(data))-1 {
+		t.Fatalf("Now = %d", m.Now(0))
+	}
+}
+
+// TestPatternSearchEndToEnd drives FindPattern in both modes.
+func TestPatternSearchEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	data := gen.HostLoads(rng, 3, 600)
+	for _, mode := range []Mode{Online, Batch} {
+		m, err := New(Config{
+			Streams: 3, W: 16, Levels: 4,
+			Transform: DWT, Mode: mode, Coefficients: 4,
+			Normalization: NormUnit, Rmax: 4, History: 600,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 600; i++ {
+			for s := 0; s < 3; s++ {
+				m.Append(s, data[s][i])
+			}
+		}
+		q := make([]float64, 80)
+		copy(q, data[2][400:480])
+		res, err := m.FindPattern(q, 0.02)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		found := false
+		for _, match := range res.Matches {
+			if match.Stream == 2 && match.End == 479 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%v: planted pattern not found", mode)
+		}
+		// Matches must agree with the linear scan.
+		scan := m.LinearScanMatches(q, 0.02)
+		if len(scan) != len(res.Matches) {
+			t.Fatalf("%v: %d matches vs %d scan", mode, len(res.Matches), len(scan))
+		}
+	}
+}
+
+// TestCorrelationEndToEnd drives Correlations over grouped streams.
+func TestCorrelationEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	const M = 8
+	m, err := New(Config{
+		Streams: M, W: 16, Levels: 4,
+		Transform: DWT, Mode: Batch, Coefficients: 4,
+		Normalization: NormZ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.CorrelatedWalks(rng, M, 400, 2, 0.1)
+	vs := make([]float64, M)
+	for i := 0; i < 400; i++ {
+		for s := 0; s < M; s++ {
+			vs[s] = data[s][i]
+		}
+		m.AppendAll(vs)
+	}
+	res, err := m.Correlations(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grouped neighbours (0,1), (2,3), ... must be among verified pairs.
+	got := make(map[[2]int]bool)
+	for _, p := range res.Pairs {
+		got[[2]int{p.A, p.B}] = true
+		if p.Correlation < 1-0.5*0.5/2 {
+			t.Fatalf("pair (%d,%d) correlation %g below threshold", p.A, p.B, p.Correlation)
+		}
+	}
+	for g := 0; g < M; g += 2 {
+		if !got[[2]int{g, g + 1}] {
+			t.Fatalf("grouped pair (%d,%d) not detected; pairs = %v", g, g+1, res.Pairs)
+		}
+	}
+}
+
+// TestSWATMode exercises the SWAT rate schedule through the public API.
+func TestSWATMode(t *testing.T) {
+	m, err := New(Config{Streams: 1, W: 4, Levels: 3, Transform: Sum, Mode: SWAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Append(0, 1)
+	}
+	// Level-2 features (window 16, T=4) exist at t ≡ 3 mod 4.
+	if _, ok := m.Summary().FeatureBoxAt(0, 2, 99); !ok {
+		t.Fatal("SWAT level-2 feature missing at aligned time")
+	}
+	if _, ok := m.Summary().FeatureBoxAt(0, 2, 98); ok {
+		t.Fatal("SWAT level-2 feature present off schedule")
+	}
+}
+
+// TestDaubechiesBatch exercises the non-Haar filter path end to end.
+func TestDaubechiesBatch(t *testing.T) {
+	m, err := New(Config{
+		Streams: 1, W: 16, Levels: 2,
+		Transform: DWT, Mode: Batch, Coefficients: 4, Daubechies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(144))
+	for i := 0; i < 128; i++ {
+		m.Append(0, rng.Float64())
+	}
+	if _, ok := m.Summary().FeatureBoxAt(0, 1, 127); !ok {
+		t.Fatal("D4 batch feature missing")
+	}
+}
+
+func TestAggregateBoundAccessor(t *testing.T) {
+	m, err := New(Config{Streams: 1, W: 4, Levels: 3, Transform: Spread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		m.Append(0, float64(i%7))
+	}
+	iv, err := m.AggregateBound(0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > iv.Hi {
+		t.Fatalf("inverted interval %v", iv)
+	}
+}

@@ -1,0 +1,203 @@
+package stardust
+
+import (
+	"fmt"
+)
+
+// EventKind distinguishes watcher events.
+type EventKind int
+
+const (
+	// EventAggregate is a verified threshold crossing of a standing
+	// aggregate query.
+	EventAggregate EventKind = iota
+	// EventAggregateCleared marks an aggregate watch falling back below
+	// its threshold (only with edge triggering).
+	EventAggregateCleared
+	// EventPattern is a new verified match of a standing pattern query.
+	EventPattern
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventAggregate:
+		return "aggregate-alarm"
+	case EventAggregateCleared:
+		return "aggregate-cleared"
+	case EventPattern:
+		return "pattern-match"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one continuous-query notification.
+type Event struct {
+	Kind    EventKind
+	WatchID int
+	Stream  int
+	// Time is the discrete stream time the event fired at.
+	Time int64
+	// Value is the verified aggregate (aggregate events) or match distance
+	// (pattern events).
+	Value float64
+}
+
+// aggWatch is a standing Algorithm-2 query.
+type aggWatch struct {
+	id        int
+	stream    int
+	window    int
+	threshold float64
+	edge      bool
+	firing    bool
+}
+
+// patternWatch is a standing pattern query from the paper's Section 2.3
+// model: a pattern database continuously monitored over the streams.
+type patternWatch struct {
+	id     int
+	query  []float64
+	radius float64
+	every  int64 // evaluation period (defaults to W)
+	// seen dedups reported matches.
+	seen map[Match]bool
+}
+
+// Watcher evaluates standing queries as values arrive — the paper's
+// continuous-query model. Create one around a Monitor, register watches,
+// then feed values through Push instead of Monitor.Append; each Push
+// returns the events it triggered. The Watcher owns the Monitor's
+// ingestion; do not interleave direct Appends.
+type Watcher struct {
+	mon      *Monitor
+	nextID   int
+	aggs     []*aggWatch
+	patterns []*patternWatch
+}
+
+// NewWatcher wraps a monitor.
+func NewWatcher(m *Monitor) *Watcher {
+	return &Watcher{mon: m, nextID: 1}
+}
+
+// Monitor returns the wrapped monitor (for queries; not for Appends).
+func (w *Watcher) Monitor() *Monitor { return w.mon }
+
+// WatchAggregate registers a standing aggregate query on one stream. With
+// edgeTriggered, events fire only on quiet→alarm transitions (plus a
+// cleared event on alarm→quiet); otherwise every alarming time step emits
+// an event. The watch id identifies events.
+func (w *Watcher) WatchAggregate(stream, window int, threshold float64, edgeTriggered bool) (int, error) {
+	if stream < 0 || stream >= w.mon.NumStreams() {
+		return 0, fmt.Errorf("stardust: stream %d out of range [0, %d)", stream, w.mon.NumStreams())
+	}
+	if _, err := w.mon.Summary().Config().DecomposeWindow(window); err != nil {
+		return 0, fmt.Errorf("stardust: %v", err)
+	}
+	id := w.nextID
+	w.nextID++
+	w.aggs = append(w.aggs, &aggWatch{
+		id: id, stream: stream, window: window, threshold: threshold, edge: edgeTriggered,
+	})
+	return id, nil
+}
+
+// WatchPattern registers a standing pattern query over ALL streams: new
+// matches (subsequences within radius of the pattern) are reported as they
+// complete. The pattern is evaluated every W arrivals per stream (or every
+// arrival for Online monitors with W=1 evaluation is too costly — the
+// evaluation period is W in all modes).
+func (w *Watcher) WatchPattern(query []float64, radius float64) (int, error) {
+	if len(query) == 0 || radius <= 0 {
+		return 0, fmt.Errorf("stardust: pattern watch needs a query and positive radius")
+	}
+	// Validate the query shape against the monitor's mode now rather than
+	// at the first evaluation.
+	if _, err := w.mon.FindPattern(query, radius); err != nil {
+		return 0, fmt.Errorf("stardust: %v", err)
+	}
+	id := w.nextID
+	w.nextID++
+	q := append([]float64(nil), query...)
+	w.patterns = append(w.patterns, &patternWatch{
+		id: id, query: q, radius: radius,
+		every: int64(w.mon.Summary().Config().W),
+		seen:  make(map[Match]bool),
+	})
+	return id, nil
+}
+
+// Unwatch removes a standing query by id.
+func (w *Watcher) Unwatch(id int) bool {
+	for i, a := range w.aggs {
+		if a.id == id {
+			w.aggs = append(w.aggs[:i], w.aggs[i+1:]...)
+			return true
+		}
+	}
+	for i, p := range w.patterns {
+		if p.id == id {
+			w.patterns = append(w.patterns[:i], w.patterns[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Push ingests one value and evaluates the standing queries it can affect,
+// returning the triggered events (nil when quiet).
+func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
+	w.mon.Append(stream, v)
+	t := w.mon.Now(stream)
+	var events []Event
+
+	for _, a := range w.aggs {
+		if a.stream != stream || t < int64(a.window)-1 {
+			continue
+		}
+		res, err := w.mon.CheckAggregate(a.stream, a.window, a.threshold)
+		if err != nil {
+			return events, err
+		}
+		switch {
+		case res.Alarm && (!a.edge || !a.firing):
+			a.firing = true
+			events = append(events, Event{
+				Kind: EventAggregate, WatchID: a.id, Stream: stream, Time: t, Value: res.Exact,
+			})
+		case !res.Alarm && a.edge && a.firing:
+			a.firing = false
+			exact, err := w.mon.Summary().ExactAggregate(a.stream, a.window)
+			if err == nil {
+				events = append(events, Event{
+					Kind: EventAggregateCleared, WatchID: a.id, Stream: stream, Time: t, Value: exact,
+				})
+			}
+		case !res.Alarm:
+			a.firing = false
+		}
+	}
+
+	for _, p := range w.patterns {
+		if (t+1)%p.every != 0 || t < int64(len(p.query))-1 {
+			continue
+		}
+		res, err := w.mon.FindPattern(p.query, p.radius)
+		if err != nil {
+			return events, err
+		}
+		for _, m := range res.Matches {
+			key := Match{Stream: m.Stream, End: m.End}
+			if p.seen[key] {
+				continue
+			}
+			p.seen[key] = true
+			events = append(events, Event{
+				Kind: EventPattern, WatchID: p.id, Stream: m.Stream, Time: m.End, Value: m.Dist,
+			})
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,244 @@
+package stardust
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/gen"
+)
+
+func newWatcher(t *testing.T, cfg Config) *Watcher {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWatcher(m)
+}
+
+func TestWatchAggregateValidation(t *testing.T) {
+	w := newWatcher(t, Config{Streams: 2, W: 4, Levels: 3, Transform: Sum})
+	if _, err := w.WatchAggregate(5, 8, 10, true); err == nil {
+		t.Fatal("bad stream should fail")
+	}
+	if _, err := w.WatchAggregate(0, 7, 10, true); err == nil {
+		t.Fatal("un-decomposable window should fail")
+	}
+	id, err := w.WatchAggregate(0, 8, 10, true)
+	if err != nil || id == 0 {
+		t.Fatalf("valid watch failed: %v", err)
+	}
+}
+
+// TestWatchAggregateEdgeTriggered: one alarm event per burst episode plus
+// one cleared event, regardless of episode length.
+func TestWatchAggregateEdgeTriggered(t *testing.T) {
+	w := newWatcher(t, Config{Streams: 1, W: 4, Levels: 3, Transform: Sum, BoxCapacity: 2})
+	id, err := w.WatchAggregate(0, 8, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alarms, cleared int
+	push := func(v float64) {
+		events, err := w.Push(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			if e.WatchID != id {
+				t.Fatalf("event for unknown watch: %+v", e)
+			}
+			switch e.Kind {
+			case EventAggregate:
+				alarms++
+				if e.Value < 100 {
+					t.Fatalf("alarm below threshold: %+v", e)
+				}
+			case EventAggregateCleared:
+				cleared++
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		push(2) // quiet: window sum 16
+	}
+	for i := 0; i < 10; i++ {
+		push(50) // burst: sums cross 100 quickly
+	}
+	for i := 0; i < 20; i++ {
+		push(2) // quiet again
+	}
+	if alarms != 1 {
+		t.Fatalf("edge-triggered alarms = %d, want 1", alarms)
+	}
+	if cleared != 1 {
+		t.Fatalf("cleared events = %d, want 1", cleared)
+	}
+}
+
+// TestWatchAggregateLevelTriggered: without edge triggering, every alarming
+// step emits.
+func TestWatchAggregateLevelTriggered(t *testing.T) {
+	w := newWatcher(t, Config{Streams: 1, W: 4, Levels: 2, Transform: Sum})
+	if _, err := w.WatchAggregate(0, 4, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 10; i++ {
+		events, err := w.Push(0, 50) // every full window sums 200
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(events)
+	}
+	// Windows complete from t=3 on: 7 alarming steps.
+	if total != 7 {
+		t.Fatalf("level-triggered events = %d, want 7", total)
+	}
+}
+
+// TestWatchPatternReportsNewMatchesOnce: a planted pattern is reported when
+// it completes, exactly once, with the right stream and end time.
+func TestWatchPatternReportsNewMatchesOnce(t *testing.T) {
+	w := newWatcher(t, Config{
+		Streams: 2, W: 8, Levels: 3, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormUnit, Rmax: 150, History: 600,
+	})
+	rng := rand.New(rand.NewSource(271))
+	data := gen.RandomWalks(rng, 2, 400)
+	// The pattern: what stream 1 will trace at positions 200..239.
+	pattern := make([]float64, 40)
+	copy(pattern, data[1][200:240])
+	id, err := w.WatchPattern(pattern, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Event
+	for i := 0; i < 400; i++ {
+		for s := 0; s < 2; s++ {
+			events, err := w.Push(s, data[s][i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range events {
+				if e.Kind == EventPattern && e.WatchID == id {
+					hits = append(hits, e)
+				}
+			}
+		}
+	}
+	foundPlanted := false
+	seen := map[[2]int64]int{}
+	for _, h := range hits {
+		if h.Stream == 1 && h.Time == 239 {
+			foundPlanted = true
+		}
+		seen[[2]int64{int64(h.Stream), h.Time}]++
+	}
+	if !foundPlanted {
+		t.Fatalf("planted pattern never reported; hits = %v", hits)
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("match %v reported %d times", k, n)
+		}
+	}
+}
+
+func TestWatchPatternValidation(t *testing.T) {
+	w := newWatcher(t, Config{
+		Streams: 1, W: 8, Levels: 2, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormUnit, Rmax: 10,
+	})
+	if _, err := w.WatchPattern(nil, 0.1); err == nil {
+		t.Fatal("empty pattern should fail")
+	}
+	if _, err := w.WatchPattern(make([]float64, 32), 0); err == nil {
+		t.Fatal("zero radius should fail")
+	}
+	if _, err := w.WatchPattern(make([]float64, 4), 0.1); err == nil {
+		t.Fatal("too-short pattern should fail")
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	w := newWatcher(t, Config{Streams: 1, W: 4, Levels: 2, Transform: Sum})
+	id, _ := w.WatchAggregate(0, 4, 10, true)
+	if !w.Unwatch(id) {
+		t.Fatal("unwatch failed")
+	}
+	if w.Unwatch(id) {
+		t.Fatal("double unwatch should fail")
+	}
+	// No events after unwatching.
+	for i := 0; i < 10; i++ {
+		events, err := w.Push(0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 0 {
+			t.Fatal("unwatched query still fired")
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventAggregate: "aggregate-alarm", EventAggregateCleared: "aggregate-cleared", EventPattern: "pattern-match",
+	} {
+		if k.String() != want {
+			t.Errorf("%d prints %q", int(k), k.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+// TestSafeWatcherConcurrent hammers a SafeWatcher from parallel producers;
+// run with -race.
+func TestSafeWatcherConcurrent(t *testing.T) {
+	m, err := New(Config{Streams: 4, W: 4, Levels: 3, Transform: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSafeWatcher(m)
+	for s := 0; s < 4; s++ {
+		if _, err := sw.WatchAggregate(s, 8, 300, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan int, 4)
+	for s := 0; s < 4; s++ {
+		go func(stream int) {
+			alarms := 0
+			for i := 0; i < 500; i++ {
+				v := 2.0
+				if i >= 200 && i < 260 {
+					v = 60
+				}
+				events, err := sw.Push(stream, v)
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				for _, e := range events {
+					if e.Kind == EventAggregate {
+						alarms++
+					}
+				}
+			}
+			done <- alarms
+		}(s)
+	}
+	total := 0
+	for s := 0; s < 4; s++ {
+		total += <-done
+	}
+	if total != 4 {
+		t.Fatalf("edge-triggered alarms = %d, want 4 (one per stream)", total)
+	}
+	if ok := sw.Unwatch(1); !ok {
+		t.Fatal("unwatch failed")
+	}
+}
