@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# CI gate: build, vet, and run the full test suite under the race
+# detector. Run from the repository root. Fails fast on the first error.
+set -eu
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"

@@ -1,24 +1,35 @@
 // Command stardust-server runs the HTTP monitoring service: JSON ingestion
 // plus aggregate, pattern and correlation queries over a shared Stardust
-// summary, with optional snapshot persistence across restarts.
+// summary, with crash-safe snapshot persistence across restarts.
 //
 // Usage:
 //
 //	stardust-server -addr :8080 -streams 16 -w 16 -levels 5 \
-//	    -transform dwt -mode batch -norm z -snapshot state.snap
+//	    -transform dwt -mode batch -norm z -snapshot state.snap \
+//	    -snapshot-every 30s -bad-values lastvalue
 //
-// If the snapshot file exists at startup, state is restored from it. See
-// internal/server for the endpoint reference.
+// If the snapshot file (or its .bak fallback) exists at startup, state is
+// restored from it; a snapshot that exists but cannot be read fails
+// startup loudly rather than silently discarding state. On SIGINT/SIGTERM
+// the server drains in-flight requests and writes a final snapshot before
+// exiting. See internal/server for the endpoint reference, including the
+// /healthz and /readyz probes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
+	"io/fs"
 	"log"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"stardust"
+	"stardust/internal/resilience"
 	"stardust/internal/server"
 )
 
@@ -35,8 +46,26 @@ func main() {
 	capacity := flag.Int("c", 0, "box capacity (0 = default)")
 	history := flag.Int("history", 0, "raw history retained (0 = default)")
 	snapshot := flag.String("snapshot", "", "snapshot file (restored at startup when present)")
+	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "auto-snapshot period (0 disables; needs -snapshot)")
 	watch := flag.Bool("watch", false, "enable standing queries: POST /watch registers them, GET /events drains alarms")
+	badValues := flag.String("bad-values", "reject", "bad-value policy: reject, clamp, lastvalue")
+	clampMin := flag.Float64("clamp-min", 0, "lower clamp bound for -bad-values clamp")
+	clampMax := flag.Float64("clamp-max", 0, "upper clamp bound for -bad-values clamp")
+	quarantine := flag.Int("quarantine-after", 0, "consecutive bad values before a stream is quarantined (0 = default, <0 disables)")
+	readTimeout := flag.Duration("read-timeout", 15*time.Second, "HTTP request read timeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP response write timeout")
 	flag.Parse()
+
+	policy, err := resilience.ParsePolicy(*badValues)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guardCfg := stardust.GuardConfig{
+		Policy:          policy,
+		ClampMin:        *clampMin,
+		ClampMax:        *clampMax,
+		QuarantineAfter: *quarantine,
+	}
 
 	cfg := stardust.Config{
 		Streams:      *streams,
@@ -46,6 +75,7 @@ func main() {
 		Coefficients: *coeffs,
 		Rmax:         *rmax,
 		History:      *history,
+		BadValues:    guardCfg,
 	}
 	switch *transform {
 	case "sum":
@@ -92,24 +122,49 @@ func main() {
 	} else {
 		srv = server.New(stardust.WrapSafe(mon), *snapshot)
 	}
-	log.Printf("stardust-server listening on %s (%d streams, W=%d, %d levels, %s/%s, watch=%v)",
-		*addr, *streams, *w, *levels, *transform, *mode, *watch)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("stardust-server listening on %s (%d streams, W=%d, %d levels, %s/%s, watch=%v, bad-values=%v)",
+		ln.Addr(), mon.NumStreams(), *w, *levels, *transform, *mode, *watch, policy)
+
+	// Graceful lifecycle: SIGINT/SIGTERM drains connections and takes a
+	// final snapshot before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = srv.Serve(ctx, ln, server.ServeOptions{
+		SnapshotEvery: *snapEvery,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("stardust-server: shut down cleanly")
 }
 
 // buildMonitor restores from the snapshot when present, otherwise builds a
-// fresh monitor from flags.
+// fresh monitor from flags. Only a genuinely absent snapshot falls through
+// to a fresh build: a snapshot that exists but cannot be opened or parsed
+// (and has no loadable .bak) is a hard error, because silently starting
+// fresh would discard the state the operator asked to keep.
 func buildMonitor(cfg stardust.Config, path string) (*stardust.Monitor, error) {
-	if path != "" {
-		if f, err := os.Open(path); err == nil {
-			defer f.Close()
-			m, err := stardust.Load(f)
-			if err != nil {
-				return nil, fmt.Errorf("restoring %s: %v", path, err)
-			}
-			log.Printf("restored state from %s (%d streams at t=%d)", path, m.NumStreams(), m.Now(0))
-			return m, nil
-		}
+	if path == "" {
+		return stardust.New(cfg)
 	}
-	return stardust.New(cfg)
+	m, err := stardust.LoadFile(path)
+	switch {
+	case err == nil:
+		log.Printf("restored state from %s (%d streams at t=%d)", path, m.NumStreams(), m.Now(0))
+		// Load installs the default guard; re-apply the deployment's
+		// policy flags.
+		m.SetBadValuePolicy(cfg.BadValues)
+		return m, nil
+	case errors.Is(err, fs.ErrNotExist):
+		return stardust.New(cfg)
+	default:
+		return nil, err
+	}
 }

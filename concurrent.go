@@ -24,7 +24,8 @@ func NewSafe(cfg Config) (*SafeMonitor, error) {
 	return &SafeMonitor{m: m}, nil
 }
 
-// Append ingests one value for one stream.
+// Append ingests one value for one stream, panicking on samples the guard
+// cannot repair (see Monitor.Append). Fallible callers should use Ingest.
 func (s *SafeMonitor) Append(stream int, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -36,6 +37,22 @@ func (s *SafeMonitor) AppendAll(vs []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m.AppendAll(vs)
+}
+
+// Ingest ingests one value through the resilience guard, returning a typed
+// error (ErrStreamRange, ErrBadValue, ErrQuarantined) instead of panicking.
+func (s *SafeMonitor) Ingest(stream int, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Ingest(stream, v)
+}
+
+// IngestAll ingests one synchronized arrival through the guard; see
+// Monitor.IngestAll for the partial-failure contract.
+func (s *SafeMonitor) IngestAll(vs []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.IngestAll(vs)
 }
 
 // Now returns the discrete time of the stream's most recent value.
@@ -188,6 +205,12 @@ func (s *SafeWatcher) LaggedCorrelations(level int, r float64, maxLag int) ([]Co
 
 // AppendAll pushes one synchronized arrival through the watcher, returning
 // the events of each stream's push concatenated.
+//
+// Partial-event contract: on a mid-loop error (a rejected sample or a
+// failing standing query) the events already triggered by earlier streams
+// in THIS arrival are returned alongside the error, and later streams are
+// not pushed — their clocks do not advance. Callers must consume the
+// returned events even when err != nil; they will not be re-delivered.
 func (s *SafeWatcher) AppendAll(vs []float64) ([]Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,5 +1,7 @@
 package core
 
+import "stardust/internal/resilience"
+
 // LevelStats describes the state of one resolution level of the summary.
 type LevelStats struct {
 	// Window is the sliding window size W·2^j.
@@ -26,6 +28,10 @@ type Stats struct {
 	RawHistory int
 	// FeatureDim is the dimensionality of indexed features.
 	FeatureDim int
+	// Ingest reports the resilience guard's accept/repair/reject counters
+	// and quarantine state. A bare Summary has no guard; the public
+	// Monitor wrappers fill this in.
+	Ingest resilience.IngestStats
 }
 
 // TotalBoxes returns the summary-wide box count.

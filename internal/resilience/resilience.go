@@ -1,0 +1,234 @@
+// Package resilience hardens the ingestion boundary of a stream monitor.
+// Real deployments receive malformed inputs — NaNs from sensor dropouts,
+// infinities from overflow upstream, stream ids from buggy clients — and a
+// monitor promising "no false dismissals" over unbounded streams must
+// survive them. The package converts what would be process-killing panics
+// into typed errors and applies a configurable repair policy, with a
+// per-stream quarantine that stops repairing streams which have gone
+// persistently bad (fabricating hours of gap-fill data would itself be a
+// correctness bug).
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed errors returned by Guard.Admit. Callers match them with errors.Is.
+var (
+	// ErrBadValue marks a non-finite (or otherwise inadmissible) sample
+	// that the configured policy could not repair.
+	ErrBadValue = errors.New("bad value")
+	// ErrStreamRange marks a stream id outside the monitor's range.
+	ErrStreamRange = errors.New("stream out of range")
+	// ErrQuarantined marks a sample dropped because its stream is
+	// quarantined: it produced QuarantineAfter consecutive bad values, so
+	// repairs are suspended until a finite value arrives.
+	ErrQuarantined = errors.New("stream quarantined")
+)
+
+// Policy selects how inadmissible values are handled at ingestion.
+type Policy int
+
+const (
+	// Reject drops the sample with ErrBadValue (the safe default; the
+	// stream's clock does not advance).
+	Reject Policy = iota
+	// Clamp repairs directional overflow: +Inf becomes ClampMax, −Inf
+	// becomes ClampMin, and finite values outside [ClampMin, ClampMax]
+	// are clamped to the nearer bound. NaN carries no direction and is
+	// rejected.
+	Clamp
+	// LastValue gap-fills: a non-finite sample is replaced by the
+	// stream's most recent admitted value, keeping synchronized streams
+	// aligned. Rejected when the stream has no history yet.
+	LastValue
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Reject:
+		return "reject"
+	case Clamp:
+		return "clamp"
+	case LastValue:
+		return "last-value"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "reject":
+		return Reject, nil
+	case "clamp":
+		return Clamp, nil
+	case "lastvalue", "last-value":
+		return LastValue, nil
+	default:
+		return 0, fmt.Errorf("resilience: unknown bad-value policy %q", s)
+	}
+}
+
+// DefaultQuarantineAfter is the consecutive-bad-value threshold used when
+// Config.QuarantineAfter is zero.
+const DefaultQuarantineAfter = 8
+
+// Config configures a Guard. The zero value selects Reject with the
+// default quarantine threshold and unbounded clamp range.
+type Config struct {
+	// Policy selects the bad-value handling (default Reject).
+	Policy Policy
+	// ClampMin/ClampMax bound admitted values under Clamp. Both zero
+	// means ±MaxFloat64: only non-finite values are repaired.
+	ClampMin, ClampMax float64
+	// QuarantineAfter is K, the consecutive bad values that trip a
+	// stream's quarantine. 0 selects DefaultQuarantineAfter; negative
+	// disables quarantine entirely.
+	QuarantineAfter int
+}
+
+// IngestStats is a point-in-time snapshot of a Guard's counters,
+// surfaced through the monitor's Stats.
+type IngestStats struct {
+	// Accepted counts samples admitted unmodified.
+	Accepted int64
+	// Repaired counts samples admitted after policy repair (clamped or
+	// gap-filled).
+	Repaired int64
+	// Rejected counts samples dropped with an error.
+	Rejected int64
+	// QuarantinedStreams is the number of streams currently quarantined.
+	QuarantinedStreams int
+	// QuarantineTrips counts quiet→quarantined transitions since start.
+	QuarantineTrips int64
+}
+
+// guardStream is the per-stream repair and quarantine state.
+type guardStream struct {
+	last        float64 // most recent admitted value
+	hasLast     bool
+	badRun      int // consecutive bad values seen
+	quarantined bool
+}
+
+// Guard applies a bad-value policy at the ingestion boundary of a set of
+// streams. It is not safe for concurrent use; the owning monitor's lock
+// covers it.
+type Guard struct {
+	cfg     Config
+	k       int // effective quarantine threshold; 0 = disabled
+	streams []guardStream
+
+	accepted, repaired, rejected, trips int64
+}
+
+// NewGuard builds a guard for n streams.
+func NewGuard(cfg Config, n int) *Guard {
+	if cfg.Policy == Clamp && cfg.ClampMin == 0 && cfg.ClampMax == 0 {
+		cfg.ClampMin, cfg.ClampMax = -math.MaxFloat64, math.MaxFloat64
+	}
+	k := cfg.QuarantineAfter
+	switch {
+	case k == 0:
+		k = DefaultQuarantineAfter
+	case k < 0:
+		k = 0
+	}
+	return &Guard{cfg: cfg, k: k, streams: make([]guardStream, n)}
+}
+
+// Grow registers one more stream (mirrors Monitor.AddStream).
+func (g *Guard) Grow() { g.streams = append(g.streams, guardStream{}) }
+
+// NumStreams returns the guarded stream count.
+func (g *Guard) NumStreams() int { return len(g.streams) }
+
+// Admit validates one sample. It returns the value to append — possibly
+// repaired per the policy — or a typed error (ErrStreamRange, ErrBadValue,
+// ErrQuarantined) when the sample must be dropped. A finite admitted value
+// always clears the stream's quarantine and bad-run counter.
+func (g *Guard) Admit(stream int, v float64) (float64, error) {
+	if stream < 0 || stream >= len(g.streams) {
+		return 0, fmt.Errorf("resilience: %w: stream %d not in [0, %d)",
+			ErrStreamRange, stream, len(g.streams))
+	}
+	st := &g.streams[stream]
+
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		if g.cfg.Policy == Clamp && (v < g.cfg.ClampMin || v > g.cfg.ClampMax) {
+			// Out-of-range but finite: clamp silently; this is a repair,
+			// not a bad-run event (the sample carries real information).
+			v = math.Min(math.Max(v, g.cfg.ClampMin), g.cfg.ClampMax)
+			g.repaired++
+		} else {
+			g.accepted++
+		}
+		st.last, st.hasLast = v, true
+		st.badRun = 0
+		if st.quarantined {
+			st.quarantined = false
+		}
+		return v, nil
+	}
+
+	// Non-finite sample: count it toward quarantine regardless of whether
+	// the policy can repair it.
+	st.badRun++
+	if g.k > 0 && st.badRun >= g.k && !st.quarantined {
+		st.quarantined = true
+		g.trips++
+	}
+	if st.quarantined {
+		g.rejected++
+		return 0, fmt.Errorf("resilience: %w: stream %d after %d consecutive bad values (%v)",
+			ErrQuarantined, stream, st.badRun, v)
+	}
+
+	switch g.cfg.Policy {
+	case Clamp:
+		if math.IsInf(v, +1) {
+			g.repaired++
+			return g.cfg.ClampMax, nil
+		}
+		if math.IsInf(v, -1) {
+			g.repaired++
+			return g.cfg.ClampMin, nil
+		}
+		// NaN: no direction to clamp toward.
+	case LastValue:
+		if st.hasLast {
+			g.repaired++
+			return st.last, nil
+		}
+	}
+	g.rejected++
+	return 0, fmt.Errorf("resilience: %w: non-finite value %v for stream %d (policy %v)",
+		ErrBadValue, v, stream, g.cfg.Policy)
+}
+
+// Stats snapshots the guard's counters.
+func (g *Guard) Stats() IngestStats {
+	out := IngestStats{
+		Accepted:        g.accepted,
+		Repaired:        g.repaired,
+		Rejected:        g.rejected,
+		QuarantineTrips: g.trips,
+	}
+	for i := range g.streams {
+		if g.streams[i].quarantined {
+			out.QuarantinedStreams++
+		}
+	}
+	return out
+}
+
+// Quarantined reports whether the stream is currently quarantined.
+// Out-of-range ids report false.
+func (g *Guard) Quarantined(stream int) bool {
+	return stream >= 0 && stream < len(g.streams) && g.streams[stream].quarantined
+}

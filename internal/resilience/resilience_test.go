@@ -1,0 +1,174 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRejectPolicy(t *testing.T) {
+	g := NewGuard(Config{}, 2)
+	if v, err := g.Admit(0, 3.5); err != nil || v != 3.5 {
+		t.Fatalf("finite admit = %v, %v", v, err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := g.Admit(0, bad); !errors.Is(err, ErrBadValue) {
+			t.Fatalf("Admit(%v) err = %v, want ErrBadValue", bad, err)
+		}
+	}
+	st := g.Stats()
+	if st.Accepted != 1 || st.Rejected != 3 || st.Repaired != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStreamRange(t *testing.T) {
+	g := NewGuard(Config{}, 2)
+	for _, s := range []int{-1, 2, 100} {
+		if _, err := g.Admit(s, 1); !errors.Is(err, ErrStreamRange) {
+			t.Fatalf("Admit(stream=%d) err = %v, want ErrStreamRange", s, err)
+		}
+	}
+	g.Grow()
+	if _, err := g.Admit(2, 1); err != nil {
+		t.Fatalf("grown stream rejected: %v", err)
+	}
+}
+
+func TestClampPolicy(t *testing.T) {
+	g := NewGuard(Config{Policy: Clamp, ClampMin: -10, ClampMax: 10}, 1)
+	cases := []struct {
+		in, want float64
+	}{
+		{5, 5},
+		{math.Inf(1), 10},
+		{math.Inf(-1), -10},
+		{42, 10},    // finite out of range clamps too
+		{-99, -10},
+	}
+	for _, c := range cases {
+		v, err := g.Admit(0, c.in)
+		if err != nil || v != c.want {
+			t.Fatalf("Admit(%v) = %v, %v; want %v", c.in, v, err, c.want)
+		}
+	}
+	// NaN has no clamp direction.
+	if _, err := g.Admit(0, math.NaN()); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Clamp NaN err = %v, want ErrBadValue", err)
+	}
+	st := g.Stats()
+	if st.Repaired != 4 || st.Accepted != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClampDefaultsToUnbounded(t *testing.T) {
+	g := NewGuard(Config{Policy: Clamp}, 1)
+	if v, err := g.Admit(0, math.Inf(1)); err != nil || v != math.MaxFloat64 {
+		t.Fatalf("Admit(+Inf) = %v, %v", v, err)
+	}
+	if v, err := g.Admit(0, 1e308); err != nil || v != 1e308 {
+		t.Fatalf("large finite = %v, %v", v, err)
+	}
+}
+
+func TestLastValuePolicy(t *testing.T) {
+	g := NewGuard(Config{Policy: LastValue}, 1)
+	// No history yet: nothing to fill with.
+	if _, err := g.Admit(0, math.NaN()); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("gap-fill without history err = %v", err)
+	}
+	if _, err := g.Admit(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		if v, err := g.Admit(0, bad); err != nil || v != 7 {
+			t.Fatalf("gap-fill(%v) = %v, %v; want 7", bad, v, err)
+		}
+	}
+}
+
+func TestQuarantineTripsAndClears(t *testing.T) {
+	g := NewGuard(Config{Policy: LastValue, QuarantineAfter: 3}, 2)
+	if _, err := g.Admit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Two bad values repair; the third trips quarantine.
+	for i := 0; i < 2; i++ {
+		if _, err := g.Admit(0, math.NaN()); err != nil {
+			t.Fatalf("bad value %d: %v", i, err)
+		}
+	}
+	if g.Quarantined(0) {
+		t.Fatal("quarantined before threshold")
+	}
+	if _, err := g.Admit(0, math.NaN()); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("third bad value err = %v, want ErrQuarantined", err)
+	}
+	if !g.Quarantined(0) || g.Quarantined(1) {
+		t.Fatal("quarantine flags wrong")
+	}
+	// Repairs stay suspended while quarantined.
+	if _, err := g.Admit(0, math.Inf(1)); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined repair err = %v", err)
+	}
+	st := g.Stats()
+	if st.QuarantinedStreams != 1 || st.QuarantineTrips != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A finite value clears quarantine and resets the run.
+	if v, err := g.Admit(0, 2); err != nil || v != 2 {
+		t.Fatalf("recovery admit = %v, %v", v, err)
+	}
+	if g.Quarantined(0) {
+		t.Fatal("quarantine not cleared by finite value")
+	}
+	if st := g.Stats(); st.QuarantinedStreams != 0 || st.QuarantineTrips != 1 {
+		t.Fatalf("post-recovery stats = %+v", st)
+	}
+	// Gap-fill uses the recovered value now.
+	if v, err := g.Admit(0, math.NaN()); err != nil || v != 2 {
+		t.Fatalf("post-recovery gap-fill = %v, %v", v, err)
+	}
+}
+
+func TestQuarantineDisabled(t *testing.T) {
+	g := NewGuard(Config{Policy: LastValue, QuarantineAfter: -1}, 1)
+	if _, err := g.Admit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v, err := g.Admit(0, math.NaN()); err != nil || v != 1 {
+			t.Fatalf("repair %d = %v, %v", i, v, err)
+		}
+	}
+	if g.Quarantined(0) {
+		t.Fatal("quarantine tripped while disabled")
+	}
+}
+
+func TestQuarantineDefaultThreshold(t *testing.T) {
+	g := NewGuard(Config{}, 1)
+	for i := 0; i < DefaultQuarantineAfter-1; i++ {
+		if _, err := g.Admit(0, math.NaN()); !errors.Is(err, ErrBadValue) {
+			t.Fatalf("bad value %d err = %v", i, err)
+		}
+	}
+	if _, err := g.Admit(0, math.NaN()); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("value %d err = %v, want ErrQuarantined", DefaultQuarantineAfter, err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{
+		"reject": Reject, "clamp": Clamp, "lastvalue": LastValue, "last-value": LastValue,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -10,21 +10,34 @@
 //	POST /pattern       {"query": [...], "radius": 0.05}              — variable-length similarity
 //	GET  /correlations  ?level=3&radius=0.5[&lag=32]                  — correlated pairs
 //	GET  /stats                                                       — summary space snapshot
+//	GET  /healthz                                                     — liveness (always 200 while the process serves)
+//	GET  /readyz                                                      — readiness (503 while shutting down)
 //	POST /snapshot                                                    — persist state to the snapshot path
 //	POST /watch         {"type":"aggregate", "stream":0, ...}         — register a standing query (watcher-backed servers)
 //	GET  /events        ?since=N                                      — drain standing-query events (watcher-backed servers)
 //
-// Errors are JSON {"error": "..."} with a 4xx/5xx status.
+// Errors are JSON {"error": "..."} with a 4xx/5xx status. Ingestion routes
+// through the monitor's resilience guard, so malformed samples (NaN, Inf,
+// out-of-range stream ids) are 4xx responses, never process-killing
+// panics; a recovery middleware converts any residual handler panic into a
+// JSON 500. Serve runs the full lifecycle: request timeouts, a periodic
+// auto-snapshot loop, and graceful shutdown with a final snapshot.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"net/http"
-	"os"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"stardust"
 )
@@ -33,8 +46,8 @@ import (
 // stardust.SafeMonitor (plain ingestion) and stardust.SafeWatcher
 // (ingestion evaluating standing queries) implement it.
 type Backend interface {
-	Append(stream int, v float64)
-	AppendAll(vs []float64)
+	Ingest(stream int, v float64) error
+	IngestAll(vs []float64) error
 	NumStreams() int
 	Now(stream int) int64
 	CheckAggregate(stream, window int, threshold float64) (stardust.AggregateResult, error)
@@ -49,24 +62,28 @@ type Backend interface {
 type monitorBackend struct{ *stardust.SafeMonitor }
 
 // watcherBackend adapts SafeWatcher, capturing the events its pushes
-// produce so the server can expose them.
+// produce so the server can expose them. Events triggered before a
+// mid-push error are still sunk (the watcher's partial-event contract —
+// they are verified alarms and will not be re-delivered).
 type watcherBackend struct {
 	*stardust.SafeWatcher
 	sink func([]stardust.Event)
 }
 
-func (b watcherBackend) Append(stream int, v float64) {
+func (b watcherBackend) Ingest(stream int, v float64) error {
 	events, err := b.SafeWatcher.Push(stream, v)
-	if err == nil && len(events) > 0 {
+	if len(events) > 0 {
 		b.sink(events)
 	}
+	return err
 }
 
-func (b watcherBackend) AppendAll(vs []float64) {
+func (b watcherBackend) IngestAll(vs []float64) error {
 	events, err := b.SafeWatcher.AppendAll(vs)
-	if err == nil && len(events) > 0 {
+	if len(events) > 0 {
 		b.sink(events)
 	}
+	return err
 }
 
 // Server routes HTTP requests to a Backend.
@@ -74,6 +91,9 @@ type Server struct {
 	mon  Backend
 	mux  *http.ServeMux
 	path string // snapshot file path ("" disables POST /snapshot)
+
+	ready  atomic.Bool // false while shutting down: /readyz returns 503
+	snapMu sync.Mutex  // serializes snapshot file writes
 
 	watcher *stardust.SafeWatcher // non-nil when standing queries are enabled
 	evMu    sync.Mutex
@@ -101,11 +121,14 @@ func NewWithWatcher(w *stardust.SafeWatcher, snapshotPath string) *Server {
 
 func newServer(mon Backend, w *stardust.SafeWatcher, snapshotPath string) *Server {
 	s := &Server{mon: mon, mux: http.NewServeMux(), path: snapshotPath, watcher: w}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /aggregate", s.handleAggregate)
 	s.mux.HandleFunc("POST /pattern", s.handlePattern)
 	s.mux.HandleFunc("GET /correlations", s.handleCorrelations)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
@@ -123,8 +146,35 @@ func (s *Server) appendEvents(events []stardust.Event) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. A recovery middleware converts
+// handler panics into JSON 500 responses so one poisoned request cannot
+// kill the monitoring process.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote a header this is a
+			// no-op on the status, but the connection still survives.
+			writeErr(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 once shutdown has begun so load
+// balancers drain before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -143,6 +193,20 @@ type ingestRequest struct {
 	Rows   [][]float64 `json:"rows,omitempty"`
 }
 
+// ingestStatus maps the guard's typed errors to HTTP statuses: malformed
+// input is the client's fault (400), quarantine is a stateful refusal
+// (409), anything else is a server error.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, stardust.ErrStreamRange), errors.Is(err, stardust.ErrBadValue):
+		return http.StatusBadRequest
+	case errors.Is(err, stardust.ErrQuarantined):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -156,16 +220,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				writeErr(w, http.StatusBadRequest, "row %d has %d values for %d streams", i, len(row), s.mon.NumStreams())
 				return
 			}
-			s.mon.AppendAll(row)
+			if err := s.mon.IngestAll(row); err != nil {
+				// Earlier rows (and repaired streams of this row) are
+				// already ingested; report how far we got.
+				writeJSON(w, ingestStatus(err), map[string]any{
+					"error": err.Error(), "rows": i,
+				})
+				return
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"rows": len(req.Rows)})
 	case req.Stream != nil:
-		if *req.Stream < 0 || *req.Stream >= s.mon.NumStreams() {
-			writeErr(w, http.StatusBadRequest, "stream %d out of range [0, %d)", *req.Stream, s.mon.NumStreams())
-			return
-		}
-		for _, v := range req.Values {
-			s.mon.Append(*req.Stream, v)
+		for i, v := range req.Values {
+			if err := s.mon.Ingest(*req.Stream, v); err != nil {
+				writeJSON(w, ingestStatus(err), map[string]any{
+					"error": err.Error(), "values": i,
+				})
+				return
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"values": len(req.Values)})
 	default:
@@ -377,24 +449,120 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotImplemented, "no snapshot path configured")
 		return
 	}
-	tmp := s.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "creating snapshot: %v", err)
-		return
-	}
-	// Snapshot under the monitor's read lock via the public wrapper.
-	err = func() error {
-		defer f.Close()
-		return s.mon.Snapshot(f)
-	}()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "writing snapshot: %v", err)
-		return
-	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		writeErr(w, http.StatusInternalServerError, "committing snapshot: %v", err)
+	if err := s.SnapshotNow(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"path": s.path})
+}
+
+// SnapshotNow persists the monitor state to the configured snapshot path
+// crash-safely (temp file + fsync + rename, previous snapshot kept as
+// .bak). Concurrent calls — the HTTP endpoint, the auto-snapshot loop and
+// the shutdown path — serialize on an internal mutex.
+func (s *Server) SnapshotNow() error {
+	if s.path == "" {
+		return fmt.Errorf("server: no snapshot path configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return stardust.WriteSnapshotFile(s.mon, s.path)
+}
+
+// ServeOptions tunes the Serve lifecycle. The zero value selects the
+// documented defaults.
+type ServeOptions struct {
+	// SnapshotEvery is the auto-snapshot period; 0 disables the loop.
+	// Ignored when no snapshot path is configured.
+	SnapshotEvery time.Duration
+	// ReadTimeout bounds reading a full request including the body
+	// (default 15s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response (default 30s).
+	WriteTimeout time.Duration
+	// ShutdownGrace bounds connection draining after ctx is cancelled
+	// (default 10s).
+	ShutdownGrace time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 15 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.ShutdownGrace == 0 {
+		o.ShutdownGrace = 10 * time.Second
+	}
+	return o
+}
+
+// Serve runs the server's full lifecycle on the listener until ctx is
+// cancelled: requests are bounded by read/write timeouts, state is
+// auto-snapshotted every opts.SnapshotEvery, and on cancellation the
+// server flips /readyz to 503, drains in-flight connections, and writes a
+// final snapshot before returning. The caller owns the listener's
+// address; pass a net.Listener from net.Listen (or httptest).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, opts ServeOptions) error {
+	opts = opts.withDefaults()
+	httpSrv := &http.Server{
+		Handler:           s,
+		ReadTimeout:       opts.ReadTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Auto-snapshot loop: losing at most SnapshotEvery of stream history
+	// on a hard crash is the durability contract.
+	snapDone := make(chan struct{})
+	snapCtx, stopSnaps := context.WithCancel(ctx)
+	go func() {
+		defer close(snapDone)
+		if s.path == "" || opts.SnapshotEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(opts.SnapshotEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-snapCtx.Done():
+				return
+			case <-ticker.C:
+				if err := s.SnapshotNow(); err != nil {
+					log.Printf("server: auto-snapshot: %v", err)
+				}
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		stopSnaps()
+		<-snapDone
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop admitting (readiness 503), drain, then take
+	// the final snapshot so a SIGTERM loses nothing.
+	s.ready.Store(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.ShutdownGrace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	stopSnaps()
+	<-snapDone
+	if s.path != "" {
+		if snapErr := s.SnapshotNow(); snapErr != nil {
+			log.Printf("server: final snapshot: %v", snapErr)
+			if err == nil {
+				err = snapErr
+			}
+		}
+	}
+	return err
 }

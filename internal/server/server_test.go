@@ -2,14 +2,20 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"stardust"
 	"stardust/internal/gen"
@@ -482,5 +488,237 @@ func TestWatcherBackedRowsIngest(t *testing.T) {
 	first := events[0].(map[string]any)
 	if int(first["Stream"].(float64)) != 1 {
 		t.Fatalf("event stream = %v", first["Stream"])
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	resp, out := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, out)
+	}
+	resp, out = getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || out["status"] != "ready" {
+		t.Fatalf("readyz = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestReadyzDuringShutdown(t *testing.T) {
+	mon, err := stardust.NewSafe(stardust.Config{Streams: 1, W: 8, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(mon, "")
+	s.ready.Store(false)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rec.Code)
+	}
+	// Liveness stays green: the process is still up.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", rec.Code)
+	}
+}
+
+// TestPanicRecovery: a handler panic becomes a JSON 500 and the server
+// keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	mon, err := stardust.NewSafe(stardust.Config{Streams: 1, W: 8, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(mon, "")
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, out := getJSON(t, ts.URL+"/boom")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic status = %d, want 500", resp.StatusCode)
+	}
+	if out["error"] == nil {
+		t.Fatalf("panic response not JSON error: %v", out)
+	}
+	// The process survived; normal traffic continues.
+	resp, _ = getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", resp.StatusCode)
+	}
+}
+
+func TestIngestStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrapped: %w", stardust.ErrBadValue), http.StatusBadRequest},
+		{fmt.Errorf("wrapped: %w", stardust.ErrStreamRange), http.StatusBadRequest},
+		{fmt.Errorf("wrapped: %w", stardust.ErrQuarantined), http.StatusConflict},
+		{errors.New("other"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := ingestStatus(c.err); got != c.want {
+			t.Errorf("ingestStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestIngestBadValueSurvives drives a non-finite sample through the
+// backend the way a binary ingest path would: the server responds with an
+// error status, the process does not die, and subsequent traffic works.
+func TestIngestBadValueSurvives(t *testing.T) {
+	mon, err := stardust.NewSafe(stardust.Config{Streams: 2, W: 8, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(mon, "")
+	if err := s.mon.Ingest(0, math.NaN()); !errors.Is(err, stardust.ErrBadValue) {
+		t.Fatalf("backend NaN err = %v", err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.URL+"/ingest", map[string]any{"stream": 0, "values": []float64{1, 2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after bad value = %d", resp.StatusCode)
+	}
+	if st := mon.Stats(); st.Ingest.Rejected != 1 || st.Ingest.Accepted != 2 {
+		t.Fatalf("guard stats = %+v", st.Ingest)
+	}
+}
+
+func TestSnapshotEndpointKeepsBackup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	ts, _ := newTestServer(t, path)
+	postJSON(t, ts.URL+"/ingest", map[string]any{"stream": 0, "values": []float64{1, 2, 3}})
+	if resp, out := postJSON(t, ts.URL+"/snapshot", map[string]any{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot 1: %d %v", resp.StatusCode, out)
+	}
+	postJSON(t, ts.URL+"/ingest", map[string]any{"stream": 0, "values": []float64{4}})
+	if resp, out := postJSON(t, ts.URL+"/snapshot", map[string]any{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot 2: %d %v", resp.StatusCode, out)
+	}
+	if _, err := os.Stat(path + ".bak"); err != nil {
+		t.Fatalf("no backup: %v", err)
+	}
+	prev, err := stardust.LoadFile(path + ".bak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Now(0) != 2 {
+		t.Fatalf("backup time = %d, want 2", prev.Now(0))
+	}
+}
+
+// TestServeLifecycle runs the full Serve loop: auto-snapshots fire while
+// serving, and cancellation drains and writes a final snapshot.
+func TestServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	mon, err := stardust.NewSafe(stardust.Config{Streams: 2, W: 8, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(mon, path)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- s.Serve(ctx, ln, ServeOptions{SnapshotEvery: 10 * time.Millisecond})
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// Ingest under load while hitting /healthz — it must stay 200.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			body, _ := json.Marshal(map[string]any{"stream": 0, "values": []float64{float64(i)}})
+			resp, err := http.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Errorf("healthz under load: %v", err)
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz under load = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	wg.Wait()
+
+	// The auto-snapshot loop has produced a loadable file by now.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-snapshot never wrote a file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+	// The final snapshot reflects all ingested values.
+	final, err := stardust.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Now(0) != 49 {
+		t.Fatalf("final snapshot time = %d, want 49", final.Now(0))
+	}
+}
+
+// TestServeWithoutSnapshotPath: lifecycle works with persistence disabled.
+func TestServeWithoutSnapshotPath(t *testing.T) {
+	mon, err := stardust.NewSafe(stardust.Config{Streams: 1, W: 8, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(mon, "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln, ServeOptions{}) }()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
 	}
 }

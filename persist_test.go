@@ -2,7 +2,12 @@ package stardust
 
 import (
 	"bytes"
+	"errors"
+	"io/fs"
+	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"stardust/internal/gen"
@@ -64,9 +69,203 @@ func TestLoadRejectsBadInput(t *testing.T) {
 	if _, err := Load(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty input should fail")
 	}
-	// Valid magic, bad mode.
+	// Valid magic, truncated frame header.
 	buf := append(append([]byte{}, snapshotMagic[:]...), 0x7f, 0, 0, 0)
-	if _, err := Load(bytes.NewReader(buf)); err == nil {
-		t.Fatal("unknown mode should fail")
+	if _, err := Load(bytes.NewReader(buf)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated frame err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// snapshotBytes serializes a small exercised monitor.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	m, err := New(Config{Streams: 2, W: 8, Levels: 3, Transform: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Append(0, float64(i))
+		m.Append(1, float64(i%5))
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadLegacySDS1 pins backward compatibility: snapshots written by the
+// unframed v1 container (magic + mode + gob payload) must still load.
+func TestLoadLegacySDS1(t *testing.T) {
+	m, err := New(Config{Streams: 2, W: 8, Levels: 3, Transform: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		m.AppendAll([]float64{float64(i), float64(2 * i)})
+	}
+	var legacy bytes.Buffer
+	legacy.Write(snapshotMagicV1[:])
+	legacy.Write([]byte{byte(Online), 0, 0, 0}) // little-endian int32 mode
+	if err := m.Summary().Snapshot(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatalf("loading legacy snapshot: %v", err)
+	}
+	if loaded.NumStreams() != 2 || loaded.Now(0) != 59 {
+		t.Fatalf("legacy restore wrong: streams=%d now=%d", loaded.NumStreams(), loaded.Now(0))
+	}
+}
+
+// TestLoadCorruption: truncated files, bit-flipped payloads, and
+// wrong-magic files must fail with a clean typed error, never a panic.
+func TestLoadCorruption(t *testing.T) {
+	good := snapshotBytes(t)
+	if _, err := Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot failed: %v", err)
+	}
+
+	// Truncation at every region of the container.
+	for _, cut := range []int{2, 4, 10, 16, 20, len(good) / 2, len(good) - 1} {
+		if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded successfully", cut)
+		}
+	}
+	// Bit flips across the payload must be caught by the checksum.
+	for _, pos := range []int{16, 17, 24, len(good) / 2, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x40
+		if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrSnapshotCorrupt", pos, err)
+		}
+	}
+	// A corrupted length field must not over-read or succeed.
+	bad := append([]byte(nil), good...)
+	bad[8] ^= 0xff
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt length field loaded successfully")
+	}
+	// Wrong magic.
+	bad = append([]byte(nil), good...)
+	copy(bad, "ZZZZ")
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("wrong magic loaded successfully")
+	}
+}
+
+func TestWriteSnapshotFileAndLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+
+	// No file at all: error matches fs.ErrNotExist so callers can build
+	// fresh state.
+	if _, err := LoadFile(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+
+	m, err := New(Config{Streams: 1, W: 8, Levels: 2, Transform: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		m.Append(0, float64(i))
+	}
+	if err := WriteSnapshotFile(m, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Now(0) != 39 {
+		t.Fatalf("restored time = %d", loaded.Now(0))
+	}
+
+	// A second write keeps the previous snapshot as .bak.
+	m.Append(0, 1)
+	if err := WriteSnapshotFile(m, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".bak"); err != nil {
+		t.Fatalf("backup not kept: %v", err)
+	}
+	bak, err := LoadFile(path + ".bak")
+	if err != nil {
+		t.Fatalf("backup unloadable: %v", err)
+	}
+	if bak.Now(0) != 39 {
+		t.Fatalf("backup time = %d, want previous state 39", bak.Now(0))
+	}
+}
+
+// TestLoadFileFallsBackToBackup simulates the two crash states a kill -9
+// during WriteSnapshotFile can leave: a corrupt primary, and a missing
+// primary between the rotate and commit renames.
+func TestLoadFileFallsBackToBackup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	good := snapshotBytes(t)
+
+	// Corrupt primary + good backup → backup wins.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".bak", good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if m.Now(0) != 99 {
+		t.Fatalf("fallback time = %d", m.Now(0))
+	}
+
+	// Missing primary + good backup (crash between renames) → backup wins.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("rename-gap fallback failed: %v", err)
+	}
+
+	// Corrupt primary + no backup → clean typed error.
+	if err := os.Remove(path + ".bak"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt-no-backup err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestSnapshotRoundTripPreservesGuardDefault: restored monitors get a
+// working (default) ingestion guard.
+func TestSnapshotRoundTripPreservesGuardDefault(t *testing.T) {
+	good := snapshotBytes(t)
+	m, err := Load(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest(0, math.NaN()); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("restored guard err = %v, want ErrBadValue", err)
+	}
+	if err := m.Ingest(0, 5); err != nil {
+		t.Fatalf("restored guard rejects finite value: %v", err)
+	}
+	// Re-applying a policy resets guard state; after one admitted value
+	// the new policy gap-fills.
+	m.SetBadValuePolicy(GuardConfig{Policy: LastValueBad})
+	if err := m.Ingest(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest(0, math.NaN()); err != nil {
+		t.Fatalf("re-applied policy did not gap-fill: %v", err)
 	}
 }

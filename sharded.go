@@ -1,6 +1,7 @@
 package stardust
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -63,29 +64,72 @@ func (sm *ShardedMonitor) NumStreams() int { return sm.streams }
 // NumShards returns the number of shards.
 func (sm *ShardedMonitor) NumShards() int { return len(sm.shards) }
 
-// locate maps a global stream id to (shard, local id).
-func (sm *ShardedMonitor) locate(stream int) (*SafeMonitor, int) {
+// locate maps a global stream id to (shard, local id), returning
+// ErrStreamRange for ids outside [0, NumStreams) so API boundaries can
+// reject bad requests instead of crashing the process.
+func (sm *ShardedMonitor) locate(stream int) (*SafeMonitor, int, error) {
 	if stream < 0 || stream >= sm.streams {
-		panic(fmt.Sprintf("stardust: stream %d out of range [0, %d)", stream, sm.streams))
+		return nil, 0, fmt.Errorf("stardust: %w: stream %d not in [0, %d)", ErrStreamRange, stream, sm.streams)
 	}
-	return sm.shards[stream/sm.perShrd], stream % sm.perShrd
+	return sm.shards[stream/sm.perShrd], stream % sm.perShrd, nil
 }
 
-// Append ingests one value; only the owning shard locks.
+// Append ingests one value; only the owning shard locks. Out-of-range
+// streams and samples the shard's guard cannot repair panic; fallible
+// callers (servers, network boundaries) should use Ingest.
 func (sm *ShardedMonitor) Append(stream int, v float64) {
-	shard, local := sm.locate(stream)
+	shard, local, err := sm.locate(stream)
+	if err != nil {
+		panic(err.Error())
+	}
 	shard.Append(local, v)
 }
 
-// Now returns the stream's most recent discrete time.
+// Ingest ingests one value through the owning shard's resilience guard,
+// returning a typed error (ErrStreamRange, ErrBadValue, ErrQuarantined)
+// instead of panicking.
+func (sm *ShardedMonitor) Ingest(stream int, v float64) error {
+	shard, local, err := sm.locate(stream)
+	if err != nil {
+		return err
+	}
+	return shard.Ingest(local, v)
+}
+
+// IngestAll ingests one synchronized arrival across all streams through
+// the shards' guards; see Monitor.IngestAll for the partial-failure
+// contract.
+func (sm *ShardedMonitor) IngestAll(vs []float64) error {
+	if len(vs) != sm.streams {
+		return fmt.Errorf("stardust: %w: IngestAll got %d values for %d streams",
+			ErrStreamRange, len(vs), sm.streams)
+	}
+	var errs []error
+	for i, v := range vs {
+		if err := sm.Ingest(i, v); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Now returns the stream's most recent discrete time, panicking on
+// out-of-range ids like Append.
 func (sm *ShardedMonitor) Now(stream int) int64 {
-	shard, local := sm.locate(stream)
+	shard, local, err := sm.locate(stream)
+	if err != nil {
+		panic(err.Error())
+	}
 	return shard.Now(local)
 }
 
-// CheckAggregate routes to the owning shard.
+// CheckAggregate routes to the owning shard. Out-of-range streams return
+// ErrStreamRange.
 func (sm *ShardedMonitor) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
-	shard, local := sm.locate(stream)
+	shard, local, err := sm.locate(stream)
+	if err != nil {
+		return AggregateResult{}, err
+	}
 	return shard.CheckAggregate(local, window, threshold)
 }
 

@@ -22,10 +22,12 @@
 package stardust
 
 import (
+	"errors"
 	"fmt"
 
 	"stardust/internal/aggregate"
 	"stardust/internal/core"
+	"stardust/internal/resilience"
 	"stardust/internal/wavelet"
 )
 
@@ -83,6 +85,42 @@ type (
 	Stats = core.Stats
 	// LevelStats describes one resolution level in a Stats snapshot.
 	LevelStats = core.LevelStats
+)
+
+// Ingestion resilience surface (see internal/resilience): Ingest and
+// IngestAll route every sample through a Guard that converts malformed
+// input into typed errors and optionally repairs it.
+type (
+	// GuardPolicy selects how non-finite samples are handled at ingestion.
+	GuardPolicy = resilience.Policy
+	// GuardConfig configures the ingestion guard (Config.BadValues).
+	GuardConfig = resilience.Config
+	// IngestStats reports the guard's accept/repair/reject counters and
+	// quarantine state; surfaced via Stats().Ingest.
+	IngestStats = resilience.IngestStats
+)
+
+// Available bad-value policies.
+const (
+	// RejectBad drops non-finite samples with ErrBadValue (default).
+	RejectBad = resilience.Reject
+	// ClampBad repairs infinities (and finite out-of-range values) to the
+	// configured clamp bounds; NaN is still rejected.
+	ClampBad = resilience.Clamp
+	// LastValueBad gap-fills non-finite samples with the stream's most
+	// recent admitted value.
+	LastValueBad = resilience.LastValue
+)
+
+// Typed ingestion errors, matched with errors.Is.
+var (
+	// ErrBadValue marks an inadmissible sample the policy could not repair.
+	ErrBadValue = resilience.ErrBadValue
+	// ErrStreamRange marks a stream id outside [0, NumStreams).
+	ErrStreamRange = resilience.ErrStreamRange
+	// ErrQuarantined marks a sample dropped because its stream tripped the
+	// consecutive-bad-value quarantine.
+	ErrQuarantined = resilience.ErrQuarantined
 )
 
 // Mode selects the index maintenance algorithm of Section 4.
@@ -152,14 +190,20 @@ type Config struct {
 	// maintenance; pattern queries and lagged correlations require the
 	// index and must leave this off.
 	DisableIndex bool
+	// BadValues configures the ingestion guard applied by Ingest,
+	// IngestAll and Watcher.Push (and, for repairs, Append). The zero
+	// value rejects non-finite samples and quarantines a stream after
+	// resilience.DefaultQuarantineAfter consecutive bad values.
+	BadValues GuardConfig
 }
 
 // Monitor is the Stardust summary over a set of streams. Monitors are not
 // safe for concurrent use; wrap with a mutex or shard streams across
 // monitors for parallel ingest.
 type Monitor struct {
-	sum  *core.Summary
-	mode Mode
+	sum   *core.Summary
+	mode  Mode
+	guard *resilience.Guard
 }
 
 // New constructs a Monitor.
@@ -208,18 +252,86 @@ func New(cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stardust: %v", err)
 	}
-	return &Monitor{sum: sum, mode: cfg.Mode}, nil
+	return &Monitor{
+		sum:   sum,
+		mode:  cfg.Mode,
+		guard: resilience.NewGuard(cfg.BadValues, cfg.Streams),
+	}, nil
+}
+
+// Ingest ingests one value through the resilience guard. Inadmissible
+// samples return a typed error — ErrStreamRange, ErrBadValue, or
+// ErrQuarantined — instead of panicking, and repairable ones (per the
+// configured bad-value policy) are repaired before appending. On error the
+// stream's clock does not advance.
+func (m *Monitor) Ingest(stream int, v float64) error {
+	admitted, err := m.guard.Admit(stream, v)
+	if err != nil {
+		return err
+	}
+	m.sum.Append(stream, admitted)
+	return nil
+}
+
+// IngestAll ingests one synchronized arrival across all streams through the
+// guard. Streams whose values are rejected skip this tick (their clocks
+// fall behind the others); the errors are joined and returned after every
+// stream has been attempted. A length mismatch fails up front with
+// ErrStreamRange.
+func (m *Monitor) IngestAll(vs []float64) error {
+	if len(vs) != m.NumStreams() {
+		return fmt.Errorf("stardust: %w: IngestAll got %d values for %d streams",
+			ErrStreamRange, len(vs), m.NumStreams())
+	}
+	var errs []error
+	for i, v := range vs {
+		if err := m.Ingest(i, v); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Append ingests one value for one stream, updating every resolution whose
-// schedule fires. Non-finite values panic (see core.Summary.Append).
-func (m *Monitor) Append(stream int, v float64) { m.sum.Append(stream, v) }
+// schedule fires. It routes through the same guard as Ingest: samples the
+// policy repairs are appended repaired; samples it cannot repair panic.
+// Under the default Reject policy this preserves the historical contract
+// that non-finite values panic. Servers and other fallible callers should
+// prefer Ingest.
+func (m *Monitor) Append(stream int, v float64) {
+	if err := m.Ingest(stream, v); err != nil {
+		panic(fmt.Sprintf("stardust: Append: %v", err))
+	}
+}
 
 // AddStream registers a new empty stream and returns its id.
-func (m *Monitor) AddStream() int { return m.sum.AddStream() }
+func (m *Monitor) AddStream() int {
+	id := m.sum.AddStream()
+	m.guard.Grow()
+	return id
+}
 
-// AppendAll ingests one synchronized arrival across all streams.
-func (m *Monitor) AppendAll(vs []float64) { m.sum.AppendAll(vs) }
+// AppendAll ingests one synchronized arrival across all streams, panicking
+// on the first inadmissible sample (see Append).
+func (m *Monitor) AppendAll(vs []float64) {
+	if len(vs) != m.NumStreams() {
+		panic(fmt.Sprintf("stardust: AppendAll got %d values for %d streams", len(vs), m.NumStreams()))
+	}
+	for i, v := range vs {
+		m.Append(i, v)
+	}
+}
+
+// SetBadValuePolicy replaces the ingestion guard, resetting its counters
+// and per-stream repair state. Monitors restored with Load start with the
+// default (Reject) guard; call this to re-apply a deployment's policy.
+func (m *Monitor) SetBadValuePolicy(cfg GuardConfig) {
+	m.guard = resilience.NewGuard(cfg, m.sum.NumStreams())
+}
+
+// Quarantined reports whether the stream is currently quarantined by the
+// ingestion guard.
+func (m *Monitor) Quarantined(stream int) bool { return m.guard.Quarantined(stream) }
 
 // Now returns the discrete time of the stream's most recent value (−1
 // before any value).
@@ -283,9 +395,13 @@ func (m *Monitor) LinearScanMatches(q []float64, r float64) []Match {
 	return m.sum.ScanPatternMatches(q, r)
 }
 
-// Stats returns a space-usage snapshot: per-level box counts, index sizes
-// and retained raw history.
-func (m *Monitor) Stats() Stats { return m.sum.Stats() }
+// Stats returns a space-usage snapshot: per-level box counts, index sizes,
+// retained raw history, and the ingestion guard's counters.
+func (m *Monitor) Stats() Stats {
+	st := m.sum.Stats()
+	st.Ingest = m.guard.Stats()
+	return st
+}
 
 // Summary exposes the underlying core summary for advanced use (per-level
 // index inspection, exact feature recomputation).

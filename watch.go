@@ -148,8 +148,21 @@ func (w *Watcher) Unwatch(id int) bool {
 
 // Push ingests one value and evaluates the standing queries it can affect,
 // returning the triggered events (nil when quiet).
+//
+// Ingestion routes through the monitor's resilience guard: inadmissible
+// samples return a typed error (ErrBadValue, ErrStreamRange,
+// ErrQuarantined) with no events and no clock advance, and repairable ones
+// are repaired per the configured policy before evaluation.
+//
+// Partial-event contract: when a standing query fails mid-evaluation (for
+// example a window that outgrew retained history), the events already
+// triggered by THIS push are returned alongside the error. Callers must
+// consume the returned events even when err != nil — they are verified
+// alarms and will not be re-delivered.
 func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
-	w.mon.Append(stream, v)
+	if err := w.mon.Ingest(stream, v); err != nil {
+		return nil, err
+	}
 	t := w.mon.Now(stream)
 	var events []Event
 

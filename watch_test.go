@@ -1,6 +1,8 @@
 package stardust
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -240,5 +242,72 @@ func TestSafeWatcherConcurrent(t *testing.T) {
 	}
 	if ok := sw.Unwatch(1); !ok {
 		t.Fatal("unwatch failed")
+	}
+}
+
+// TestPushPartialEventsOnError pins the Watcher.Push partial-event
+// contract: when a standing query fails mid-evaluation, the events already
+// triggered by this push are returned ALONGSIDE the error, and callers
+// must consume them (they will not be re-delivered).
+func TestPushPartialEventsOnError(t *testing.T) {
+	// History 16 covers the largest level window but NOT the decomposable
+	// window 24 (= 8 + 16), so a window-24 watch registers fine yet fails
+	// exact verification once it becomes an alarm candidate.
+	w := newWatcher(t, Config{Streams: 1, W: 8, Levels: 2, Transform: Sum, History: 16})
+	if _, err := w.WatchAggregate(0, 8, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WatchAggregate(0, 24, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	var pushErr error
+	for i := 0; i < 30 && pushErr == nil; i++ {
+		events, pushErr = w.Push(0, 50)
+	}
+	if pushErr == nil {
+		t.Fatal("unverifiable watch never errored")
+	}
+	// The window-8 watch fired before the window-24 watch errored; its
+	// event rides along with the error.
+	if len(events) != 1 {
+		t.Fatalf("got %d events alongside error %v, want 1", len(events), pushErr)
+	}
+	if events[0].Kind != EventAggregate || events[0].Stream != 0 {
+		t.Fatalf("partial event = %+v", events[0])
+	}
+}
+
+// TestSafeWatcherAppendAllPartialEvents pins the same contract one level
+// up: a mid-loop ingestion error returns the events of earlier streams in
+// the arrival and leaves later streams untouched.
+func TestSafeWatcherAppendAllPartialEvents(t *testing.T) {
+	m, err := New(Config{Streams: 3, W: 4, Levels: 2, Transform: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSafeWatcher(m)
+	if _, err := sw.WatchAggregate(0, 4, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up so the stream-0 watch can fire.
+	for i := 0; i < 4; i++ {
+		if _, err := sw.AppendAll([]float64{50, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := sw.AppendAll([]float64{50, math.NaN(), 1})
+	if !errors.Is(err, ErrBadValue) {
+		t.Fatalf("err = %v, want ErrBadValue", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no partial events returned alongside the error")
+	}
+	if events[0].Stream != 0 {
+		t.Fatalf("partial event stream = %d", events[0].Stream)
+	}
+	// Stream 0 advanced, stream 1 was rejected, stream 2 never pushed.
+	if m.Now(0) != 4 || m.Now(1) != 3 || m.Now(2) != 3 {
+		t.Fatalf("clocks = %d,%d,%d", m.Now(0), m.Now(1), m.Now(2))
 	}
 }
