@@ -1,7 +1,16 @@
 #!/usr/bin/env sh
-# CI gate: build, vet, and run the full test suite under the race
-# detector. Run from the repository root. Fails fast on the first error.
+# CI gate: formatting, build, vet, the full test suite under the race
+# detector, and a one-iteration benchmark smoke pass. Run from the
+# repository root. Fails fast on the first error.
 set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -11,5 +20,8 @@ go vet ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -bench=. -benchtime=1x -run '^$' ./...
 
 echo "CI OK"

@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	stardust-bench [-exp name] [-full] [-seed n]
+//	stardust-bench [-exp name] [-full] [-seed n] [-metrics]
 //
 // Without -exp every experiment runs in order. The default parameters are
 // scaled down to finish in seconds; -full selects the paper-scale
 // configuration. Results print as plain-text tables matching the paper's
 // rows/series; EXPERIMENTS.md records a reference run.
+//
+// -metrics runs the observability report instead: instrumented monitors
+// for each query class print ingest throughput, sampled append latency,
+// R*-tree node-access counts and pruning power (verified results over
+// screened candidates) from the Monitor.Metrics() surface.
 package main
 
 import (
@@ -23,9 +28,18 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all); one of "+strings.Join(experiments.Names(), ", "))
 	full := flag.Bool("full", false, "use paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 42, "random seed")
+	metrics := flag.Bool("metrics", false, "report observability metrics (throughput, node accesses, pruning power) instead of the paper experiments")
 	flag.Parse()
 
 	opt := experiments.Options{Out: os.Stdout, Full: *full, Seed: *seed}
+
+	if *metrics {
+		if err := metricsReport(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var list []experiments.Experiment
 	if *exp == "" {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"stardust"
+	"stardust/internal/experiments"
+	"stardust/internal/gen"
+)
+
+// MetricsReport drives instrumented monitors through a mixed workload and
+// prints the observability counters the paper's cost model is stated in —
+// ingest throughput with the sampled per-append latency, R*-tree node
+// accesses per operation, and per-query-class pruning power (verified
+// results over screened candidates, the precision of Section 6). It is
+// the `stardust-bench -metrics` entry point and doubles as an end-to-end
+// check that the metrics plumbing observes real work.
+func metricsReport(opt experiments.Options) error {
+	metricsHeader(opt.Out, "Observability: throughput, node accesses and pruning power", opt.Full)
+	rng := rand.New(rand.NewSource(metricsSeed(opt.Seed)))
+
+	streams, arrivals := 16, 2048
+	if opt.Full {
+		streams, arrivals = 64, 16384
+	}
+
+	// Aggregate-class workload: Sum transform, online maintenance.
+	agg, err := stardust.New(stardust.Config{
+		Streams: streams, W: 32, Levels: 4, Transform: stardust.Sum,
+		BoxCapacity: 16, History: arrivals,
+	})
+	if err != nil {
+		return err
+	}
+	data := gen.RandomWalks(rng, streams, arrivals)
+	start := time.Now()
+	for i := 0; i < arrivals; i++ {
+		for s := 0; s < streams; s++ {
+			if err := agg.Ingest(s, data[s][i]); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	for s := 0; s < streams; s++ {
+		// Mid-range thresholds so screening produces both candidates and
+		// rejections: pruning power lands strictly between 0 and 1.
+		if _, err := agg.CheckAggregate(s, 96, float64(arrivals)/20); err != nil {
+			return err
+		}
+	}
+	printMetricsSection(opt, "aggregate (Sum, online)", agg.Metrics(),
+		streams*arrivals, elapsed, "aggregate")
+
+	// Pattern + correlation workload: DWT features, batch maintenance.
+	pat, err := stardust.New(stardust.Config{
+		Streams: streams, W: 32, Levels: 4, Transform: stardust.DWT,
+		Mode: stardust.Batch, Coefficients: 2,
+		Normalization: stardust.NormUnit, Rmax: 4, History: arrivals,
+	})
+	if err != nil {
+		return err
+	}
+	hosts := gen.HostLoads(rng, streams, arrivals)
+	start = time.Now()
+	for i := 0; i < arrivals; i++ {
+		for s := 0; s < streams; s++ {
+			if err := pat.Ingest(s, hosts[s][i]); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed = time.Since(start)
+	queries := 10
+	if opt.Full {
+		queries = 50
+	}
+	for q := 0; q < queries; q++ {
+		s := rng.Intn(streams)
+		qlen := 96
+		lo := rng.Intn(arrivals - qlen)
+		query := make([]float64, qlen)
+		copy(query, hosts[s][lo:lo+qlen])
+		if _, err := pat.FindPattern(query, 0.2); err != nil {
+			return err
+		}
+	}
+	printMetricsSection(opt, "pattern (DWT, batch)", pat.Metrics(),
+		streams*arrivals, elapsed, "pattern")
+
+	corr, err := stardust.New(stardust.Config{
+		Streams: streams, W: 32, Levels: 3, Transform: stardust.DWT,
+		Mode: stardust.Batch, Coefficients: 2,
+		Normalization: stardust.NormZ, History: arrivals,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < arrivals; i++ {
+		for s := 0; s < streams; s++ {
+			if err := corr.Ingest(s, hosts[s][i]); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := corr.Correlations(1, 1.5); err != nil {
+		return err
+	}
+	printMetricsSection(opt, "correlation (DWT, z-norm)", corr.Metrics(),
+		0, 0, "correlation")
+	return nil
+}
+
+// printMetricsSection renders one monitor's snapshot: throughput when the
+// ingest run was timed, then the index and query-class counters.
+func printMetricsSection(opt experiments.Options, title string, m stardust.MetricsSnapshot,
+	points int, elapsed time.Duration, class string) {
+	w := opt.Out
+	fmt.Fprintf(w, "\n-- %s --\n", title)
+	if points > 0 && elapsed > 0 {
+		fmt.Fprintf(w, "ingest: %d points in %v (%.0f points/s)\n",
+			points, elapsed.Round(time.Millisecond), float64(points)/elapsed.Seconds())
+	}
+	if m.Ingest.AppendNanos.Count > 0 {
+		fmt.Fprintf(w, "append latency (sampled 1/%d): p50 %v  p99 %v\n",
+			int64(m.Ingest.Samples/m.Ingest.AppendNanos.Count),
+			time.Duration(m.Ingest.AppendNanos.P50()).Round(time.Nanosecond),
+			time.Duration(m.Ingest.AppendNanos.P99()).Round(time.Nanosecond))
+	}
+	perInsert := metricsRatio(m.Tree.NodeWrites, m.Tree.Inserts)
+	fmt.Fprintf(w, "index: %d inserts, %d splits, %d reinserts, %.1f node writes/insert\n",
+		m.Tree.Inserts, m.Tree.Splits, m.Tree.Reinserts, perInsert)
+	var q stardust.QueryMetricsSnapshot
+	switch class {
+	case "aggregate":
+		q = m.Aggregate
+	case "pattern":
+		q = m.Pattern
+	default:
+		q = m.Correlation
+	}
+	fmt.Fprintf(w, "%s queries: %d run, %d candidates screened, %d verified\n",
+		class, q.Queries, q.Candidates, q.Verified)
+	if m.Tree.Searches > 0 {
+		fmt.Fprintf(w, "pruning power: %.3f  (node reads: %d total, %.1f/search)\n",
+			q.PruningPower(), m.Tree.NodeReads, metricsRatio(m.Tree.NodeReads, m.Tree.Searches))
+	} else {
+		fmt.Fprintf(w, "pruning power: %.3f  (node reads: %d total, no index searches)\n",
+			q.PruningPower(), m.Tree.NodeReads)
+	}
+	if q.Latency.Count > 0 {
+		fmt.Fprintf(w, "query latency: p50 %v  p95 %v\n",
+			time.Duration(q.Latency.P50()).Round(time.Microsecond),
+			time.Duration(q.Latency.P95()).Round(time.Microsecond))
+	}
+}
+
+// metricsHeader, metricsSeed and metricsRatio mirror the unexported
+// experiments helpers; the report lives in package main because the
+// experiments package must stay importable from stardust's own tests
+// (it cannot import the root package without a cycle).
+func metricsHeader(w io.Writer, title string, full bool) {
+	scale := "scaled-down"
+	if full {
+		scale = "paper-scale"
+	}
+	fmt.Fprintf(w, "\n=== %s [%s] ===\n", title, scale)
+}
+
+func metricsSeed(s int64) int64 {
+	if s == 0 {
+		return 42
+	}
+	return s
+}
+
+func metricsRatio(num, den int64) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

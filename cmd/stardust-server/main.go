@@ -13,7 +13,9 @@
 // startup loudly rather than silently discarding state. On SIGINT/SIGTERM
 // the server drains in-flight requests and writes a final snapshot before
 // exiting. See internal/server for the endpoint reference, including the
-// /healthz and /readyz probes.
+// /healthz and /readyz probes, the Prometheus-text GET /metricsz metrics
+// endpoint (ingest latency, R*-tree node accesses, per-query-class
+// pruning power) and the GET /debug/pprof/ runtime profiles.
 package main
 
 import (
@@ -129,6 +131,7 @@ func main() {
 	}
 	log.Printf("stardust-server listening on %s (%d streams, W=%d, %d levels, %s/%s, watch=%v, bad-values=%v)",
 		ln.Addr(), mon.NumStreams(), *w, *levels, *transform, *mode, *watch, policy)
+	log.Printf("observability: metrics at GET /metricsz (Prometheus text), profiles at GET /debug/pprof/")
 
 	// Graceful lifecycle: SIGINT/SIGTERM drains connections and takes a
 	// final snapshot before exit.

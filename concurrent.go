@@ -25,7 +25,11 @@ func NewSafe(cfg Config) (*SafeMonitor, error) {
 }
 
 // Append ingests one value for one stream, panicking on samples the guard
-// cannot repair (see Monitor.Append). Fallible callers should use Ingest.
+// cannot repair (see Monitor.Append).
+//
+// Deprecated: Append is the panicking wrapper kept for callers that predate
+// the resilience guard. New code should use Ingest, which reports
+// unadmittable samples as typed errors.
 func (s *SafeMonitor) Append(stream int, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -33,6 +37,9 @@ func (s *SafeMonitor) Append(stream int, v float64) {
 }
 
 // AppendAll ingests one synchronized arrival across all streams.
+//
+// Deprecated: AppendAll panics on the first unadmittable sample. New code
+// should use IngestAll, which returns a typed error instead.
 func (s *SafeMonitor) AppendAll(vs []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -91,6 +98,13 @@ func (s *SafeMonitor) FindPattern(q []float64, r float64) (PatternResult, error)
 	return s.m.FindPattern(q, r)
 }
 
+// NearestPatterns returns the k streams nearest to the query pattern.
+func (s *SafeMonitor) NearestPatterns(q []float64, k int) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.NearestPatterns(q, k)
+}
+
 // Correlations reports verified correlated stream pairs.
 func (s *SafeMonitor) Correlations(level int, r float64) (CorrelationResult, error) {
 	s.mu.RLock()
@@ -116,6 +130,14 @@ func (s *SafeMonitor) Stats() Stats {
 	return s.m.Stats()
 }
 
+// Metrics returns the observability snapshot. The underlying counters are
+// atomic, so only the guard's stats need the read lock.
+func (s *SafeMonitor) Metrics() MetricsSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.Metrics()
+}
+
 // Snapshot serializes the monitor state while holding the read lock, so
 // concurrent ingestion cannot tear the snapshot.
 func (s *SafeMonitor) Snapshot(w io.Writer) error {
@@ -135,8 +157,20 @@ func WrapSafe(m *Monitor) *SafeMonitor { return &SafeMonitor{m: m} }
 // separate SafeMonitor only if ingestion is quiesced; the usual pattern is
 // to consume the events Push returns.
 type SafeWatcher struct {
-	mu sync.Mutex
-	w  *Watcher
+	mu   sync.Mutex
+	w    *Watcher
+	sink func([]Event)
+}
+
+// SetEventSink installs the callback that receives events triggered by
+// Ingest/IngestAll (the Interface ingestion path, whose signatures cannot
+// return events). The sink is invoked under the watcher lock — it must not
+// call back into the watcher. A nil sink drops events; callers that need
+// the events inline should use Push or AppendAll instead.
+func (s *SafeWatcher) SetEventSink(fn func([]Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = fn
 }
 
 // NewSafeWatcher wraps a monitor in a locked watcher.
@@ -172,6 +206,41 @@ func (s *SafeWatcher) Push(stream int, v float64) ([]Event, error) {
 	return s.w.Push(stream, v)
 }
 
+// Ingest pushes one value through the watcher, evaluating standing
+// queries; triggered events go to the SetEventSink callback (or are
+// dropped when none is installed).
+func (s *SafeWatcher) Ingest(stream int, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs, err := s.w.Push(stream, v)
+	if len(evs) > 0 && s.sink != nil {
+		s.sink(evs)
+	}
+	return err
+}
+
+// IngestAll pushes one synchronized arrival through the watcher. Events
+// triggered before a mid-loop error are still delivered to the sink (the
+// partial-event contract of AppendAll); later streams are not pushed.
+func (s *SafeWatcher) IngestAll(vs []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var events []Event
+	var err error
+	for i, v := range vs {
+		evs, perr := s.w.Push(i, v)
+		events = append(events, evs...)
+		if perr != nil {
+			err = perr
+			break
+		}
+	}
+	if len(events) > 0 && s.sink != nil {
+		s.sink(events)
+	}
+	return err
+}
+
 // Query passthroughs so a SafeWatcher can back the HTTP service: standing
 // queries and on-demand queries share one lock.
 
@@ -182,11 +251,25 @@ func (s *SafeWatcher) CheckAggregate(stream, window int, threshold float64) (Agg
 	return s.w.mon.CheckAggregate(stream, window, threshold)
 }
 
+// AggregateBound returns the certified interval around the exact aggregate.
+func (s *SafeWatcher) AggregateBound(stream, window int) (Interval, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.AggregateBound(stream, window)
+}
+
 // FindPattern runs one on-demand pattern query under the lock.
 func (s *SafeWatcher) FindPattern(q []float64, r float64) (PatternResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.mon.FindPattern(q, r)
+}
+
+// NearestPatterns returns the k streams nearest to the query pattern.
+func (s *SafeWatcher) NearestPatterns(q []float64, k int) ([]Match, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.NearestPatterns(q, k)
 }
 
 // Correlations runs one detection round under the lock.
@@ -244,6 +327,13 @@ func (s *SafeWatcher) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.mon.Stats()
+}
+
+// Metrics returns the underlying monitor's observability snapshot.
+func (s *SafeWatcher) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.Metrics()
 }
 
 // Snapshot serializes the monitor state under the lock.

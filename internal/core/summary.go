@@ -6,6 +6,7 @@ import (
 
 	"stardust/internal/aggregate"
 	"stardust/internal/mbr"
+	"stardust/internal/obs"
 	"stardust/internal/rstar"
 	"stardust/internal/stats"
 	"stardust/internal/window"
@@ -87,6 +88,20 @@ func (s *Summary) Now(stream int) int64 { return s.stream(stream).hist.Now() }
 
 // Tree exposes the level-j index for inspection and tests.
 func (s *Summary) Tree(level int) *rstar.Tree[BoxRef] { return s.trees[level] }
+
+// SetMetrics attaches an observability sink: every level index reports its
+// node accesses, splits and reinsertions into m.Tree, so the paper's index
+// cost model (node accesses per operation) is measurable at runtime. A nil
+// m detaches instrumentation.
+func (s *Summary) SetMetrics(m *obs.Metrics) {
+	var tm *obs.TreeMetrics
+	if m != nil {
+		tm = &m.Tree
+	}
+	for _, t := range s.trees {
+		t.SetMetrics(tm)
+	}
+}
 
 // History returns the retained raw history of a stream.
 func (s *Summary) History(stream int) *window.History { return s.stream(stream).hist }

@@ -1,0 +1,413 @@
+// Package obs is Stardust's zero-dependency observability substrate: atomic
+// counters, gauges and bounded histograms that instrument the summary's hot
+// paths — ingestion, R*-tree node accesses and the three query classes —
+// without changing their behavior. The paper states its cost model in index
+// node accesses, per-item update time and candidate-vs-verified alarm
+// counts (Section 6); these are exactly the quantities the substrate
+// captures, so every future optimisation can be measured against the
+// paper's own axes.
+//
+// All primitives are safe for concurrent use. A nil metrics sink disables
+// instrumentation at the call site (hot paths check once per operation, not
+// per sample), and per-append latency is sampled rather than timed on every
+// arrival so the instrumented ingest path stays within a few percent of the
+// uninstrumented one.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Add adds n (n must be non-negative to preserve monotonicity).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a bounded histogram over float64 observations: fixed bucket
+// upper bounds chosen at construction, one atomic count per bucket plus an
+// overflow bucket, and an atomically accumulated sum. Memory is O(buckets)
+// regardless of observation count.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; observations > last go to overflow
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. An implicit +Inf overflow bucket is appended.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// LatencyBuckets returns exponential nanosecond bounds from 250ns to ~1s,
+// suitable for both per-append and per-query latencies.
+func LatencyBuckets() []float64 {
+	bounds := make([]float64, 0, 23)
+	for v := 250.0; v <= 1e9; v *= 2 {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// CountBuckets returns exponential bounds 1, 2, 4, ... 4096 for small-count
+// distributions such as index node accesses per query.
+func CountBuckets() []float64 {
+	bounds := make([]float64, 13)
+	for i := range bounds {
+		bounds[i] = float64(int64(1) << uint(i))
+	}
+	return bounds
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Bounds are few (≤ ~24); a linear scan beats binary search's branch
+	// misses at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// HistogramSnapshot is a plain-data copy of a Histogram. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (ascending). Counts[i] holds
+	// observations ≤ Bounds[i] (and > Bounds[i-1]); Counts[len(Bounds)] is
+	// the overflow bucket.
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket. Observations in the overflow bucket are
+// attributed to the last finite bound. Returns 0 when empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: no finite upper bound, report the last one.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// P50 is the estimated median.
+func (h HistogramSnapshot) P50() float64 { return h.Quantile(0.50) }
+
+// P95 is the estimated 95th percentile.
+func (h HistogramSnapshot) P95() float64 { return h.Quantile(0.95) }
+
+// P99 is the estimated 99th percentile.
+func (h HistogramSnapshot) P99() float64 { return h.Quantile(0.99) }
+
+// merge adds o's buckets into h (a fresh copy is returned; inputs are not
+// mutated). Histograms from differently-configured monitors (mismatched
+// bounds) fall back to keeping the larger side's buckets and folding the
+// other side into count/sum only.
+func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
+	if len(h.Bounds) == 0 {
+		return o
+	}
+	out := HistogramSnapshot{
+		Bounds: h.Bounds,
+		Counts: append([]int64(nil), h.Counts...),
+		Count:  h.Count + o.Count,
+		Sum:    h.Sum + o.Sum,
+	}
+	if len(o.Counts) == len(h.Counts) {
+		for i, c := range o.Counts {
+			out.Counts[i] += c
+		}
+	}
+	return out
+}
+
+// TreeMetrics instruments one or more R*-trees: structural writes (inserts,
+// deletes, splits, forced reinsertions) and node accesses, the unit the
+// paper's index cost model counts. All per-level trees of a summary share
+// one TreeMetrics, so the totals are summary-wide.
+type TreeMetrics struct {
+	// Inserts and Deletes count leaf entries added/removed.
+	Inserts, Deletes Counter
+	// Searches counts range/sphere/nearest-neighbor traversals.
+	Searches Counter
+	// NodeReads counts nodes visited by any operation; NodeWrites counts
+	// nodes structurally modified (entry added/removed/box adjusted).
+	NodeReads, NodeWrites Counter
+	// Splits counts node splits; Reinserts counts forced-reinsertion
+	// rounds (R* OverflowTreatment).
+	Splits, Reinserts Counter
+	// SearchNodes is the distribution of nodes read per search traversal —
+	// the per-operation index cost the paper reports.
+	SearchNodes *Histogram
+}
+
+// QueryMetrics instruments one query class.
+type QueryMetrics struct {
+	// Queries counts invocations (including erroneous ones).
+	Queries Counter
+	// Candidates counts records retrieved by the index screen; Verified
+	// counts those confirmed on raw history. Verified/Candidates is the
+	// paper's precision (pruning power).
+	Candidates, Verified Counter
+	// Latency is the per-invocation wall time in nanoseconds.
+	Latency *Histogram
+}
+
+// observe records one completed query.
+func (q *QueryMetrics) observe(candidates, verified int, nanos int64) {
+	q.Queries.Inc()
+	q.Candidates.Add(int64(candidates))
+	q.Verified.Add(int64(verified))
+	q.Latency.Observe(float64(nanos))
+}
+
+// IngestMetrics instruments the ingestion path. Accept/repair/reject
+// counters live in the resilience guard; here we track the sample cadence
+// and the per-append latency distribution.
+type IngestMetrics struct {
+	// Samples counts ingestion attempts (admitted or not); it also drives
+	// latency sampling.
+	Samples Counter
+	// AppendNanos is the sampled per-append latency (one in SampleEvery
+	// appends is timed).
+	AppendNanos *Histogram
+}
+
+// SampleEvery is the per-append latency sampling period: one append in
+// SampleEvery is timed. It is a power of two so the hot path can mask
+// instead of divide.
+const SampleEvery = 64
+
+// Sampled reports whether the n-th sample should be timed.
+func Sampled(n int64) bool { return n&(SampleEvery-1) == 0 }
+
+// Metrics is the live instrument set of one monitor. Construct with
+// NewMetrics; all fields are safe for concurrent use.
+type Metrics struct {
+	Ingest      IngestMetrics
+	Tree        TreeMetrics
+	Aggregate   QueryMetrics
+	Pattern     QueryMetrics
+	Correlation QueryMetrics
+}
+
+// NewMetrics builds a metrics set with default histogram bounds.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.Ingest.AppendNanos = NewHistogram(LatencyBuckets())
+	m.Tree.SearchNodes = NewHistogram(CountBuckets())
+	m.Aggregate.Latency = NewHistogram(LatencyBuckets())
+	m.Pattern.Latency = NewHistogram(LatencyBuckets())
+	m.Correlation.Latency = NewHistogram(LatencyBuckets())
+	return m
+}
+
+// ObserveQuery records one completed query of the given class.
+func (q *QueryMetrics) ObserveQuery(candidates, verified int, nanos int64) {
+	q.observe(candidates, verified, nanos)
+}
+
+// Snapshot captures every instrument at one point in time. Counters are
+// read individually (not under one lock), so a snapshot taken during
+// concurrent ingestion is per-counter consistent, not globally atomic —
+// fine for monitoring, where each series is monotone on its own.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Ingest: IngestSnapshot{
+			Samples:     m.Ingest.Samples.Load(),
+			AppendNanos: m.Ingest.AppendNanos.Snapshot(),
+		},
+		Tree: TreeSnapshot{
+			Inserts:     m.Tree.Inserts.Load(),
+			Deletes:     m.Tree.Deletes.Load(),
+			Searches:    m.Tree.Searches.Load(),
+			NodeReads:   m.Tree.NodeReads.Load(),
+			NodeWrites:  m.Tree.NodeWrites.Load(),
+			Splits:      m.Tree.Splits.Load(),
+			Reinserts:   m.Tree.Reinserts.Load(),
+			SearchNodes: m.Tree.SearchNodes.Snapshot(),
+		},
+		Aggregate:   snapshotQuery(&m.Aggregate),
+		Pattern:     snapshotQuery(&m.Pattern),
+		Correlation: snapshotQuery(&m.Correlation),
+	}
+}
+
+func snapshotQuery(q *QueryMetrics) QuerySnapshot {
+	return QuerySnapshot{
+		Queries:    q.Queries.Load(),
+		Candidates: q.Candidates.Load(),
+		Verified:   q.Verified.Load(),
+		Latency:    q.Latency.Snapshot(),
+	}
+}
+
+// IngestSnapshot is the ingestion section of a Snapshot. The guard's
+// accept/repair/reject counters are filled in by the monitor wrapper that
+// owns the guard.
+type IngestSnapshot struct {
+	// Samples counts ingestion attempts seen by the instrumented path.
+	Samples int64
+	// Accepted/Repaired/Rejected mirror the resilience guard's counters.
+	Accepted, Repaired, Rejected int64
+	// QuarantinedStreams and QuarantineTrips mirror the guard's quarantine
+	// state.
+	QuarantinedStreams, QuarantineTrips int64
+	// AppendNanos is the sampled per-append latency distribution.
+	AppendNanos HistogramSnapshot
+}
+
+// TreeSnapshot is the R*-tree section of a Snapshot (summed over all
+// resolution levels).
+type TreeSnapshot struct {
+	Inserts, Deletes, Searches int64
+	NodeReads, NodeWrites      int64
+	Splits, Reinserts          int64
+	SearchNodes                HistogramSnapshot
+}
+
+// QuerySnapshot is one query class's section of a Snapshot.
+type QuerySnapshot struct {
+	Queries, Candidates, Verified int64
+	Latency                       HistogramSnapshot
+}
+
+// PruningPower is the paper's precision metric for the index screen:
+// verified results over retrieved candidates (1 when nothing was
+// retrieved). Low pruning power means the index admits many candidates
+// that verification then discards.
+func (q QuerySnapshot) PruningPower() float64 {
+	if q.Candidates == 0 {
+		return 1
+	}
+	return float64(q.Verified) / float64(q.Candidates)
+}
+
+// Snapshot is a point-in-time copy of a monitor's metrics: plain data, safe
+// to retain, serialize, or merge across shards.
+type Snapshot struct {
+	Ingest      IngestSnapshot
+	Tree        TreeSnapshot
+	Aggregate   QuerySnapshot
+	Pattern     QuerySnapshot
+	Correlation QuerySnapshot
+}
+
+// Merge returns the element-wise sum of two snapshots (histograms merge
+// bucket-wise). Used by sharded monitors to present one metrics surface.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	return Snapshot{
+		Ingest: IngestSnapshot{
+			Samples:            s.Ingest.Samples + o.Ingest.Samples,
+			Accepted:           s.Ingest.Accepted + o.Ingest.Accepted,
+			Repaired:           s.Ingest.Repaired + o.Ingest.Repaired,
+			Rejected:           s.Ingest.Rejected + o.Ingest.Rejected,
+			QuarantinedStreams: s.Ingest.QuarantinedStreams + o.Ingest.QuarantinedStreams,
+			QuarantineTrips:    s.Ingest.QuarantineTrips + o.Ingest.QuarantineTrips,
+			AppendNanos:        s.Ingest.AppendNanos.merge(o.Ingest.AppendNanos),
+		},
+		Tree: TreeSnapshot{
+			Inserts:     s.Tree.Inserts + o.Tree.Inserts,
+			Deletes:     s.Tree.Deletes + o.Tree.Deletes,
+			Searches:    s.Tree.Searches + o.Tree.Searches,
+			NodeReads:   s.Tree.NodeReads + o.Tree.NodeReads,
+			NodeWrites:  s.Tree.NodeWrites + o.Tree.NodeWrites,
+			Splits:      s.Tree.Splits + o.Tree.Splits,
+			Reinserts:   s.Tree.Reinserts + o.Tree.Reinserts,
+			SearchNodes: s.Tree.SearchNodes.merge(o.Tree.SearchNodes),
+		},
+		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
+		Pattern:     s.Pattern.mergeQuery(o.Pattern),
+		Correlation: s.Correlation.mergeQuery(o.Correlation),
+	}
+}
+
+func (q QuerySnapshot) mergeQuery(o QuerySnapshot) QuerySnapshot {
+	return QuerySnapshot{
+		Queries:    q.Queries + o.Queries,
+		Candidates: q.Candidates + o.Candidates,
+		Verified:   q.Verified + o.Verified,
+		Latency:    q.Latency.merge(o.Latency),
+	}
+}

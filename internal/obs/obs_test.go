@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero counter = %d", c.Load())
+	}
+	if got := c.Inc(); got != 1 {
+		t.Fatalf("Inc returned %d, want 1", got)
+	}
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Load())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Set(3)
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d, want 3 (last set wins)", g.Load())
+	}
+}
+
+func TestSampled(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want bool
+	}{
+		{0, true}, {1, false}, {63, false}, {64, true},
+		{65, false}, {128, true}, {SampleEvery * 1000, true},
+	}
+	for _, c := range cases {
+		if got := Sampled(c.n); got != c.want {
+			t.Errorf("Sampled(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		obs    []float64
+		want   []int64 // len(bounds)+1, last = overflow
+	}{
+		{"at-bounds", []float64{1, 2, 4}, []float64{1, 2, 4}, []int64{1, 1, 1, 0}},
+		{"between", []float64{1, 2, 4}, []float64{1.5, 3, 3.9}, []int64{0, 1, 2, 0}},
+		{"overflow", []float64{1, 2, 4}, []float64{5, 100}, []int64{0, 0, 0, 2}},
+		{"below-first", []float64{1, 2, 4}, []float64{0, 0.5}, []int64{2, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(c.bounds)
+			var sum float64
+			for _, v := range c.obs {
+				h.Observe(v)
+				sum += v
+			}
+			s := h.Snapshot()
+			if s.Count != int64(len(c.obs)) {
+				t.Fatalf("count = %d, want %d", s.Count, len(c.obs))
+			}
+			if s.Sum != sum {
+				t.Fatalf("sum = %g, want %g", s.Sum, sum)
+			}
+			for i, want := range c.want {
+				if s.Counts[i] != want {
+					t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], want, s.Counts)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	cases := []struct {
+		name string
+		snap HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{
+			"median-interpolated",
+			HistogramSnapshot{Bounds: []float64{10, 20, 30}, Counts: []int64{10, 10, 10, 0}, Count: 30},
+			0.50, 15,
+		},
+		{
+			"p100-last-bound",
+			HistogramSnapshot{Bounds: []float64{10, 20, 30}, Counts: []int64{10, 10, 10, 0}, Count: 30},
+			1.0, 30,
+		},
+		{
+			"q0-start-of-first-bucket",
+			HistogramSnapshot{Bounds: []float64{10, 20, 30}, Counts: []int64{10, 10, 10, 0}, Count: 30},
+			0, 0,
+		},
+		{
+			"overflow-reports-last-bound",
+			HistogramSnapshot{Bounds: []float64{10}, Counts: []int64{0, 5}, Count: 5},
+			0.5, 10,
+		},
+		{
+			"empty-is-zero",
+			HistogramSnapshot{Bounds: []float64{10}, Counts: []int64{0, 0}},
+			0.5, 0,
+		},
+		{
+			"clamped-above-one",
+			HistogramSnapshot{Bounds: []float64{10, 20}, Counts: []int64{4, 0, 0}, Count: 4},
+			3.0, 10,
+		},
+		{
+			"skewed-p95",
+			HistogramSnapshot{Bounds: []float64{1, 2, 4}, Counts: []int64{90, 0, 10, 0}, Count: 100},
+			0.95, 3, // rank 95 lands halfway through the (2,4] bucket
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.snap.Quantile(c.q)
+			if math.Abs(got-c.want) > 1e-9 {
+				t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Fatalf("empty mean = %g", got)
+	}
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Snapshot().Mean(); got != 3 {
+		t.Fatalf("mean = %g, want 3", got)
+	}
+}
+
+// TestHistogramConcurrent exercises the CAS sum accumulation and atomic
+// buckets under parallel writers; run with -race.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(seed + float64(i))
+			}
+		}(float64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestPruningPower(t *testing.T) {
+	cases := []struct {
+		cand, ver int64
+		want      float64
+	}{
+		{0, 0, 1}, // nothing retrieved: precision 1 by convention
+		{100, 50, 0.5},
+		{10, 10, 1},
+		{8, 0, 0},
+	}
+	for _, c := range cases {
+		q := QuerySnapshot{Candidates: c.cand, Verified: c.ver}
+		if got := q.PruningPower(); got != c.want {
+			t.Errorf("PruningPower(%d/%d) = %g, want %g", c.ver, c.cand, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewMetrics()
+	b := NewMetrics()
+	a.Ingest.Samples.Add(100)
+	b.Ingest.Samples.Add(28)
+	a.Tree.NodeReads.Add(7)
+	b.Tree.NodeReads.Add(3)
+	a.Pattern.ObserveQuery(10, 4, 1000)
+	b.Pattern.ObserveQuery(6, 2, 3000)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Ingest.Samples != 128 {
+		t.Fatalf("merged samples = %d", m.Ingest.Samples)
+	}
+	if m.Tree.NodeReads != 10 {
+		t.Fatalf("merged node reads = %d", m.Tree.NodeReads)
+	}
+	if m.Pattern.Queries != 2 || m.Pattern.Candidates != 16 || m.Pattern.Verified != 6 {
+		t.Fatalf("merged pattern class = %+v", m.Pattern)
+	}
+	if m.Pattern.Latency.Count != 2 || m.Pattern.Latency.Sum != 4000 {
+		t.Fatalf("merged latency count=%d sum=%g", m.Pattern.Latency.Count, m.Pattern.Latency.Sum)
+	}
+}
+
+func TestHistogramMergeMismatchedBounds(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{3, 1, 0}, Count: 4, Sum: 5}
+	b := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{2, 0}, Count: 2, Sum: 2}
+	m := a.merge(b)
+	// Mismatched bounds keep a's buckets and fold b into count/sum only.
+	if m.Count != 6 || m.Sum != 7 {
+		t.Fatalf("merged count=%d sum=%g", m.Count, m.Sum)
+	}
+	if m.Counts[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want a's 3 (no bucket fold on mismatch)", m.Counts[0])
+	}
+	var empty HistogramSnapshot
+	if got := empty.merge(a); got.Count != 4 {
+		t.Fatalf("empty.merge = %+v, want o returned as-is", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	m := NewMetrics()
+	m.Ingest.Samples.Add(128)
+	m.Ingest.AppendNanos.Observe(500) // 500ns → 5e-7s bucket
+	m.Tree.Inserts.Add(12)
+	m.Tree.SearchNodes.Observe(3)
+	m.Aggregate.ObserveQuery(1, 1, 1000)
+	m.Pattern.ObserveQuery(20, 5, 2000)
+	snap := m.Snapshot()
+	snap.Ingest.Accepted = 120
+	snap.Ingest.Rejected = 8
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	wantLines := []string{
+		"# TYPE stardust_ingest_samples_total counter",
+		"stardust_ingest_samples_total 128",
+		"stardust_ingest_accepted_total 120",
+		"stardust_ingest_rejected_total 8",
+		"# TYPE stardust_ingest_append_latency_seconds histogram",
+		`stardust_ingest_append_latency_seconds_bucket{le="+Inf"} 1`,
+		"stardust_ingest_append_latency_seconds_count 1",
+		"stardust_index_inserts_total 12",
+		"# TYPE stardust_index_search_nodes histogram",
+		`stardust_query_total{class="aggregate"} 1`,
+		`stardust_query_total{class="pattern"} 1`,
+		`stardust_query_total{class="correlation"} 0`,
+		`stardust_query_candidates_total{class="pattern"} 20`,
+		`stardust_query_verified_total{class="pattern"} 5`,
+		`stardust_query_pruning_power{class="pattern"} 0.25`,
+		`stardust_query_latency_seconds_count{class="pattern"} 1`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing line %q", want)
+		}
+	}
+
+	// The nanos→seconds sum is scaled, not exact: assert the prefix only.
+	if !strings.Contains(out, `stardust_query_latency_seconds_sum{class="pattern"} 2.0000`) {
+		t.Errorf("output missing scaled latency sum for pattern class")
+	}
+
+	// HELP/TYPE headers must appear exactly once per metric name.
+	if n := strings.Count(out, "# TYPE stardust_query_total "); n != 1 {
+		t.Errorf("stardust_query_total TYPE header appears %d times", n)
+	}
+	if n := strings.Count(out, "# TYPE stardust_query_latency_seconds "); n != 1 {
+		t.Errorf("stardust_query_latency_seconds TYPE header appears %d times", n)
+	}
+
+	// Histogram buckets must be cumulative: each le count ≥ the previous.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "stardust_ingest_append_latency_seconds_bucket") {
+			continue
+		}
+		var v int64
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if _, err := fmtSscan(fields[1], &v); err != nil {
+			t.Fatalf("bad bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if prev != 1 {
+		t.Fatalf("final cumulative bucket = %d, want 1", prev)
+	}
+}
+
+// fmtSscan avoids importing fmt just for one parse in the test above.
+func fmtSscan(s string, v *int64) (int, error) {
+	var n int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errNotDigit
+		}
+		n = n*10 + int64(r-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errNotDigit = errInvalid{}
+
+type errInvalid struct{}
+
+func (errInvalid) Error() string { return "not a digit" }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters as *_total series, latency histograms in
+// seconds with cumulative le buckets, and per-query-class series labeled
+// {class="aggregate"|"pattern"|"correlation"}. It is the payload of the
+// server's GET /metricsz endpoint.
+func WriteProm(w io.Writer, s Snapshot) error {
+	p := promWriter{w: w}
+
+	p.counter("stardust_ingest_samples_total", "Ingestion attempts seen by the instrumented path.", s.Ingest.Samples)
+	p.counter("stardust_ingest_accepted_total", "Samples admitted unmodified by the resilience guard.", s.Ingest.Accepted)
+	p.counter("stardust_ingest_repaired_total", "Samples admitted after policy repair (clamped or gap-filled).", s.Ingest.Repaired)
+	p.counter("stardust_ingest_rejected_total", "Samples dropped with a typed error.", s.Ingest.Rejected)
+	p.gauge("stardust_ingest_quarantined_streams", "Streams currently quarantined by the guard.", s.Ingest.QuarantinedStreams)
+	p.counter("stardust_ingest_quarantine_trips_total", "Quiet-to-quarantined transitions since start.", s.Ingest.QuarantineTrips)
+	p.histogramSeconds("stardust_ingest_append_latency_seconds", "Sampled per-append latency (one append in 64 is timed).", s.Ingest.AppendNanos)
+
+	p.counter("stardust_index_inserts_total", "R*-tree leaf entries inserted (all levels).", s.Tree.Inserts)
+	p.counter("stardust_index_deletes_total", "R*-tree leaf entries deleted (all levels).", s.Tree.Deletes)
+	p.counter("stardust_index_searches_total", "R*-tree search traversals (range, sphere, nearest-neighbor).", s.Tree.Searches)
+	p.counter("stardust_index_node_reads_total", "R*-tree nodes visited by any operation — the paper's index cost unit.", s.Tree.NodeReads)
+	p.counter("stardust_index_node_writes_total", "R*-tree nodes structurally modified.", s.Tree.NodeWrites)
+	p.counter("stardust_index_splits_total", "R*-tree node splits.", s.Tree.Splits)
+	p.counter("stardust_index_reinserts_total", "R*-tree forced-reinsertion rounds (OverflowTreatment).", s.Tree.Reinserts)
+	p.histogramRaw("stardust_index_search_nodes", "Nodes read per search traversal.", s.Tree.SearchNodes)
+
+	classes := []struct {
+		name string
+		q    QuerySnapshot
+	}{
+		{"aggregate", s.Aggregate},
+		{"pattern", s.Pattern},
+		{"correlation", s.Correlation},
+	}
+	p.help("stardust_query_total", "Query invocations per class.", "counter")
+	for _, c := range classes {
+		p.sample("stardust_query_total", c.name, float64(c.q.Queries))
+	}
+	p.help("stardust_query_candidates_total", "Records retrieved by the index screen before verification.", "counter")
+	for _, c := range classes {
+		p.sample("stardust_query_candidates_total", c.name, float64(c.q.Candidates))
+	}
+	p.help("stardust_query_verified_total", "Screened records confirmed on raw history.", "counter")
+	for _, c := range classes {
+		p.sample("stardust_query_verified_total", c.name, float64(c.q.Verified))
+	}
+	p.help("stardust_query_pruning_power", "Verified over candidates (the paper's precision; 1 when nothing retrieved).", "gauge")
+	for _, c := range classes {
+		p.sample("stardust_query_pruning_power", c.name, c.q.PruningPower())
+	}
+	for _, c := range classes {
+		p.histogramSecondsLabeled("stardust_query_latency_seconds", "Per-query wall time.", "class", c.name, c.q.Latency)
+	}
+	return p.err
+}
+
+// promWriter accumulates the first write error so callers check once.
+type promWriter struct {
+	w      io.Writer
+	err    error
+	helped map[string]bool
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// help emits the HELP/TYPE header once per metric name.
+func (p *promWriter) help(name, help, typ string) {
+	if p.helped == nil {
+		p.helped = make(map[string]bool)
+	}
+	if p.helped[name] {
+		return
+	}
+	p.helped[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) counter(name, help string, v int64) {
+	p.help(name, help, "counter")
+	p.printf("%s %d\n", name, v)
+}
+
+func (p *promWriter) gauge(name, help string, v int64) {
+	p.help(name, help, "gauge")
+	p.printf("%s %d\n", name, v)
+}
+
+func (p *promWriter) sample(name, class string, v float64) {
+	p.printf("%s{class=%q} %s\n", name, class, formatFloat(v))
+}
+
+// histogramSeconds renders a nanosecond-valued histogram with bounds and
+// sum converted to seconds, per Prometheus convention.
+func (p *promWriter) histogramSeconds(name, help string, h HistogramSnapshot) {
+	p.histogram(name, help, "", "", h, 1e-9)
+}
+
+func (p *promWriter) histogramSecondsLabeled(name, help, labelKey, labelVal string, h HistogramSnapshot) {
+	p.histogram(name, help, labelKey, labelVal, h, 1e-9)
+}
+
+// histogramRaw renders a histogram whose observations are already in their
+// exposition unit (e.g. node counts).
+func (p *promWriter) histogramRaw(name, help string, h HistogramSnapshot) {
+	p.histogram(name, help, "", "", h, 1)
+}
+
+func (p *promWriter) histogram(name, help, labelKey, labelVal string, h HistogramSnapshot, scale float64) {
+	p.help(name, help, "histogram")
+	label := func(le string) string {
+		if labelKey == "" {
+			return fmt.Sprintf(`{le=%q}`, le)
+		}
+		return fmt.Sprintf(`{%s=%q,le=%q}`, labelKey, labelVal, le)
+	}
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		p.printf("%s_bucket%s %d\n", name, label(formatFloat(bound*scale)), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, label("+Inf"), h.Count)
+	suffix := ""
+	if labelKey != "" {
+		suffix = fmt.Sprintf(`{%s=%q}`, labelKey, labelVal)
+	}
+	p.printf("%s_sum%s %s\n", name, suffix, formatFloat(h.Sum*scale))
+	p.printf("%s_count%s %d\n", name, suffix, h.Count)
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, no exponent for integers.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -43,7 +43,7 @@ func TestClampPolicy(t *testing.T) {
 		{5, 5},
 		{math.Inf(1), 10},
 		{math.Inf(-1), -10},
-		{42, 10},    // finite out of range clamps too
+		{42, 10}, // finite out of range clamps too
 		{-99, -10},
 	}
 	for _, c := range cases {

@@ -13,9 +13,13 @@ func (t *Tree[T]) Delete(hint mbr.MBR, match func(T) bool) bool {
 	if path == nil {
 		return false
 	}
+	if t.mets != nil {
+		t.mets.Deletes.Inc()
+	}
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:leafIdx], leaf.entries[leafIdx+1:]...)
 	t.size--
+	t.noteWrites(int64(len(path))) // the leaf plus every ancestor condense touches
 	t.condense(path)
 	return true
 }
@@ -23,6 +27,7 @@ func (t *Tree[T]) Delete(hint mbr.MBR, match func(T) bool) bool {
 // findLeafEntry locates the leaf holding a matching entry, returning the
 // root-to-leaf path and the entry index, or nil if absent.
 func (t *Tree[T]) findLeafEntry(n *node[T], hint mbr.MBR, match func(T) bool, level int) ([]*node[T], int) {
+	t.noteReads(1)
 	if n.leaf {
 		for i := range n.entries {
 			if n.entries[i].box.Intersects(hint) && match(n.entries[i].value) {

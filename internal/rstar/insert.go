@@ -10,6 +10,9 @@ import (
 // Insert adds a box/payload pair to the tree.
 func (t *Tree[T]) Insert(box mbr.MBR, value T) {
 	t.checkBox(box)
+	if t.mets != nil {
+		t.mets.Inserts.Inc()
+	}
 	// The reinserted map tracks which levels already performed forced
 	// reinsertion during this insertion (R* performs it at most once per
 	// level per insertion; see OverflowTreatment in the paper). It is
@@ -25,6 +28,10 @@ func (t *Tree[T]) insertAtLevel(e entry[T], level int, reinserted map[int]bool) 
 	n := path[len(path)-1]
 	n.entries = append(n.entries, e)
 	t.adjustPath(path, e.box)
+	// Every node on the path was read to choose the subtree and written to
+	// extend its entry box (the leaf to hold the new entry).
+	t.noteReads(int64(len(path)))
+	t.noteWrites(int64(len(path)))
 
 	// Resolve overflows bottom-up along the path.
 	for i := len(path) - 1; i >= 0; i-- {
@@ -208,6 +215,10 @@ func (t *Tree[T]) refreshParentBox(parent, child *node[T]) {
 // paper reinserts in "close" order — we sort descending and reinsert the
 // closest of the removed set first).
 func (t *Tree[T]) forcedReinsert(path []*node[T], idx, nodeLevel int, reinserted map[int]bool) {
+	if t.mets != nil {
+		t.mets.Reinserts.Inc()
+	}
+	t.noteWrites(1) // the shrunk node; re-entered inserts count themselves
 	n := path[idx]
 	center := n.boundingBox(t.dim).Center()
 	type distEntry struct {
@@ -244,6 +255,10 @@ func (t *Tree[T]) forcedReinsert(path []*node[T], idx, nodeLevel int, reinserted
 // splitAt splits path[idx], installing the new sibling in the parent (or
 // growing a new root when idx == 0).
 func (t *Tree[T]) splitAt(path []*node[T], idx int) {
+	if t.mets != nil {
+		t.mets.Splits.Inc()
+	}
+	t.noteWrites(2) // the split node and its new sibling (plus root/parent below)
 	n := path[idx]
 	sibling := t.split(n)
 	if idx == 0 {

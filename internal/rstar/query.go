@@ -13,10 +13,13 @@ type Visitor[T any] func(box mbr.MBR, value T) bool
 // Search visits every leaf entry whose box intersects query.
 func (t *Tree[T]) Search(query mbr.MBR, visit Visitor[T]) {
 	t.checkBox(query)
-	t.searchNode(t.root, query, visit)
+	var reads int64
+	t.searchNode(t.root, query, visit, &reads)
+	t.noteSearch(reads)
 }
 
-func (t *Tree[T]) searchNode(n *node[T], query mbr.MBR, visit Visitor[T]) bool {
+func (t *Tree[T]) searchNode(n *node[T], query mbr.MBR, visit Visitor[T], reads *int64) bool {
+	*reads++
 	for i := range n.entries {
 		e := &n.entries[i]
 		if !e.box.Intersects(query) {
@@ -26,7 +29,7 @@ func (t *Tree[T]) searchNode(n *node[T], query mbr.MBR, visit Visitor[T]) bool {
 			if !visit(e.box, e.value) {
 				return false
 			}
-		} else if !t.searchNode(e.child, query, visit) {
+		} else if !t.searchNode(e.child, query, visit, reads) {
 			return false
 		}
 	}
@@ -51,10 +54,13 @@ func (t *Tree[T]) SearchSphere(center []float64, r float64, visit Visitor[T]) {
 		panic("rstar: query point dimensionality mismatch")
 	}
 	r2 := r * r
-	t.searchSphereNode(t.root, center, r2, visit)
+	var reads int64
+	t.searchSphereNode(t.root, center, r2, visit, &reads)
+	t.noteSearch(reads)
 }
 
-func (t *Tree[T]) searchSphereNode(n *node[T], center []float64, r2 float64, visit Visitor[T]) bool {
+func (t *Tree[T]) searchSphereNode(n *node[T], center []float64, r2 float64, visit Visitor[T], reads *int64) bool {
+	*reads++
 	for i := range n.entries {
 		e := &n.entries[i]
 		if e.box.MinDist2(center) > r2 {
@@ -64,7 +70,7 @@ func (t *Tree[T]) searchSphereNode(n *node[T], center []float64, r2 float64, vis
 			if !visit(e.box, e.value) {
 				return false
 			}
-		} else if !t.searchSphereNode(e.child, center, r2, visit) {
+		} else if !t.searchSphereNode(e.child, center, r2, visit, reads) {
 			return false
 		}
 	}
@@ -134,6 +140,8 @@ func (t *Tree[T]) NearestNeighbors(center []float64, k int) []Neighbor[T] {
 	}
 	queue := nnQueue[T]{{d2: 0, node: t.root}}
 	var out []Neighbor[T]
+	var reads int64
+	defer func() { t.noteSearch(reads) }()
 	for queue.Len() > 0 && len(out) < k {
 		item := heap.Pop(&queue).(nnItem[T])
 		if item.leaf != nil {
@@ -141,6 +149,7 @@ func (t *Tree[T]) NearestNeighbors(center []float64, k int) []Neighbor[T] {
 			continue
 		}
 		n := item.node
+		reads++
 		for i := range n.entries {
 			e := &n.entries[i]
 			it := nnItem[T]{d2: e.box.MinDist2(center)}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"stardust/internal/mbr"
+	"stardust/internal/obs"
 )
 
 // Default fan-out parameters. Beckmann et al. recommend m ≈ 40% of M and
@@ -32,6 +33,7 @@ type Tree[T any] struct {
 	root       *node[T]
 	height     int // levels, leaf = 1
 	size       int
+	mets       *obs.TreeMetrics // nil = uninstrumented
 }
 
 type entry[T any] struct {
@@ -97,6 +99,37 @@ func New[T any](dim int, opts ...Options) *Tree[T] {
 		root:       &node[T]{leaf: true},
 		height:     1,
 	}
+}
+
+// SetMetrics attaches an observability sink counting node accesses,
+// splits and reinsertions. Several trees may share one sink (Stardust's
+// per-level trees report into a single summary-wide TreeMetrics). A nil
+// sink (the default) disables instrumentation.
+func (t *Tree[T]) SetMetrics(m *obs.TreeMetrics) { t.mets = m }
+
+// noteReads adds n node visits to the sink.
+func (t *Tree[T]) noteReads(n int64) {
+	if t.mets != nil {
+		t.mets.NodeReads.Add(n)
+	}
+}
+
+// noteWrites adds n node modifications to the sink.
+func (t *Tree[T]) noteWrites(n int64) {
+	if t.mets != nil {
+		t.mets.NodeWrites.Add(n)
+	}
+}
+
+// noteSearch records one completed search traversal that visited reads
+// nodes.
+func (t *Tree[T]) noteSearch(reads int64) {
+	if t.mets == nil {
+		return
+	}
+	t.mets.Searches.Inc()
+	t.mets.NodeReads.Add(reads)
+	t.mets.SearchNodes.Observe(float64(reads))
 }
 
 // Len returns the number of stored entries.

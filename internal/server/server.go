@@ -15,6 +15,8 @@
 //	POST /snapshot                                                    — persist state to the snapshot path
 //	POST /watch         {"type":"aggregate", "stream":0, ...}         — register a standing query (watcher-backed servers)
 //	GET  /events        ?since=N                                      — drain standing-query events (watcher-backed servers)
+//	GET  /metricsz                                                    — Prometheus text metrics (ingestion, index, query classes)
+//	GET  /debug/pprof/                                                — runtime profiles (heap, goroutine, 30s CPU via /debug/pprof/profile)
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status. Ingestion routes
 // through the monitor's resilience guard, so malformed samples (NaN, Inf,
@@ -29,10 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -40,51 +42,16 @@ import (
 	"time"
 
 	"stardust"
+	"stardust/internal/obs"
 )
 
-// Backend is the locked monitor surface the server serves. Both
-// stardust.SafeMonitor (plain ingestion) and stardust.SafeWatcher
-// (ingestion evaluating standing queries) implement it.
-type Backend interface {
-	Ingest(stream int, v float64) error
-	IngestAll(vs []float64) error
-	NumStreams() int
-	Now(stream int) int64
-	CheckAggregate(stream, window int, threshold float64) (stardust.AggregateResult, error)
-	FindPattern(q []float64, r float64) (stardust.PatternResult, error)
-	Correlations(level int, r float64) (stardust.CorrelationResult, error)
-	LaggedCorrelations(level int, r float64, maxLag int) ([]stardust.CorrPair, error)
-	Stats() stardust.Stats
-	Snapshot(w io.Writer) error
-}
-
-// monitorBackend adapts SafeMonitor's event-less ingestion.
-type monitorBackend struct{ *stardust.SafeMonitor }
-
-// watcherBackend adapts SafeWatcher, capturing the events its pushes
-// produce so the server can expose them. Events triggered before a
-// mid-push error are still sunk (the watcher's partial-event contract —
-// they are verified alarms and will not be re-delivered).
-type watcherBackend struct {
-	*stardust.SafeWatcher
-	sink func([]stardust.Event)
-}
-
-func (b watcherBackend) Ingest(stream int, v float64) error {
-	events, err := b.SafeWatcher.Push(stream, v)
-	if len(events) > 0 {
-		b.sink(events)
-	}
-	return err
-}
-
-func (b watcherBackend) IngestAll(vs []float64) error {
-	events, err := b.SafeWatcher.AppendAll(vs)
-	if len(events) > 0 {
-		b.sink(events)
-	}
-	return err
-}
+// Backend is the monitor surface the server serves — the package-level
+// stardust.Interface, which SafeMonitor, ShardedMonitor and SafeWatcher
+// all satisfy.
+//
+// Deprecated: Backend predates the promotion of the unified surface to the
+// root package; new code should name stardust.Interface directly.
+type Backend = stardust.Interface
 
 // Server routes HTTP requests to a Backend.
 type Server struct {
@@ -105,17 +72,19 @@ type Server struct {
 const eventBuffer = 4096
 
 // New builds a server around the monitor. snapshotPath may be empty to
-// disable persistence.
-func New(mon *stardust.SafeMonitor, snapshotPath string) *Server {
-	return newServer(monitorBackend{mon}, nil, snapshotPath)
+// disable persistence. Any stardust.Interface works as the backend — a
+// SafeMonitor, or a ShardedMonitor for multi-core ingestion.
+func New(mon Backend, snapshotPath string) *Server {
+	return newServer(mon, nil, snapshotPath)
 }
 
 // NewWithWatcher builds a server whose ingestion evaluates the watcher's
 // standing queries; triggered events accumulate in a bounded buffer served
-// by GET /events, and new watches can be registered via POST /watch.
+// by GET /events, and new watches can be registered via POST /watch. The
+// watcher's event sink is claimed by the server.
 func NewWithWatcher(w *stardust.SafeWatcher, snapshotPath string) *Server {
-	s := newServer(nil, w, snapshotPath)
-	s.mon = watcherBackend{SafeWatcher: w, sink: s.appendEvents}
+	s := newServer(w, w, snapshotPath)
+	w.SetEventSink(s.appendEvents)
 	return s
 }
 
@@ -132,6 +101,14 @@ func newServer(mon Backend, w *stardust.SafeWatcher, snapshotPath string) *Serve
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	// Runtime profiling. CPU profiles (?seconds=N) must finish inside the
+	// server's write timeout; keep N below ServeOptions.WriteTimeout.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -360,6 +337,16 @@ func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.mon.Stats())
+}
+
+// handleMetrics serves the observability snapshot in Prometheus text
+// exposition format: ingestion counters and append latency, R*-tree node
+// accesses, and per-query-class candidates/verified (pruning power).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WriteProm(w, s.mon.Metrics()); err != nil {
+		log.Printf("server: writing /metricsz: %v", err)
+	}
 }
 
 // watchRequest registers a standing query.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -720,5 +722,69 @@ func TestServeWithoutSnapshotPath(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return")
+	}
+}
+
+func TestMetricszEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	// Drive some work through the HTTP path so the counters are nonzero.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	if resp, _ := postJSON(t, ts.URL+"/ingest", map[string]any{"stream": 0, "values": vals}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/aggregate?stream=0&window=8&threshold=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"stardust_ingest_samples_total 16\n",
+		"stardust_ingest_accepted_total 16\n",
+		"# TYPE stardust_index_node_reads_total counter",
+		`stardust_query_total{class="aggregate"} 1`,
+		"# TYPE stardust_query_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metricsz missing %q", want)
+		}
+	}
+}
+
+func TestMetricszMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	resp, err := http.Post(ts.URL+"/metricsz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metricsz status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"stardust/internal/core"
+	"stardust/internal/obs"
 	"stardust/internal/resilience"
 )
 
@@ -122,10 +123,15 @@ func loadPayload(r io.Reader) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stardust: %v", err)
 	}
+	// Metrics are runtime observability, not state: restored monitors start
+	// from zeroed counters.
+	metrics := obs.NewMetrics()
+	sum.SetMetrics(metrics)
 	return &Monitor{
-		sum:   sum,
-		mode:  Mode(mode),
-		guard: resilience.NewGuard(resilience.Config{}, sum.NumStreams()),
+		sum:     sum,
+		mode:    Mode(mode),
+		guard:   resilience.NewGuard(resilience.Config{}, sum.NumStreams()),
+		metrics: metrics,
 	}, nil
 }
 

@@ -14,8 +14,8 @@ func TestNewShardedValidation(t *testing.T) {
 	}
 	if _, err := NewSharded(Config{
 		Streams: 4, W: 16, Levels: 2, Transform: DWT, Mode: Batch, Normalization: NormZ,
-	}, 2); err == nil {
-		t.Fatal("NormZ workloads should be rejected")
+	}, 2); err != nil {
+		t.Fatalf("NormZ workloads should shard (cross-shard correlation merge): %v", err)
 	}
 	sm, err := NewSharded(Config{Streams: 3, W: 8, Levels: 2, Transform: Sum}, 8)
 	if err != nil {

@@ -24,9 +24,11 @@ package stardust
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"stardust/internal/aggregate"
 	"stardust/internal/core"
+	"stardust/internal/obs"
 	"stardust/internal/resilience"
 	"stardust/internal/wavelet"
 )
@@ -110,6 +112,29 @@ const (
 	// LastValueBad gap-fills non-finite samples with the stream's most
 	// recent admitted value.
 	LastValueBad = resilience.LastValue
+)
+
+// Observability surface (see internal/obs): every monitor carries an
+// always-on, low-overhead metrics set covering ingestion latency, R*-tree
+// node accesses and per-query-class candidate/verified counts — the
+// quantities the paper's cost model is stated in. Snapshot it with
+// Monitor.Metrics(), or scrape the server's GET /metricsz endpoint.
+type (
+	// MetricsSnapshot is a point-in-time copy of a monitor's metrics.
+	MetricsSnapshot = obs.Snapshot
+	// IngestMetricsSnapshot is the ingestion section: guard counters plus
+	// the sampled per-append latency distribution.
+	IngestMetricsSnapshot = obs.IngestSnapshot
+	// TreeMetricsSnapshot sums R*-tree node accesses, splits and
+	// reinsertions over all resolution levels.
+	TreeMetricsSnapshot = obs.TreeSnapshot
+	// QueryMetricsSnapshot covers one query class: invocations, screened
+	// candidates, verified results (PruningPower = Verified/Candidates, the
+	// paper's precision) and query latency.
+	QueryMetricsSnapshot = obs.QuerySnapshot
+	// HistogramSnapshot is a bounded histogram copy with P50/P95/P99
+	// estimators.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // Typed ingestion errors, matched with errors.Is.
@@ -201,9 +226,10 @@ type Config struct {
 // safe for concurrent use; wrap with a mutex or shard streams across
 // monitors for parallel ingest.
 type Monitor struct {
-	sum   *core.Summary
-	mode  Mode
-	guard *resilience.Guard
+	sum     *core.Summary
+	mode    Mode
+	guard   *resilience.Guard
+	metrics *obs.Metrics
 }
 
 // New constructs a Monitor.
@@ -252,10 +278,13 @@ func New(cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stardust: %v", err)
 	}
+	metrics := obs.NewMetrics()
+	sum.SetMetrics(metrics)
 	return &Monitor{
-		sum:   sum,
-		mode:  cfg.Mode,
-		guard: resilience.NewGuard(cfg.BadValues, cfg.Streams),
+		sum:     sum,
+		mode:    cfg.Mode,
+		guard:   resilience.NewGuard(cfg.BadValues, cfg.Streams),
+		metrics: metrics,
 	}, nil
 }
 
@@ -265,9 +294,18 @@ func New(cfg Config) (*Monitor, error) {
 // configured bad-value policy) are repaired before appending. On error the
 // stream's clock does not advance.
 func (m *Monitor) Ingest(stream int, v float64) error {
+	n := m.metrics.Ingest.Samples.Inc()
 	admitted, err := m.guard.Admit(stream, v)
 	if err != nil {
 		return err
+	}
+	// Per-append latency is sampled (one append in obs.SampleEvery) so the
+	// two clock reads stay off the common path.
+	if obs.Sampled(n) {
+		start := time.Now()
+		m.sum.Append(stream, admitted)
+		m.metrics.Ingest.AppendNanos.Observe(float64(time.Since(start)))
+		return nil
 	}
 	m.sum.Append(stream, admitted)
 	return nil
@@ -296,8 +334,11 @@ func (m *Monitor) IngestAll(vs []float64) error {
 // schedule fires. It routes through the same guard as Ingest: samples the
 // policy repairs are appended repaired; samples it cannot repair panic.
 // Under the default Reject policy this preserves the historical contract
-// that non-finite values panic. Servers and other fallible callers should
-// prefer Ingest.
+// that non-finite values panic.
+//
+// Deprecated: Append is a panicking wrapper kept for callers that predate
+// the resilience guard. New code should use Ingest, the one fallible
+// ingestion entry point, and handle its typed errors.
 func (m *Monitor) Append(stream int, v float64) {
 	if err := m.Ingest(stream, v); err != nil {
 		panic(fmt.Sprintf("stardust: Append: %v", err))
@@ -313,6 +354,10 @@ func (m *Monitor) AddStream() int {
 
 // AppendAll ingests one synchronized arrival across all streams, panicking
 // on the first inadmissible sample (see Append).
+//
+// Deprecated: AppendAll is a panicking wrapper over IngestAll. New code
+// should use IngestAll, which attempts every stream and returns the joined
+// typed errors instead of panicking.
 func (m *Monitor) AppendAll(vs []float64) {
 	if len(vs) != m.NumStreams() {
 		panic(fmt.Sprintf("stardust: AppendAll got %d values for %d streams", len(vs), m.NumStreams()))
@@ -346,13 +391,26 @@ func (m *Monitor) NumStreams() int { return m.sum.NumStreams() }
 // threshold, verified against raw history. The window must be a multiple
 // of W decomposable within the configured levels.
 func (m *Monitor) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
-	return m.sum.AggregateQuery(stream, window, threshold)
+	start := time.Now()
+	res, err := m.sum.AggregateQuery(stream, window, threshold)
+	cand, verified := 0, 0
+	if res.Candidate {
+		cand = 1
+	}
+	if res.Alarm {
+		verified = 1
+	}
+	m.metrics.Aggregate.ObserveQuery(cand, verified, int64(time.Since(start)))
+	return res, err
 }
 
 // AggregateBound returns the interval guaranteed to contain the exact
 // aggregate of the most recent window of the given size.
 func (m *Monitor) AggregateBound(stream, window int) (Interval, error) {
-	return m.sum.AggregateBound(stream, window)
+	start := time.Now()
+	iv, err := m.sum.AggregateBound(stream, window)
+	m.metrics.Aggregate.ObserveQuery(0, 0, int64(time.Since(start)))
+	return iv, err
 }
 
 // FindPattern answers a variable-length similarity query: all stream
@@ -360,24 +418,40 @@ func (m *Monitor) AggregateBound(stream, window int) (Interval, error) {
 // normalization. The monitor's mode selects the paper's Algorithm 3
 // (Online/SWAT) or Algorithm 4 (Batch).
 func (m *Monitor) FindPattern(q []float64, r float64) (PatternResult, error) {
+	start := time.Now()
+	var res PatternResult
+	var err error
 	if m.mode == Batch {
-		return m.sum.PatternQueryBatch(q, r)
+		res, err = m.sum.PatternQueryBatch(q, r)
+	} else {
+		res, err = m.sum.PatternQueryOnline(q, r)
 	}
-	return m.sum.PatternQueryOnline(q, r)
+	// Relevant (candidates whose verification succeeded) is the precision
+	// numerator, so PruningPower matches PatternResult.Precision.
+	m.metrics.Pattern.ObserveQuery(len(res.Candidates), res.Relevant, int64(time.Since(start)))
+	return res, err
 }
 
 // Correlations reports stream pairs whose current windows at the given
 // resolution level are within z-norm distance r (correlation ≥ 1 − r²/2),
 // screened by the level index and verified on raw history.
 func (m *Monitor) Correlations(level int, r float64) (CorrelationResult, error) {
-	return m.sum.CorrelationQuery(level, r)
+	start := time.Now()
+	res, err := m.sum.CorrelationQuery(level, r)
+	m.metrics.Correlation.ObserveQuery(len(res.Candidates), len(res.Pairs), int64(time.Since(start)))
+	return res, err
 }
 
 // NearestPatterns returns the k stream subsequences most similar to the
 // query (smallest normalized distance), verified on raw history and sorted
 // by increasing distance. Requires a Batch monitor.
 func (m *Monitor) NearestPatterns(q []float64, k int) ([]Match, error) {
-	return m.sum.NearestPatterns(q, k)
+	start := time.Now()
+	ms, err := m.sum.NearestPatterns(q, k)
+	// k-NN has no screened/verified split; it contributes invocations and
+	// latency to the pattern class without skewing its pruning power.
+	m.metrics.Pattern.ObserveQuery(0, 0, int64(time.Since(start)))
+	return ms, err
 }
 
 // LaggedCorrelations reports screened stream pairs whose current window on
@@ -386,7 +460,12 @@ func (m *Monitor) NearestPatterns(q []float64, k int) ([]Match, error) {
 // them to Summary().VerifyPairs for exact confirmation. Requires the
 // summary to retain indexed features across the lag range (IndexHorizon).
 func (m *Monitor) LaggedCorrelations(level int, r float64, maxLag int) ([]CorrPair, error) {
-	return m.sum.CorrelationScreenLagged(level, r, maxLag)
+	start := time.Now()
+	pairs, err := m.sum.CorrelationScreenLagged(level, r, maxLag)
+	// Screen-only: no verification runs here, so only invocations and
+	// latency are recorded (candidates would skew pruning power).
+	m.metrics.Correlation.ObserveQuery(0, 0, int64(time.Since(start)))
+	return pairs, err
 }
 
 // LinearScanMatches is the brute-force ground truth for FindPattern,
@@ -401,6 +480,22 @@ func (m *Monitor) Stats() Stats {
 	st := m.sum.Stats()
 	st.Ingest = m.guard.Stats()
 	return st
+}
+
+// Metrics returns a point-in-time observability snapshot: ingestion
+// counters and sampled append latency, R*-tree node accesses, splits and
+// reinsertions summed over all levels, and per-query-class candidate vs.
+// verified counts with latency percentiles. Counters are monotone between
+// snapshots; the snapshot is per-counter consistent, not globally atomic.
+func (m *Monitor) Metrics() MetricsSnapshot {
+	snap := m.metrics.Snapshot()
+	gs := m.guard.Stats()
+	snap.Ingest.Accepted = gs.Accepted
+	snap.Ingest.Repaired = gs.Repaired
+	snap.Ingest.Rejected = gs.Rejected
+	snap.Ingest.QuarantinedStreams = int64(gs.QuarantinedStreams)
+	snap.Ingest.QuarantineTrips = gs.QuarantineTrips
+	return snap
 }
 
 // Summary exposes the underlying core summary for advanced use (per-level
