@@ -149,6 +149,90 @@ func BenchmarkPatternQueryOnline(b *testing.B) {
 	}
 }
 
+// BenchmarkCorrelations measures one full screened + verified correlation
+// round (the Correlations API) over 64 streams at several worker counts —
+// the headline number for the parallel query path. workers=1 is the serial
+// baseline; on a multi-core runner workers=4 should beat it by ≥1.5×.
+func BenchmarkCorrelations(b *testing.B) {
+	const M = 64
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			cfg := Config{
+				Streams: M, W: 16, Levels: 5, Transform: DWT, Coefficients: 2,
+				Normalization: NormZ, Mode: Batch,
+			}
+			cfg.Parallel.Workers = workers
+			m, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(6))
+			data := gen.CorrelatedWalks(rng, M, 512, 4, 0.5)
+			vs := make([]float64, M)
+			for i := 0; i < 512; i++ {
+				for s := 0; s < M; s++ {
+					vs[s] = data[s][i]
+				}
+				m.AppendAll(vs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Correlations(4, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest compares the per-sample ingestion paths: Ingest called in
+// a loop vs IngestBatch amortizing guard checks, metrics and eviction over
+// 256-sample runs. Reported time is per sample in both cases.
+func BenchmarkIngest(b *testing.B) {
+	const batchLen = 256
+	newMon := func(b *testing.B) *Monitor {
+		m, err := New(Config{
+			Streams: 1, W: 32, Levels: 5, Transform: DWT, Coefficients: 4,
+			Normalization: NormUnit, Rmax: 100, BoxCapacity: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("loop", func(b *testing.B) {
+		m := newMon(b)
+		rng := rand.New(rand.NewSource(8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Ingest(0, rng.Float64()*100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		m := newMon(b)
+		rng := rand.New(rand.NewSource(8))
+		buf := make([]float64, batchLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += batchLen {
+			n := batchLen
+			if b.N-done < n {
+				n = b.N - done
+			}
+			for j := 0; j < n; j++ {
+				buf[j] = rng.Float64() * 100
+			}
+			if err := m.IngestBatch(0, buf[:n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCorrelationRound measures one screened detection round over 64
 // streams.
 func BenchmarkCorrelationRound(b *testing.B) {

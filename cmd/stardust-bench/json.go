@@ -1,0 +1,348 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"stardust"
+	"stardust/internal/experiments"
+	"stardust/internal/gen"
+)
+
+// benchReport is the machine-readable benchmark artifact written by
+// `stardust-bench -json` and consumed by `-compare`. The committed
+// BENCH_PR3.json baseline uses this schema; bump Schema when the workload
+// set or field meanings change (a schema mismatch fails the comparison
+// with a "refresh the baseline" hint rather than a bogus delta).
+type benchReport struct {
+	Schema    int              `json:"schema"`
+	Scale     string           `json:"scale"`
+	Seed      int64            `json:"seed"`
+	GoVersion string           `json:"go"`
+	Workloads []workloadResult `json:"workloads"`
+}
+
+const benchSchema = 1
+
+// workloadResult is one (workload, workers) cell. Throughput and elapsed
+// wall-clock vary with the host; the remaining fields — node accesses,
+// screened candidates, verified results, pruning power, index inserts —
+// are deterministic for a fixed seed and form the machine-independent
+// regression gate.
+type workloadResult struct {
+	Name           string  `json:"name"`
+	Workers        int     `json:"workers"`
+	Ops            int64   `json:"ops"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	Throughput     float64 `json:"throughput_per_sec"`
+	Inserts        int64   `json:"inserts"`
+	NodeReads      int64   `json:"node_reads"`
+	ReadsPerSearch float64 `json:"node_reads_per_search"`
+	Candidates     int64   `json:"candidates"`
+	Verified       int64   `json:"verified"`
+	PruningPower   float64 `json:"pruning_power"`
+}
+
+// benchWorkers is the workers dimension recorded for the query workloads:
+// the serial baseline and the fan-out the CI speedup criterion is stated
+// at.
+var benchWorkers = []int{1, 4}
+
+// runBenchReport executes the benchmark workloads and returns the report.
+// All randomness derives from opt.Seed, so two runs of the same binary
+// agree on every deterministic field.
+func runBenchReport(opt experiments.Options) (*benchReport, error) {
+	scale := "smoke"
+	streams, arrivals, queries := 16, 2048, 10
+	if opt.Full {
+		scale = "full"
+		streams, arrivals, queries = 64, 8192, 50
+	}
+	rep := &benchReport{
+		Schema:    benchSchema,
+		Scale:     scale,
+		Seed:      metricsSeed(opt.Seed),
+		GoVersion: runtime.Version(),
+	}
+	add := func(w workloadResult) { rep.Workloads = append(rep.Workloads, w) }
+
+	// Ingestion: the per-sample loop vs the amortized batch path over the
+	// same random-walk data. Identical index inserts certify equivalence.
+	walkCfg := stardust.Config{
+		Streams: streams, W: 32, Levels: 4, Transform: stardust.Sum,
+		BoxCapacity: 16, History: arrivals,
+	}
+	data := gen.RandomWalks(rand.New(rand.NewSource(rep.Seed)), streams, arrivals)
+	for _, batched := range []bool{false, true} {
+		m, err := stardust.New(walkCfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if batched {
+			for s := 0; s < streams; s++ {
+				if err := m.IngestBatch(s, data[s]); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for i := 0; i < arrivals; i++ {
+				for s := 0; s < streams; s++ {
+					if err := m.Ingest(s, data[s][i]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		name := "ingest/loop"
+		if batched {
+			name = "ingest/batch"
+		}
+		ms := m.Metrics()
+		add(workloadResult{
+			Name: name, Workers: 1,
+			Ops: int64(streams) * int64(arrivals), ElapsedNs: elapsed.Nanoseconds(),
+			Throughput: float64(streams*arrivals) / elapsed.Seconds(),
+			Inserts:    ms.Tree.Inserts,
+		})
+	}
+
+	// Aggregate monitoring: screened threshold checks on the loop monitor's
+	// configuration.
+	agg, err := stardust.New(walkCfg)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < streams; s++ {
+		if err := agg.IngestBatch(s, data[s]); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	for s := 0; s < streams; s++ {
+		if _, err := agg.CheckAggregate(s, 96, float64(arrivals)/20); err != nil {
+			return nil, err
+		}
+	}
+	add(queryResult("aggregate", 1, int64(streams), time.Since(start), agg.Metrics(), "aggregate"))
+
+	// Query classes at each workers setting. The deterministic fields must
+	// agree across workers (the parity contract); throughput is where the
+	// fan-out shows.
+	hosts := gen.HostLoads(rand.New(rand.NewSource(rep.Seed+1)), streams, arrivals)
+	for _, workers := range benchWorkers {
+		pat, err := newBenchMonitor(streams, arrivals, workers, stardust.NormUnit, hosts)
+		if err != nil {
+			return nil, err
+		}
+		qrng := rand.New(rand.NewSource(rep.Seed + 2))
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			s := qrng.Intn(streams)
+			lo := qrng.Intn(arrivals - 96)
+			query := make([]float64, 96)
+			copy(query, hosts[s][lo:lo+96])
+			if _, err := pat.FindPattern(query, 0.2); err != nil {
+				return nil, err
+			}
+		}
+		add(queryResult("pattern", workers, int64(queries), time.Since(start), pat.Metrics(), "pattern"))
+
+		knnQ := make([]float64, 96)
+		copy(knnQ, hosts[0][arrivals/2:arrivals/2+96])
+		start = time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := pat.NearestPatterns(knnQ, 5); err != nil {
+				return nil, err
+			}
+		}
+		// NearestPatterns screens through the pattern query class; subtract
+		// nothing — the knn row reports the monitor's cumulative counters
+		// after both workloads, which stays deterministic.
+		add(queryResult("knn", workers, int64(queries), time.Since(start), pat.Metrics(), "pattern"))
+
+		corr, err := newBenchMonitor(streams, arrivals, workers, stardust.NormZ, hosts)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := corr.Correlations(1, 1.5); err != nil {
+				return nil, err
+			}
+		}
+		add(queryResult("correlations", workers, int64(queries), time.Since(start), corr.Metrics(), "correlation"))
+
+		start = time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := corr.LaggedCorrelations(1, 1.5, 64); err != nil {
+				return nil, err
+			}
+		}
+		add(queryResult("lagged", workers, int64(queries), time.Since(start), corr.Metrics(), "correlation"))
+	}
+	return rep, nil
+}
+
+// newBenchMonitor builds a warm DWT monitor for the query workloads.
+func newBenchMonitor(streams, arrivals, workers int, norm stardust.Normalization, data [][]float64) (*stardust.Monitor, error) {
+	cfg := stardust.Config{
+		Streams: streams, W: 32, Levels: 4, Transform: stardust.DWT,
+		Mode: stardust.Batch, Coefficients: 2,
+		Normalization: norm, History: arrivals,
+	}
+	if norm == stardust.NormUnit {
+		cfg.Rmax = 4
+	}
+	cfg.Parallel.Workers = workers
+	m, err := stardust.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < streams; s++ {
+		if err := m.IngestBatch(s, data[s]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// queryResult assembles one query-class row from a metrics snapshot.
+func queryResult(name string, workers int, ops int64, elapsed time.Duration,
+	m stardust.MetricsSnapshot, class string) workloadResult {
+	var q stardust.QueryMetricsSnapshot
+	switch class {
+	case "aggregate":
+		q = m.Aggregate
+	case "pattern":
+		q = m.Pattern
+	default:
+		q = m.Correlation
+	}
+	return workloadResult{
+		Name: name, Workers: workers,
+		Ops: ops, ElapsedNs: elapsed.Nanoseconds(),
+		Throughput:     float64(ops) / elapsed.Seconds(),
+		Inserts:        m.Tree.Inserts,
+		NodeReads:      m.Tree.NodeReads,
+		ReadsPerSearch: metricsRatio(m.Tree.NodeReads, m.Tree.Searches),
+		Candidates:     q.Candidates,
+		Verified:       q.Verified,
+		PruningPower:   q.PruningPower(),
+	}
+}
+
+// writeBenchJSON runs the report and writes indented JSON to w.
+func writeBenchJSON(opt experiments.Options, w io.Writer) error {
+	rep, err := runBenchReport(opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// compareBench re-runs the workloads and checks them against a committed
+// baseline report. The machine-independent fields gate hard: index inserts
+// and verified results must match within tolerance in either direction
+// (they certify the answers did not drift), while node reads, reads per
+// search and screened candidates may only grow by the tolerance (shrinking
+// is an improvement) and pruning power may only shrink by it. Throughput
+// deltas are reported but fail the run only when gateThroughput is set —
+// wall-clock comparisons across different machines (a laptop baseline vs a
+// CI runner) are noise, the deterministic counters are not.
+func compareBench(opt experiments.Options, baselinePath string, tolerance float64, gateThroughput bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %v", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %v", baselinePath, err)
+	}
+	if base.Schema != benchSchema {
+		return fmt.Errorf("baseline %s has schema %d, this binary writes %d — regenerate it with -json",
+			baselinePath, base.Schema, benchSchema)
+	}
+	opt.Full = base.Scale == "full"
+	opt.Seed = base.Seed
+	cur, err := runBenchReport(opt)
+	if err != nil {
+		return err
+	}
+	curByKey := make(map[string]workloadResult, len(cur.Workloads))
+	for _, w := range cur.Workloads {
+		curByKey[fmt.Sprintf("%s@%d", w.Name, w.Workers)] = w
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) { failures = append(failures, fmt.Sprintf(format, args...)) }
+	// exceeds reports whether got deviates from want by more than the
+	// tolerance in the given direction (+1: grew, -1: shrank, 0: either).
+	exceeds := func(got, want float64, dir int) bool {
+		if want == 0 {
+			return got != 0
+		}
+		delta := (got - want) / want
+		switch dir {
+		case +1:
+			return delta > tolerance
+		case -1:
+			return delta < -tolerance
+		default:
+			return delta > tolerance || delta < -tolerance
+		}
+	}
+	for _, b := range base.Workloads {
+		key := fmt.Sprintf("%s@%d", b.Name, b.Workers)
+		c, ok := curByKey[key]
+		if !ok {
+			fail("%s: workload missing from current run (workload set changed? regenerate the baseline)", key)
+			continue
+		}
+		if exceeds(float64(c.Inserts), float64(b.Inserts), 0) {
+			fail("%s: index inserts %d vs baseline %d", key, c.Inserts, b.Inserts)
+		}
+		if exceeds(float64(c.Verified), float64(b.Verified), 0) {
+			fail("%s: verified results %d vs baseline %d (answers drifted)", key, c.Verified, b.Verified)
+		}
+		if exceeds(float64(c.Candidates), float64(b.Candidates), +1) {
+			fail("%s: screened candidates grew %d -> %d", key, b.Candidates, c.Candidates)
+		}
+		if exceeds(float64(c.NodeReads), float64(b.NodeReads), +1) {
+			fail("%s: node reads grew %d -> %d", key, b.NodeReads, c.NodeReads)
+		}
+		if exceeds(c.ReadsPerSearch, b.ReadsPerSearch, +1) {
+			fail("%s: node reads/search grew %.2f -> %.2f", key, b.ReadsPerSearch, c.ReadsPerSearch)
+		}
+		if exceeds(c.PruningPower, b.PruningPower, -1) {
+			fail("%s: pruning power fell %.3f -> %.3f", key, b.PruningPower, c.PruningPower)
+		}
+		if b.Throughput > 0 && c.Throughput < b.Throughput*(1-tolerance) {
+			msg := fmt.Sprintf("%s: throughput %.0f/s vs baseline %.0f/s (-%.0f%%)",
+				key, c.Throughput, b.Throughput, 100*(1-c.Throughput/b.Throughput))
+			if gateThroughput {
+				fail("%s", msg)
+			} else {
+				fmt.Fprintf(opt.Out, "warn: %s (not gated; pass -gate-throughput to fail on this)\n", msg)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(opt.Out, "FAIL: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s (tolerance ±%.0f%%)",
+			len(failures), baselinePath, 100*tolerance)
+	}
+	fmt.Fprintf(opt.Out, "benchmark comparison OK: %d workloads within ±%.0f%% of %s\n",
+		len(base.Workloads), 100*tolerance, baselinePath)
+	return nil
+}

@@ -13,6 +13,12 @@
 // for each query class print ingest throughput, sampled append latency,
 // R*-tree node-access counts and pruning power (verified results over
 // screened candidates) from the Monitor.Metrics() surface.
+//
+// -json runs the benchmark workloads (ingestion loop vs batch, plus each
+// query class at workers ∈ {1, 4}) and writes a machine-readable report —
+// throughput, node accesses, pruning power — to stdout. -compare FILE
+// re-runs the same workloads and fails (exit 1) when they regress beyond
+// -tolerance against the committed baseline; see BENCH_PR3.json and ci.sh.
 package main
 
 import (
@@ -29,9 +35,28 @@ func main() {
 	full := flag.Bool("full", false, "use paper-scale parameters (slow)")
 	seed := flag.Int64("seed", 42, "random seed")
 	metrics := flag.Bool("metrics", false, "report observability metrics (throughput, node accesses, pruning power) instead of the paper experiments")
+	jsonOut := flag.Bool("json", false, "run the benchmark workloads and write a machine-readable report to stdout")
+	compare := flag.String("compare", "", "re-run the benchmark workloads and fail on regressions against this baseline JSON report")
+	tolerance := flag.Float64("tolerance", 0.2, "relative tolerance for -compare (0.2 = ±20%)")
+	gateThroughput := flag.Bool("gate-throughput", false, "with -compare, fail on throughput regressions too (off by default: wall-clock is machine-dependent, the deterministic counters are not)")
 	flag.Parse()
 
 	opt := experiments.Options{Out: os.Stdout, Full: *full, Seed: *seed}
+
+	if *jsonOut {
+		if err := writeBenchJSON(opt, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare != "" {
+		if err := compareBench(opt, *compare, *tolerance, *gateThroughput); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metrics {
 		if err := metricsReport(opt); err != nil {

@@ -1,6 +1,7 @@
 package stardust
 
 import (
+	"errors"
 	"io"
 	"sync"
 )
@@ -60,6 +61,16 @@ func (s *SafeMonitor) IngestAll(vs []float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.m.IngestAll(vs)
+}
+
+// IngestBatch ingests a run of values for one stream under a single
+// write-lock acquisition — the concurrent analogue of Monitor.IngestBatch,
+// where the batch amortizes lock traffic as well as guard and summary
+// overheads. See Monitor.IngestBatch for the skip-and-join error contract.
+func (s *SafeMonitor) IngestBatch(stream int, vs []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.IngestBatch(stream, vs)
 }
 
 // Now returns the discrete time of the stream's most recent value.
@@ -217,6 +228,30 @@ func (s *SafeWatcher) Ingest(stream int, v float64) error {
 		s.sink(evs)
 	}
 	return err
+}
+
+// IngestBatch pushes a run of values for one stream through the watcher
+// under a single lock acquisition. Standing queries are evaluated after
+// every admitted value (batch ingestion must not skip trigger points), so
+// the saving here is lock traffic, not evaluation work. Inadmissible
+// samples are skipped and their errors joined, matching
+// Monitor.IngestBatch; events from admitted samples go to the sink.
+func (s *SafeWatcher) IngestBatch(stream int, vs []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var events []Event
+	var errs []error
+	for _, v := range vs {
+		evs, err := s.w.Push(stream, v)
+		events = append(events, evs...)
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(events) > 0 && s.sink != nil {
+		s.sink(events)
+	}
+	return errors.Join(errs...)
 }
 
 // IngestAll pushes one synchronized arrival through the watcher. Events

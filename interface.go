@@ -10,9 +10,9 @@ import "io"
 // component only needs to feed and query a monitor without caring how it
 // is synchronized or distributed.
 //
-// The surface has three parts: ingestion (Ingest, IngestAll — the guarded,
-// error-returning path; the panicking Append wrappers are deprecated and
-// deliberately excluded), the three query classes of the paper (aggregate,
+// The surface has three parts: ingestion (Ingest, IngestAll, IngestBatch —
+// the guarded, error-returning paths; the panicking Append wrappers are
+// deprecated and deliberately excluded), the three query classes of the paper (aggregate,
 // pattern/nearest-neighbor, correlation), and the stats surface (Stats for
 // space accounting, Metrics for runtime observability, Snapshot for
 // persistence).
@@ -23,6 +23,11 @@ type Interface interface {
 	Ingest(stream int, v float64) error
 	// IngestAll admits one synchronized arrival, vs[i] going to stream i.
 	IngestAll(vs []float64) error
+	// IngestBatch admits a run of consecutive values for one stream — the
+	// amortized bulk path. Inadmissible samples are skipped and their
+	// typed errors joined; admitted samples advance the clock in order,
+	// exactly as a loop of Ingest calls would.
+	IngestBatch(stream int, vs []float64) error
 
 	// NumStreams returns the number of monitored streams.
 	NumStreams() int

@@ -76,11 +76,16 @@ func (s *Summary) CorrelationScreen(level int, r float64) ([]CorrPair, error) {
 	// pairwise scan — older sealed boxes can never satisfy the synchronous
 	// time filter, so skipping them is safe.)
 
-	var out []CorrPair
-	for _, st := range s.streams {
+	// Each stream's probe (one sphere query plus the unsealed scan) is
+	// independent, so the probes shard across the worker pool; per-stream
+	// results land in index-addressed slots and concatenate in stream
+	// order, matching the serial loop's output exactly.
+	perStream := make([][]CorrPair, len(s.streams))
+	s.forEach(len(s.streams), func(i int) {
+		st := s.streams[i]
 		box, _, t2, ok := st.levels[level].latest()
 		if !ok {
-			continue
+			return
 		}
 		center := s.featureView(box, level).Center()
 		// Each unordered pair is discovered from both endpoints' range
@@ -90,19 +95,23 @@ func (s *Summary) CorrelationScreen(level int, r float64) ([]CorrPair, error) {
 			if ref.Stream <= st.id || ref.T2 != t2 {
 				return
 			}
-			out = append(out, CorrPair{A: st.id, B: ref.Stream, TimeA: t2, TimeB: ref.T2})
+			perStream[i] = append(perStream[i], CorrPair{A: st.id, B: ref.Stream, TimeA: t2, TimeB: ref.T2})
 		}
 		s.trees[level].SearchSphere(center, r, func(cb mbr.MBR, ref BoxRef) bool {
 			consider(cb, ref)
 			return true
 		})
-		for i := range unsealed {
-			p := &unsealed[i]
+		for k := range unsealed {
+			p := &unsealed[k]
 			if p.ref.Stream == st.id || p.box.MinDist2(center) > r*r {
 				continue
 			}
 			consider(p.box, p.ref)
 		}
+	})
+	var out []CorrPair
+	for _, ps := range perStream {
+		out = append(out, ps...)
 	}
 	sortPairs(out)
 	return out, nil
@@ -110,15 +119,28 @@ func (s *Summary) CorrelationScreen(level int, r float64) ([]CorrPair, error) {
 
 // VerifyPairs computes the exact z-norm distance of each screened pair on
 // raw history and returns those truly within r, with Dist and Correlation
-// filled in. Intended to run outside any timed detection path.
+// filled in. Verification of independent pairs fans across the worker
+// pool; survivors merge in input order. Intended to run outside any timed
+// detection path.
 func (s *Summary) VerifyPairs(level int, pairs []CorrPair, r float64) []CorrPair {
+	type verdict struct {
+		ok   bool
+		dist float64
+	}
+	verdicts := make([]verdict, len(pairs))
+	s.forEach(len(pairs), func(i int) {
+		p := pairs[i]
+		dist, ok := s.verifyCorrelation(p.A, p.B, level, p.TimeA, p.TimeB)
+		verdicts[i] = verdict{ok: ok && dist <= r, dist: dist}
+	})
 	var out []CorrPair
-	for _, p := range pairs {
-		if dist, ok := s.verifyCorrelation(p.A, p.B, level, p.TimeA, p.TimeB); ok && dist <= r {
-			p.Dist = dist
-			p.Correlation = stats.CorrelationFromZDist(dist)
-			out = append(out, p)
+	for i, p := range pairs {
+		if !verdicts[i].ok {
+			continue
 		}
+		p.Dist = verdicts[i].dist
+		p.Correlation = stats.CorrelationFromZDist(verdicts[i].dist)
+		out = append(out, p)
 	}
 	sortPairs(out)
 	return out

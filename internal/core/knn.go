@@ -31,8 +31,10 @@ func (s *Summary) NearestPatterns(q []float64, k int) ([]Match, error) {
 	// distances and each feature expands to up to W alignments.
 	neighbors := s.trees[j].NearestNeighbors(probe, 4*k+16)
 
+	// Collect stage (serial): expand neighbors to deduplicated candidate
+	// alignments in best-first order.
 	seen := make(map[Match]bool)
-	var verified []Match
+	var keys []Match
 	qlen := int64(len(q))
 	for _, nb := range neighbors {
 		ref := nb.Value
@@ -50,11 +52,28 @@ func (s *Summary) NearestPatterns(q []float64, k int) ([]Match, error) {
 						continue
 					}
 					seen[key] = true
-					if dist, ok := s.verifyMatch(ref.Stream, end, q); ok {
-						verified = append(verified, Match{Stream: ref.Stream, End: end, Dist: dist})
-					}
+					keys = append(keys, key)
 				}
 			}
+		}
+	}
+
+	// Process stage (parallel): exact verification on raw history, results
+	// in index-addressed slots so the merge preserves collection order —
+	// the sort below then sees the same input sequence as a serial run.
+	type verdict struct {
+		ok   bool
+		dist float64
+	}
+	verdicts := make([]verdict, len(keys))
+	s.forEach(len(keys), func(i int) {
+		dist, ok := s.verifyMatch(keys[i].Stream, keys[i].End, q)
+		verdicts[i] = verdict{ok: ok, dist: dist}
+	})
+	var verified []Match
+	for i, key := range keys {
+		if verdicts[i].ok {
+			verified = append(verified, Match{Stream: key.Stream, End: key.End, Dist: verdicts[i].dist})
 		}
 	}
 	sort.Slice(verified, func(a, b int) bool { return verified[a].Dist < verified[b].Dist })

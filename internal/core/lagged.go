@@ -47,15 +47,20 @@ func (s *Summary) CorrelationScreenLagged(level int, r float64, maxLag int) ([]C
 		unsealed = append(unsealed, pending{box: s.featureView(lb.box, level), ref: BoxRef{Stream: other.id, T1: lb.t1, T2: lb.t2}})
 	}
 
-	var out []CorrPair
-	seen := make(map[CorrPair]bool)
-	for _, st := range s.streams {
+	// Per-stream probes are independent and shard across the worker pool.
+	// Every reported pair carries A = probing stream id, so the dedup map
+	// partitions exactly by probe: a per-stream map sees the same keys the
+	// serial loop's shared map did.
+	perStream := make([][]CorrPair, len(s.streams))
+	s.forEach(len(s.streams), func(i int) {
+		st := s.streams[i]
 		box, _, t2, ok := st.levels[level].latest()
 		if !ok {
-			continue
+			return
 		}
 		center := s.featureView(box, level).Center()
 		oldest := t2 - int64(maxLag)
+		seen := make(map[CorrPair]bool)
 		consider := func(ref BoxRef) {
 			if ref.Stream == st.id || ref.T2 < oldest || ref.T1 > t2 {
 				return
@@ -73,20 +78,24 @@ func (s *Summary) CorrelationScreenLagged(level int, r float64, maxLag int) ([]C
 					continue
 				}
 				seen[p] = true
-				out = append(out, p)
+				perStream[i] = append(perStream[i], p)
 			}
 		}
 		s.trees[level].SearchSphere(center, r, func(_ mbr.MBR, ref BoxRef) bool {
 			consider(ref)
 			return true
 		})
-		for i := range unsealed {
-			p := &unsealed[i]
+		for k := range unsealed {
+			p := &unsealed[k]
 			if p.ref.Stream == st.id || p.box.MinDist2(center) > r*r {
 				continue
 			}
 			consider(p.ref)
 		}
+	})
+	var out []CorrPair
+	for _, ps := range perStream {
+		out = append(out, ps...)
 	}
 	sortPairs(out)
 	return out, nil

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel query execution.
+//
+// The query algorithms decompose into a serial collect stage (a tree
+// traversal or candidate enumeration that fixes the work-item order), an
+// embarrassingly parallel process stage (per-stream index probes, radius
+// refinement, raw-history verification), and a serial merge stage that
+// folds per-item results back together in collection order. Workers write
+// into caller-preallocated, index-addressed slots, and the merge replays
+// the exact bookkeeping of the serial loop (dedup maps, relevant counts),
+// so the output of a parallel run is byte-identical to the serial one —
+// the determinism contract the parity tests in parallel_test.go enforce.
+//
+// The fan-out is a per-call pool: goroutines pull item indices from an
+// atomic counter (work stealing, so skewed item costs balance) and exit
+// when the range is drained. Tree searches are safe to run concurrently
+// because traversals never mutate nodes and instrumentation uses atomic
+// counters (see the concurrency contract in internal/rstar).
+
+// minParallelItems is the fan-out threshold: below it the goroutine and
+// scheduling overhead outweighs the win and the stage runs inline.
+const minParallelItems = 4
+
+// SetParallel sets the number of workers the candidate-screening and
+// verification stages of the query algorithms fan out across. n ≤ 1
+// selects the serial path (the default for a fresh summary).
+func (s *Summary) SetParallel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	if s.mets != nil {
+		s.mets.Parallel.Workers.Set(int64(n))
+	}
+}
+
+// Workers returns the configured worker count (≥ 1).
+func (s *Summary) Workers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// forEach runs fn(i) for every i in [0, n), fanning across the summary's
+// workers when both the pool and the item count warrant it. fn must write
+// its result into an index-addressed slot and must not append to shared
+// state; the caller merges slots in index order afterwards. A panic in any
+// worker is re-raised on the calling goroutine, preserving the serial
+// path's panic contract.
+func (s *Summary) forEach(n int, fn func(i int)) {
+	w := s.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < minParallelItems {
+		if s.mets != nil && n > 0 {
+			s.mets.Parallel.ObserveSerial(n)
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if s.mets != nil {
+		s.mets.Parallel.ObserveRound(n, int64(time.Since(start)))
+	}
+}

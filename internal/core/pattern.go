@@ -78,11 +78,30 @@ func (s *Summary) decomposeQuery(q []float64) ([]queryPiece, error) {
 	return pieces, nil
 }
 
+// onlineCand is one Algorithm-3 work item: the alignment implied by a
+// first-sub-query feature ending at tau, with the refinement budget its
+// retrieving box established. The process stage fills in the outcome.
+type onlineCand struct {
+	stream int
+	tau    int64
+	base   float64
+	// Results of the refine/verify stage:
+	pass     bool    // survived the hierarchical radius refinement
+	end      int64   // alignment end time
+	candDist float64 // best-case lower bound after refinement
+	verified bool    // exact distance within r on raw history
+	dist     float64 // exact distance (when verified)
+}
+
 // PatternQueryOnline answers a variable-length pattern query against an
 // online-maintained summary (Algorithm 3): range query at the first
 // sub-query's resolution, then hierarchical radius refinement through the
 // remaining sub-queries, then exact verification on raw history. The query
 // length must be a multiple of W decomposable within the summary's levels.
+//
+// The refinement/verification stage fans the candidate alignments across
+// the worker pool; the merge replays the serial dedup in collection order,
+// so results are identical to a serial run.
 func (s *Summary) PatternQueryOnline(q []float64, r float64) (PatternResult, error) {
 	if s.cfg.Transform != TransformDWT {
 		return PatternResult{}, fmt.Errorf("core: pattern query on a %v summary", s.cfg.Transform)
@@ -97,8 +116,9 @@ func (s *Summary) PatternQueryOnline(q []float64, r float64) (PatternResult, err
 	r1 := r / math.Sqrt(p1.weight)
 	t1 := int64(s.cfg.Rate(p1.level))
 
-	var res PatternResult
-	seen := make(map[Match]bool)
+	// Collect stage (serial): enumerate candidate alignments in traversal
+	// order — the order the serial algorithm refined them in.
+	var items []onlineCand
 	s.trees[p1.level].SearchSphere(p1.feature, r1, func(box mbr.MBR, ref BoxRef) bool {
 		d1 := box.MinDist(p1.feature)
 		base := r*r - p1.weight*d1*d1
@@ -106,7 +126,7 @@ func (s *Summary) PatternQueryOnline(q []float64, r float64) (PatternResult, err
 			return true
 		}
 		for tau := ref.T1; tau <= ref.T2; tau += t1 {
-			s.refineCandidate(pieces, ref.Stream, tau, base, q, r, seen, &res)
+			items = append(items, onlineCand{stream: ref.Stream, tau: tau, base: base})
 		}
 		return true
 	})
@@ -126,7 +146,33 @@ func (s *Summary) PatternQueryOnline(q []float64, r float64) (PatternResult, err
 			continue
 		}
 		for tau := lb.t1; tau <= lb.t2; tau += t1 {
-			s.refineCandidate(pieces, st.id, tau, base, q, r, seen, &res)
+			items = append(items, onlineCand{stream: st.id, tau: tau, base: base})
+		}
+	}
+
+	// Process stage (parallel): refine and verify each item independently.
+	s.forEach(len(items), func(i int) {
+		s.refineCandidate(pieces, &items[i], q, r)
+	})
+
+	// Merge stage (serial, collection order): replay the seen-map dedup of
+	// the serial loop — first passing occurrence of an alignment wins.
+	var res PatternResult
+	seen := make(map[Match]bool)
+	for i := range items {
+		it := &items[i]
+		if !it.pass {
+			continue
+		}
+		key := Match{Stream: it.stream, End: it.end}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Candidates = append(res.Candidates, Match{Stream: it.stream, End: it.end, Dist: it.candDist})
+		if it.verified {
+			res.Relevant++
+			res.Matches = append(res.Matches, Match{Stream: it.stream, End: it.end, Dist: it.dist})
 		}
 	}
 	sortMatches(res.Candidates)
@@ -135,18 +181,17 @@ func (s *Summary) PatternQueryOnline(q []float64, r float64) (PatternResult, err
 }
 
 // refineCandidate applies the hierarchical radius refinement of Algorithm 3
-// to the alignment implied by the first sub-query's feature ending at tau,
-// then verifies survivors against raw history.
-func (s *Summary) refineCandidate(pieces []queryPiece, stream int, tau int64, budget float64, q []float64, r float64, seen map[Match]bool, res *PatternResult) {
+// to the alignment implied by the first sub-query's feature ending at
+// it.tau, then verifies survivors against raw history, recording the
+// outcome in it. It touches only read-only summary state plus the item
+// itself, so distinct items refine concurrently.
+func (s *Summary) refineCandidate(pieces []queryPiece, it *onlineCand, q []float64, r float64) {
 	qlen := int64(len(q))
 	p1 := pieces[0]
-	end := tau + qlen - int64(p1.offset) - int64(p1.w)
-	st := s.stream(stream)
+	budget := it.base
+	end := it.tau + qlen - int64(p1.offset) - int64(p1.w)
+	st := s.stream(it.stream)
 	if end > st.hist.Now() || end < qlen-1 {
-		return
-	}
-	key := Match{Stream: stream, End: end}
-	if seen[key] {
 		return
 	}
 	for _, p := range pieces[1:] {
@@ -166,12 +211,12 @@ func (s *Summary) refineCandidate(pieces []queryPiece, stream int, tau int64, bu
 			return
 		}
 	}
-	seen[key] = true
-	cand := Match{Stream: stream, End: end, Dist: math.Sqrt(math.Max(0, r*r-budget))}
-	res.Candidates = append(res.Candidates, cand)
-	if dist, ok := s.verifyMatch(stream, end, q); ok && dist <= r {
-		res.Relevant++
-		res.Matches = append(res.Matches, Match{Stream: stream, End: end, Dist: dist})
+	it.pass = true
+	it.end = end
+	it.candDist = math.Sqrt(math.Max(0, r*r-budget))
+	if dist, ok := s.verifyMatch(it.stream, end, q); ok && dist <= r {
+		it.verified = true
+		it.dist = dist
 	}
 }
 
@@ -259,12 +304,29 @@ func (s *Summary) PatternQueryBatchAt(q []float64, r float64, j int) (PatternRes
 	rq := r / math.Sqrt(float64(p)*weight)
 	query := qbox.Enlarge(rq)
 
-	var res PatternResult
+	// Collect stage (serial): enumerate retrieved features in traversal
+	// order, deduplicated exactly as the serial loop did (first occurrence
+	// of a (stream, tau) key claims the candidate).
 	tj := int64(s.cfg.Rate(j))
+	type batchItem struct {
+		stream   int
+		tau      int64
+		matches  []Match // verified alignments, in enumeration order
+		relevant bool
+	}
+	var items []batchItem
 	seen := make(map[Match]bool)
+	collect := func(stream int, tau int64) {
+		key := Match{Stream: stream, End: tau}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		items = append(items, batchItem{stream: stream, tau: tau})
+	}
 	s.trees[j].Search(query, func(box mbr.MBR, ref BoxRef) bool {
 		for tau := ref.T1; tau <= ref.T2; tau += tj {
-			s.batchCandidate(q, r, w, tau, ref.Stream, seen, &res)
+			collect(ref.Stream, tau)
 		}
 		return true
 	})
@@ -279,54 +341,53 @@ func (s *Summary) PatternQueryBatchAt(q []float64, r float64, j int) (PatternRes
 			continue
 		}
 		for tau := lb.t1; tau <= lb.t2; tau += tj {
-			s.batchCandidate(q, r, w, tau, st.id, seen, &res)
+			collect(st.id, tau)
+		}
+	}
+
+	// Process stage (parallel): verify every query alignment consistent
+	// with each candidate on raw history. A candidate is relevant when at
+	// least one alignment matches.
+	qlen := int64(len(q))
+	s.forEach(len(items), func(idx int) {
+		it := &items[idx]
+		st := s.stream(it.stream)
+		for i := 0; i < W; i++ {
+			for k := 0; i+(k+1)*w <= len(q); k++ {
+				end := it.tau + qlen - int64(w) - int64(i) - int64(k*w)
+				if end > st.hist.Now() || end < qlen-1 {
+					continue
+				}
+				if dist, ok := s.verifyMatch(it.stream, end, q); ok && dist <= r {
+					it.relevant = true
+					it.matches = append(it.matches, Match{Stream: it.stream, End: end, Dist: dist})
+				}
+			}
+		}
+	})
+
+	// Merge stage (serial, collection order): fold per-candidate matches
+	// with the cross-candidate dedup the serial loop applied.
+	var res PatternResult
+	matchSeen := make(map[Match]bool)
+	for idx := range items {
+		it := &items[idx]
+		res.Candidates = append(res.Candidates, Match{Stream: it.stream, End: it.tau})
+		if it.relevant {
+			res.Relevant++
+		}
+		for _, m := range it.matches {
+			key := Match{Stream: m.Stream, End: m.End}
+			if matchSeen[key] {
+				continue
+			}
+			matchSeen[key] = true
+			res.Matches = append(res.Matches, m)
 		}
 	}
 	sortMatches(res.Candidates)
 	sortMatches(res.Matches)
 	return res, nil
-}
-
-// batchCandidate records one retrieved feature (the stream window of size
-// w ending at tau) as a candidate, verifies every query alignment
-// consistent with it on raw history, and marks the candidate relevant when
-// at least one alignment matches.
-func (s *Summary) batchCandidate(q []float64, r float64, w int, tau int64, stream int, seen map[Match]bool, res *PatternResult) {
-	st := s.stream(stream)
-	qlen := int64(len(q))
-	W := s.cfg.W
-	candKey := Match{Stream: stream, End: tau}
-	if seen[candKey] {
-		return
-	}
-	seen[candKey] = true
-	res.Candidates = append(res.Candidates, candKey)
-	relevant := false
-	for i := 0; i < W; i++ {
-		for k := 0; i+(k+1)*w <= len(q); k++ {
-			end := tau + qlen - int64(w) - int64(i) - int64(k*w)
-			if end > st.hist.Now() || end < qlen-1 {
-				continue
-			}
-			if dist, ok := s.verifyMatch(stream, end, q); ok && dist <= r {
-				relevant = true
-				key := Match{Stream: stream, End: end, Dist: dist}
-				dup := false
-				for _, m := range res.Matches {
-					if m.Stream == key.Stream && m.End == key.End {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					res.Matches = append(res.Matches, key)
-				}
-			}
-		}
-	}
-	if relevant {
-		res.Relevant++
-	}
 }
 
 // ScanPatternMatches is the linear-scan ground truth: every subsequence of

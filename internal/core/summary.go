@@ -23,6 +23,12 @@ type Summary struct {
 	agg     aggregate.Func // valid when cfg.Transform != TransformDWT
 	trees   []*rstar.Tree[BoxRef]
 	streams []*streamState
+	// workers is the query-stage fan-out width (see parallel.go); ≤ 1 runs
+	// every stage serially.
+	workers int
+	// mets is the attached observability sink (nil = uninstrumented); the
+	// trees hold their own pointer into mets.Tree.
+	mets *obs.Metrics
 }
 
 type streamState struct {
@@ -94,9 +100,11 @@ func (s *Summary) Tree(level int) *rstar.Tree[BoxRef] { return s.trees[level] }
 // cost model (node accesses per operation) is measurable at runtime. A nil
 // m detaches instrumentation.
 func (s *Summary) SetMetrics(m *obs.Metrics) {
+	s.mets = m
 	var tm *obs.TreeMetrics
 	if m != nil {
 		tm = &m.Tree
+		m.Parallel.Workers.Set(int64(s.Workers()))
 	}
 	for _, t := range s.trees {
 		t.SetMetrics(tm)
@@ -126,6 +134,36 @@ func (s *Summary) Append(stream int, v float64) {
 		panic(fmt.Sprintf("core: non-finite value %v for stream %d", v, stream))
 	}
 	st := s.stream(stream)
+	s.appendOne(st, v)
+	s.evictOld(st, st.hist.Now())
+}
+
+// AppendBatch ingests a run of consecutive values for one stream,
+// producing exactly the state a loop of Append would: per-value feature
+// emission follows the same schedule, but the stream lookup, the
+// non-finite scan and the eviction pass are hoisted out of the per-sample
+// path and run once per batch. Eviction is deferred to the end of the
+// batch — safe because eviction only discards boxes older than the final
+// horizon, which no in-batch feature computation can reference.
+func (s *Summary) AppendBatch(stream int, vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("core: non-finite value %v for stream %d", v, stream))
+		}
+	}
+	st := s.stream(stream)
+	for _, v := range vs {
+		s.appendOne(st, v)
+	}
+	s.evictOld(st, st.hist.Now())
+}
+
+// appendOne appends a single admitted value and emits the features whose
+// schedules fire, without evicting (the callers own the eviction cadence).
+func (s *Summary) appendOne(st *streamState, v float64) {
 	st.hist.Append(v)
 	t := st.hist.Now()
 	for j := 0; j < s.cfg.Levels; j++ {
@@ -163,7 +201,6 @@ func (s *Summary) Append(stream int, v float64) {
 		}
 		s.appendFeature(st, j, fb, t)
 	}
-	s.evictOld(st, t)
 }
 
 // AppendAll ingests one synchronized arrival for every stream: vs[i] is the

@@ -25,8 +25,9 @@ type Counter struct{ v atomic.Int64 }
 // Inc adds one and returns the new value.
 func (c *Counter) Inc() int64 { return c.v.Add(1) }
 
-// Add adds n (n must be non-negative to preserve monotonicity).
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+// Add adds n and returns the new value (n must be non-negative to preserve
+// monotonicity).
+func (c *Counter) Add(n int64) int64 { return c.v.Add(n) }
 
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
@@ -249,8 +250,14 @@ type IngestMetrics struct {
 	// Samples counts ingestion attempts (admitted or not); it also drives
 	// latency sampling.
 	Samples Counter
+	// Batches counts IngestBatch invocations; BatchSize is the distribution
+	// of their sizes, so batch amortization is visible next to the
+	// per-sample counters.
+	Batches   Counter
+	BatchSize *Histogram
 	// AppendNanos is the sampled per-append latency (one in SampleEvery
-	// appends is timed).
+	// appends is timed; batched appends observe their amortized per-sample
+	// cost when the batch crosses a sampling point).
 	AppendNanos *Histogram
 }
 
@@ -262,11 +269,59 @@ const SampleEvery = 64
 // Sampled reports whether the n-th sample should be timed.
 func Sampled(n int64) bool { return n&(SampleEvery-1) == 0 }
 
+// SampledBatch reports whether a batch of n samples ending at cumulative
+// count end crossed a sampling point, i.e. whether some k ≡ 0 (mod
+// SampleEvery) lies in (end−n, end].
+func SampledBatch(end, n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	return end/SampleEvery != (end-n)/SampleEvery || Sampled(end)
+}
+
+// ParallelMetrics instruments the query-stage worker pool that fans
+// candidate screening and verification across cores. A round is one
+// fan-out (one screening or verification stage of one query); tasks are
+// the independent work items sharded across the workers.
+type ParallelMetrics struct {
+	// Workers is the configured pool width (1 = serial execution).
+	Workers Gauge
+	// Rounds counts stages that fanned out across workers; SerialRounds
+	// counts stages that ran inline (Workers == 1 or too few items to be
+	// worth the fan-out).
+	Rounds, SerialRounds Counter
+	// Tasks counts work items processed by either path.
+	Tasks Counter
+	// QueueDepth is the distribution of items enqueued per parallel round;
+	// divide by Workers for the average per-worker share.
+	QueueDepth *Histogram
+	// StageNanos is the wall time per parallel round — screening-stage
+	// latency, the quantity to compare across Workers settings for
+	// parallel efficiency.
+	StageNanos *Histogram
+}
+
+// ObserveSerial records one stage that ran inline with n items.
+func (p *ParallelMetrics) ObserveSerial(n int) {
+	p.SerialRounds.Inc()
+	p.Tasks.Add(int64(n))
+}
+
+// ObserveRound records one completed parallel fan-out of n items that took
+// nanos wall time.
+func (p *ParallelMetrics) ObserveRound(n int, nanos int64) {
+	p.Rounds.Inc()
+	p.Tasks.Add(int64(n))
+	p.QueueDepth.Observe(float64(n))
+	p.StageNanos.Observe(float64(nanos))
+}
+
 // Metrics is the live instrument set of one monitor. Construct with
 // NewMetrics; all fields are safe for concurrent use.
 type Metrics struct {
 	Ingest      IngestMetrics
 	Tree        TreeMetrics
+	Parallel    ParallelMetrics
 	Aggregate   QueryMetrics
 	Pattern     QueryMetrics
 	Correlation QueryMetrics
@@ -276,7 +331,10 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	m := &Metrics{}
 	m.Ingest.AppendNanos = NewHistogram(LatencyBuckets())
+	m.Ingest.BatchSize = NewHistogram(CountBuckets())
 	m.Tree.SearchNodes = NewHistogram(CountBuckets())
+	m.Parallel.QueueDepth = NewHistogram(CountBuckets())
+	m.Parallel.StageNanos = NewHistogram(LatencyBuckets())
 	m.Aggregate.Latency = NewHistogram(LatencyBuckets())
 	m.Pattern.Latency = NewHistogram(LatencyBuckets())
 	m.Correlation.Latency = NewHistogram(LatencyBuckets())
@@ -296,6 +354,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
 		Ingest: IngestSnapshot{
 			Samples:     m.Ingest.Samples.Load(),
+			Batches:     m.Ingest.Batches.Load(),
+			BatchSize:   m.Ingest.BatchSize.Snapshot(),
 			AppendNanos: m.Ingest.AppendNanos.Snapshot(),
 		},
 		Tree: TreeSnapshot{
@@ -307,6 +367,14 @@ func (m *Metrics) Snapshot() Snapshot {
 			Splits:      m.Tree.Splits.Load(),
 			Reinserts:   m.Tree.Reinserts.Load(),
 			SearchNodes: m.Tree.SearchNodes.Snapshot(),
+		},
+		Parallel: ParallelSnapshot{
+			Workers:      m.Parallel.Workers.Load(),
+			Rounds:       m.Parallel.Rounds.Load(),
+			SerialRounds: m.Parallel.SerialRounds.Load(),
+			Tasks:        m.Parallel.Tasks.Load(),
+			QueueDepth:   m.Parallel.QueueDepth.Snapshot(),
+			StageNanos:   m.Parallel.StageNanos.Snapshot(),
 		},
 		Aggregate:   snapshotQuery(&m.Aggregate),
 		Pattern:     snapshotQuery(&m.Pattern),
@@ -329,6 +397,10 @@ func snapshotQuery(q *QueryMetrics) QuerySnapshot {
 type IngestSnapshot struct {
 	// Samples counts ingestion attempts seen by the instrumented path.
 	Samples int64
+	// Batches counts IngestBatch invocations; BatchSize is the size
+	// distribution of those batches.
+	Batches   int64
+	BatchSize HistogramSnapshot
 	// Accepted/Repaired/Rejected mirror the resilience guard's counters.
 	Accepted, Repaired, Rejected int64
 	// QuarantinedStreams and QuarantineTrips mirror the guard's quarantine
@@ -336,6 +408,18 @@ type IngestSnapshot struct {
 	QuarantinedStreams, QuarantineTrips int64
 	// AppendNanos is the sampled per-append latency distribution.
 	AppendNanos HistogramSnapshot
+}
+
+// ParallelSnapshot is the worker-pool section of a Snapshot.
+type ParallelSnapshot struct {
+	// Workers is the configured pool width (1 = serial).
+	Workers int64
+	// Rounds/SerialRounds split query stages by execution path; Tasks
+	// counts work items across both.
+	Rounds, SerialRounds, Tasks int64
+	// QueueDepth is the items-per-round distribution; StageNanos the
+	// per-round wall time.
+	QueueDepth, StageNanos HistogramSnapshot
 }
 
 // TreeSnapshot is the R*-tree section of a Snapshot (summed over all
@@ -369,6 +453,7 @@ func (q QuerySnapshot) PruningPower() float64 {
 type Snapshot struct {
 	Ingest      IngestSnapshot
 	Tree        TreeSnapshot
+	Parallel    ParallelSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
 	Correlation QuerySnapshot
@@ -377,15 +462,29 @@ type Snapshot struct {
 // Merge returns the element-wise sum of two snapshots (histograms merge
 // bucket-wise). Used by sharded monitors to present one metrics surface.
 func (s Snapshot) Merge(o Snapshot) Snapshot {
+	workers := s.Parallel.Workers
+	if o.Parallel.Workers > workers {
+		workers = o.Parallel.Workers
+	}
 	return Snapshot{
 		Ingest: IngestSnapshot{
 			Samples:            s.Ingest.Samples + o.Ingest.Samples,
+			Batches:            s.Ingest.Batches + o.Ingest.Batches,
+			BatchSize:          s.Ingest.BatchSize.merge(o.Ingest.BatchSize),
 			Accepted:           s.Ingest.Accepted + o.Ingest.Accepted,
 			Repaired:           s.Ingest.Repaired + o.Ingest.Repaired,
 			Rejected:           s.Ingest.Rejected + o.Ingest.Rejected,
 			QuarantinedStreams: s.Ingest.QuarantinedStreams + o.Ingest.QuarantinedStreams,
 			QuarantineTrips:    s.Ingest.QuarantineTrips + o.Ingest.QuarantineTrips,
 			AppendNanos:        s.Ingest.AppendNanos.merge(o.Ingest.AppendNanos),
+		},
+		Parallel: ParallelSnapshot{
+			Workers:      workers,
+			Rounds:       s.Parallel.Rounds + o.Parallel.Rounds,
+			SerialRounds: s.Parallel.SerialRounds + o.Parallel.SerialRounds,
+			Tasks:        s.Parallel.Tasks + o.Parallel.Tasks,
+			QueueDepth:   s.Parallel.QueueDepth.merge(o.Parallel.QueueDepth),
+			StageNanos:   s.Parallel.StageNanos.merge(o.Parallel.StageNanos),
 		},
 		Tree: TreeSnapshot{
 			Inserts:     s.Tree.Inserts + o.Tree.Inserts,

@@ -332,3 +332,90 @@ var errNotDigit = errInvalid{}
 type errInvalid struct{}
 
 func (errInvalid) Error() string { return "not a digit" }
+
+func TestSampledBatch(t *testing.T) {
+	cases := []struct {
+		end, n int64
+		want   bool
+	}{
+		{10, 0, false},   // empty batch
+		{10, -1, false},  // nonsense size
+		{10, 10, false},  // (0, 10]: cumulative counts start at 1, no point yet
+		{63, 63, false},  // (0, 63]: still short of the first point
+		{64, 1, true},    // ends exactly on a sampling point
+		{64, 64, true},   // (0, 64]: first point included
+		{63, 10, false},  // (53, 63]: no multiple of 64
+		{100, 50, true},  // (50, 100] contains 64
+		{130, 2, false},  // (128, 130]: 128 was the previous batch's point
+		{190, 60, false}, // (130, 190]: no multiple of 64
+		{192, 60, true},  // (132, 192] contains 192
+	}
+	for _, c := range cases {
+		if got := SampledBatch(c.end, c.n); got != c.want {
+			t.Errorf("SampledBatch(%d, %d) = %v, want %v", c.end, c.n, got, c.want)
+		}
+	}
+	// Agreement with the per-sample path: a batch crosses a sampling point
+	// iff some sample inside it would have been Sampled individually.
+	for end := int64(1); end < 300; end++ {
+		for n := int64(1); n <= end; n++ {
+			want := false
+			for k := end - n + 1; k <= end; k++ {
+				if Sampled(k) {
+					want = true
+				}
+			}
+			if got := SampledBatch(end, n); got != want {
+				t.Fatalf("SampledBatch(%d, %d) = %v, exhaustive check says %v", end, n, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.Parallel.Workers.Set(4)
+	m.Parallel.ObserveSerial(3)
+	m.Parallel.ObserveRound(16, 5000)
+	m.Parallel.ObserveRound(8, 3000)
+
+	s := m.Snapshot().Parallel
+	if s.Workers != 4 {
+		t.Fatalf("workers = %d", s.Workers)
+	}
+	if s.Rounds != 2 || s.SerialRounds != 1 || s.Tasks != 27 {
+		t.Fatalf("rounds=%d serial=%d tasks=%d", s.Rounds, s.SerialRounds, s.Tasks)
+	}
+	if s.QueueDepth.Count != 2 || s.QueueDepth.Sum != 24 {
+		t.Fatalf("queue depth snapshot %+v", s.QueueDepth)
+	}
+	if s.StageNanos.Count != 2 || s.StageNanos.Sum != 8000 {
+		t.Fatalf("stage nanos snapshot %+v", s.StageNanos)
+	}
+
+	// Merge: counters sum, workers take the max (a sharded monitor reports
+	// the widest pool, not the sum of identical per-shard settings).
+	o := NewMetrics()
+	o.Parallel.Workers.Set(2)
+	o.Parallel.ObserveRound(4, 1000)
+	merged := m.Snapshot().Merge(o.Snapshot()).Parallel
+	if merged.Workers != 4 {
+		t.Fatalf("merged workers = %d, want max 4", merged.Workers)
+	}
+	if merged.Rounds != 3 || merged.Tasks != 31 {
+		t.Fatalf("merged rounds=%d tasks=%d", merged.Rounds, merged.Tasks)
+	}
+}
+
+func TestIngestBatchMetrics(t *testing.T) {
+	m := NewMetrics()
+	if got := m.Ingest.Samples.Add(10); got != 10 {
+		t.Fatalf("Add returned %d, want running total 10", got)
+	}
+	m.Ingest.Batches.Inc()
+	m.Ingest.BatchSize.Observe(10)
+	s := m.Snapshot().Ingest
+	if s.Batches != 1 || s.BatchSize.Count != 1 || s.BatchSize.Sum != 10 {
+		t.Fatalf("batch ingest snapshot %+v", s)
+	}
+}

@@ -21,6 +21,15 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.gauge("stardust_ingest_quarantined_streams", "Streams currently quarantined by the guard.", s.Ingest.QuarantinedStreams)
 	p.counter("stardust_ingest_quarantine_trips_total", "Quiet-to-quarantined transitions since start.", s.Ingest.QuarantineTrips)
 	p.histogramSeconds("stardust_ingest_append_latency_seconds", "Sampled per-append latency (one append in 64 is timed).", s.Ingest.AppendNanos)
+	p.counter("stardust_ingest_batches_total", "IngestBatch invocations (amortized batch fast path).", s.Ingest.Batches)
+	p.histogramRaw("stardust_ingest_batch_size", "Samples per IngestBatch invocation.", s.Ingest.BatchSize)
+
+	p.gauge("stardust_parallel_workers", "Configured query worker-pool width (1 = serial).", s.Parallel.Workers)
+	p.counter("stardust_parallel_rounds_total", "Query stages fanned out across the worker pool.", s.Parallel.Rounds)
+	p.counter("stardust_parallel_serial_rounds_total", "Query stages executed inline (serial path or too few items).", s.Parallel.SerialRounds)
+	p.counter("stardust_parallel_tasks_total", "Work items processed by query stages (both paths).", s.Parallel.Tasks)
+	p.histogramRaw("stardust_parallel_queue_depth", "Items enqueued per parallel round (divide by workers for per-worker share).", s.Parallel.QueueDepth)
+	p.histogramSeconds("stardust_parallel_stage_latency_seconds", "Wall time per parallel round (screening/verification stage latency).", s.Parallel.StageNanos)
 
 	p.counter("stardust_index_inserts_total", "R*-tree leaf entries inserted (all levels).", s.Tree.Inserts)
 	p.counter("stardust_index_deletes_total", "R*-tree leaf entries deleted (all levels).", s.Tree.Deletes)

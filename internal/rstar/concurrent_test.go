@@ -1,0 +1,67 @@
+package rstar
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stardust/internal/mbr"
+	"stardust/internal/obs"
+)
+
+// TestConcurrentSearches exercises the package's documented read-side
+// concurrency contract: with no writer running, any number of goroutines
+// may search one (instrumented) tree at once. Run under -race this is the
+// contract's regression test — a data race in the traversal or the metrics
+// path fails the build.
+func TestConcurrentSearches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int](3)
+	mets := obs.NewMetrics()
+	tr.SetMetrics(&mets.Tree)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(randBox(rng, 3, 100), i)
+	}
+
+	// Serial reference answers for the queries each goroutine will run.
+	centers := make([][]float64, 8)
+	wantRange := make([]int, len(centers))
+	wantNN := make([]int, len(centers))
+	for i := range centers {
+		centers[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		tr.SearchSphere(centers[i], 25, func(_ mbr.MBR, _ int) bool { return true })
+	}
+	for i, c := range centers {
+		tr.SearchSphere(c, 25, func(_ mbr.MBR, _ int) bool { wantRange[i]++; return true })
+		wantNN[i] = len(tr.NearestNeighbors(c, 10))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i, c := range centers {
+					got := 0
+					tr.SearchSphere(c, 25, func(_ mbr.MBR, _ int) bool { got++; return true })
+					if got != wantRange[i] {
+						t.Errorf("concurrent SearchSphere: got %d results, want %d", got, wantRange[i])
+						return
+					}
+					if nn := len(tr.NearestNeighbors(c, 10)); nn != wantNN[i] {
+						t.Errorf("concurrent NearestNeighbors: got %d, want %d", nn, wantNN[i])
+						return
+					}
+				}
+				tr.All(func(_ mbr.MBR, _ int) bool { return true })
+			}
+		}()
+	}
+	wg.Wait()
+
+	if mets.Tree.Searches.Load() == 0 {
+		t.Fatal("instrumented tree recorded no searches")
+	}
+}

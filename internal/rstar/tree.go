@@ -7,6 +7,19 @@
 // The tree is generic over the leaf payload type T so the same structure
 // serves aggregate features (stream + time interval payloads) and DWT
 // features.
+//
+// # Concurrency
+//
+// The tree is single-writer, multi-reader: Insert and Delete mutate node
+// structure and require exclusive access, while the read-side surface —
+// Search, SearchAll, SearchSphere, NearestNeighbors, All, Size, Height —
+// touches nodes read-only and records instrumentation exclusively through
+// the atomic counters and histograms of obs.TreeMetrics. Any number of
+// goroutines may therefore search one tree concurrently as long as no
+// writer runs at the same time; interleaving a writer requires external
+// locking. Stardust's parallel query stages rely on this contract: the
+// summary's worker pool issues concurrent searches against trees that are
+// mutated only between queries, on the (serial) ingestion path.
 package rstar
 
 import (

@@ -758,6 +758,10 @@ func TestMetricszEndpoint(t *testing.T) {
 		"# TYPE stardust_index_node_reads_total counter",
 		`stardust_query_total{class="aggregate"} 1`,
 		"# TYPE stardust_query_latency_seconds histogram",
+		"# TYPE stardust_ingest_batches_total counter",
+		"# TYPE stardust_parallel_workers gauge",
+		"# TYPE stardust_parallel_queue_depth histogram",
+		"# TYPE stardust_parallel_stage_latency_seconds histogram",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metricsz missing %q", want)

@@ -124,9 +124,11 @@ func loadPayload(r io.Reader) (*Monitor, error) {
 		return nil, fmt.Errorf("stardust: %v", err)
 	}
 	// Metrics are runtime observability, not state: restored monitors start
-	// from zeroed counters.
+	// from zeroed counters. Parallelism is likewise a runtime property —
+	// restored monitors get the default worker count for this host.
 	metrics := obs.NewMetrics()
 	sum.SetMetrics(metrics)
+	sum.SetParallel(defaultWorkers(0))
 	return &Monitor{
 		sum:     sum,
 		mode:    Mode(mode),

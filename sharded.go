@@ -106,6 +106,17 @@ func (sm *ShardedMonitor) Ingest(stream int, v float64) error {
 	return shard.Ingest(local, v)
 }
 
+// IngestBatch ingests a run of values for one stream, routed once to the
+// owning shard, which amortizes guard checks and lock traffic over the
+// whole batch; see Monitor.IngestBatch for the skip-and-join contract.
+func (sm *ShardedMonitor) IngestBatch(stream int, vs []float64) error {
+	shard, local, err := sm.locate(stream)
+	if err != nil {
+		return err
+	}
+	return shard.IngestBatch(local, vs)
+}
+
 // IngestAll ingests one synchronized arrival across all streams through
 // the shards' guards; see Monitor.IngestAll for the partial-failure
 // contract.

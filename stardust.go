@@ -24,6 +24,7 @@ package stardust
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"stardust/internal/aggregate"
@@ -177,6 +178,20 @@ func (m Mode) String() string {
 	}
 }
 
+// ParallelConfig configures the query-stage worker pool. The
+// candidate-screening and verification stages of Correlations,
+// LaggedCorrelations, FindPattern and NearestPatterns decompose into
+// independent work items (per-stream index probes, per-candidate radius
+// refinement and raw-history verification) that fan out across Workers
+// goroutines; per-worker results merge deterministically, so parallel
+// output is byte-identical to the serial path (see DESIGN.md, "Parallel
+// execution").
+type ParallelConfig struct {
+	// Workers is the fan-out width. 0 selects runtime.NumCPU(); 1 selects
+	// today's serial path.
+	Workers int
+}
+
 // Config configures a Monitor. Zero values select documented defaults.
 type Config struct {
 	// Streams is the number of monitored streams (required).
@@ -220,6 +235,10 @@ type Config struct {
 	// value rejects non-finite samples and quarantines a stream after
 	// resilience.DefaultQuarantineAfter consecutive bad values.
 	BadValues GuardConfig
+	// Parallel configures the query-stage worker pool. The zero value
+	// selects runtime.NumCPU() workers; Workers: 1 forces serial
+	// execution. Results are identical either way.
+	Parallel ParallelConfig
 }
 
 // Monitor is the Stardust summary over a set of streams. Monitors are not
@@ -280,6 +299,7 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	metrics := obs.NewMetrics()
 	sum.SetMetrics(metrics)
+	sum.SetParallel(defaultWorkers(cfg.Parallel.Workers))
 	return &Monitor{
 		sum:     sum,
 		mode:    cfg.Mode,
@@ -287,6 +307,24 @@ func New(cfg Config) (*Monitor, error) {
 		metrics: metrics,
 	}, nil
 }
+
+// defaultWorkers resolves a ParallelConfig.Workers value: 0 (or negative)
+// selects one worker per CPU.
+func defaultWorkers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// SetParallelism reconfigures the query worker pool at runtime (n ≤ 0
+// selects runtime.NumCPU(), 1 the serial path). Queries already in flight
+// finish on the pool width they started with; restored monitors (Load)
+// default to NumCPU like New.
+func (m *Monitor) SetParallelism(n int) { m.sum.SetParallel(defaultWorkers(n)) }
+
+// Parallelism returns the configured query worker count.
+func (m *Monitor) Parallelism() int { return m.sum.Workers() }
 
 // Ingest ingests one value through the resilience guard. Inadmissible
 // samples return a typed error — ErrStreamRange, ErrBadValue, or
@@ -309,6 +347,47 @@ func (m *Monitor) Ingest(stream int, v float64) error {
 	}
 	m.sum.Append(stream, admitted)
 	return nil
+}
+
+// IngestBatch ingests a run of consecutive values for one stream — the
+// amortized fast path for bulk and replay ingestion. It is equivalent to
+// calling Ingest once per value (inadmissible samples are skipped with
+// their typed errors joined into the return value; admitted samples
+// advance the clock in order) but hoists the per-sample overheads:
+// metrics accounting, the latency clock, the stream lookup and the
+// eviction pass run once per batch, and the summary appends the whole
+// admitted run without re-entering the guard path. The R*-tree is still
+// updated once per completed feature — never per value.
+func (m *Monitor) IngestBatch(stream int, vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	n := m.metrics.Ingest.Samples.Add(int64(len(vs)))
+	m.metrics.Ingest.Batches.Inc()
+	m.metrics.Ingest.BatchSize.Observe(float64(len(vs)))
+	var errs []error
+	admitted := make([]float64, 0, len(vs))
+	for _, v := range vs {
+		a, err := m.guard.Admit(stream, v)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		admitted = append(admitted, a)
+	}
+	if len(admitted) > 0 {
+		// Amortized latency sampling: when the batch crosses a sampling
+		// point, the whole append run is timed once and recorded as its
+		// per-sample average.
+		if obs.SampledBatch(n, int64(len(vs))) {
+			start := time.Now()
+			m.sum.AppendBatch(stream, admitted)
+			m.metrics.Ingest.AppendNanos.Observe(float64(time.Since(start)) / float64(len(admitted)))
+		} else {
+			m.sum.AppendBatch(stream, admitted)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // IngestAll ingests one synchronized arrival across all streams through the
