@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # CI gate: formatting, build, vet + staticcheck, the full test suite under
-# the race detector, a one-iteration benchmark smoke pass, and the
-# benchmark-regression comparison against the committed BENCH_PR3.json
+# the race detector, short fuzz smokes over the WAL frame parser and the
+# snapshot loader, a one-iteration benchmark smoke pass, and the
+# benchmark-regression comparison against the committed BENCH_PR4.json
 # baseline. Run from the repository root. Fails fast on the first error.
 #
 # Each stage prints its elapsed wall-clock seconds so slow stages are
@@ -53,12 +54,18 @@ stage "go test -race"
 go test -race ./...
 stage_done
 
+stage "fuzz smoke (5s per target)"
+go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wal
+go test -run='^$' -fuzz=FuzzReplaySegment -fuzztime=5s ./internal/wal
+go test -run='^$' -fuzz=FuzzLoadSnapshot -fuzztime=5s .
+stage_done
+
 stage "bench smoke (1 iteration)"
 go test -bench=. -benchtime=1x -run '^$' ./...
 stage_done
 
-stage "bench regression gate (BENCH_PR3.json)"
-go run ./cmd/stardust-bench -compare BENCH_PR3.json
+stage "bench regression gate (BENCH_PR4.json)"
+go run ./cmd/stardust-bench -compare BENCH_PR4.json
 stage_done
 
 echo "CI OK"

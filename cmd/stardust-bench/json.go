@@ -16,7 +16,7 @@ import (
 
 // benchReport is the machine-readable benchmark artifact written by
 // `stardust-bench -json` and consumed by `-compare`. The committed
-// BENCH_PR3.json baseline uses this schema; bump Schema when the workload
+// BENCH_PR4.json baseline uses this schema; bump Schema when the workload
 // set or field meanings change (a schema mismatch fails the comparison
 // with a "refresh the baseline" hint rather than a bogus delta).
 type benchReport struct {
@@ -27,7 +27,9 @@ type benchReport struct {
 	Workloads []workloadResult `json:"workloads"`
 }
 
-const benchSchema = 1
+// Schema 2 added the write-ahead-logged ingest rows
+// (ingest/batch+wal-{interval,always,none}).
+const benchSchema = 2
 
 // workloadResult is one (workload, workers) cell. Throughput and elapsed
 // wall-clock vary with the host; the remaining fields — node accesses,
@@ -107,6 +109,52 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 		ms := m.Metrics()
 		add(workloadResult{
 			Name: name, Workers: 1,
+			Ops: int64(streams) * int64(arrivals), ElapsedNs: elapsed.Nanoseconds(),
+			Throughput: float64(streams*arrivals) / elapsed.Seconds(),
+			Inserts:    ms.Tree.Inserts,
+		})
+	}
+
+	// Durable ingestion: the same batched workload with a write-ahead log
+	// under each fsync policy, against the WAL-off ingest/batch row above.
+	// Identical index inserts certify the WAL changes nothing downstream;
+	// the throughput delta is the durability cost.
+	for _, pol := range []struct {
+		name  string
+		fsync stardust.FsyncPolicy
+	}{
+		{"interval", stardust.FsyncInterval},
+		{"always", stardust.FsyncAlways},
+		{"none", stardust.FsyncNone},
+	} {
+		dir, err := os.MkdirTemp("", "stardust-bench-wal-")
+		if err != nil {
+			return nil, err
+		}
+		wcfg := walkCfg
+		wcfg.Durability = stardust.DurabilityConfig{Dir: dir, Fsync: pol.fsync}
+		m, err := stardust.New(wcfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		start := time.Now()
+		for s := 0; s < streams; s++ {
+			if err := m.IngestBatch(s, data[s]); err != nil {
+				m.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		ms := m.Metrics()
+		if err := m.Close(); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		os.RemoveAll(dir)
+		add(workloadResult{
+			Name: "ingest/batch+wal-" + pol.name, Workers: 1,
 			Ops: int64(streams) * int64(arrivals), ElapsedNs: elapsed.Nanoseconds(),
 			Throughput: float64(streams*arrivals) / elapsed.Seconds(),
 			Inserts:    ms.Tree.Inserts,

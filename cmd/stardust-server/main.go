@@ -12,7 +12,14 @@
 // restored from it; a snapshot that exists but cannot be read fails
 // startup loudly rather than silently discarding state. On SIGINT/SIGTERM
 // the server drains in-flight requests and writes a final snapshot before
-// exiting. See internal/server for the endpoint reference, including the
+// exiting.
+//
+// With -wal-dir set, every admitted sample is write-ahead logged before
+// it reaches the summary, so a hard crash between snapshots is
+// recoverable: startup replays the log over the restored snapshot
+// (stardust.Recover), auto-snapshots trim replayed segments, and the
+// -fsync policy (interval, always, none) picks the durability/latency
+// trade. See internal/server for the endpoint reference, including the
 // /healthz and /readyz probes, the Prometheus-text GET /metricsz metrics
 // endpoint (ingest latency, R*-tree node accesses, per-query-class
 // pruning power) and the GET /debug/pprof/ runtime profiles.
@@ -49,6 +56,10 @@ func main() {
 	history := flag.Int("history", 0, "raw history retained (0 = default)")
 	snapshot := flag.String("snapshot", "", "snapshot file (restored at startup when present)")
 	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "auto-snapshot period (0 disables; needs -snapshot)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory (enables durability; replayed at startup)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval, always, none")
+	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "fsync period for -fsync interval")
+	walSegment := flag.Int("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 4 MiB)")
 	watch := flag.Bool("watch", false, "enable standing queries: POST /watch registers them, GET /events drains alarms")
 	badValues := flag.String("bad-values", "reject", "bad-value policy: reject, clamp, lastvalue")
 	clampMin := flag.Float64("clamp-min", 0, "lower clamp bound for -bad-values clamp")
@@ -114,7 +125,27 @@ func main() {
 		log.Fatalf("unknown normalization %q", *norm)
 	}
 
-	mon, err := buildMonitor(cfg, *snapshot)
+	if *walDir != "" {
+		var policy stardust.FsyncPolicy
+		switch *fsync {
+		case "interval":
+			policy = stardust.FsyncInterval
+		case "always":
+			policy = stardust.FsyncAlways
+		case "none":
+			policy = stardust.FsyncNone
+		default:
+			log.Fatalf("unknown fsync policy %q", *fsync)
+		}
+		cfg.Durability = stardust.DurabilityConfig{
+			Dir:           *walDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncEvery,
+			SegmentBytes:  *walSegment,
+		}
+	}
+
+	mon, replay, err := buildMonitor(cfg, *snapshot)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,6 +154,11 @@ func main() {
 		srv = server.NewWithWatcher(stardust.NewSafeWatcher(mon), *snapshot)
 	} else {
 		srv = server.New(stardust.WrapSafe(mon), *snapshot)
+	}
+	if replay != nil {
+		srv.SetReplayStats(*replay)
+		log.Printf("wal replay: %d records (%d samples) from %d segments in %s (torn tail: %d bytes)",
+			replay.Records, replay.Samples, replay.Segments, replay.Duration, replay.TornBytes)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -142,6 +178,11 @@ func main() {
 		ReadTimeout:   *readTimeout,
 		WriteTimeout:  *writeTimeout,
 	})
+	// Close the WAL after the final snapshot so a clean shutdown loses
+	// nothing regardless of the fsync policy.
+	if cerr := mon.Close(); cerr != nil {
+		log.Printf("closing wal: %v", cerr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,10 +193,20 @@ func main() {
 // fresh monitor from flags. Only a genuinely absent snapshot falls through
 // to a fresh build: a snapshot that exists but cannot be opened or parsed
 // (and has no loadable .bak) is a hard error, because silently starting
-// fresh would discard the state the operator asked to keep.
-func buildMonitor(cfg stardust.Config, path string) (*stardust.Monitor, error) {
+// fresh would discard the state the operator asked to keep. With a WAL
+// directory configured, startup goes through Recover — snapshot restore
+// plus WAL replay — and the replay stats are returned for /statz.
+func buildMonitor(cfg stardust.Config, path string) (*stardust.Monitor, *stardust.ReplayStats, error) {
+	if cfg.Durability.Dir != "" {
+		m, stats, err := stardust.Recover(cfg, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, &stats, nil
+	}
 	if path == "" {
-		return stardust.New(cfg)
+		m, err := stardust.New(cfg)
+		return m, nil, err
 	}
 	m, err := stardust.LoadFile(path)
 	switch {
@@ -164,10 +215,11 @@ func buildMonitor(cfg stardust.Config, path string) (*stardust.Monitor, error) {
 		// Load installs the default guard; re-apply the deployment's
 		// policy flags.
 		m.SetBadValuePolicy(cfg.BadValues)
-		return m, nil
+		return m, nil, nil
 	case errors.Is(err, fs.ErrNotExist):
-		return stardust.New(cfg)
+		m, err := stardust.New(cfg)
+		return m, nil, err
 	default:
-		return nil, err
+		return nil, nil, err
 	}
 }

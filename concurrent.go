@@ -203,6 +203,13 @@ func (s *SafeWatcher) WatchPattern(query []float64, radius float64) (int, error)
 	return s.w.WatchPattern(query, radius)
 }
 
+// WatchCorrelation registers a standing correlation query.
+func (s *SafeWatcher) WatchCorrelation(level int, radius float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.WatchCorrelation(level, radius)
+}
+
 // Unwatch removes a standing query.
 func (s *SafeWatcher) Unwatch(id int) bool {
 	s.mu.Lock()

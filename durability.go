@@ -1,0 +1,194 @@
+package stardust
+
+import (
+	"fmt"
+	"time"
+
+	"stardust/internal/obs"
+	"stardust/internal/wal"
+)
+
+// FsyncPolicy selects when the write-ahead log fsyncs appended records;
+// see the constants for the durability/latency trade each makes.
+type FsyncPolicy = wal.SyncPolicy
+
+// Available fsync policies (Config.Durability.Fsync).
+const (
+	// FsyncInterval fsyncs from a background loop every FsyncInterval
+	// duration — a crash loses at most one interval of samples. The
+	// default.
+	FsyncInterval = wal.SyncInterval
+	// FsyncAlways fsyncs before every Ingest returns; concurrent ingesters
+	// share one fsync (group commit).
+	FsyncAlways = wal.SyncAlways
+	// FsyncNone never fsyncs on the ingest path: a process crash loses
+	// nothing already written, an OS crash loses the page cache.
+	FsyncNone = wal.SyncNone
+)
+
+// DurabilityConfig enables write-ahead logging of admitted samples
+// (Config.Durability). With a Dir set, every sample that passes the
+// resilience guard is appended to a CRC-framed log segment BEFORE it is
+// applied to the summary, so a crash between snapshots loses at most the
+// unfsynced tail; Recover (or RecoverWatcher / RecoverSharded) restores
+// the latest snapshot and replays the log over it. Snapshots taken with
+// Checkpoint trim segments the snapshot has made redundant.
+type DurabilityConfig struct {
+	// Dir is the WAL segment directory. Empty disables durability.
+	// New refuses a directory that already holds records — restarting a
+	// durable deployment goes through Recover, which replays them.
+	Dir string
+	// Fsync selects the fsync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncInterval period (default 50ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the segment rotation threshold (default 4 MiB).
+	SegmentBytes int
+}
+
+// ReplayStats summarizes one crash-recovery replay: records and samples
+// re-applied, bytes read, segments visited, torn-tail bytes truncated and
+// wall time. Returned by the Recover family and surfaced by the server's
+// GET /statz.
+type ReplayStats = wal.ReplayStats
+
+// openWAL opens the log described by a DurabilityConfig, wiring it to the
+// monitor's metrics.
+func openWAL(d DurabilityConfig, m *obs.WALMetrics) (*wal.Log, error) {
+	return wal.Open(wal.Config{
+		Dir:          d.Dir,
+		Policy:       d.Fsync,
+		Interval:     d.FsyncInterval,
+		SegmentBytes: d.SegmentBytes,
+		Metrics:      m,
+	})
+}
+
+// walAppend logs one admitted run before it is applied to the summary —
+// the write-ahead ordering that makes replay exact. start is the discrete
+// time the run's first value will occupy.
+func (m *Monitor) walAppend(stream int, start int64, vs []float64) error {
+	if _, err := m.wal.Append(stream, start, vs); err != nil {
+		return fmt.Errorf("stardust: wal append: %w", err)
+	}
+	return nil
+}
+
+// Durable reports whether the monitor write-ahead logs its ingestion.
+func (m *Monitor) Durable() bool { return m.wal != nil }
+
+// SyncWAL forces every ingested sample to stable storage, regardless of
+// the fsync policy. No-op without durability.
+func (m *Monitor) SyncWAL() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Sync()
+}
+
+// Close releases the monitor's durability resources: the WAL is fsynced
+// and closed, so a clean shutdown loses nothing even under FsyncNone.
+// Ingesting after Close fails. Monitors without durability Close as a
+// no-op.
+func (m *Monitor) Close() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Close()
+}
+
+// Checkpoint persists a snapshot to path crash-safely (WriteSnapshotFile)
+// and then trims WAL segments the snapshot fully covers, bounding log
+// growth. Without durability it is exactly WriteSnapshotFile.
+func (m *Monitor) Checkpoint(path string) error {
+	return checkpointMonitor(m, m, path)
+}
+
+// checkpointMonitor snapshots via snap (which may wrap m in a lock) and
+// trims m's WAL through the pre-snapshot watermark. The watermark is
+// captured before the snapshot is written, so every trimmed record is in
+// the snapshot; records appended during the write stay in the log and
+// replay idempotently (replay skips samples whose time the snapshot
+// already covers).
+func checkpointMonitor(m *Monitor, snap Snapshotter, path string) error {
+	if m.wal == nil {
+		return WriteSnapshotFile(snap, path)
+	}
+	lsn := m.wal.LastLSN()
+	if err := WriteSnapshotFile(snap, path); err != nil {
+		return err
+	}
+	if _, err := m.wal.TrimThrough(lsn); err != nil {
+		return fmt.Errorf("stardust: trimming wal: %v", err)
+	}
+	return nil
+}
+
+// Close on the lock-guarded wrapper: serializes with in-flight ingestion,
+// then closes the WAL.
+func (s *SafeMonitor) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Close()
+}
+
+// SyncWAL forces logged samples to stable storage (see Monitor.SyncWAL).
+func (s *SafeMonitor) SyncWAL() error { return s.m.SyncWAL() }
+
+// Checkpoint snapshots to path and trims the WAL (see Monitor.Checkpoint).
+// The snapshot itself runs under the read lock via Snapshot, so it cannot
+// tear against concurrent ingestion.
+func (s *SafeMonitor) Checkpoint(path string) error {
+	return checkpointMonitor(s.m, s, path)
+}
+
+// Close closes every shard's WAL.
+func (sm *ShardedMonitor) Close() error {
+	var first error
+	for _, shard := range sm.shards {
+		if err := shard.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Checkpoint persists the sharded snapshot to path and trims every
+// shard's WAL through its pre-snapshot watermark.
+func (sm *ShardedMonitor) Checkpoint(path string) error {
+	lsns := make([]uint64, len(sm.shards))
+	durable := false
+	for i, shard := range sm.shards {
+		if shard.m.wal != nil {
+			lsns[i] = shard.m.wal.LastLSN()
+			durable = true
+		}
+	}
+	if err := WriteSnapshotFile(sm, path); err != nil {
+		return err
+	}
+	if !durable {
+		return nil
+	}
+	for i, shard := range sm.shards {
+		if shard.m.wal == nil {
+			continue
+		}
+		if _, err := shard.m.wal.TrimThrough(lsns[i]); err != nil {
+			return fmt.Errorf("stardust: trimming shard %d wal: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// Close closes the wrapped monitor's WAL after in-flight pushes drain.
+func (s *SafeWatcher) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.mon.Close()
+}
+
+// Checkpoint snapshots to path under the watcher lock and trims the WAL.
+func (s *SafeWatcher) Checkpoint(path string) error {
+	return checkpointMonitor(s.w.mon, s, path)
+}

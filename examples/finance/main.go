@@ -41,9 +41,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for t := 0; t < ticks; t++ {
-		for s := 0; s < instruments; s++ {
-			mon.Append(s, prices[s][t])
+	for s := 0; s < instruments; s++ {
+		if err := mon.IngestBatch(s, prices[s]); err != nil {
+			log.Fatal(err)
 		}
 	}
 

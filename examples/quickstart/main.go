@@ -36,7 +36,9 @@ func main() {
 		if t >= 300 && t < 340 {
 			v += 25
 		}
-		mon.Append(0, v)
+		if err := mon.Ingest(0, v); err != nil {
+			log.Fatal(err)
+		}
 
 		// Watch two timescales with different thresholds.
 		for _, q := range []struct {

@@ -46,7 +46,9 @@ func main() {
 		for s := 0; s < sensors; s++ {
 			vs[s] = readings[s][t]
 		}
-		mon.AppendAll(vs)
+		if err := mon.IngestAll(vs); err != nil {
+			log.Fatal(err)
+		}
 		// A detection round fires when the top level refreshes.
 		if (t+1)%w != 0 || t+1 < w<<uint(levels-1) {
 			continue

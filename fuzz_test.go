@@ -1,0 +1,56 @@
+package stardust
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadSnapshot throws arbitrary bytes at the snapshot loader. Load
+// guards recovery: a truncated, bit-flipped, or adversarial snapshot
+// must come back as an error — never a panic or a monitor that explodes
+// on first use. Seeds include real snapshots of both an Online and a
+// Batch/DWT monitor so mutation starts from the production format.
+func FuzzLoadSnapshot(f *testing.F) {
+	seed := func(cfg Config, feed int) []byte {
+		m, err := New(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < feed; i++ {
+			for s := 0; s < cfg.Streams; s++ {
+				if err := m.Ingest(s, float64(i*3+s)); err != nil {
+					f.Fatal(err)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := m.Snapshot(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	online := seed(Config{Streams: 2, W: 4, Levels: 3, Transform: Sum, Mode: Online, BoxCapacity: 2}, 40)
+	batch := seed(Config{
+		Streams: 2, W: 8, Levels: 3, Transform: DWT, Mode: Batch, Coefficients: 4, Normalization: NormZ,
+	}, 64)
+	f.Add(online)
+	f.Add(batch)
+	f.Add(online[:len(online)/2])
+	f.Add([]byte{})
+	f.Add([]byte("SDS2garbage"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Load(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// Whatever Load accepts must be a usable monitor: basic queries and
+		// further ingestion may error but must not panic.
+		for s := 0; s < m.NumStreams(); s++ {
+			_ = m.Now(s)
+			_, _ = m.AggregateBound(s, m.Summary().Config().W)
+			_ = m.Ingest(s, 1)
+		}
+		_ = m.Stats()
+	})
+}

@@ -316,12 +316,40 @@ func (p *ParallelMetrics) ObserveRound(n int, nanos int64) {
 	p.StageNanos.Observe(float64(nanos))
 }
 
+// WALMetrics instruments the write-ahead log on the ingest hot path:
+// append volume, fsync cadence and latency (the durability cost), group
+// commit amortization, and the segment lifecycle driven by rotation and
+// snapshot-watermark trimming.
+type WALMetrics struct {
+	// Appends counts records appended; AppendedBytes their framed sizes.
+	Appends, AppendedBytes Counter
+	// Fsyncs counts fsync calls; FsyncNanos is their latency distribution.
+	Fsyncs     Counter
+	FsyncNanos *Histogram
+	// GroupCommit is the distribution of records made durable per fsync —
+	// the group-commit batch size. Values above 1 mean concurrent callers
+	// shared one fsync.
+	GroupCommit *Histogram
+	// Rotations counts segment rollovers; SegmentsLive is the current
+	// on-disk segment count; SegmentsTrimmed counts segments removed by
+	// snapshot-watermark GC.
+	Rotations       Counter
+	SegmentsLive    Gauge
+	SegmentsTrimmed Counter
+	// ReplayedRecords and ReplayedSamples count what crash recovery read
+	// back; ReplayNanos is the wall time of the last replay.
+	ReplayedRecords, ReplayedSamples Counter
+	// ReplayNanos is the duration of the most recent replay (0 = none ran).
+	ReplayNanos Gauge
+}
+
 // Metrics is the live instrument set of one monitor. Construct with
 // NewMetrics; all fields are safe for concurrent use.
 type Metrics struct {
 	Ingest      IngestMetrics
 	Tree        TreeMetrics
 	Parallel    ParallelMetrics
+	WAL         WALMetrics
 	Aggregate   QueryMetrics
 	Pattern     QueryMetrics
 	Correlation QueryMetrics
@@ -335,6 +363,8 @@ func NewMetrics() *Metrics {
 	m.Tree.SearchNodes = NewHistogram(CountBuckets())
 	m.Parallel.QueueDepth = NewHistogram(CountBuckets())
 	m.Parallel.StageNanos = NewHistogram(LatencyBuckets())
+	m.WAL.FsyncNanos = NewHistogram(LatencyBuckets())
+	m.WAL.GroupCommit = NewHistogram(CountBuckets())
 	m.Aggregate.Latency = NewHistogram(LatencyBuckets())
 	m.Pattern.Latency = NewHistogram(LatencyBuckets())
 	m.Correlation.Latency = NewHistogram(LatencyBuckets())
@@ -375,6 +405,19 @@ func (m *Metrics) Snapshot() Snapshot {
 			Tasks:        m.Parallel.Tasks.Load(),
 			QueueDepth:   m.Parallel.QueueDepth.Snapshot(),
 			StageNanos:   m.Parallel.StageNanos.Snapshot(),
+		},
+		WAL: WALSnapshot{
+			Appends:         m.WAL.Appends.Load(),
+			AppendedBytes:   m.WAL.AppendedBytes.Load(),
+			Fsyncs:          m.WAL.Fsyncs.Load(),
+			FsyncNanos:      m.WAL.FsyncNanos.Snapshot(),
+			GroupCommit:     m.WAL.GroupCommit.Snapshot(),
+			Rotations:       m.WAL.Rotations.Load(),
+			SegmentsLive:    m.WAL.SegmentsLive.Load(),
+			SegmentsTrimmed: m.WAL.SegmentsTrimmed.Load(),
+			ReplayedRecords: m.WAL.ReplayedRecords.Load(),
+			ReplayedSamples: m.WAL.ReplayedSamples.Load(),
+			ReplayNanos:     m.WAL.ReplayNanos.Load(),
 		},
 		Aggregate:   snapshotQuery(&m.Aggregate),
 		Pattern:     snapshotQuery(&m.Pattern),
@@ -422,6 +465,44 @@ type ParallelSnapshot struct {
 	QueueDepth, StageNanos HistogramSnapshot
 }
 
+// WALSnapshot is the write-ahead-log section of a Snapshot. All fields are
+// zero when durability is disabled.
+type WALSnapshot struct {
+	// Appends counts records written; AppendedBytes their framed sizes.
+	Appends, AppendedBytes int64
+	// Fsyncs counts fsync calls; FsyncNanos their latency distribution;
+	// GroupCommit the records-per-fsync distribution.
+	Fsyncs                  int64
+	FsyncNanos, GroupCommit HistogramSnapshot
+	// Rotations/SegmentsLive/SegmentsTrimmed describe the segment
+	// lifecycle.
+	Rotations, SegmentsLive, SegmentsTrimmed int64
+	// ReplayedRecords/ReplayedSamples/ReplayNanos describe the last crash
+	// recovery replay.
+	ReplayedRecords, ReplayedSamples, ReplayNanos int64
+}
+
+// merge sums two WAL snapshots (sharded monitors present one surface).
+func (w WALSnapshot) merge(o WALSnapshot) WALSnapshot {
+	replay := w.ReplayNanos
+	if o.ReplayNanos > replay {
+		replay = o.ReplayNanos
+	}
+	return WALSnapshot{
+		Appends:         w.Appends + o.Appends,
+		AppendedBytes:   w.AppendedBytes + o.AppendedBytes,
+		Fsyncs:          w.Fsyncs + o.Fsyncs,
+		FsyncNanos:      w.FsyncNanos.merge(o.FsyncNanos),
+		GroupCommit:     w.GroupCommit.merge(o.GroupCommit),
+		Rotations:       w.Rotations + o.Rotations,
+		SegmentsLive:    w.SegmentsLive + o.SegmentsLive,
+		SegmentsTrimmed: w.SegmentsTrimmed + o.SegmentsTrimmed,
+		ReplayedRecords: w.ReplayedRecords + o.ReplayedRecords,
+		ReplayedSamples: w.ReplayedSamples + o.ReplayedSamples,
+		ReplayNanos:     replay,
+	}
+}
+
 // TreeSnapshot is the R*-tree section of a Snapshot (summed over all
 // resolution levels).
 type TreeSnapshot struct {
@@ -454,6 +535,7 @@ type Snapshot struct {
 	Ingest      IngestSnapshot
 	Tree        TreeSnapshot
 	Parallel    ParallelSnapshot
+	WAL         WALSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
 	Correlation QuerySnapshot
@@ -496,6 +578,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			Reinserts:   s.Tree.Reinserts + o.Tree.Reinserts,
 			SearchNodes: s.Tree.SearchNodes.merge(o.Tree.SearchNodes),
 		},
+		WAL:         s.WAL.merge(o.WAL),
 		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
 		Pattern:     s.Pattern.mergeQuery(o.Pattern),
 		Correlation: s.Correlation.mergeQuery(o.Correlation),

@@ -31,6 +31,18 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.histogramRaw("stardust_parallel_queue_depth", "Items enqueued per parallel round (divide by workers for per-worker share).", s.Parallel.QueueDepth)
 	p.histogramSeconds("stardust_parallel_stage_latency_seconds", "Wall time per parallel round (screening/verification stage latency).", s.Parallel.StageNanos)
 
+	p.counter("stardust_wal_appends_total", "Write-ahead-log records appended (0 when durability is off).", s.WAL.Appends)
+	p.counter("stardust_wal_appended_bytes_total", "Framed bytes appended to the write-ahead log.", s.WAL.AppendedBytes)
+	p.counter("stardust_wal_fsyncs_total", "WAL fsync calls.", s.WAL.Fsyncs)
+	p.histogramSeconds("stardust_wal_fsync_latency_seconds", "WAL fsync latency.", s.WAL.FsyncNanos)
+	p.histogramRaw("stardust_wal_group_commit_records", "Records made durable per fsync (group-commit batch size).", s.WAL.GroupCommit)
+	p.counter("stardust_wal_rotations_total", "WAL segment rollovers.", s.WAL.Rotations)
+	p.gauge("stardust_wal_segments_live", "WAL segment files currently on disk.", s.WAL.SegmentsLive)
+	p.counter("stardust_wal_segments_trimmed_total", "WAL segments removed by snapshot-watermark GC.", s.WAL.SegmentsTrimmed)
+	p.counter("stardust_wal_replayed_records_total", "WAL records applied by crash-recovery replay.", s.WAL.ReplayedRecords)
+	p.counter("stardust_wal_replayed_samples_total", "Samples applied by crash-recovery replay.", s.WAL.ReplayedSamples)
+	p.gauge("stardust_wal_replay_duration_nanos", "Wall time of the most recent WAL replay (0 when none ran).", s.WAL.ReplayNanos)
+
 	p.counter("stardust_index_inserts_total", "R*-tree leaf entries inserted (all levels).", s.Tree.Inserts)
 	p.counter("stardust_index_deletes_total", "R*-tree leaf entries deleted (all levels).", s.Tree.Deletes)
 	p.counter("stardust_index_searches_total", "R*-tree search traversals (range, sphere, nearest-neighbor).", s.Tree.Searches)

@@ -10,10 +10,11 @@
 //	POST /pattern       {"query": [...], "radius": 0.05}              — variable-length similarity
 //	GET  /correlations  ?level=3&radius=0.5[&lag=32]                  — correlated pairs
 //	GET  /stats                                                       — summary space snapshot
+//	GET  /statz                                                       — operational status: readiness, WAL counters, recovery replay
 //	GET  /healthz                                                     — liveness (always 200 while the process serves)
-//	GET  /readyz                                                      — readiness (503 while shutting down)
-//	POST /snapshot                                                    — persist state to the snapshot path
-//	POST /watch         {"type":"aggregate", "stream":0, ...}         — register a standing query (watcher-backed servers)
+//	GET  /readyz                                                      — readiness (503 while shutting down; reports the recovery replay)
+//	POST /snapshot                                                    — persist state to the snapshot path (checkpoints: trims the WAL)
+//	POST /watch         {"type":"aggregate"|"pattern"|"correlation"}  — register a standing query (watcher-backed servers)
 //	GET  /events        ?since=N                                      — drain standing-query events (watcher-backed servers)
 //	GET  /metricsz                                                    — Prometheus text metrics (ingestion, index, query classes)
 //	GET  /debug/pprof/                                                — runtime profiles (heap, goroutine, 30s CPU via /debug/pprof/profile)
@@ -62,6 +63,8 @@ type Server struct {
 	ready  atomic.Bool // false while shutting down: /readyz returns 503
 	snapMu sync.Mutex  // serializes snapshot file writes
 
+	replay *stardust.ReplayStats // WAL replay that built mon (nil: none ran)
+
 	watcher *stardust.SafeWatcher // non-nil when standing queries are enabled
 	evMu    sync.Mutex
 	events  []stardust.Event
@@ -96,6 +99,7 @@ func newServer(mon Backend, w *stardust.SafeWatcher, snapshotPath string) *Serve
 	s.mux.HandleFunc("POST /pattern", s.handlePattern)
 	s.mux.HandleFunc("GET /correlations", s.handleCorrelations)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
@@ -143,14 +147,68 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// SetReplayStats records the WAL replay that produced the backend, so
+// /readyz and /statz can report how the process came up. Call before
+// Serve.
+func (s *Server) SetReplayStats(stats stardust.ReplayStats) {
+	s.replay = &stats
+}
+
+// replayInfo renders the recorded replay for JSON endpoints.
+func (s *Server) replayInfo() map[string]any {
+	if s.replay == nil {
+		return nil
+	}
+	return map[string]any{
+		"records":     s.replay.Records,
+		"samples":     s.replay.Samples,
+		"bytes":       s.replay.Bytes,
+		"segments":    s.replay.Segments,
+		"torn_bytes":  s.replay.TornBytes,
+		"duration_ms": float64(s.replay.Duration) / float64(time.Millisecond),
+	}
+}
+
 // handleReadyz is the readiness probe: 503 once shutdown has begun so load
-// balancers drain before the listener closes.
+// balancers drain before the listener closes. When the backend was built
+// by a WAL replay, the response reports it — a restart that replayed a
+// large log is visibly distinguishable from a cold start.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	resp := map[string]any{"status": "ready"}
+	if info := s.replayInfo(); info != nil {
+		resp["replay"] = info
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStatz is the operational status endpoint: readiness, stream
+// count, the WAL replay that built this process (when any), and the live
+// WAL counters from the metrics snapshot — the at-a-glance durability
+// view, complementing the Prometheus series on /metricsz.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	wal := s.mon.Metrics().WAL
+	resp := map[string]any{
+		"ready":   s.ready.Load(),
+		"streams": s.mon.NumStreams(),
+		"wal": map[string]any{
+			"appends":          wal.Appends,
+			"appended_bytes":   wal.AppendedBytes,
+			"fsyncs":           wal.Fsyncs,
+			"rotations":        wal.Rotations,
+			"segments_live":    wal.SegmentsLive,
+			"segments_trimmed": wal.SegmentsTrimmed,
+			"replayed_records": wal.ReplayedRecords,
+			"replayed_samples": wal.ReplayedSamples,
+		},
+	}
+	if info := s.replayInfo(); info != nil {
+		resp["replay"] = info
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -351,13 +409,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // watchRequest registers a standing query.
 type watchRequest struct {
-	Type          string    `json:"type"` // "aggregate" or "pattern"
+	Type          string    `json:"type"` // "aggregate", "pattern" or "correlation"
 	Stream        int       `json:"stream"`
 	Window        int       `json:"window"`
 	Threshold     float64   `json:"threshold"`
 	EdgeTriggered *bool     `json:"edge,omitempty"` // default true
 	Query         []float64 `json:"query,omitempty"`
 	Radius        float64   `json:"radius,omitempty"`
+	Level         int       `json:"level,omitempty"`
 }
 
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
@@ -381,6 +440,8 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		id, err = s.watcher.WatchAggregate(req.Stream, req.Window, req.Threshold, edge)
 	case "pattern":
 		id, err = s.watcher.WatchPattern(req.Query, req.Radius)
+	case "correlation":
+		id, err = s.watcher.WatchCorrelation(req.Level, req.Radius)
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown watch type %q", req.Type)
 		return
@@ -445,14 +506,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // SnapshotNow persists the monitor state to the configured snapshot path
 // crash-safely (temp file + fsync + rename, previous snapshot kept as
-// .bak). Concurrent calls — the HTTP endpoint, the auto-snapshot loop and
-// the shutdown path — serialize on an internal mutex.
+// .bak). Backends that checkpoint (all monitor flavors do) additionally
+// trim write-ahead-log segments the snapshot covers, so the auto-snapshot
+// loop bounds WAL growth. Concurrent calls — the HTTP endpoint, the
+// auto-snapshot loop and the shutdown path — serialize on an internal
+// mutex.
 func (s *Server) SnapshotNow() error {
 	if s.path == "" {
 		return fmt.Errorf("server: no snapshot path configured")
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if c, ok := s.mon.(stardust.Checkpointer); ok {
+		return c.Checkpoint(s.path)
+	}
 	return stardust.WriteSnapshotFile(s.mon, s.path)
 }
 

@@ -1,0 +1,453 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"stardust/internal/obs"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs from a background loop every Config.Interval —
+	// a crash loses at most one interval of samples. The default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs before Append returns. Concurrent appenders share
+	// one fsync (group commit), so the cost amortizes under load.
+	SyncAlways
+	// SyncNone never fsyncs on the append path (only on rotation and
+	// Close). A process crash loses nothing already written; an OS crash
+	// loses whatever the page cache held.
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultInterval     = 50 * time.Millisecond
+	DefaultSegmentBytes = 4 << 20
+)
+
+// Config configures a Log. Zero values select the documented defaults.
+type Config struct {
+	// Dir is the segment directory (required; created if absent).
+	Dir string
+	// Policy selects the fsync policy (default SyncInterval).
+	Policy SyncPolicy
+	// Interval is the SyncInterval period (default DefaultInterval).
+	Interval time.Duration
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	// A single record may exceed it; the segment then holds that record
+	// alone.
+	SegmentBytes int
+	// Metrics receives append/fsync/segment instrumentation (optional).
+	Metrics *obs.WALMetrics
+}
+
+// ErrClosed marks appends to a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt marks corruption that replay cannot attribute to a torn
+// final write: an invalid frame in the middle of the log. Match with
+// errors.Is.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+// segment is one on-disk segment file; first is the LSN of its first
+// record (records are numbered 1, 2, … across segments).
+type segment struct {
+	path  string
+	first uint64
+}
+
+// Log is an append-only write-ahead log over size-rotated segment files.
+// Append, Sync, TrimThrough and Close are safe for concurrent use; Replay
+// must run before the first Append (the recovery sequence is Open →
+// Replay → serve).
+type Log struct {
+	cfg Config
+
+	mu      sync.Mutex // guards the fields below
+	f       *os.File   // active segment (last of segs)
+	size    int64      // bytes in the active segment
+	segs    []segment  // ascending by first LSN
+	nextLSN uint64     // LSN assigned to the next record
+	buf     []byte     // reusable frame-encoding buffer
+	closed  bool
+
+	// Group commit state. Lock order: syncMu is never held while
+	// acquiring mu (the sync leader releases syncMu before capturing the
+	// write position, then re-acquires it to publish).
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncedLSN uint64 // all records ≤ syncedLSN are durable
+	syncing   bool   // a leader's fsync is in flight
+
+	torn int64 // bytes truncated from the final segment at Open
+
+	stop chan struct{} // interval syncer lifecycle
+	done chan struct{}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	return c
+}
+
+func segmentName(first uint64) string { return fmt.Sprintf("wal-%016x.seg", first) }
+
+// parseSegmentName extracts the first-LSN from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	var first uint64
+	if n, err := fmt.Sscanf(name, "wal-%016x.seg", &first); n != 1 || err != nil {
+		return 0, false
+	}
+	return first, true
+}
+
+// Open opens (or creates) the log in cfg.Dir and positions it for
+// appending. A torn final record left by a crash is truncated away; the
+// truncated byte count is reported by Torn. Records already in the log
+// are read back with Replay before the first Append.
+func Open(cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("wal: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %v", cfg.Dir, err)
+	}
+	l := &Log{cfg: cfg}
+	l.syncCond = sync.NewCond(&l.syncMu)
+
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %v", cfg.Dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			l.segs = append(l.segs, segment{path: filepath.Join(cfg.Dir, e.Name()), first: first})
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
+
+	if len(l.segs) == 0 {
+		l.nextLSN = 1
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := l.segs[len(l.segs)-1]
+		records, validEnd, total, err := scanSegment(last.path)
+		if err != nil {
+			return nil, err
+		}
+		if validEnd < total {
+			// Torn final record: truncate at the last valid frame so the
+			// next append starts a clean frame boundary.
+			if err := os.Truncate(last.path, validEnd); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %v", last.path, err)
+			}
+			l.torn = total - validEnd
+		}
+		l.nextLSN = last.first + records
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening %s: %v", last.path, err)
+		}
+		l.f = f
+		l.size = validEnd
+	}
+	l.syncedLSN = l.nextLSN - 1 // everything on disk at open counts as synced
+	if m := cfg.Metrics; m != nil {
+		m.SegmentsLive.Set(int64(len(l.segs)))
+	}
+	if cfg.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scanSegment walks a segment's frames, returning the record count, the
+// offset of the last valid frame end, and the file size.
+func scanSegment(path string) (records uint64, validEnd, total int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: reading %s: %v", path, err)
+	}
+	off := 0
+	for off < len(data) {
+		_, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		off += n
+		records++
+	}
+	return records, int64(off), int64(len(data)), nil
+}
+
+// openSegmentLocked creates the segment whose first record will be LSN
+// first and makes it active. Caller holds mu (or is in Open, single
+// threaded).
+func (l *Log) openSegmentLocked(first uint64) error {
+	path := filepath.Join(l.cfg.Dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %s: %v", path, err)
+	}
+	l.f = f
+	l.size = 0
+	l.segs = append(l.segs, segment{path: path, first: first})
+	if m := l.cfg.Metrics; m != nil {
+		m.SegmentsLive.Set(int64(len(l.segs)))
+	}
+	return nil
+}
+
+// Torn returns the bytes truncated from the final segment at Open (0 when
+// the log ended on a clean frame boundary).
+func (l *Log) Torn() int64 { return l.torn }
+
+// Dir returns the segment directory.
+func (l *Log) Dir() string { return l.cfg.Dir }
+
+// Policy returns the configured fsync policy.
+func (l *Log) Policy() SyncPolicy { return l.cfg.Policy }
+
+// LastLSN returns the sequence number of the most recent record (0 when
+// the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// SegmentCount returns the number of live segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Append frames one run of admitted samples — Values[i] at discrete time
+// start+i on the stream — writes it to the active segment, and returns
+// its LSN. Under SyncAlways the record is durable when Append returns;
+// concurrent appenders share one fsync. Under SyncInterval and SyncNone
+// Append returns after the write syscall.
+func (l *Log) Append(stream int, start int64, vs []float64) (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	l.buf = appendRecord(l.buf[:0], stream, start, vs)
+	n, err := l.f.Write(l.buf)
+	l.size += int64(n)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: appending record: %v", err)
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	if m := l.cfg.Metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendedBytes.Add(int64(n))
+	}
+	if l.size >= int64(l.cfg.SegmentBytes) {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return lsn, err
+		}
+	}
+	l.mu.Unlock()
+
+	if l.cfg.Policy == SyncAlways {
+		return lsn, l.waitDurable(lsn)
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one. Caller holds mu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %v", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %v", err)
+	}
+	if m := l.cfg.Metrics; m != nil {
+		m.Rotations.Inc()
+	}
+	return l.openSegmentLocked(l.nextLSN)
+}
+
+// waitDurable blocks until every record up to lsn is fsynced, electing
+// one caller as the group-commit leader: the leader fsyncs the active
+// segment once for every record written so far, and concurrent callers
+// whose records that fsync covers return without issuing their own.
+func (l *Log) waitDurable(lsn uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for {
+		if l.syncedLSN >= lsn {
+			return nil
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		// Become the leader for this round.
+		l.syncing = true
+		prev := l.syncedLSN
+		l.syncMu.Unlock()
+
+		l.mu.Lock()
+		f := l.f
+		covered := l.nextLSN - 1
+		closed := l.closed
+		l.mu.Unlock()
+
+		var err error
+		if closed {
+			err = ErrClosed
+		} else {
+			start := time.Now()
+			err = f.Sync()
+			if m := l.cfg.Metrics; m != nil {
+				m.Fsyncs.Inc()
+				m.FsyncNanos.Observe(float64(time.Since(start)))
+				if err == nil && covered > prev {
+					m.GroupCommit.Observe(float64(covered - prev))
+				}
+			}
+		}
+
+		l.syncMu.Lock()
+		l.syncing = false
+		if err == nil && covered > l.syncedLSN {
+			l.syncedLSN = covered
+		}
+		l.syncCond.Broadcast()
+		if err != nil {
+			return err
+		}
+		// Loop: our lsn was written before the leader captured covered, so
+		// the next check succeeds (or a rotation-interleaved round retries).
+	}
+}
+
+// Sync makes every record appended before the call durable. It is the
+// manual flush used on graceful shutdown and by the interval loop.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.nextLSN - 1
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if target == 0 {
+		return nil
+	}
+	return l.waitDurable(target)
+}
+
+// syncLoop is the SyncInterval background fsync driver.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			// Errors surface on the final Sync in Close; the loop keeps
+			// trying so a transient failure does not end durability.
+			_ = l.Sync()
+		}
+	}
+}
+
+// TrimThrough removes segments whose records are all ≤ lsn — the
+// snapshot-watermark GC: after a snapshot covering everything up to lsn
+// succeeds, those segments can never be needed by recovery again. The
+// active segment is never removed. Returns the number of segments
+// deleted.
+func (l *Log) TrimThrough(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].first-1 <= lsn {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, fmt.Errorf("wal: trimming %s: %v", l.segs[0].path, err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if m := l.cfg.Metrics; m != nil && removed > 0 {
+		m.SegmentsTrimmed.Add(int64(removed))
+		m.SegmentsLive.Set(int64(len(l.segs)))
+	}
+	return removed, nil
+}
+
+// Close flushes, fsyncs and closes the log. Appends after Close fail with
+// ErrClosed. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+
+	// Stop the interval loop first so it cannot race the final sync.
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	syncErr := l.Sync()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if err := l.f.Close(); err != nil && syncErr == nil {
+		syncErr = fmt.Errorf("wal: closing segment: %v", err)
+	}
+	// Wake any group-commit waiters so they observe closed and fail fast.
+	l.syncCond.Broadcast()
+	return syncErr
+}

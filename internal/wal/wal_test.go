@@ -1,0 +1,278 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"stardust/internal/obs"
+)
+
+// collect replays the log into a slice.
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if _, err := l.Replay(func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{LSN: 1, Stream: 0, Start: 0, Values: []float64{1, 2, 3}},
+		{LSN: 2, Stream: 7, Start: 41, Values: []float64{-0.5}},
+		{LSN: 3, Stream: 2, Start: 9, Values: []float64{math.Pi, -math.MaxFloat64, 0}},
+	}
+	for _, r := range want {
+		lsn, err := l.Append(r.Stream, r.Start, r.Values)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if lsn != r.LSN {
+			t.Fatalf("Append lsn = %d, want %d", lsn, r.LSN)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay = %+v, want %+v", got, want)
+	}
+	if got := l2.LastLSN(); got != 3 {
+		t.Fatalf("LastLSN = %d, want 3", got)
+	}
+}
+
+func TestRotationAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	// Tiny threshold: every record rotates into a fresh segment.
+	l, err := Open(Config{Dir: dir, Policy: SyncNone, SegmentBytes: 1, Metrics: &m.WAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(0, int64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 sealed single-record segments plus the empty active one.
+	if got := l.SegmentCount(); got != 6 {
+		t.Fatalf("SegmentCount = %d, want 6", got)
+	}
+	if m.WAL.Rotations.Load() != 5 {
+		t.Fatalf("Rotations = %d, want 5", m.WAL.Rotations.Load())
+	}
+
+	// Trimming through LSN 3 removes the first three segments only.
+	removed, err := l.TrimThrough(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("TrimThrough removed %d, want 3", removed)
+	}
+	if got := collect(t, l); len(got) != 2 || got[0].LSN != 4 || got[1].LSN != 5 {
+		t.Fatalf("post-trim replay = %+v, want LSNs 4..5", got)
+	}
+	// Trimming past the end keeps the active segment.
+	if _, err := l.TrimThrough(99); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SegmentCount(); got != 1 {
+		t.Fatalf("SegmentCount after full trim = %d, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen after trim: the log continues at LSN 6.
+	l2, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if lsn, err := l2.Append(1, 99, []float64{42}); err != nil || lsn != 6 {
+		t.Fatalf("Append after reopen = (%d, %v), want lsn 6", lsn, err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, 0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, 3, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second record: chop a few bytes off the segment tail.
+	seg := filepath.Join(dir, segmentName(1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Torn() == 0 {
+		t.Fatal("Torn() = 0, want > 0 after tail truncation")
+	}
+	got := collect(t, l2)
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Values, []float64{1, 2, 3}) {
+		t.Fatalf("replay after torn tail = %+v, want the first record only", got)
+	}
+	// The log keeps appending cleanly from the truncation point.
+	if lsn, err := l2.Append(0, 3, []float64{7}); err != nil || lsn != 2 {
+		t.Fatalf("Append after truncation = (%d, %v), want lsn 2", lsn, err)
+	}
+}
+
+func TestMidLogCorruptionFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Policy: SyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(0, int64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the FIRST segment: not a torn tail, real
+	// corruption.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	_, err = l2.Replay(func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay on mid-log corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	l, err := Open(Config{Dir: dir, Policy: SyncAlways, Metrics: &m.WAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(g, int64(i), []float64{float64(i)}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WAL.Appends.Load(); got != goroutines*per {
+		t.Fatalf("Appends = %d, want %d", got, goroutines*per)
+	}
+	if m.WAL.Fsyncs.Load() == 0 {
+		t.Fatal("Fsyncs = 0 under SyncAlways")
+	}
+
+	l2, err := Open(Config{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != goroutines*per {
+		t.Fatalf("replayed %d records, want %d", len(got), goroutines*per)
+	}
+}
+
+func TestIntervalSyncRuns(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	l, err := Open(Config{Dir: dir, Policy: SyncInterval, Interval: time.Millisecond, Metrics: &m.WAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(0, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.WAL.Fsyncs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval loop never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(0, 0, []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}

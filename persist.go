@@ -143,6 +143,24 @@ type Snapshotter interface {
 	Snapshot(w io.Writer) error
 }
 
+// Checkpointer is the durable-snapshot surface: Checkpoint persists state
+// to path crash-safely AND trims write-ahead-log segments the snapshot
+// fully covers. Monitor, SafeMonitor, ShardedMonitor and SafeWatcher all
+// implement it (trimming is a no-op without durability); the HTTP
+// server's snapshot paths prefer it over plain WriteSnapshotFile so
+// auto-snapshots bound WAL growth.
+type Checkpointer interface {
+	Checkpoint(path string) error
+}
+
+// Compile-time checks: every monitor flavor checkpoints.
+var (
+	_ Checkpointer = (*Monitor)(nil)
+	_ Checkpointer = (*SafeMonitor)(nil)
+	_ Checkpointer = (*ShardedMonitor)(nil)
+	_ Checkpointer = (*SafeWatcher)(nil)
+)
+
 // WriteSnapshotFile persists a snapshot to path crash-safely: the bytes go
 // to a temporary file that is fsynced before an atomic rename, and the
 // previous snapshot (when present) is preserved as path+".bak". A crash at

@@ -55,8 +55,14 @@ func NewSharded(cfg Config, shards int) (*ShardedMonitor, error) {
 		}
 		scfg := cfg
 		scfg.Streams = n
+		// Durable partitions write one WAL per shard, so shards fsync and
+		// trim independently; RecoverSharded reads the same layout back.
+		if cfg.Durability.Dir != "" {
+			scfg.Durability.Dir = shardWALDir(cfg.Durability.Dir, len(sm.shards))
+		}
 		shard, err := NewSafe(scfg)
 		if err != nil {
+			sm.Close()
 			return nil, err
 		}
 		sm.shards = append(sm.shards, shard)

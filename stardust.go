@@ -31,6 +31,7 @@ import (
 	"stardust/internal/core"
 	"stardust/internal/obs"
 	"stardust/internal/resilience"
+	"stardust/internal/wal"
 	"stardust/internal/wavelet"
 )
 
@@ -239,6 +240,10 @@ type Config struct {
 	// selects runtime.NumCPU() workers; Workers: 1 forces serial
 	// execution. Results are identical either way.
 	Parallel ParallelConfig
+	// Durability enables write-ahead logging of admitted samples, so a
+	// crash between snapshots is recoverable with Recover. The zero value
+	// (no Dir) disables the log.
+	Durability DurabilityConfig
 }
 
 // Monitor is the Stardust summary over a set of streams. Monitors are not
@@ -249,10 +254,38 @@ type Monitor struct {
 	mode    Mode
 	guard   *resilience.Guard
 	metrics *obs.Metrics
+	wal     *wal.Log
+	walOne  [1]float64 // scratch run for single-sample WAL appends
 }
 
-// New constructs a Monitor.
+// New constructs a Monitor. With Config.Durability set, a fresh
+// write-ahead log is opened in its directory; a directory that already
+// holds WAL records is refused (those records belong to a previous run —
+// restart through Recover, which replays them, instead of silently
+// orphaning them).
 func New(cfg Config) (*Monitor, error) {
+	m, err := newMonitor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Durability.Dir != "" {
+		log, err := openWAL(cfg.Durability, &m.metrics.WAL)
+		if err != nil {
+			return nil, fmt.Errorf("stardust: %v", err)
+		}
+		if last := log.LastLSN(); last > 0 {
+			log.Close()
+			return nil, fmt.Errorf("stardust: WAL directory %s already holds %d records; use Recover to replay them",
+				cfg.Durability.Dir, last)
+		}
+		m.wal = log
+	}
+	return m, nil
+}
+
+// newMonitor builds the monitor without touching the WAL directory — the
+// shared core of New and the Recover family.
+func newMonitor(cfg Config) (*Monitor, error) {
 	if cfg.Streams <= 0 {
 		return nil, fmt.Errorf("stardust: Streams must be positive, got %d", cfg.Streams)
 	}
@@ -337,6 +370,14 @@ func (m *Monitor) Ingest(stream int, v float64) error {
 	if err != nil {
 		return err
 	}
+	// Write-ahead ordering: the admitted sample reaches the log before the
+	// summary, so every state transition a crash can lose is replayable.
+	if m.wal != nil {
+		m.walOne[0] = admitted
+		if err := m.walAppend(stream, m.sum.Now(stream)+1, m.walOne[:]); err != nil {
+			return err
+		}
+	}
 	// Per-append latency is sampled (one append in obs.SampleEvery) so the
 	// two clock reads stay off the common path.
 	if obs.Sampled(n) {
@@ -376,6 +417,14 @@ func (m *Monitor) IngestBatch(stream int, vs []float64) error {
 		admitted = append(admitted, a)
 	}
 	if len(admitted) > 0 {
+		// The whole admitted run is one WAL record: one frame, one write
+		// syscall, and (under FsyncAlways) one fsync for the batch.
+		if m.wal != nil {
+			if err := m.walAppend(stream, m.sum.Now(stream)+1, admitted); err != nil {
+				errs = append(errs, err)
+				return errors.Join(errs...)
+			}
+		}
 		// Amortized latency sampling: when the batch crosses a sampling
 		// point, the whole append run is timed once and recorded as its
 		// per-sample average.

@@ -16,6 +16,9 @@ const (
 	EventAggregateCleared
 	// EventPattern is a new verified match of a standing pattern query.
 	EventPattern
+	// EventCorrelation is a newly verified correlated stream pair of a
+	// standing correlation query.
+	EventCorrelation
 )
 
 // String implements fmt.Stringer.
@@ -27,6 +30,8 @@ func (k EventKind) String() string {
 		return "aggregate-cleared"
 	case EventPattern:
 		return "pattern-match"
+	case EventCorrelation:
+		return "correlation-pair"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -37,10 +42,15 @@ type Event struct {
 	Kind    EventKind
 	WatchID int
 	Stream  int
-	// Time is the discrete stream time the event fired at.
+	// StreamB is the second stream of a correlation event (0 otherwise).
+	StreamB int `json:",omitempty"`
+	// Time is the discrete stream time the event fired at. For
+	// correlation events it is the first stream's feature time.
 	Time int64
-	// Value is the verified aggregate (aggregate events) or match distance
-	// (pattern events).
+	// TimeB is the second stream's feature time of a correlation event.
+	TimeB int64 `json:",omitempty"`
+	// Value is the verified aggregate (aggregate events), match distance
+	// (pattern events) or correlation coefficient (correlation events).
 	Value float64
 }
 
@@ -54,6 +64,12 @@ type aggWatch struct {
 	firing    bool
 }
 
+// matchKey identifies a reported pattern match for deduplication.
+type matchKey struct {
+	stream int
+	end    int64
+}
+
 // patternWatch is a standing pattern query from the paper's Section 2.3
 // model: a pattern database continuously monitored over the streams.
 type patternWatch struct {
@@ -61,8 +77,29 @@ type patternWatch struct {
 	query  []float64
 	radius float64
 	every  int64 // evaluation period (defaults to W)
-	// seen dedups reported matches.
-	seen map[Match]bool
+	// seen dedups reported matches. It is bounded: a key is kept only
+	// while its match window is still inside retained history (older
+	// matches can never be re-reported, so their keys are pruned).
+	seen map[matchKey]bool
+}
+
+// pairKey identifies a reported correlation pair for deduplication.
+type pairKey struct {
+	a, b         int
+	timeA, timeB int64
+}
+
+// corrWatch is a standing correlation query: every evaluation tick runs
+// one detection round at the level and reports pairs not seen before.
+type corrWatch struct {
+	id     int
+	level  int
+	radius float64
+	every  int64
+	// seen dedups reported pairs, bounded like patternWatch.seen: keys
+	// older than the level window cannot recur (rounds only report pairs
+	// at the current feature times) and are pruned.
+	seen map[pairKey]bool
 }
 
 // Watcher evaluates standing queries as values arrive — the paper's
@@ -75,6 +112,7 @@ type Watcher struct {
 	nextID   int
 	aggs     []*aggWatch
 	patterns []*patternWatch
+	corrs    []*corrWatch
 }
 
 // NewWatcher wraps a monitor.
@@ -124,7 +162,30 @@ func (w *Watcher) WatchPattern(query []float64, radius float64) (int, error) {
 	w.patterns = append(w.patterns, &patternWatch{
 		id: id, query: q, radius: radius,
 		every: int64(w.mon.Summary().Config().W),
-		seen:  make(map[Match]bool),
+		seen:  make(map[matchKey]bool),
+	})
+	return id, nil
+}
+
+// WatchCorrelation registers a standing correlation query at a resolution
+// level: every W arrivals a detection round runs (Correlations) and pairs
+// not already reported are emitted as EventCorrelation events, Stream and
+// StreamB carrying the pair and Value its correlation coefficient.
+func (w *Watcher) WatchCorrelation(level int, radius float64) (int, error) {
+	if radius <= 0 {
+		return 0, fmt.Errorf("stardust: correlation watch needs a positive radius")
+	}
+	// Validate the level and monitor mode now rather than at the first
+	// evaluation tick.
+	if _, err := w.mon.Correlations(level, radius); err != nil {
+		return 0, fmt.Errorf("stardust: %v", err)
+	}
+	id := w.nextID
+	w.nextID++
+	w.corrs = append(w.corrs, &corrWatch{
+		id: id, level: level, radius: radius,
+		every: int64(w.mon.Summary().Config().W),
+		seen:  make(map[pairKey]bool),
 	})
 	return id, nil
 }
@@ -140,6 +201,12 @@ func (w *Watcher) Unwatch(id int) bool {
 	for i, p := range w.patterns {
 		if p.id == id {
 			w.patterns = append(w.patterns[:i], w.patterns[i+1:]...)
+			return true
+		}
+	}
+	for i, c := range w.corrs {
+		if c.id == id {
+			w.corrs = append(w.corrs[:i], w.corrs[i+1:]...)
 			return true
 		}
 	}
@@ -163,7 +230,87 @@ func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
 	if err := w.mon.Ingest(stream, v); err != nil {
 		return nil, err
 	}
-	t := w.mon.Now(stream)
+	return w.evaluate(stream, w.mon.Now(stream))
+}
+
+// replaySample applies one already-admitted sample during WAL replay and
+// re-evaluates the standing queries with events suppressed: recovery
+// re-derives the watches' edge and dedup state (firing flags, seen
+// matches and pairs) so alarms delivered before the crash are not
+// delivered again. The resilience guard is bypassed — the log holds only
+// admitted samples — and evaluation errors are dropped, exactly as the
+// live push's partial-event contract already delivered them pre-crash.
+func (w *Watcher) replaySample(stream int, v float64) {
+	w.mon.sum.Append(stream, v)
+	_, _ = w.evaluate(stream, w.mon.Now(stream))
+}
+
+// primeRecovery re-derives the standing queries' edge and dedup state
+// from an already-restored summary. Snapshot restore skips WAL replay
+// for covered samples, so the per-sample evaluates that built this
+// state in the pre-crash process never ran; without priming, an alarm
+// that was firing across the crash would re-fire as a fresh edge and
+// old pattern matches would be re-reported. Aggregate firing flags
+// become the current alarm status (identical summary state ⇒ identical
+// alarm), and matches or pairs the pre-crash run had already delivered
+// — those complete by the last evaluation tick — are marked seen.
+// Results newer than the last tick are deliberately NOT marked: the
+// pre-crash run had not reported them yet, and the next tick will.
+func (w *Watcher) primeRecovery() {
+	for _, a := range w.aggs {
+		if w.mon.Now(a.stream) < int64(a.window)-1 {
+			continue
+		}
+		if res, err := w.mon.CheckAggregate(a.stream, a.window, a.threshold); err == nil {
+			a.firing = res.Alarm
+		}
+	}
+	for _, p := range w.patterns {
+		res, err := w.mon.FindPattern(p.query, p.radius)
+		if err != nil {
+			continue
+		}
+		for _, m := range res.Matches {
+			if m.End <= lastTick(w.mon.Now(m.Stream), p.every) {
+				p.seen[matchKey{stream: m.Stream, end: m.End}] = true
+			}
+		}
+	}
+	for _, c := range w.corrs {
+		// Feature times only advance at tick boundaries, so every pair
+		// visible now was already reported at the last round — if one ran.
+		ticked := false
+		for s := 0; s < w.mon.NumStreams(); s++ {
+			if lastTick(w.mon.Now(s), c.every) >= 0 {
+				ticked = true
+				break
+			}
+		}
+		if !ticked {
+			continue
+		}
+		res, err := w.mon.Correlations(c.level, c.radius)
+		if err != nil {
+			continue
+		}
+		for _, pr := range res.Pairs {
+			c.seen[pairKey{a: pr.A, b: pr.B, timeA: pr.TimeA, timeB: pr.TimeB}] = true
+		}
+	}
+}
+
+// lastTick is the most recent evaluation-tick time at or before stream
+// time now for period every, or -1 when no tick has occurred yet.
+func lastTick(now, every int64) int64 {
+	if now < every-1 {
+		return -1
+	}
+	return (now+1)/every*every - 1
+}
+
+// evaluate runs the standing queries affected by an arrival on stream at
+// discrete time t and returns the triggered events.
+func (w *Watcher) evaluate(stream int, t int64) ([]Event, error) {
 	var events []Event
 
 	for _, a := range w.aggs {
@@ -202,7 +349,7 @@ func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
 			return events, err
 		}
 		for _, m := range res.Matches {
-			key := Match{Stream: m.Stream, End: m.End}
+			key := matchKey{stream: m.Stream, end: m.End}
 			if p.seen[key] {
 				continue
 			}
@@ -211,6 +358,59 @@ func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
 				Kind: EventPattern, WatchID: p.id, Stream: m.Stream, Time: m.End, Value: m.Dist,
 			})
 		}
+		w.prunePatternSeen(p)
+	}
+
+	for _, c := range w.corrs {
+		if (t+1)%c.every != 0 {
+			continue
+		}
+		res, err := w.mon.Correlations(c.level, c.radius)
+		if err != nil {
+			return events, err
+		}
+		for _, pr := range res.Pairs {
+			key := pairKey{a: pr.A, b: pr.B, timeA: pr.TimeA, timeB: pr.TimeB}
+			if c.seen[key] {
+				continue
+			}
+			c.seen[key] = true
+			events = append(events, Event{
+				Kind: EventCorrelation, WatchID: c.id,
+				Stream: pr.A, StreamB: pr.B, Time: pr.TimeA, TimeB: pr.TimeB,
+				Value: pr.Correlation,
+			})
+		}
+		// Rounds only report pairs at the current feature times, so keys a
+		// level window behind the present cannot recur; dropping them keeps
+		// the dedup set proportional to the live pair population.
+		horizon := int64(w.mon.Summary().Config().LevelWindow(c.level))
+		for k := range c.seen {
+			if k.timeA < t-horizon {
+				delete(c.seen, k)
+			}
+		}
 	}
 	return events, nil
+}
+
+// prunePatternSeen drops dedup keys whose match window has left retained
+// history: FindPattern can only re-report a match whose whole window
+// [End−len(query)+1, End] is still verifiable against raw history, so
+// older keys can never be needed again. This bounds the seen set by the
+// number of reportable alignments instead of growing with total matches
+// over the stream's lifetime.
+func (w *Watcher) prunePatternSeen(p *patternWatch) {
+	q := int64(len(p.query))
+	oldest := make(map[int]int64, w.mon.NumStreams())
+	for k := range p.seen {
+		lo, ok := oldest[k.stream]
+		if !ok {
+			lo = w.mon.Summary().History(k.stream).OldestTime()
+			oldest[k.stream] = lo
+		}
+		if k.end < lo+q-1 {
+			delete(p.seen, k)
+		}
+	}
 }

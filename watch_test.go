@@ -311,3 +311,107 @@ func TestSafeWatcherAppendAllPartialEvents(t *testing.T) {
 		t.Fatalf("clocks = %d,%d,%d", m.Now(0), m.Now(1), m.Now(2))
 	}
 }
+
+// TestWatchPatternSeenBounded: the pattern dedup set must not grow with
+// the lifetime of the stream. A constant stream matches a constant
+// pattern at every alignment, so without pruning the seen map would
+// accumulate one key per reported end forever; with pruning it stays
+// proportional to the retained-history alignments.
+func TestWatchPatternSeenBounded(t *testing.T) {
+	const hist = 128
+	w := newWatcher(t, Config{
+		Streams: 1, W: 8, Levels: 3, Transform: DWT, Mode: Batch,
+		Coefficients: 4, History: hist,
+	})
+	pattern := make([]float64, 16)
+	for i := range pattern {
+		pattern[i] = 1
+	}
+	if _, err := w.WatchPattern(pattern, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	reported := 0
+	for i := 0; i < 2000; i++ {
+		events, err := w.Push(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reported += len(events)
+	}
+	if reported < 200 {
+		t.Fatalf("only %d matches reported; stream/pattern do not exercise dedup", reported)
+	}
+	bound := hist + len(pattern)
+	if got := len(w.patterns[0].seen); got > bound {
+		t.Fatalf("seen map holds %d keys after %d reports, want <= %d (unbounded growth)",
+			got, reported, bound)
+	}
+}
+
+// TestWatchCorrelationReportsPairsOnce: a standing correlation query
+// reports correlated pairs as detection rounds run, each (pair, feature
+// time) combination exactly once.
+func TestWatchCorrelationReportsPairsOnce(t *testing.T) {
+	w := newWatcher(t, Config{
+		Streams: 4, W: 16, Levels: 3, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormZ,
+	})
+	id, err := w.WatchCorrelation(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	data := gen.CorrelatedWalks(rng, 4, 512, 2, 0.05)
+	var hits []Event
+	for i := 0; i < 512; i++ {
+		for s := 0; s < 4; s++ {
+			events, err := w.Push(s, data[s][i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range events {
+				if e.Kind == EventCorrelation && e.WatchID == id {
+					hits = append(hits, e)
+				}
+			}
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("no correlation events for correlated walk groups")
+	}
+	seen := map[[4]int64]int{}
+	for _, h := range hits {
+		if h.Stream == h.StreamB {
+			t.Fatalf("self-pair reported: %+v", h)
+		}
+		if math.Abs(h.Value) > 1 {
+			t.Fatalf("correlation coefficient out of range: %+v", h)
+		}
+		seen[[4]int64{int64(h.Stream), int64(h.StreamB), h.Time, h.TimeB}]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("pair %v reported %d times", k, n)
+		}
+	}
+}
+
+func TestWatchCorrelationValidation(t *testing.T) {
+	w := newWatcher(t, Config{
+		Streams: 2, W: 16, Levels: 3, Transform: DWT, Mode: Batch,
+		Coefficients: 4, Normalization: NormZ,
+	})
+	if _, err := w.WatchCorrelation(0, 0); err == nil {
+		t.Fatal("zero radius should fail")
+	}
+	if _, err := w.WatchCorrelation(99, 0.5); err == nil {
+		t.Fatal("bad level should fail")
+	}
+	id, err := w.WatchCorrelation(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Unwatch(id) {
+		t.Fatal("Unwatch failed to find the correlation watch")
+	}
+}
