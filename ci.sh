@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# CI gate: formatting, build, vet + staticcheck, the full test suite under
-# the race detector, short fuzz smokes over the WAL frame parser and the
-# snapshot loader, a one-iteration benchmark smoke pass, and the
-# benchmark-regression comparison against the committed BENCH_PR4.json
-# baseline. Run from the repository root. Fails fast on the first error.
+# CI gate: formatting, build, vet, the offline doc-comment gate (doclint),
+# the documentation compile + flag-drift gate (docbuild), staticcheck, the
+# full test suite under the race detector, short fuzz smokes over the WAL
+# frame parser and the snapshot loader, a one-iteration benchmark smoke
+# pass, and the benchmark-regression comparison against the committed
+# BENCH_PR4.json baseline. Run from the repository root. Fails fast on the
+# first error.
 #
 # Each stage prints its elapsed wall-clock seconds so slow stages are
 # visible directly in CI logs.
@@ -33,6 +35,24 @@ stage_done
 
 stage "go vet"
 go vet ./...
+stage_done
+
+# Hard documentation gates, both offline (no module fetches):
+#  - doclint enforces the stylecheck doc rules (ST1000 package comments,
+#    ST1020/ST1021/ST1022 doc comments on every exported identifier) over
+#    the whole tree, so the gate holds even where staticcheck cannot be
+#    downloaded.
+#  - docbuild compiles every ```go block in the markdown docs and fails if
+#    cmd/stardust-server registers a flag that README.md/RUNBOOK.md do not
+#    document.
+stage "doclint (doc-comment gate)"
+go run ./internal/tools/doclint .
+stage_done
+
+stage "docbuild (markdown code blocks + flag reference)"
+go run ./internal/tools/docbuild \
+    -flagsrc cmd/stardust-server/main.go -flagdoc README.md,RUNBOOK.md \
+    README.md RUNBOOK.md DESIGN.md
 stage_done
 
 # staticcheck is pinned and fetched on demand; on machines without network

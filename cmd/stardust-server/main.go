@@ -19,7 +19,18 @@
 // recoverable: startup replays the log over the restored snapshot
 // (stardust.Recover), auto-snapshots trim replayed segments, and the
 // -fsync policy (interval, always, none) picks the durability/latency
-// trade. See internal/server for the endpoint reference, including the
+// trade. A durable server is automatically a replication primary: it
+// serves its log on GET /wal (plus /repl/status and /repl/snapshot) so
+// read replicas can follow it.
+//
+// With -replicate-from set to a primary's base URL, the server runs as a
+// read-only replica instead: it bootstraps from the primary's latest
+// snapshot, streams and applies the primary's WAL continuously, rejects
+// POST /ingest with 403, serves every query endpoint from the replicated
+// state, and reports its lag on GET /readyz. -replicate-from and -wal-dir
+// are mutually exclusive — a replica's durability is its primary's log.
+//
+// See internal/server for the endpoint reference, including the
 // /healthz and /readyz probes, the Prometheus-text GET /metricsz metrics
 // endpoint (ingest latency, R*-tree node accesses, per-query-class
 // pruning power) and the GET /debug/pprof/ runtime profiles.
@@ -29,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"io/fs"
 	"log"
 	"net"
@@ -38,6 +50,8 @@ import (
 	"time"
 
 	"stardust"
+	"stardust/internal/obs"
+	"stardust/internal/replication"
 	"stardust/internal/resilience"
 	"stardust/internal/server"
 )
@@ -60,6 +74,7 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval, always, none")
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "fsync period for -fsync interval")
 	walSegment := flag.Int("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 4 MiB)")
+	replicateFrom := flag.String("replicate-from", "", "primary base URL; run as a read-only replica (incompatible with -wal-dir)")
 	watch := flag.Bool("watch", false, "enable standing queries: POST /watch registers them, GET /events drains alarms")
 	badValues := flag.String("bad-values", "reject", "bad-value policy: reject, clamp, lastvalue")
 	clampMin := flag.Float64("clamp-min", 0, "lower clamp bound for -bad-values clamp")
@@ -125,6 +140,9 @@ func main() {
 		log.Fatalf("unknown normalization %q", *norm)
 	}
 
+	if *replicateFrom != "" && *walDir != "" {
+		log.Fatal("-replicate-from and -wal-dir are mutually exclusive: a replica's durability is its primary's write-ahead log")
+	}
 	if *walDir != "" {
 		var policy stardust.FsyncPolicy
 		switch *fsync {
@@ -149,16 +167,61 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The ingest-apply surface doubles as the replication apply surface:
+	// a follower pushes replicated records through the same safe wrapper
+	// the HTTP handlers query.
 	var srv *server.Server
+	var applyRec func(stardust.WALRecord) error
+	var bootstrap func(io.Reader, uint64) error
 	if *watch {
-		srv = server.NewWithWatcher(stardust.NewSafeWatcher(mon), *snapshot)
+		sw := stardust.NewSafeWatcher(mon)
+		srv = server.NewWithWatcher(sw, *snapshot)
+		applyRec = sw.ApplyWALRecord
+		bootstrap = func(r io.Reader, _ uint64) error { return sw.BootstrapReplica(r) }
 	} else {
-		srv = server.New(stardust.WrapSafe(mon), *snapshot)
+		sm := stardust.WrapSafe(mon)
+		srv = server.New(sm, *snapshot)
+		applyRec = sm.ApplyWALRecord
+		bootstrap = func(r io.Reader, _ uint64) error { return sm.BootstrapReplica(r) }
 	}
 	if replay != nil {
 		srv.SetReplayStats(*replay)
 		log.Printf("wal replay: %d records (%d samples) from %d segments in %s (torn tail: %d bytes)",
 			replay.Records, replay.Samples, replay.Segments, replay.Duration, replay.TornBytes)
+	}
+
+	// Graceful lifecycle: SIGINT/SIGTERM drains connections and takes a
+	// final snapshot before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Replication wiring: a durable server is a primary (its log is
+	// served to followers); -replicate-from makes it a follower instead.
+	replMetrics := &obs.ReplMetrics{}
+	switch {
+	case *replicateFrom != "":
+		follower, err := replication.NewFollower(replication.FollowerConfig{
+			Primary:   *replicateFrom,
+			Bootstrap: bootstrap,
+			Apply:     applyRec,
+			Metrics:   replMetrics,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := follower.Probe(ctx); err != nil {
+			log.Fatalf("replication: cannot reach primary %s: %v", *replicateFrom, err)
+		}
+		srv.SetFollower(follower, replMetrics)
+		go func() {
+			if err := follower.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("replication: follower stopped: %v", err)
+			}
+		}()
+		log.Printf("replication: following %s (read-only replica)", *replicateFrom)
+	case *walDir != "":
+		srv.AttachPrimary(mon.WAL(), replMetrics)
+		log.Printf("replication: serving WAL to followers at GET /wal (primary)")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -169,10 +232,6 @@ func main() {
 		ln.Addr(), mon.NumStreams(), *w, *levels, *transform, *mode, *watch, policy)
 	log.Printf("observability: metrics at GET /metricsz (Prometheus text), profiles at GET /debug/pprof/")
 
-	// Graceful lifecycle: SIGINT/SIGTERM drains connections and takes a
-	// final snapshot before exit.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	err = srv.Serve(ctx, ln, server.ServeOptions{
 		SnapshotEvery: *snapEvery,
 		ReadTimeout:   *readTimeout,

@@ -64,6 +64,19 @@ type snapshot struct {
 	Streams []snapshotStream
 }
 
+// snapshotFilterName canonicalizes the serialized filter name so that a
+// load→snapshot round trip is byte-stable: non-DWT summaries never use
+// the filter, but restore materializes the default Haar filter, which
+// would otherwise make a restored summary encode "haar" where the
+// original encoded "". Byte-stability is what lets a replication
+// follower's checkpoint be compared byte-for-byte against its primary's.
+func snapshotFilterName(cfg Config) string {
+	if cfg.Transform != TransformDWT {
+		return ""
+	}
+	return cfg.Filter.Name()
+}
+
 // Snapshot serializes the summary's full state to w.
 func (s *Summary) Snapshot(w io.Writer) error {
 	snap := snapshot{
@@ -74,7 +87,7 @@ func (s *Summary) Snapshot(w io.Writer) error {
 			BoxCapacity:   s.cfg.BoxCapacity,
 			Transform:     s.cfg.Transform,
 			F:             s.cfg.F,
-			FilterName:    s.cfg.Filter.Name(),
+			FilterName:    snapshotFilterName(s.cfg),
 			Normalization: s.cfg.Normalization,
 			Rmax:          s.cfg.Rmax,
 			Direct:        s.cfg.Direct,

@@ -38,6 +38,10 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add adjusts the value by delta (which may be negative) atomically —
+// the increment/decrement form used by in-flight style gauges.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
@@ -536,6 +540,7 @@ type Snapshot struct {
 	Tree        TreeSnapshot
 	Parallel    ParallelSnapshot
 	WAL         WALSnapshot
+	Repl        ReplSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
 	Correlation QuerySnapshot
@@ -579,6 +584,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			SearchNodes: s.Tree.SearchNodes.merge(o.Tree.SearchNodes),
 		},
 		WAL:         s.WAL.merge(o.WAL),
+		Repl:        s.Repl.merge(o.Repl),
 		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
 		Pattern:     s.Pattern.mergeQuery(o.Pattern),
 		Correlation: s.Correlation.mergeQuery(o.Correlation),

@@ -43,6 +43,22 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.counter("stardust_wal_replayed_samples_total", "Samples applied by crash-recovery replay.", s.WAL.ReplayedSamples)
 	p.gauge("stardust_wal_replay_duration_nanos", "Wall time of the most recent WAL replay (0 when none ran).", s.WAL.ReplayNanos)
 
+	p.gauge("stardust_repl_primary_streams_active", "Replication streams currently open on the primary.", s.Repl.StreamsActive)
+	p.counter("stardust_repl_primary_records_served_total", "WAL record frames copied onto replication streams.", s.Repl.RecordsServed)
+	p.counter("stardust_repl_primary_bytes_served_total", "Framed bytes copied onto replication streams.", s.Repl.BytesServed)
+	p.counter("stardust_repl_primary_heartbeats_sent_total", "Heartbeat frames pushed to idle followers.", s.Repl.HeartbeatsSent)
+	p.counter("stardust_repl_primary_snapshots_served_total", "Bootstrap snapshots served to followers.", s.Repl.SnapshotsServed)
+	p.gauge("stardust_repl_follower_connected", "1 while the follower has a live stream to its primary.", s.Repl.Connected)
+	p.counter("stardust_repl_follower_records_applied_total", "WAL records applied from the replication stream.", s.Repl.RecordsApplied)
+	p.counter("stardust_repl_follower_samples_applied_total", "Samples applied from the replication stream.", s.Repl.SamplesApplied)
+	p.counter("stardust_repl_follower_bytes_applied_total", "Framed bytes decoded from the replication stream.", s.Repl.BytesApplied)
+	p.counter("stardust_repl_follower_reconnects_total", "Replication stream re-establishments after an error or EOF.", s.Repl.Reconnects)
+	p.counter("stardust_repl_follower_rebootstraps_total", "Snapshot re-bootstraps forced by the primary trimming past the follower.", s.Repl.Rebootstraps)
+	p.gauge("stardust_repl_follower_applied_lsn", "Last WAL record the follower applied.", s.Repl.AppliedLSN)
+	p.gauge("stardust_repl_follower_primary_lsn", "Primary's last advertised WAL record.", s.Repl.PrimaryLSN)
+	p.gauge("stardust_repl_follower_lag_records", "Replica lag in WAL records (primary LSN minus applied LSN).", s.Repl.LagRecords)
+	p.gauge("stardust_repl_follower_last_apply_unix_nanos", "Wall-clock time of the last applied record or heartbeat (0 before the first).", s.Repl.LastApplyUnixNanos)
+
 	p.counter("stardust_index_inserts_total", "R*-tree leaf entries inserted (all levels).", s.Tree.Inserts)
 	p.counter("stardust_index_deletes_total", "R*-tree leaf entries deleted (all levels).", s.Tree.Deletes)
 	p.counter("stardust_index_searches_total", "R*-tree search traversals (range, sphere, nearest-neighbor).", s.Tree.Searches)

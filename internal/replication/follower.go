@@ -1,0 +1,427 @@
+package replication
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"stardust/internal/obs"
+	"stardust/internal/wal"
+)
+
+// FollowerConfig configures a Follower. Primary, Bootstrap and Apply are
+// required; zero values elsewhere select the documented defaults.
+type FollowerConfig struct {
+	// Primary is the primary's base URL, e.g. "http://primary:8080".
+	Primary string
+	// Client issues the HTTP requests. The default client has no overall
+	// timeout, which a persistent follow stream requires; a custom client
+	// must likewise leave Timeout at 0.
+	Client *http.Client
+	// Bootstrap replaces the follower's local state from a snapshot whose
+	// LSN watermark is lsn. It runs once at startup and again whenever the
+	// primary has trimmed past the follower's position.
+	Bootstrap func(snapshot io.Reader, lsn uint64) error
+	// Apply applies one replicated record to the local state, in LSN
+	// order. An error marks the local state unknown: the follower
+	// re-bootstraps on its next connection.
+	Apply func(rec wal.Record) error
+	// MinBackoff and MaxBackoff bound the exponential reconnect backoff
+	// (defaults 100ms and 5s). Backoff resets after a connection that made
+	// progress.
+	MinBackoff, MaxBackoff time.Duration
+	// StallTimeout closes a follow stream that delivered neither records
+	// nor heartbeats for this long (default 15s), forcing a reconnect —
+	// the guard against half-open TCP connections.
+	StallTimeout time.Duration
+	// Metrics receives the stardust_repl_follower_* instruments (optional).
+	Metrics *obs.ReplMetrics
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// FollowerStatus is a point-in-time view of a follower's replication
+// progress — the payload of the read replica's /readyz report.
+type FollowerStatus struct {
+	// Connected is true while a follow stream to the primary is live.
+	Connected bool
+	// Bootstrapped is true once a snapshot (or an explicit empty
+	// bootstrap) has established the local state.
+	Bootstrapped bool
+	// AppliedLSN is the last record applied locally; PrimaryLSN the
+	// primary's last advertised record. PrimaryLSN − AppliedLSN is the
+	// replica lag in records.
+	AppliedLSN, PrimaryLSN uint64
+	// LastApply is when the last record was applied; LastContact is the
+	// last sign of life from the primary (records or heartbeats). Zero
+	// before the first.
+	LastApply, LastContact time.Time
+	// Reconnects counts stream re-establishments; Rebootstraps counts
+	// snapshot re-bootstraps after falling behind a trim.
+	Reconnects, Rebootstraps int64
+}
+
+// LagRecords returns the replica lag in records (0 when up to date).
+func (s FollowerStatus) LagRecords() uint64 {
+	if s.PrimaryLSN <= s.AppliedLSN {
+		return 0
+	}
+	return s.PrimaryLSN - s.AppliedLSN
+}
+
+// LagSeconds returns the replica lag in seconds: 0 when no records are
+// pending, otherwise the time since the last applied record (or since
+// startup when nothing has ever been applied).
+func (s FollowerStatus) LagSeconds(now time.Time) float64 {
+	if s.LagRecords() == 0 {
+		return 0
+	}
+	if s.LastApply.IsZero() {
+		return -1
+	}
+	return now.Sub(s.LastApply).Seconds()
+}
+
+// Follower replicates a primary's WAL into local state: bootstrap from
+// the latest snapshot, stream frames from the watermark, apply in LSN
+// order, reconnect with exponential backoff, and re-bootstrap when the
+// primary trims past the follower's position. Run drives the loop;
+// Status is safe to call from any goroutine.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu sync.Mutex
+	st FollowerStatus
+}
+
+// NewFollower builds a follower for the given primary.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("replication: FollowerConfig.Primary is required")
+	}
+	if cfg.Bootstrap == nil || cfg.Apply == nil {
+		return nil, fmt.Errorf("replication: FollowerConfig.Bootstrap and Apply are required")
+	}
+	return &Follower{cfg: cfg.withDefaults()}, nil
+}
+
+// Status returns the current replication progress.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// update mutates the status under the lock and mirrors the lag gauges.
+func (f *Follower) update(fn func(*FollowerStatus)) {
+	f.mu.Lock()
+	fn(&f.st)
+	st := f.st
+	f.mu.Unlock()
+	if m := f.cfg.Metrics; m != nil {
+		m.AppliedLSN.Set(int64(st.AppliedLSN))
+		m.PrimaryLSN.Set(int64(st.PrimaryLSN))
+		m.LagRecords.Set(int64(st.LagRecords()))
+		if st.Connected {
+			m.Connected.Set(1)
+		} else {
+			m.Connected.Set(0)
+		}
+		if !st.LastApply.IsZero() {
+			m.LastApplyUnixNanos.Set(st.LastApply.UnixNano())
+		}
+	}
+}
+
+// Run drives the replication loop until ctx is cancelled: connect, stream,
+// apply; on any failure back off exponentially and reconnect, starting
+// with a fresh snapshot bootstrap whenever the local state is not known to
+// be a prefix of the primary's. Run returns ctx.Err() on cancellation.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.cfg.MinBackoff
+	first := true
+	for {
+		progressed, err := f.cycle(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !first {
+			if m := f.cfg.Metrics; m != nil {
+				m.Reconnects.Inc()
+			}
+			f.update(func(st *FollowerStatus) { st.Reconnects++ })
+		}
+		first = false
+		if progressed {
+			backoff = f.cfg.MinBackoff
+		}
+		_ = err // the next cycle retries; errors surface via Status and metrics
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.cfg.MaxBackoff {
+			backoff = f.cfg.MaxBackoff
+		}
+	}
+}
+
+// errTrimmedBehind marks a 410 from the primary: the follower's position
+// precedes the retained log and only a snapshot can catch it up.
+var errTrimmedBehind = fmt.Errorf("replication: position trimmed on primary")
+
+// cycle runs one connection lifetime: optional bootstrap, then one stream
+// until it ends. progressed reports whether any record was applied (or a
+// bootstrap completed), which resets the reconnect backoff.
+func (f *Follower) cycle(ctx context.Context) (progressed bool, err error) {
+	st := f.Status()
+	if !st.Bootstrapped {
+		if err := f.bootstrap(ctx); err != nil {
+			return false, err
+		}
+		progressed = true
+	}
+	n, err := f.stream(ctx)
+	if n > 0 {
+		progressed = true
+	}
+	if err == errTrimmedBehind {
+		// Mark the state stale so the next cycle re-bootstraps.
+		if m := f.cfg.Metrics; m != nil {
+			m.Rebootstraps.Inc()
+		}
+		f.update(func(st *FollowerStatus) {
+			st.Bootstrapped = false
+			st.Rebootstraps++
+		})
+	}
+	return progressed, err
+}
+
+// bootstrap fetches the primary's snapshot and installs it as the local
+// state, setting AppliedLSN to the snapshot's watermark.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	resp, err := f.get(ctx, "/repl/snapshot", 30*time.Second)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replication: snapshot: %s", resp.Status)
+	}
+	lsn, err := strconv.ParseUint(resp.Header.Get("X-Stardust-Snapshot-Lsn"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replication: snapshot watermark header: %v", err)
+	}
+	if err := f.cfg.Bootstrap(resp.Body, lsn); err != nil {
+		return fmt.Errorf("replication: bootstrap: %w", err)
+	}
+	f.update(func(st *FollowerStatus) {
+		st.Bootstrapped = true
+		st.AppliedLSN = lsn
+		if st.PrimaryLSN < lsn {
+			st.PrimaryLSN = lsn
+		}
+		st.LastContact = time.Now()
+	})
+	return nil
+}
+
+// get issues one GET against the primary. timeout bounds the whole
+// request when positive; the follow stream passes 0 for no bound beyond
+// ctx. With a timeout, the deadline's resources are released when the
+// response body is closed.
+func (f *Follower) get(ctx context.Context, path string, timeout time.Duration) (*http.Response, error) {
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+path, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelOnClose releases a request deadline's resources when the caller
+// closes the response body.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+// Close closes the wrapped body, then cancels the request context.
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// stream opens one follow-mode WAL stream from AppliedLSN+1 and applies
+// frames until the connection ends. It returns the number of records
+// applied and the terminating error (io.EOF surfaces as nil: the primary
+// closed an intact stream).
+func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
+	st := f.Status()
+	from := st.AppliedLSN + 1
+	resp, err := f.get(ctx, fmt.Sprintf("/wal?from=%d&follow=1", from), 0)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return 0, errTrimmedBehind
+	default:
+		return 0, fmt.Errorf("replication: stream: %s", resp.Status)
+	}
+	f.update(func(st *FollowerStatus) { st.Connected = true })
+	defer f.update(func(st *FollowerStatus) { st.Connected = false })
+
+	// Stall watchdog: a half-open connection delivers nothing; closing the
+	// body unblocks the read loop so Run can reconnect.
+	stall := time.AfterFunc(f.cfg.StallTimeout, func() { resp.Body.Close() })
+	defer stall.Stop()
+
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	lsn := from - 1
+	m := f.cfg.Metrics
+	for {
+		payload, frameLen, err := readFrame(br)
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			return applied, err
+		}
+		stall.Reset(f.cfg.StallTimeout)
+		if hb, ok := decodeHeartbeat(payload); ok {
+			if m != nil {
+				m.BytesApplied.Add(int64(frameLen))
+			}
+			f.update(func(st *FollowerStatus) {
+				if st.PrimaryLSN < hb {
+					st.PrimaryLSN = hb
+				}
+				st.LastContact = time.Now()
+			})
+			continue
+		}
+		rec, ok := wal.DecodeRecordPayload(payload)
+		if !ok {
+			return applied, fmt.Errorf("replication: invalid frame payload at lsn %d", lsn+1)
+		}
+		rec.LSN = lsn + 1
+		if err := f.cfg.Apply(rec); err != nil {
+			// Local state is now unknown; force a snapshot re-bootstrap.
+			f.update(func(st *FollowerStatus) { st.Bootstrapped = false })
+			return applied, fmt.Errorf("replication: apply lsn %d: %w", rec.LSN, err)
+		}
+		lsn++
+		applied++
+		if m != nil {
+			m.RecordsApplied.Inc()
+			m.SamplesApplied.Add(int64(len(rec.Values)))
+			m.BytesApplied.Add(int64(frameLen))
+		}
+		now := time.Now()
+		f.update(func(st *FollowerStatus) {
+			st.AppliedLSN = lsn
+			if st.PrimaryLSN < lsn {
+				st.PrimaryLSN = lsn
+			}
+			st.LastApply = now
+			st.LastContact = now
+		})
+	}
+}
+
+// Probe fetches the primary's /repl/status once — a connectivity check
+// used at startup to fail fast on a misconfigured -replicate-from URL.
+func (f *Follower) Probe(ctx context.Context) error {
+	resp, err := f.get(ctx, "/repl/status", 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replication: status probe: %s", resp.Status)
+	}
+	var body struct {
+		FirstLSN uint64 `json:"first_lsn"`
+		LastLSN  uint64 `json:"last_lsn"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("replication: status probe: %v", err)
+	}
+	f.update(func(st *FollowerStatus) {
+		if st.PrimaryLSN < body.LastLSN {
+			st.PrimaryLSN = body.LastLSN
+		}
+		st.LastContact = time.Now()
+	})
+	return nil
+}
+
+// maxFramePayload mirrors the WAL's record bound: a corrupt length prefix
+// on the wire cannot drive a giant allocation.
+const maxFramePayload = 1 << 26
+
+// readFrame reads one length-prefixed CRC-checked frame from the stream,
+// returning its payload and total framed length.
+func readFrame(br *bufio.Reader) (payload []byte, frameLen int, err error) {
+	var header [8]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(header[:4])
+	if length == 0 || length > maxFramePayload {
+		return nil, 0, fmt.Errorf("replication: invalid frame length %d", length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[4:8]) {
+		return nil, 0, fmt.Errorf("replication: frame checksum mismatch")
+	}
+	return payload, 8 + int(length), nil
+}

@@ -1,0 +1,198 @@
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stardust/internal/obs"
+	"stardust/internal/wal"
+)
+
+// LogSource is the slice of *wal.Log a Primary serves from: the retained
+// LSN range and byte-exact frame reads. *wal.Log satisfies it.
+type LogSource interface {
+	// Bounds returns the first and last retained LSNs (first = last+1 when
+	// the log is empty).
+	Bounds() (first, last uint64)
+	// ReadFrames returns the raw frames of records [from, next); see
+	// wal.Log.ReadFrames for the full contract, including ErrTrimmed.
+	ReadFrames(from uint64, maxBytes int) (data []byte, next uint64, err error)
+}
+
+// SnapshotFunc produces a bootstrap snapshot: the serialized monitor state
+// and the LSN watermark captured immediately before serialization, so
+// replaying from any LSN ≤ lsn+1 over the snapshot is exact (time-based
+// skip makes the overlap idempotent).
+type SnapshotFunc func() (data []byte, lsn uint64, err error)
+
+// PrimaryConfig tunes a Primary. Zero values select the documented
+// defaults.
+type PrimaryConfig struct {
+	// Poll is how often a follow-mode stream checks for new records once
+	// caught up (default 25ms).
+	Poll time.Duration
+	// Heartbeat is the idle-stream heartbeat period (default 1s).
+	Heartbeat time.Duration
+	// ChunkBytes bounds the frames read per iteration (default 256 KiB).
+	ChunkBytes int
+	// Metrics receives the stardust_repl_primary_* instruments (optional).
+	Metrics *obs.ReplMetrics
+}
+
+func (c PrimaryConfig) withDefaults() PrimaryConfig {
+	if c.Poll <= 0 {
+		c.Poll = 25 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 256 << 10
+	}
+	return c
+}
+
+// Primary serves a write-ahead log to followers: status, bootstrap
+// snapshots, and the frame stream itself. It is safe for concurrent use;
+// each follow-mode request occupies one goroutine for the connection's
+// lifetime.
+type Primary struct {
+	log  LogSource
+	snap SnapshotFunc
+	cfg  PrimaryConfig
+}
+
+// NewPrimary builds a Primary over the log. snap supplies bootstrap
+// snapshots; a nil snap disables GET /repl/snapshot (404), which restricts
+// followers to bootstrapping from LSN 1 while the log is untrimmed.
+func NewPrimary(log LogSource, snap SnapshotFunc, cfg PrimaryConfig) *Primary {
+	return &Primary{log: log, snap: snap, cfg: cfg.withDefaults()}
+}
+
+// Register mounts the replication endpoints on the mux: GET /repl/status,
+// GET /repl/snapshot and GET /wal.
+func (p *Primary) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /repl/status", p.HandleStatus)
+	mux.HandleFunc("GET /repl/snapshot", p.HandleSnapshot)
+	mux.HandleFunc("GET /wal", p.HandleWAL)
+}
+
+// HandleStatus reports the retained WAL record range as JSON — what a
+// follower consults to pick its starting point.
+func (p *Primary) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	first, last := p.log.Bounds()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]uint64{
+		"first_lsn": first,
+		"last_lsn":  last,
+	})
+}
+
+// HandleSnapshot serves a bootstrap snapshot with its LSN watermark in
+// the X-Stardust-Snapshot-Lsn header.
+func (p *Primary) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if p.snap == nil {
+		http.Error(w, "no snapshot source configured", http.StatusNotFound)
+		return
+	}
+	data, lsn, err := p.snap()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("snapshot: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if m := p.cfg.Metrics; m != nil {
+		m.SnapshotsServed.Inc()
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Stardust-Snapshot-Lsn", strconv.FormatUint(lsn, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// HandleWAL streams raw WAL frames from ?from=<lsn>. Without follow=1 the
+// response ends once the stream catches up to the log's tail; with it,
+// the connection stays open, new frames are pushed within one poll
+// interval of their commit, and heartbeats keep the stream verifiably
+// alive while ingestion is idle. A from below the retained range is 410
+// Gone — the follower must re-bootstrap from a snapshot.
+func (p *Primary) HandleWAL(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		http.Error(w, "from must be a positive LSN", http.StatusBadRequest)
+		return
+	}
+	follow := r.URL.Query().Get("follow") == "1"
+	if first, _ := p.log.Bounds(); from < first {
+		http.Error(w, fmt.Sprintf("lsn %d trimmed (oldest retained %d); re-bootstrap from /repl/snapshot", from, first),
+			http.StatusGone)
+		return
+	}
+	m := p.cfg.Metrics
+	if m != nil {
+		m.StreamsActive.Add(1)
+		defer m.StreamsActive.Add(-1)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ctx := r.Context()
+	var hb []byte
+	lastSend := time.Now()
+	ticker := time.NewTicker(p.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		data, next, err := p.log.ReadFrames(from, p.cfg.ChunkBytes)
+		switch {
+		case errors.Is(err, wal.ErrTrimmed):
+			// The log trimmed past the stream mid-flight. Headers are out, so
+			// the only signal left is closing the connection; the follower's
+			// reconnect then gets the 410 above.
+			return
+		case err != nil:
+			return
+		case next > from:
+			if _, err := w.Write(data); err != nil {
+				return
+			}
+			if m != nil {
+				m.RecordsServed.Add(int64(next - from))
+				m.BytesServed.Add(int64(len(data)))
+			}
+			from = next
+			lastSend = time.Now()
+			flush()
+			continue
+		}
+		// Caught up.
+		if !follow {
+			return
+		}
+		if time.Since(lastSend) >= p.cfg.Heartbeat {
+			_, last := p.log.Bounds()
+			hb = appendHeartbeat(hb[:0], last)
+			if _, err := w.Write(hb); err != nil {
+				return
+			}
+			if m != nil {
+				m.HeartbeatsSent.Inc()
+				m.BytesServed.Add(int64(len(hb)))
+			}
+			lastSend = time.Now()
+			flush()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

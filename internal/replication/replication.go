@@ -1,0 +1,77 @@
+// Package replication ships a primary's write-ahead log to read-only
+// followers over HTTP, turning a single durable monitor into a scale-out
+// read fleet: every follower converges to a state byte-identical to the
+// primary's at each checkpoint and serves the three query classes locally,
+// so query traffic fans out while ingestion stays on one totally ordered
+// log.
+//
+// # Wire protocol
+//
+// Three endpoints, mounted by the primary's HTTP server:
+//
+//	GET /repl/status              JSON {"first_lsn", "last_lsn"} — the
+//	                              retained WAL record range.
+//	GET /repl/snapshot            The primary's snapshot container bytes
+//	                              (format SDS2), with the pre-snapshot LSN
+//	                              watermark in the X-Stardust-Snapshot-Lsn
+//	                              header. Followers bootstrap (and
+//	                              re-bootstrap after falling behind a
+//	                              trimmed segment) from it.
+//	GET /wal?from=N[&follow=1]    A stream of frames in the exact on-disk
+//	                              WAL layout — [4]length [4]CRC32 [N]payload
+//	                              — starting at LSN N. Record frames are
+//	                              copied from the segments byte-for-byte.
+//	                              With follow=1 the response never ends: the
+//	                              primary keeps the connection open, pushes
+//	                              new frames as they commit, and interleaves
+//	                              heartbeat frames while idle. Requests
+//	                              below the retained range fail with 410
+//	                              Gone — the signal to re-bootstrap.
+//
+// Frames carry a payload type byte: wal.PayloadSamples (0x01) is a sample
+// run in the WAL record encoding; PayloadHeartbeat (0x02) is
+// [1]type [uvarint lastLSN], a liveness-and-lag beacon that is never
+// stored, only sent on the wire.
+//
+// # Consistency contract
+//
+// The log stores admitted (post-guard) samples with their assigned
+// discrete times, so applying records in LSN order is deterministic, and
+// the time-based skip makes re-application idempotent. A follower that
+// bootstraps from a snapshot with watermark W and applies every record
+// from any LSN ≤ W+1 onward therefore reaches, at every LSN, exactly the
+// state the primary had at that LSN — records at or below the watermark
+// reduce to no-ops. Followers are sequentially consistent with the
+// primary's ingest order and lag it by the in-flight window the /readyz
+// endpoint reports; they never expose a state the primary did not pass
+// through.
+package replication
+
+import (
+	"encoding/binary"
+
+	"stardust/internal/wal"
+)
+
+// PayloadHeartbeat is the payload type byte of a heartbeat frame:
+// [1]type [uvarint lastLSN]. Heartbeats exist only on the wire — the log
+// never stores them.
+const PayloadHeartbeat = 0x02
+
+// appendHeartbeat frames a heartbeat carrying the primary's last LSN.
+func appendHeartbeat(dst []byte, lastLSN uint64) []byte {
+	payload := binary.AppendUvarint([]byte{PayloadHeartbeat}, lastLSN)
+	return wal.EncodeFrame(dst, payload)
+}
+
+// decodeHeartbeat parses a PayloadHeartbeat frame payload.
+func decodeHeartbeat(payload []byte) (lastLSN uint64, ok bool) {
+	if len(payload) == 0 || payload[0] != PayloadHeartbeat {
+		return 0, false
+	}
+	lsn, n := binary.Uvarint(payload[1:])
+	if n <= 0 || n != len(payload)-1 {
+		return 0, false
+	}
+	return lsn, true
+}

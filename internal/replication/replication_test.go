@@ -1,0 +1,358 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"stardust/internal/wal"
+)
+
+// openLog opens a WAL in a fresh temp dir with SyncNone (tests do not
+// need fsync) and registers cleanup.
+func openLog(t *testing.T) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(wal.Config{Dir: t.TempDir(), Policy: wal.SyncNone, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// appendN appends n single-sample records for stream 0 starting at time
+// start and returns the last LSN.
+func appendN(t *testing.T, l *wal.Log, start int64, n int) uint64 {
+	t.Helper()
+	var last uint64
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(0, start+int64(i), []float64{float64(start + int64(i))})
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		last = lsn
+	}
+	return last
+}
+
+// collector is a test Apply/Bootstrap sink recording everything the
+// follower delivers.
+type collector struct {
+	mu         sync.Mutex
+	recs       []wal.Record
+	bootstraps []uint64
+	snapData   []byte
+	applyErr   error
+}
+
+func (c *collector) apply(rec wal.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.applyErr != nil {
+		return c.applyErr
+	}
+	c.recs = append(c.recs, rec)
+	return nil
+}
+
+func (c *collector) bootstrap(r io.Reader, lsn uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	c.snapData = data
+	c.bootstraps = append(c.bootstraps, lsn)
+	// A bootstrap replaces state: records at or below the watermark are
+	// already covered.
+	c.recs = nil
+	return nil
+}
+
+func (c *collector) records() []wal.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wal.Record(nil), c.recs...)
+}
+
+func (c *collector) bootstrapLSNs() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]uint64(nil), c.bootstraps...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestFollower(t *testing.T, url string, c *collector) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		Primary:    url,
+		Bootstrap:  c.bootstrap,
+		Apply:      c.apply,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	return f
+}
+
+// startPrimary serves a Primary over httptest and returns its base URL.
+func startPrimary(t *testing.T, p *Primary) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	p.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// getJSON fetches url and decodes the body into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// getCode fetches url and returns the status code, draining the body.
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func TestFollowerCatchUpAndTail(t *testing.T) {
+	l := openLog(t)
+	appendN(t, l, 0, 10)
+	snap := func() ([]byte, uint64, error) { return []byte("snap"), 0, nil }
+	p := NewPrimary(l, snap, PrimaryConfig{Poll: 2 * time.Millisecond, Heartbeat: 10 * time.Millisecond})
+	url := startPrimary(t, p)
+
+	c := &collector{}
+	f := newTestFollower(t, url, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+
+	waitFor(t, 5*time.Second, func() bool { return len(c.records()) == 10 }, "initial catch-up")
+
+	// Live tail: new appends arrive without reconnecting.
+	appendN(t, l, 10, 5)
+	waitFor(t, 5*time.Second, func() bool { return len(c.records()) == 15 }, "live tail")
+
+	recs := c.records()
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d: LSN = %d, want %d", i, rec.LSN, i+1)
+		}
+		if rec.Start != int64(i) || len(rec.Values) != 1 || rec.Values[0] != float64(i) {
+			t.Fatalf("record %d: got %+v", i, rec)
+		}
+	}
+	if got := c.bootstrapLSNs(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("bootstraps = %v, want [0]", got)
+	}
+
+	// Heartbeats advance PrimaryLSN and LastContact even while idle.
+	waitFor(t, 5*time.Second, func() bool {
+		st := f.Status()
+		return st.Connected && st.PrimaryLSN == 15 && st.LagRecords() == 0
+	}, "heartbeat status")
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if f.Status().Connected {
+		t.Fatal("still connected after Run returned")
+	}
+}
+
+func TestFollowerRebootstrapAfterTrim(t *testing.T) {
+	l := openLog(t)
+	// Records big enough that 1 KiB segments rotate, so the trim removes
+	// whole segments.
+	var last uint64
+	for i := 0; i < 40; i++ {
+		vals := make([]float64, 64)
+		lsn, err := l.Append(0, int64(i*len(vals)), vals)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		last = lsn
+	}
+	if n, err := l.TrimThrough(last); err != nil || n == 0 {
+		t.Fatalf("TrimThrough: trimmed %d, err %v", n, err)
+	}
+	first, _ := l.Bounds()
+	if first <= 1 {
+		t.Fatalf("trim did not advance first LSN (first = %d)", first)
+	}
+	// The snapshot covers everything trimmed (and a bit more).
+	snapLSN := last
+	snap := func() ([]byte, uint64, error) { return []byte("state"), snapLSN, nil }
+	p := NewPrimary(l, snap, PrimaryConfig{Poll: 2 * time.Millisecond})
+	url := startPrimary(t, p)
+
+	c := &collector{}
+	f := newTestFollower(t, url, c)
+	// Pretend the follower bootstrapped long ago at LSN 1 and fell behind
+	// the trim.
+	f.update(func(st *FollowerStatus) { st.Bootstrapped = true; st.AppliedLSN = 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+
+	waitFor(t, 5*time.Second, func() bool {
+		st := f.Status()
+		return st.Rebootstraps == 1 && st.AppliedLSN >= snapLSN
+	}, "re-bootstrap after trim")
+
+	if got := c.bootstrapLSNs(); len(got) != 1 || got[0] != snapLSN {
+		t.Fatalf("bootstraps = %v, want [%d]", got, snapLSN)
+	}
+	if string(c.snapData) != "state" {
+		t.Fatalf("snapshot bytes = %q", c.snapData)
+	}
+
+	// New records still flow after the re-bootstrap.
+	appendN(t, l, 40, 3)
+	waitFor(t, 5*time.Second, func() bool { return len(c.records()) == 3 }, "tail after re-bootstrap")
+}
+
+func TestFollowerReconnectAfterApplyError(t *testing.T) {
+	l := openLog(t)
+	appendN(t, l, 0, 5)
+	snap := func() ([]byte, uint64, error) { return nil, 0, nil }
+	p := NewPrimary(l, snap, PrimaryConfig{Poll: 2 * time.Millisecond})
+	url := startPrimary(t, p)
+
+	c := &collector{applyErr: fmt.Errorf("disk full")}
+	f := newTestFollower(t, url, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+
+	// The apply error forces re-bootstraps; once it clears, the follower
+	// converges.
+	waitFor(t, 5*time.Second, func() bool { return len(c.bootstrapLSNs()) >= 2 }, "re-bootstrap after apply error")
+	c.mu.Lock()
+	c.applyErr = nil
+	c.mu.Unlock()
+	waitFor(t, 5*time.Second, func() bool { return len(c.records()) == 5 }, "recovery after apply error")
+}
+
+func TestPrimaryStatusAndErrors(t *testing.T) {
+	l := openLog(t)
+	appendN(t, l, 0, 3)
+	p := NewPrimary(l, nil, PrimaryConfig{})
+	url := startPrimary(t, p)
+
+	var body struct {
+		FirstLSN uint64 `json:"first_lsn"`
+		LastLSN  uint64 `json:"last_lsn"`
+	}
+	getJSON(t, url+"/repl/status", &body)
+	if body.FirstLSN != 1 || body.LastLSN != 3 {
+		t.Fatalf("status = %+v, want first 1 last 3", body)
+	}
+
+	if code := getCode(t, url+"/repl/snapshot"); code != 404 {
+		t.Fatalf("snapshot without source: code %d, want 404", code)
+	}
+	if code := getCode(t, url+"/wal?from=0"); code != 400 {
+		t.Fatalf("from=0: code %d, want 400", code)
+	}
+	if code := getCode(t, url+"/wal"); code != 400 {
+		t.Fatalf("missing from: code %d, want 400", code)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	for _, lsn := range []uint64{0, 1, 1 << 40} {
+		frame := appendHeartbeat(nil, lsn)
+		payload, n, ok := wal.DecodeRawFrame(frame)
+		if !ok || n != len(frame) {
+			t.Fatalf("lsn %d: frame did not round-trip", lsn)
+		}
+		got, ok := decodeHeartbeat(payload)
+		if !ok || got != lsn {
+			t.Fatalf("decodeHeartbeat = %d, %v; want %d, true", got, ok, lsn)
+		}
+		if _, ok := wal.DecodeRecordPayload(payload); ok {
+			t.Fatalf("heartbeat payload parsed as a sample record")
+		}
+	}
+	if _, ok := decodeHeartbeat([]byte{PayloadHeartbeat}); ok {
+		t.Fatal("truncated heartbeat decoded")
+	}
+	if _, ok := decodeHeartbeat([]byte{0x01, 0x00}); ok {
+		t.Fatal("sample payload decoded as heartbeat")
+	}
+}
+
+func TestFollowerProbe(t *testing.T) {
+	l := openLog(t)
+	appendN(t, l, 0, 7)
+	p := NewPrimary(l, nil, PrimaryConfig{})
+	url := startPrimary(t, p)
+
+	c := &collector{}
+	f := newTestFollower(t, url, c)
+	if err := f.Probe(context.Background()); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if st := f.Status(); st.PrimaryLSN != 7 {
+		t.Fatalf("PrimaryLSN after probe = %d, want 7", st.PrimaryLSN)
+	}
+
+	bad := newTestFollower(t, "http://127.0.0.1:1", c)
+	if err := bad.Probe(context.Background()); err == nil {
+		t.Fatal("Probe against a dead address succeeded")
+	}
+}
+
+func TestNewFollowerValidation(t *testing.T) {
+	c := &collector{}
+	if _, err := NewFollower(FollowerConfig{Bootstrap: c.bootstrap, Apply: c.apply}); err == nil {
+		t.Fatal("missing Primary accepted")
+	}
+	if _, err := NewFollower(FollowerConfig{Primary: "http://x"}); err == nil {
+		t.Fatal("missing Bootstrap/Apply accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"bytes"
+	"time"
+
+	"stardust/internal/obs"
+	"stardust/internal/replication"
+	"stardust/internal/wal"
+)
+
+// AttachPrimary mounts the WAL-shipping endpoints (GET /repl/status,
+// /repl/snapshot and /wal) on the server, making it a replication
+// primary. log is the backend monitor's write-ahead log; snapshots are
+// produced from the backend with the watermark captured before
+// serialization, exactly as Checkpoint does, so a follower that
+// bootstraps from one and streams from watermark+1 converges to the
+// primary's state. metrics (optional) receives the
+// stardust_repl_primary_* instruments and is merged into /metricsz.
+func (s *Server) AttachPrimary(log *wal.Log, metrics *obs.ReplMetrics) {
+	snap := func() ([]byte, uint64, error) {
+		lsn := log.LastLSN()
+		var buf bytes.Buffer
+		if err := s.mon.Snapshot(&buf); err != nil {
+			return nil, 0, err
+		}
+		return buf.Bytes(), lsn, nil
+	}
+	p := replication.NewPrimary(log, snap, replication.PrimaryConfig{Metrics: metrics})
+	p.Register(s.mux)
+	s.replMetrics = metrics
+}
+
+// SetFollower marks the server a read-only replica fed by f: POST /ingest
+// returns 403 (writes belong on the primary), query endpoints serve the
+// replicated state normally, and /readyz and /statz report the replica's
+// lag in records and seconds. metrics (optional) receives the
+// stardust_repl_follower_* instruments and is merged into /metricsz. The
+// caller runs f's Run loop; the server only reads its status.
+func (s *Server) SetFollower(f *replication.Follower, metrics *obs.ReplMetrics) {
+	s.follower = f
+	s.replMetrics = metrics
+}
+
+// replicationInfo renders the follower's progress for the JSON status
+// endpoints, or nil on non-followers. lag_seconds is 0 when the replica
+// is caught up and -1 when it has never applied a record.
+func (s *Server) replicationInfo() map[string]any {
+	if s.follower == nil {
+		return nil
+	}
+	st := s.follower.Status()
+	return map[string]any{
+		"role":         "follower",
+		"connected":    st.Connected,
+		"applied_lsn":  st.AppliedLSN,
+		"primary_lsn":  st.PrimaryLSN,
+		"lag_records":  st.LagRecords(),
+		"lag_seconds":  st.LagSeconds(time.Now()),
+		"reconnects":   st.Reconnects,
+		"rebootstraps": st.Rebootstraps,
+	}
+}

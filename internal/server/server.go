@@ -18,6 +18,13 @@
 //	GET  /events        ?since=N                                      — drain standing-query events (watcher-backed servers)
 //	GET  /metricsz                                                    — Prometheus text metrics (ingestion, index, query classes)
 //	GET  /debug/pprof/                                                — runtime profiles (heap, goroutine, 30s CPU via /debug/pprof/profile)
+//	GET  /repl/status                                                 — retained WAL range (primaries, via AttachPrimary)
+//	GET  /repl/snapshot                                               — bootstrap snapshot with LSN watermark header (primaries)
+//	GET  /wal           ?from=N[&follow=1]                            — raw WAL frame stream for followers (primaries)
+//
+// A server running as a read replica (SetFollower) rejects POST /ingest
+// with 403 — writes belong on the primary — while every query endpoint
+// serves normally, and /readyz//statz report the replica's lag.
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status. Ingestion routes
 // through the monitor's resilience guard, so malformed samples (NaN, Inf,
@@ -44,6 +51,7 @@ import (
 
 	"stardust"
 	"stardust/internal/obs"
+	"stardust/internal/replication"
 )
 
 // Backend is the monitor surface the server serves — the package-level
@@ -69,6 +77,9 @@ type Server struct {
 	evMu    sync.Mutex
 	events  []stardust.Event
 	evBase  int // sequence number of events[0]
+
+	follower    *replication.Follower // non-nil on a read replica: ingest is 403
+	replMetrics *obs.ReplMetrics      // merged into /metricsz when replication is wired
 }
 
 // eventBuffer bounds the retained event backlog.
@@ -182,6 +193,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if info := s.replayInfo(); info != nil {
 		resp["replay"] = info
 	}
+	if info := s.replicationInfo(); info != nil {
+		resp["replication"] = info
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -207,6 +221,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}
 	if info := s.replayInfo(); info != nil {
 		resp["replay"] = info
+	}
+	if info := s.replicationInfo(); info != nil {
+		resp["replication"] = info
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -243,6 +260,10 @@ func ingestStatus(err error) int {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		writeErr(w, http.StatusForbidden, "read-only replica: ingest on the primary")
+		return
+	}
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
@@ -402,7 +423,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // accesses, and per-query-class candidates/verified (pruning power).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.WriteProm(w, s.mon.Metrics()); err != nil {
+	snap := s.mon.Metrics()
+	if s.replMetrics != nil {
+		snap.Repl = s.replMetrics.Snapshot()
+	}
+	if err := obs.WriteProm(w, snap); err != nil {
 		log.Printf("server: writing /metricsz: %v", err)
 	}
 }

@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// ErrTrimmed marks a read request for records that snapshot-watermark GC
+// has already removed (TrimThrough). The caller cannot stream from that
+// point; a replication follower re-bootstraps from the latest snapshot
+// instead. Match with errors.Is.
+var ErrTrimmed = errors.New("wal: records trimmed")
+
+// FirstLSN returns the sequence number of the oldest record still on
+// disk. When the log holds no records it returns nextLSN (i.e. LastLSN()+1),
+// so the invariant FirstLSN() ≤ LastLSN()+1 always holds and an empty log
+// reads as "everything from here on".
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := l.segs[0].first
+	if first >= l.nextLSN {
+		return l.nextLSN
+	}
+	return first
+}
+
+// Bounds returns (FirstLSN, LastLSN) under one lock acquisition — the
+// retained record range a replication primary advertises to followers.
+func (l *Log) Bounds() (first, last uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	last = l.nextLSN - 1
+	first = l.segs[0].first
+	if first > last {
+		first = l.nextLSN
+	}
+	return first, last
+}
+
+// ReadFrames returns the raw framed bytes of records [from, next) — the
+// byte-exact frames Append wrote, suitable for copying onto a replication
+// stream verbatim — stopping at a segment boundary or once maxBytes of
+// frames have been collected (at least one frame is always returned when
+// available, so a record larger than maxBytes still makes progress).
+//
+// next is the LSN to resume from: next == from means the log holds no
+// record at from yet (the caller is caught up). Requests below FirstLSN
+// fail with ErrTrimmed — those records are gone and the follower must
+// re-bootstrap from a snapshot. ReadFrames is safe to call concurrently
+// with Append and TrimThrough; it never returns a torn tail (an
+// incomplete final frame is simply not included).
+func (l *Log) ReadFrames(from uint64, maxBytes int) (data []byte, next uint64, err error) {
+	if from == 0 {
+		return nil, 0, fmt.Errorf("wal: ReadFrames from LSN 0 (LSNs are 1-based)")
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultSegmentBytes
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, from, ErrClosed
+	}
+	last := l.nextLSN - 1
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+
+	if from > last {
+		return nil, from, nil
+	}
+	if from < segs[0].first {
+		return nil, from, fmt.Errorf("%w: lsn %d precedes oldest retained %d", ErrTrimmed, from, segs[0].first)
+	}
+	// Locate the segment holding `from`: the last one starting at or
+	// before it.
+	idx := 0
+	for i, seg := range segs {
+		if seg.first <= from {
+			idx = i
+		}
+	}
+	raw, err := os.ReadFile(segs[idx].path)
+	if err != nil {
+		// A trim can race the read: the segment list was captured before the
+		// file vanished. Report it as a trim so the caller re-bootstraps.
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, from, fmt.Errorf("%w: %s removed mid-read", ErrTrimmed, segs[idx].path)
+		}
+		return nil, from, fmt.Errorf("wal: reading %s: %v", segs[idx].path, err)
+	}
+	lsn := segs[idx].first
+	off, start := 0, -1
+	for off < len(raw) && lsn <= last {
+		_, n, ok := decodeFrame(raw[off:])
+		if !ok {
+			break // torn tail of the active segment: complete frames only
+		}
+		if lsn == from {
+			start = off
+		}
+		lsn++
+		off += n
+		if start >= 0 && (off-start >= maxBytes || lsn > last) {
+			break
+		}
+	}
+	if start < 0 {
+		// The segment exists but does not (yet) contain `from` — e.g. the
+		// frame is mid-write. The caller retries later.
+		return nil, from, nil
+	}
+	return raw[start:off], lsn, nil
+}

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// readAll drains ReadFrames from `from` until caught up, decoding the
+// returned raw frames back into records.
+func readAll(t *testing.T, l *Log, from uint64, maxBytes int) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		data, next, err := l.ReadFrames(from, maxBytes)
+		if err != nil {
+			t.Fatalf("ReadFrames(%d): %v", from, err)
+		}
+		if next == from {
+			return out
+		}
+		lsn := from
+		for len(data) > 0 {
+			rec, n, ok := decodeFrame(data)
+			if !ok {
+				t.Fatalf("ReadFrames returned an invalid frame at lsn %d", lsn)
+			}
+			rec.LSN = lsn
+			out = append(out, rec)
+			data = data[n:]
+			lsn++
+		}
+		if lsn != next {
+			t.Fatalf("ReadFrames returned %d frames from %d but next = %d", lsn-from, from, next)
+		}
+		from = next
+	}
+}
+
+func TestReadFramesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Policy: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var want []Record
+	for i := 0; i < 20; i++ {
+		r := Record{LSN: uint64(i + 1), Stream: i % 3, Start: int64(i * 4), Values: []float64{float64(i), -float64(i)}}
+		if _, err := l.Append(r.Stream, r.Start, r.Values); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+
+	// Tiny maxBytes forces one-frame reads; both shapes must agree.
+	for _, maxBytes := range []int{1, 1 << 20} {
+		got := readAll(t, l, 1, maxBytes)
+		if len(got) != len(want) {
+			t.Fatalf("maxBytes=%d: read %d records, want %d", maxBytes, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].LSN != want[i].LSN || got[i].Stream != want[i].Stream || got[i].Start != want[i].Start {
+				t.Fatalf("maxBytes=%d: record %d = %+v, want %+v", maxBytes, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Mid-log start.
+	if got := readAll(t, l, 11, 1<<20); len(got) != 10 || got[0].LSN != 11 {
+		t.Fatalf("read from 11 = %d records starting at %d, want 10 from 11", len(got), got[0].LSN)
+	}
+	// Caught up: next == from, no data.
+	if data, next, err := l.ReadFrames(21, 1<<20); err != nil || next != 21 || len(data) != 0 {
+		t.Fatalf("ReadFrames(21) = (%d bytes, %d, %v), want caught up", len(data), next, err)
+	}
+}
+
+func TestReadFramesTrimmed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Policy: SyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(0, int64(i), []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.TrimThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	if first, last := l.Bounds(); first != 4 || last != 6 {
+		t.Fatalf("Bounds = (%d, %d), want (4, 6)", first, last)
+	}
+	if _, _, err := l.ReadFrames(2, 1<<20); !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("ReadFrames(2) after trim: err = %v, want ErrTrimmed", err)
+	}
+	if got := readAll(t, l, 4, 1<<20); len(got) != 3 || got[0].LSN != 4 {
+		t.Fatalf("post-trim read = %+v, want LSNs 4..6", got)
+	}
+}
+
+func TestFirstLSNEmptyLog(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.FirstLSN(); got != 1 {
+		t.Fatalf("FirstLSN on empty log = %d, want 1", got)
+	}
+	if first, last := l.Bounds(); first != 1 || last != 0 {
+		t.Fatalf("Bounds on empty log = (%d, %d), want (1, 0)", first, last)
+	}
+}
+
+func TestEncodeFrameDecodeRawFrameRoundTrip(t *testing.T) {
+	payload := []byte{0x42, 1, 2, 3}
+	frame := EncodeFrame(nil, payload)
+	got, n, ok := DecodeRawFrame(frame)
+	if !ok || n != len(frame) || string(got) != string(payload) {
+		t.Fatalf("DecodeRawFrame = (%v, %d, %v), want payload back", got, n, ok)
+	}
+	// A flipped byte must fail the CRC.
+	frame[len(frame)-1] ^= 0xff
+	if _, _, ok := DecodeRawFrame(frame); ok {
+		t.Fatal("DecodeRawFrame accepted a corrupt frame")
+	}
+}

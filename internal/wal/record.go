@@ -38,12 +38,18 @@ import (
 // there, anywhere else it means corruption and replay fails loudly.
 const (
 	frameHeaderLen = 8
-	recSamples     = 0x01
+	recSamples     = PayloadSamples
 
 	// maxRecordBytes bounds a single record so a corrupt length prefix
 	// cannot drive a giant allocation during replay.
 	maxRecordBytes = 1 << 26
 )
+
+// PayloadSamples is the payload type byte of a sample-run record — the
+// only payload type the log itself stores. The replication wire protocol
+// shares the frame layout and claims further type bytes for its own
+// control payloads (see internal/replication).
+const PayloadSamples = 0x01
 
 // Record is one decoded WAL record: a run of admitted samples for one
 // stream, Values[i] having discrete time Start+i. LSN is the record's
@@ -73,48 +79,84 @@ func appendRecord(dst []byte, stream int, start int64, vs []float64) []byte {
 	return dst
 }
 
-// decodeFrame parses the frame at the start of b. It returns the decoded
-// record (LSN unset), the total frame size consumed, and ok=false when b
-// does not begin with a complete valid frame — a torn tail or corruption,
-// indistinguishable at this layer.
-func decodeFrame(b []byte) (rec Record, n int, ok bool) {
+// EncodeFrame appends one framed payload — length prefix, CRC32, payload —
+// onto dst and returns the extended slice. It is the framing half of
+// appendRecord, exported so the replication wire protocol can frame its
+// control payloads (heartbeats) in the exact format the log uses, letting
+// a primary copy stored record frames onto the wire byte-for-byte.
+func EncodeFrame(dst, payload []byte) []byte {
+	var header [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
+	return append(append(dst, header[:]...), payload...)
+}
+
+// DecodeRawFrame parses the frame at the start of b without interpreting
+// its payload: it validates the length prefix and CRC32 and returns the
+// payload, the total frame size consumed, and ok=false when b does not
+// begin with a complete valid frame. Replication followers use it to
+// split a byte stream into payloads before dispatching on the payload
+// type byte.
+func DecodeRawFrame(b []byte) (payload []byte, n int, ok bool) {
 	if len(b) < frameHeaderLen {
-		return Record{}, 0, false
+		return nil, 0, false
 	}
 	length := binary.LittleEndian.Uint32(b[:4])
 	if length == 0 || length > maxRecordBytes || uint64(len(b)-frameHeaderLen) < uint64(length) {
-		return Record{}, 0, false
+		return nil, 0, false
 	}
-	payload := b[frameHeaderLen : frameHeaderLen+int(length)]
+	payload = b[frameHeaderLen : frameHeaderLen+int(length)]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:8]) {
-		return Record{}, 0, false
+		return nil, 0, false
 	}
-	if payload[0] != recSamples {
-		return Record{}, 0, false
+	return payload, frameHeaderLen + int(length), true
+}
+
+// DecodeRecordPayload parses a PayloadSamples frame payload into a Record
+// (LSN unset). ok is false when the payload is not a well-formed sample
+// run — including payloads of other types.
+func DecodeRecordPayload(payload []byte) (rec Record, ok bool) {
+	if len(payload) == 0 || payload[0] != recSamples {
+		return Record{}, false
 	}
 	p := payload[1:]
 	stream, sz := binary.Uvarint(p)
 	if sz <= 0 || stream > math.MaxInt32 {
-		return Record{}, 0, false
+		return Record{}, false
 	}
 	p = p[sz:]
 	start, sz := binary.Varint(p)
 	if sz <= 0 {
-		return Record{}, 0, false
+		return Record{}, false
 	}
 	p = p[sz:]
 	count, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return Record{}, 0, false
+		return Record{}, false
 	}
 	p = p[sz:]
 	if uint64(len(p)) != 8*count {
-		return Record{}, 0, false
+		return Record{}, false
 	}
 	vs := make([]float64, count)
 	for i := range vs {
 		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
 	}
-	return Record{Stream: int(stream), Start: start, Values: vs},
-		frameHeaderLen + int(length), true
+	return Record{Stream: int(stream), Start: start, Values: vs}, true
+}
+
+// decodeFrame parses the frame at the start of b. It returns the decoded
+// record (LSN unset), the total frame size consumed, and ok=false when b
+// does not begin with a complete valid sample-run frame — a torn tail or
+// corruption, indistinguishable at this layer.
+func decodeFrame(b []byte) (rec Record, n int, ok bool) {
+	payload, n, ok := DecodeRawFrame(b)
+	if !ok {
+		return Record{}, 0, false
+	}
+	rec, ok = DecodeRecordPayload(payload)
+	if !ok {
+		return Record{}, 0, false
+	}
+	return rec, n, true
 }

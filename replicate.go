@@ -1,0 +1,137 @@
+package stardust
+
+import (
+	"fmt"
+	"io"
+
+	"stardust/internal/wal"
+)
+
+// WALRecord is one write-ahead-log record: a run of admitted samples for
+// one stream with their assigned discrete times. It is the unit shipped
+// from a replication primary to its read-only followers, and the unit
+// those followers apply through ApplyWALRecord.
+type WALRecord = wal.Record
+
+// WAL exposes the monitor's write-ahead log, or nil without durability.
+// The replication primary serves its follower streams directly from it;
+// treat the log as read-only through this accessor — appends belong to
+// the ingestion path.
+func (m *Monitor) WAL() *wal.Log { return m.wal }
+
+// ApplyWALRecord applies one replicated record to the summary with the
+// same idempotent time-skip as crash-recovery replay: values whose
+// discrete time the summary already covers are no-ops, so applying from
+// any LSN at or before the bootstrap watermark plus one is exact. The
+// record bypasses the resilience guard (the primary's guard already
+// admitted it) and is not re-logged — followers are not durable; their
+// durability is the primary's log.
+func (m *Monitor) ApplyWALRecord(rec WALRecord) error {
+	if m.wal != nil {
+		return fmt.Errorf("stardust: ApplyWALRecord on a durable monitor (followers must not write-ahead log)")
+	}
+	m.applyReplay(rec)
+	return nil
+}
+
+// WAL exposes the wrapped monitor's write-ahead log (see Monitor.WAL).
+// The log is internally synchronized, so serving replication streams
+// from it does not take the wrapper's lock.
+func (s *SafeMonitor) WAL() *wal.Log { return s.m.wal }
+
+// ApplyWALRecord applies one replicated record under the write lock,
+// serializing with concurrent queries (see Monitor.ApplyWALRecord).
+func (s *SafeMonitor) ApplyWALRecord(rec WALRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.ApplyWALRecord(rec)
+}
+
+// BootstrapReplica replaces the wrapped monitor's state from a snapshot
+// stream — a follower (re-)bootstrapping from its primary's
+// /repl/snapshot. The snapshot is loaded outside the lock, the wrapped
+// monitor's runtime settings (bad-value policy, query parallelism) are
+// carried over, and the swap itself is a pointer assignment under the
+// write lock, so queries block only momentarily. The previous state is
+// discarded; monitor-level metrics restart from zero, exactly as after
+// LoadFile.
+func (s *SafeMonitor) BootstrapReplica(r io.Reader) error {
+	m, err := Load(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m.wal != nil {
+		return fmt.Errorf("stardust: BootstrapReplica on a durable monitor")
+	}
+	m.guard = s.m.guard
+	m.SetParallelism(s.m.Parallelism())
+	s.m = m
+	return nil
+}
+
+// applyReplicated applies one already-admitted replicated sample and
+// evaluates the standing queries, returning the events it triggered —
+// the live-replication counterpart of replaySample, which suppresses
+// them. The guard and the WAL are bypassed exactly as in replay.
+func (w *Watcher) applyReplicated(stream int, v float64) ([]Event, error) {
+	w.mon.sum.Append(stream, v)
+	return w.evaluate(stream, w.mon.Now(stream))
+}
+
+// ApplyWALRecord applies one replicated record through standing-query
+// evaluation under the watcher lock: snapshot-covered samples are
+// skipped, each remaining sample is applied and evaluated, and triggered
+// events go to the SetEventSink callback — a follower therefore emits
+// exactly the events the primary's uninterrupted ingestion would have,
+// minus those already covered by its bootstrap snapshot. Evaluation
+// errors are dropped, matching the live push's partial-event contract.
+func (s *SafeWatcher) ApplyWALRecord(rec WALRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.w.mon
+	if m.wal != nil {
+		return fmt.Errorf("stardust: ApplyWALRecord on a durable monitor (followers must not write-ahead log)")
+	}
+	for rec.Stream >= m.NumStreams() {
+		m.AddStream()
+	}
+	now := m.sum.Now(rec.Stream)
+	var events []Event
+	for i, v := range rec.Values {
+		if rec.Start+int64(i) <= now {
+			continue
+		}
+		evs, _ := s.w.applyReplicated(rec.Stream, v)
+		events = append(events, evs...)
+	}
+	if len(events) > 0 && s.sink != nil {
+		s.sink(events)
+	}
+	return nil
+}
+
+// BootstrapReplica replaces the watched monitor's state from a snapshot
+// stream and re-primes every standing query against it (primeRecovery's
+// edge and dedup reconstruction), so alarms the snapshot state already
+// reflects are not re-fired. Registered watches survive the swap — they
+// hold only their parameters, not monitor state. Runtime settings carry
+// over as in SafeMonitor.BootstrapReplica.
+func (s *SafeWatcher) BootstrapReplica(r io.Reader) error {
+	m, err := Load(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.w.mon
+	if old.wal != nil {
+		return fmt.Errorf("stardust: BootstrapReplica on a durable monitor")
+	}
+	m.guard = old.guard
+	m.SetParallelism(old.Parallelism())
+	s.w.mon = m
+	s.w.primeRecovery()
+	return nil
+}
