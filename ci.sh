@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # CI gate: formatting, build, vet, the offline doc-comment gate (doclint),
 # the documentation compile + flag-drift gate (docbuild), staticcheck, the
-# full test suite under the race detector, short fuzz smokes over the WAL
-# frame parser and the snapshot loader, a one-iteration benchmark smoke
-# pass, and the benchmark-regression comparison against the committed
-# BENCH_PR4.json baseline. Run from the repository root. Fails fast on the
-# first error.
+# full test suite under the race detector, a short-mode chaos-matrix run
+# (randomized fault schedules across WAL + replication + failover), short
+# fuzz smokes over the WAL frame parser, the snapshot loader and the
+# fault-schedule parser, a one-iteration benchmark smoke pass, and the
+# benchmark-regression comparison against the committed BENCH_PR4.json
+# baseline. Run from the repository root. Fails fast on the first error.
 #
 # Each stage prints its elapsed wall-clock seconds so slow stages are
 # visible directly in CI logs.
@@ -74,10 +75,18 @@ stage "go test -race"
 go test -race ./...
 stage_done
 
+# The full -race suite above may satisfy the chaos matrix from the test
+# cache; this stage re-runs it with -count=1 so every CI run demonstrably
+# exercises the fault-injection path end to end.
+stage "chaos matrix (short mode, -race)"
+go test -race -short -count=1 -run '^TestChaosMatrix$' ./internal/replication
+stage_done
+
 stage "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wal
 go test -run='^$' -fuzz=FuzzReplaySegment -fuzztime=5s ./internal/wal
 go test -run='^$' -fuzz=FuzzLoadSnapshot -fuzztime=5s .
+go test -run='^$' -fuzz=FuzzParseSchedule -fuzztime=5s ./internal/fault
 stage_done
 
 stage "bench smoke (1 iteration)"

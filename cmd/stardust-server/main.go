@@ -27,8 +27,18 @@
 // read-only replica instead: it bootstraps from the primary's latest
 // snapshot, streams and applies the primary's WAL continuously, rejects
 // POST /ingest with 403, serves every query endpoint from the replicated
-// state, and reports its lag on GET /readyz. -replicate-from and -wal-dir
-// are mutually exclusive — a replica's durability is its primary's log.
+// state, and reports its lag on GET /readyz. On a replica, -wal-dir names
+// the local mirror of the primary's log (wiped and rebuilt on every
+// bootstrap) — the raw material for promotion. A mirrored replica becomes
+// the primary via POST /repl/promote, or automatically with
+// -failover-watch, which probes the primary's /healthz and promotes after
+// -failover-after consecutive failures.
+//
+// -wal-fail-policy picks the response to persistent disk failure: "stop"
+// surfaces append errors to ingestion, "degrade" keeps ingesting in
+// memory (flagged by the stardust_wal_degraded gauge and GET /readyz)
+// and re-attaches with a catch-up checkpoint once the disk recovers.
+// -fault-schedule arms deterministic fault injection for drills.
 //
 // See internal/server for the endpoint reference, including the
 // /healthz and /readyz probes, the Prometheus-text GET /metricsz metrics
@@ -44,16 +54,20 @@ import (
 	"io/fs"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"stardust"
+	"stardust/internal/fault"
 	"stardust/internal/obs"
 	"stardust/internal/replication"
 	"stardust/internal/resilience"
 	"stardust/internal/server"
+	"stardust/internal/wal"
 )
 
 func main() {
@@ -74,7 +88,13 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval, always, none")
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "fsync period for -fsync interval")
 	walSegment := flag.Int("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 4 MiB)")
-	replicateFrom := flag.String("replicate-from", "", "primary base URL; run as a read-only replica (incompatible with -wal-dir)")
+	walFail := flag.String("wal-fail-policy", "stop", "WAL persistent-disk-failure policy: stop (surface errors), degrade (in-memory ingest, auto re-attach)")
+	walRetain := flag.Uint64("wal-retain-records", 0, "minimum trailing WAL records kept past checkpoints for absent followers (0 disables)")
+	replicateFrom := flag.String("replicate-from", "", "primary base URL; run as a read-only replica (-wal-dir then names the promotion mirror)")
+	failoverWatch := flag.Bool("failover-watch", false, "replicas: probe the primary's /healthz and self-promote when it dies (needs a mirror -wal-dir)")
+	failoverAfter := flag.Int("failover-after", 3, "consecutive failed health probes before -failover-watch promotes")
+	faultSchedule := flag.String("fault-schedule", "", "arm deterministic fault injection: inline schedule text, or @file (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault-schedule rules")
 	watch := flag.Bool("watch", false, "enable standing queries: POST /watch registers them, GET /events drains alarms")
 	badValues := flag.String("bad-values", "reject", "bad-value policy: reject, clamp, lastvalue")
 	clampMin := flag.Float64("clamp-min", 0, "lower clamp bound for -bad-values clamp")
@@ -140,10 +160,42 @@ func main() {
 		log.Fatalf("unknown normalization %q", *norm)
 	}
 
-	if *replicateFrom != "" && *walDir != "" {
-		log.Fatal("-replicate-from and -wal-dir are mutually exclusive: a replica's durability is its primary's write-ahead log")
+	// An armed fault injector feeds the WAL's filesystem seam and (on
+	// replicas) the follower's HTTP transport, and surfaces its trip
+	// counters on /statz and /metricsz. Deterministic given the seed, so a
+	// drill that misbehaves can be replayed exactly.
+	var inj *fault.Injector
+	if *faultSchedule != "" {
+		text := *faultSchedule
+		if file, ok := strings.CutPrefix(text, "@"); ok {
+			b, err := os.ReadFile(file)
+			if err != nil {
+				log.Fatalf("-fault-schedule: %v", err)
+			}
+			text = string(b)
+		}
+		rules, err := fault.ParseSchedule(text)
+		if err != nil {
+			log.Fatalf("-fault-schedule: %v", err)
+		}
+		inj = fault.New(*faultSeed, rules...)
+		log.Printf("fault injection armed: %d rules, seed %d", len(rules), *faultSeed)
 	}
-	if *walDir != "" {
+
+	var failPolicy stardust.WALFailPolicy
+	switch *walFail {
+	case "stop":
+		failPolicy = stardust.WALFailStop
+	case "degrade":
+		failPolicy = stardust.WALFailDegrade
+	default:
+		log.Fatalf("unknown wal-fail-policy %q", *walFail)
+	}
+
+	// On a replica, -wal-dir names the follower's mirror log rather than a
+	// durability WAL (the replica's durability is its primary's log); the
+	// monitor itself stays non-durable until promotion attaches the mirror.
+	if *walDir != "" && *replicateFrom == "" {
 		var policy stardust.FsyncPolicy
 		switch *fsync {
 		case "interval":
@@ -160,6 +212,17 @@ func main() {
 			Fsync:         policy,
 			FsyncInterval: *fsyncEvery,
 			SegmentBytes:  *walSegment,
+			FailPolicy:    failPolicy,
+			OnDegraded: func(degraded bool) {
+				if degraded {
+					log.Printf("wal: degraded — disk failing, ingesting in memory only")
+				} else {
+					log.Printf("wal: re-attached — durability restored")
+				}
+			},
+		}
+		if inj != nil {
+			cfg.Durability.FS = fault.NewFS(wal.OSFS{}, inj, "wal")
 		}
 	}
 
@@ -173,16 +236,34 @@ func main() {
 	var srv *server.Server
 	var applyRec func(stardust.WALRecord) error
 	var bootstrap func(io.Reader, uint64) error
+	var reattach func(string) error
 	if *watch {
 		sw := stardust.NewSafeWatcher(mon)
 		srv = server.NewWithWatcher(sw, *snapshot)
 		applyRec = sw.ApplyWALRecord
 		bootstrap = func(r io.Reader, _ uint64) error { return sw.BootstrapReplica(r) }
+		reattach = sw.ReattachWAL
 	} else {
 		sm := stardust.WrapSafe(mon)
 		srv = server.New(sm, *snapshot)
 		applyRec = sm.ApplyWALRecord
 		bootstrap = func(r io.Reader, _ uint64) error { return sm.BootstrapReplica(r) }
+		reattach = sm.ReattachWAL
+	}
+	srv.SetWALRetainRecords(*walRetain)
+	if inj != nil {
+		srv.SetFaultInjector(inj)
+	}
+	// Degraded-mode recovery: when the disk heals, re-attach the log and
+	// take a catch-up checkpoint through the safe wrapper so the swap is
+	// serialized against ingestion. The checkpoint needs somewhere to land,
+	// so degrade mode requires a snapshot path.
+	if cfg.Durability.Dir != "" && failPolicy == stardust.WALFailDegrade {
+		if *snapshot == "" {
+			log.Fatal("-wal-fail-policy degrade requires -snapshot: disk recovery re-attaches the log via a catch-up checkpoint")
+		}
+		snapPath := *snapshot
+		mon.SetWALRecover(func() error { return reattach(snapPath) })
 	}
 	if replay != nil {
 		srv.SetReplayStats(*replay)
@@ -200,12 +281,18 @@ func main() {
 	replMetrics := &obs.ReplMetrics{}
 	switch {
 	case *replicateFrom != "":
-		follower, err := replication.NewFollower(replication.FollowerConfig{
-			Primary:   *replicateFrom,
-			Bootstrap: bootstrap,
-			Apply:     applyRec,
-			Metrics:   replMetrics,
-		})
+		fcfg := replication.FollowerConfig{
+			Primary:            *replicateFrom,
+			Bootstrap:          bootstrap,
+			Apply:              applyRec,
+			Metrics:            replMetrics,
+			MirrorDir:          *walDir,
+			MirrorSegmentBytes: *walSegment,
+		}
+		if inj != nil {
+			fcfg.Client = &http.Client{Transport: &fault.Transport{Inj: inj, Prefix: "repl"}}
+		}
+		follower, err := replication.NewFollower(fcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -214,11 +301,46 @@ func main() {
 		}
 		srv.SetFollower(follower, replMetrics)
 		go func() {
-			if err := follower.Run(ctx); err != nil && ctx.Err() == nil {
+			if err := follower.Run(ctx); err != nil && ctx.Err() == nil && !errors.Is(err, replication.ErrSealed) {
 				log.Printf("replication: follower stopped: %v", err)
 			}
 		}()
-		log.Printf("replication: following %s (read-only replica)", *replicateFrom)
+		if *walDir != "" {
+			log.Printf("replication: following %s (read-only replica, promotion mirror at %s)", *replicateFrom, *walDir)
+		} else {
+			log.Printf("replication: following %s (read-only replica)", *replicateFrom)
+		}
+		if *failoverWatch {
+			if *walDir == "" {
+				log.Fatal("-failover-watch needs a promotion mirror: set -wal-dir on the replica")
+			}
+			// The health probe deliberately uses a clean transport — an
+			// armed fault schedule cutting replication traffic must not
+			// also blind the probe into a spurious promotion.
+			go func() {
+				err := replication.FailoverWatch(ctx, replication.FailoverConfig{
+					Primary:   *replicateFrom,
+					FailAfter: *failoverAfter,
+					Metrics:   replMetrics,
+					Promote: func(context.Context) error {
+						lsn, err := srv.Promote()
+						if err == nil {
+							log.Printf("failover: promoted to primary (mirror sealed at lsn %d)", lsn)
+						}
+						return err
+					},
+					OnProbe: func(err error, fails int) {
+						if err != nil {
+							log.Printf("failover: primary probe failed (%d consecutive): %v", fails, err)
+						}
+					},
+				})
+				if err != nil && ctx.Err() == nil {
+					log.Printf("failover: %v", err)
+				}
+			}()
+			log.Printf("failover: watching %s/healthz, promoting after %d consecutive failures", *replicateFrom, *failoverAfter)
+		}
 	case *walDir != "":
 		srv.AttachPrimary(mon.WAL(), replMetrics)
 		log.Printf("replication: serving WAL to followers at GET /wal (primary)")

@@ -1,6 +1,7 @@
 package stardust
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,6 +27,38 @@ const (
 	FsyncNone = wal.SyncNone
 )
 
+// WALFailPolicy selects how the write-ahead log responds when a disk
+// operation keeps failing after its retries; see WALFailStop and
+// WALFailDegrade.
+type WALFailPolicy = wal.FailPolicy
+
+// Available fail policies (Config.Durability.FailPolicy).
+const (
+	// WALFailStop surfaces persistent disk errors to ingestion callers and
+	// keeps the log attached, so every subsequent append retries the disk.
+	// Nothing is silently dropped. The default.
+	WALFailStop = wal.FailStop
+	// WALFailDegrade keeps the monitor ingesting through persistent disk
+	// failure: the log detaches, affected samples stay in memory only
+	// (counted by stardust_wal_dropped_appends_total, flagged by the
+	// stardust_wal_degraded gauge), a probe loop watches the disk, and on
+	// recovery the log re-attaches to a fresh segment and a catch-up
+	// checkpoint restores crash-safety (see Monitor.SetWALRecover).
+	WALFailDegrade = wal.FailDegrade
+)
+
+// ErrWALDegraded marks write-ahead-log operations refused while the log
+// is detached from a failing disk under WALFailDegrade. Ingestion itself
+// does not return it — degraded ingestion succeeds in memory — but
+// SyncWAL and Checkpoint surface it. Match with errors.Is.
+var ErrWALDegraded = wal.ErrDegraded
+
+// WALFS is the filesystem seam the write-ahead log performs all disk
+// operations through (Config.Durability.FS). The default is the real
+// filesystem; fault-injection harnesses substitute an implementation
+// that fails on schedule (see internal/fault).
+type WALFS = wal.FS
+
 // DurabilityConfig enables write-ahead logging of admitted samples
 // (Config.Durability). With a Dir set, every sample that passes the
 // resilience guard is appended to a CRC-framed log segment BEFORE it is
@@ -44,6 +77,27 @@ type DurabilityConfig struct {
 	FsyncInterval time.Duration
 	// SegmentBytes is the segment rotation threshold (default 4 MiB).
 	SegmentBytes int
+	// FailPolicy selects the persistent-disk-failure response (default
+	// WALFailStop).
+	FailPolicy WALFailPolicy
+	// RetryAttempts is how many times a failed segment write is retried
+	// with doubling backoff before FailPolicy applies (default 2;
+	// negative disables retries). Failed fsyncs are never retried.
+	RetryAttempts int
+	// RetryBackoff is the sleep before the first write retry, doubling
+	// per attempt (default 2ms).
+	RetryBackoff time.Duration
+	// ProbeInterval is the degraded-mode disk probe period (default
+	// 500ms). WALFailDegrade only.
+	ProbeInterval time.Duration
+	// FS is the filesystem seam the log's disk operations go through
+	// (default: the real filesystem). Fault-injection harnesses
+	// substitute a failing implementation.
+	FS WALFS
+	// OnDegraded, when set, is called from its own goroutine with true
+	// when the log detaches and false when it re-attaches.
+	// WALFailDegrade only.
+	OnDegraded func(degraded bool)
 }
 
 // ReplayStats summarizes one crash-recovery replay: records and samples
@@ -56,11 +110,17 @@ type ReplayStats = wal.ReplayStats
 // monitor's metrics.
 func openWAL(d DurabilityConfig, m *obs.WALMetrics) (*wal.Log, error) {
 	return wal.Open(wal.Config{
-		Dir:          d.Dir,
-		Policy:       d.Fsync,
-		Interval:     d.FsyncInterval,
-		SegmentBytes: d.SegmentBytes,
-		Metrics:      m,
+		Dir:           d.Dir,
+		Policy:        d.Fsync,
+		Interval:      d.FsyncInterval,
+		SegmentBytes:  d.SegmentBytes,
+		Metrics:       m,
+		FS:            d.FS,
+		Fail:          d.FailPolicy,
+		RetryAttempts: d.RetryAttempts,
+		RetryBackoff:  d.RetryBackoff,
+		ProbeInterval: d.ProbeInterval,
+		OnDegraded:    d.OnDegraded,
 	})
 }
 
@@ -69,9 +129,36 @@ func openWAL(d DurabilityConfig, m *obs.WALMetrics) (*wal.Log, error) {
 // time the run's first value will occupy.
 func (m *Monitor) walAppend(stream int, start int64, vs []float64) error {
 	if _, err := m.wal.Append(stream, start, vs); err != nil {
+		if errors.Is(err, wal.ErrDegraded) {
+			// WALFailDegrade: the disk is gone but monitoring must not
+			// stop. The run proceeds in memory only — counted by
+			// stardust_wal_dropped_appends_total — and crash-safety
+			// resumes with the re-attach catch-up checkpoint.
+			return nil
+		}
 		return fmt.Errorf("stardust: wal append: %w", err)
 	}
 	return nil
+}
+
+// WALDegraded reports whether the write-ahead log is currently detached
+// from a failing disk (WALFailDegrade): ingestion succeeds in memory but
+// is not durable. Always false without durability.
+func (m *Monitor) WALDegraded() bool {
+	return m.wal != nil && m.wal.Degraded()
+}
+
+// SetWALRecover installs the degraded-recovery callback on the monitor's
+// write-ahead log: once the disk probe sees a healthy disk again, fn runs
+// and must re-attach the log and then persist a catch-up checkpoint, in
+// that order, serialized against ingestion — ReattachWAL on the safe
+// wrappers does exactly this. When no callback is installed the log
+// re-attaches by itself and the degraded window stays uncheckpointed
+// until the next snapshot. No-op without durability.
+func (m *Monitor) SetWALRecover(fn func() error) {
+	if m.wal != nil {
+		m.wal.SetRecover(fn)
+	}
 }
 
 // Durable reports whether the monitor write-ahead logs its ingestion.
@@ -140,6 +227,45 @@ func (s *SafeMonitor) SyncWAL() error { return s.m.SyncWAL() }
 // tear against concurrent ingestion.
 func (s *SafeMonitor) Checkpoint(path string) error {
 	return checkpointMonitor(s.m, s, path)
+}
+
+// ReattachWAL ends write-ahead-log degraded mode under the write lock:
+// the log re-attaches to a fresh segment and, when path is non-empty, a
+// catch-up checkpoint is persisted before ingestion resumes — the
+// samples accepted while degraded become crash-safe again. In that
+// order, a crash in between loses exactly the never-durable degraded
+// window and nothing else. Wire it via SetWALRecover so it runs
+// automatically when the disk probe sees recovery. No-op when the log is
+// attached; nil without durability.
+func (s *SafeMonitor) ReattachWAL(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return reattachWAL(s.m, path)
+}
+
+// ReattachWAL ends degraded mode under the watcher lock (see
+// SafeMonitor.ReattachWAL).
+func (s *SafeWatcher) ReattachWAL(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return reattachWAL(s.w.mon, path)
+}
+
+// reattachWAL re-attaches m's log and persists the catch-up checkpoint.
+// The caller holds its wrapper's write lock, so the snapshot and trim run
+// against a quiescent monitor — checkpointMonitor is called with the bare
+// monitor as its own Snapshotter to avoid re-entering that lock.
+func reattachWAL(m *Monitor, path string) error {
+	if m.wal == nil {
+		return nil
+	}
+	if err := m.wal.Reattach(); err != nil {
+		return err
+	}
+	if path == "" {
+		return nil
+	}
+	return checkpointMonitor(m, m, path)
 }
 
 // Close closes every shard's WAL.

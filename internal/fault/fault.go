@@ -1,0 +1,248 @@
+// Package fault is Stardust's deterministic fault-injection substrate:
+// seeded, scriptable schedules that inject returned errors, extra latency,
+// partial writes and connection cuts at named injection points threaded
+// through the I/O layers (the write-ahead log's filesystem seam and the
+// replication wire). It exists so the durability and failover guarantees
+// the rest of the system advertises can be proven under adversity instead
+// of assumed: the chaos-matrix suite drives randomized schedules through
+// it and asserts that no acknowledged sample is ever lost.
+//
+// The model is intentionally small. Code under test calls
+// Injector.Eval("point.name") at each I/O boundary; the injector counts
+// the call, walks its rules in order, and returns the first fault that
+// fires (or none). Rules select calls by position (After, Every, Count)
+// and probability (Prob, drawn from the injector's seeded generator, so a
+// schedule plus a seed is fully reproducible), and describe the fault to
+// inject: an error kind, a delay, and for write points an optional number
+// of bytes to let through before failing — a torn write.
+//
+// Schedules are expressed in a one-rule-per-line text format (see
+// ParseSchedule) so they can travel through flags, test tables and fuzz
+// corpora:
+//
+//	wal.write after=10 count=3 err=eio
+//	wal.sync prob=0.2 err=enospc delay=5ms
+//	repl.read every=64 err=cut
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected error wraps: match with
+// errors.Is to distinguish injected faults from organic failures in
+// assertions and logs.
+var ErrInjected = errors.New("fault: injected")
+
+// Error kinds understood by schedules (the err= key). Unknown kinds are
+// legal and produce a generic injected error carrying the kind text.
+const (
+	// KindEIO injects an error that matches syscall.EIO — a failing disk.
+	KindEIO = "eio"
+	// KindENOSPC injects an error matching syscall.ENOSPC — a full disk.
+	KindENOSPC = "enospc"
+	// KindCut injects a bare connection-cut error — a torn network link.
+	KindCut = "cut"
+	// KindTimeout injects an error whose text reports a timeout.
+	KindTimeout = "timeout"
+)
+
+// Error is one injected failure: the point it fired at and the schedule's
+// error kind. It wraps ErrInjected always, and additionally the matching
+// errno for the kinds that have one (KindEIO → syscall.EIO,
+// KindENOSPC → syscall.ENOSPC), so errors.Is(err, syscall.ENOSPC) holds
+// for injected disk-full faults exactly as for real ones.
+type Error struct {
+	// Point is the injection point the fault fired at.
+	Point string
+	// Kind is the schedule's error kind (err= value).
+	Kind string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s", e.Kind, e.Point)
+}
+
+// Unwrap exposes the sentinel chain: ErrInjected always, plus the errno
+// for kinds that map to one.
+func (e *Error) Unwrap() []error {
+	switch e.Kind {
+	case KindEIO:
+		return []error{ErrInjected, syscall.EIO}
+	case KindENOSPC:
+		return []error{ErrInjected, syscall.ENOSPC}
+	default:
+		return []error{ErrInjected}
+	}
+}
+
+// Rule selects a subset of the calls arriving at one injection point and
+// describes the fault to inject into them. The zero value of every
+// selector means "no constraint": a Rule{Point: "wal.write", Err: KindEIO}
+// fails every write at that point.
+type Rule struct {
+	// Point names the injection point the rule applies to. A trailing '*'
+	// makes it a prefix match ("wal.*" covers every WAL point).
+	Point string
+	// After skips the first After matching calls before the rule becomes
+	// eligible.
+	After uint64
+	// Every fires on every Every-th eligible call (0 or 1: every call).
+	Every uint64
+	// Count caps the total number of times the rule fires (0: unlimited).
+	Count uint64
+	// Prob fires eligible calls with this probability, drawn from the
+	// injector's seeded generator (0 or ≥1: always fire when eligible).
+	Prob float64
+	// Err is the error kind to inject (see the Kind constants; empty
+	// injects no error — a pure delay rule).
+	Err string
+	// Delay is added latency, applied by the instrumented call site via
+	// Fault.Sleep before the error (if any) is returned.
+	Delay time.Duration
+	// Partial, for write points, is the number of bytes the wrapped write
+	// lets through before failing — a torn write. 0 fails the whole write.
+	Partial int
+
+	seen  uint64 // calls that matched this rule
+	fired uint64 // calls the rule injected into
+}
+
+// matches reports whether the rule's point selector covers point.
+func (r *Rule) matches(point string) bool {
+	if n := len(r.Point); n > 0 && r.Point[n-1] == '*' {
+		prefix := r.Point[:n-1]
+		return len(point) >= len(prefix) && point[:len(prefix)] == prefix
+	}
+	return r.Point == point
+}
+
+// Fault is the outcome of one Eval: the injected error (nil for a pure
+// delay), the delay to impose, and the partial-write allowance.
+type Fault struct {
+	// Err is the error the call site should return, nil for delay-only
+	// faults.
+	Err error
+	// Delay is latency to impose before acting on Err; call Sleep.
+	Delay time.Duration
+	// Partial is the byte allowance for torn writes (meaningful only at
+	// write points; 0 means fail the whole operation).
+	Partial int
+}
+
+// Sleep imposes the fault's delay (no-op at zero). Split from Eval so
+// call sites holding locks can decide where the stall lands.
+func (f Fault) Sleep() {
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+}
+
+// Counters is a point-in-time snapshot of an injector's activity, the
+// source of the stardust_fault_* metrics series.
+type Counters struct {
+	// RulesArmed is the number of rules currently loaded.
+	RulesArmed int64
+	// Evals counts Eval calls across all points; Injected counts the
+	// subset that fired a fault.
+	Evals, Injected int64
+}
+
+// Injector evaluates fault rules at named injection points. It is safe
+// for concurrent use; determinism is per-seed and per-interleaving (a
+// fixed schedule over a fixed sequential call sequence reproduces
+// exactly).
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*Rule
+	evals    int64
+	injected int64
+}
+
+// New builds an injector with the given seed and schedule. The seed
+// drives only probabilistic rules; schedules without Prob are fully
+// deterministic regardless of it.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
+	in.SetRules(rules)
+	return in
+}
+
+// SetRules replaces the schedule atomically, resetting per-rule
+// counters. SetRules(nil) disarms the injector — the "disk recovers"
+// lever in chaos tests.
+func (in *Injector) SetRules(rules []Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = make([]*Rule, len(rules))
+	for i := range rules {
+		r := rules[i]
+		r.seen, r.fired = 0, 0
+		in.rules[i] = &r
+	}
+}
+
+// Clear disarms the injector: subsequent Evals inject nothing.
+func (in *Injector) Clear() { in.SetRules(nil) }
+
+// Eval records one call at the named point and returns the fault to
+// inject, if any. Rules are consulted in schedule order; the first that
+// fires wins. ok is false when no rule fired (the call should proceed
+// normally).
+func (in *Injector) Eval(point string) (f Fault, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.evals++
+	for _, r := range in.rules {
+		if !r.matches(point) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Every > 1 && (r.seen-r.After-1)%r.Every != 0 {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.injected++
+		f := Fault{Delay: r.Delay, Partial: r.Partial}
+		if r.Err != "" {
+			f.Err = &Error{Point: point, Kind: r.Err}
+		}
+		return f, true
+	}
+	return Fault{}, false
+}
+
+// Counters returns the injector's activity totals.
+func (in *Injector) Counters() Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Counters{RulesArmed: int64(len(in.rules)), Evals: in.evals, Injected: in.injected}
+}
+
+// Fired returns how many times the rule at schedule index i has injected
+// a fault (0 for an out-of-range index) — the per-rule assertion hook for
+// tests that must prove a schedule actually exercised its target.
+func (in *Injector) Fired(i int) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if i < 0 || i >= len(in.rules) {
+		return 0
+	}
+	return in.rules[i].fired
+}

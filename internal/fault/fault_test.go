@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestEvalSelectors(t *testing.T) {
+	in := New(1, Rule{Point: "p", After: 2, Every: 3, Count: 2, Err: KindEIO})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if _, ok := in.Eval("p"); ok {
+			fired = append(fired, i)
+		}
+	}
+	// Eligible calls start at the 3rd; every 3rd eligible call fires, capped
+	// at 2 firings: calls 3 and 6.
+	if want := []int{3, 6}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	if got := in.Fired(0); got != 2 {
+		t.Fatalf("Fired(0) = %d, want 2", got)
+	}
+	c := in.Counters()
+	if c.Evals != 12 || c.Injected != 2 || c.RulesArmed != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestEvalPrefixMatch(t *testing.T) {
+	in := New(1, Rule{Point: "wal.*", Err: KindEIO})
+	if _, ok := in.Eval("wal.write"); !ok {
+		t.Fatal("wal.write should match wal.*")
+	}
+	if _, ok := in.Eval("repl.read"); ok {
+		t.Fatal("repl.read should not match wal.*")
+	}
+}
+
+func TestEvalFirstRuleWins(t *testing.T) {
+	in := New(1,
+		Rule{Point: "p", Count: 1, Err: KindEIO},
+		Rule{Point: "p", Err: KindENOSPC},
+	)
+	f1, _ := in.Eval("p")
+	f2, _ := in.Eval("p")
+	if !errors.Is(f1.Err, syscall.EIO) {
+		t.Fatalf("first eval got %v, want EIO", f1.Err)
+	}
+	if !errors.Is(f2.Err, syscall.ENOSPC) {
+		t.Fatalf("second eval got %v, want ENOSPC (first rule exhausted)", f2.Err)
+	}
+}
+
+func TestProbDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed, Rule{Point: "p", Prob: 0.5, Err: KindCut})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = in.Eval("p")
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(42), run(42)) {
+		t.Fatal("same seed must reproduce the same firing sequence")
+	}
+	a := run(1)
+	anyFired, anyPassed := false, false
+	for _, ok := range a {
+		anyFired = anyFired || ok
+		anyPassed = anyPassed || !ok
+	}
+	if !anyFired || !anyPassed {
+		t.Fatalf("prob=0.5 over 64 calls should mix outcomes, got fired=%v passed=%v", anyFired, anyPassed)
+	}
+}
+
+func TestErrorUnwrapping(t *testing.T) {
+	for kind, target := range map[string]error{
+		KindEIO:    syscall.EIO,
+		KindENOSPC: syscall.ENOSPC,
+	} {
+		err := &Error{Point: "p", Kind: kind}
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("%s: should match ErrInjected", kind)
+		}
+		if !errors.Is(err, target) {
+			t.Errorf("%s: should match %v", kind, target)
+		}
+	}
+	if err := (&Error{Point: "p", Kind: KindCut}); !errors.Is(err, ErrInjected) || errors.Is(err, syscall.EIO) {
+		t.Error("cut should match only ErrInjected")
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	in := New(1, Rule{Point: "p", Err: KindEIO})
+	if _, ok := in.Eval("p"); !ok {
+		t.Fatal("armed injector should fire")
+	}
+	in.Clear()
+	if _, ok := in.Eval("p"); ok {
+		t.Fatal("cleared injector must not fire")
+	}
+	if c := in.Counters(); c.RulesArmed != 0 {
+		t.Fatalf("RulesArmed = %d after Clear", c.RulesArmed)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	text := `
+# chaos schedule
+wal.write after=10 every=2 count=3 err=eio delay=5ms partial=7
+wal.sync prob=0.25 err=enospc  # trailing comment
+repl.body err=cut
+`
+	rules, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	want := []Rule{
+		{Point: "wal.write", After: 10, Every: 2, Count: 3, Err: "eio", Delay: 5 * time.Millisecond, Partial: 7},
+		{Point: "wal.sync", Prob: 0.25, Err: "enospc"},
+		{Point: "repl.body", Err: "cut"},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("rules = %+v, want %+v", rules, want)
+	}
+	// Round trip through the formatter.
+	again, err := ParseSchedule(FormatSchedule(rules))
+	if err != nil {
+		t.Fatalf("re-parse formatted schedule: %v", err)
+	}
+	if !reflect.DeepEqual(again, rules) {
+		t.Fatalf("round trip changed rules: %+v", again)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"err=eio",              // key=value where the point name belongs
+		"p foo",                // bare token
+		"p unknown=1",          // unknown key
+		"p prob=1.5",           // out of range
+		"p delay=-5ms",         // negative delay
+		"p after=x",            // not a number
+		"p partial=4294967296", // overflows int32
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) should fail", bad)
+		}
+	}
+}

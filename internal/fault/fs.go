@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"os"
+
+	"stardust/internal/wal"
+)
+
+// FS point-name suffixes: NewFS(base, inj, "wal") consults the injector
+// at "wal.open", "wal.write", and so on. They are part of the schedule
+// vocabulary, so keep them stable.
+const (
+	// PointOpen covers OpenFile; PointWrite and PointSync the per-file
+	// write and fsync operations; PointRead ReadFile; PointRemove Remove;
+	// PointTruncate Truncate; PointMkdir MkdirAll; PointReadDir ReadDir.
+	PointOpen     = ".open"
+	PointWrite    = ".write"
+	PointSync     = ".sync"
+	PointRead     = ".read"
+	PointRemove   = ".remove"
+	PointTruncate = ".truncate"
+	PointMkdir    = ".mkdir"
+	PointReadDir  = ".readdir"
+)
+
+// NewFS wraps a write-ahead-log filesystem so every operation consults
+// the injector first, at points named prefix + the Point* suffixes. A
+// write fault with a Partial allowance transfers that many bytes to the
+// real file before failing — a torn write the log must clean up.
+func NewFS(base wal.FS, inj *Injector, prefix string) wal.FS {
+	return &faultFS{base: base, inj: inj, prefix: prefix}
+}
+
+type faultFS struct {
+	base   wal.FS
+	inj    *Injector
+	prefix string
+}
+
+// check evaluates one point, imposing the fault's delay, and returns the
+// injected error (nil when nothing fired or the fault was delay-only).
+func (s *faultFS) check(suffix string) error {
+	f, ok := s.inj.Eval(s.prefix + suffix)
+	if !ok {
+		return nil
+	}
+	f.Sleep()
+	return f.Err
+}
+
+func (s *faultFS) MkdirAll(dir string, perm os.FileMode) error {
+	if err := s.check(PointMkdir); err != nil {
+		return err
+	}
+	return s.base.MkdirAll(dir, perm)
+}
+
+func (s *faultFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if err := s.check(PointReadDir); err != nil {
+		return nil, err
+	}
+	return s.base.ReadDir(dir)
+}
+
+func (s *faultFS) ReadFile(path string) ([]byte, error) {
+	if err := s.check(PointRead); err != nil {
+		return nil, err
+	}
+	return s.base.ReadFile(path)
+}
+
+func (s *faultFS) OpenFile(path string, flag int, perm os.FileMode) (wal.File, error) {
+	if err := s.check(PointOpen); err != nil {
+		return nil, err
+	}
+	f, err := s.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, fs: s}, nil
+}
+
+func (s *faultFS) Truncate(path string, size int64) error {
+	if err := s.check(PointTruncate); err != nil {
+		return err
+	}
+	return s.base.Truncate(path, size)
+}
+
+func (s *faultFS) Remove(path string) error {
+	if err := s.check(PointRemove); err != nil {
+		return err
+	}
+	return s.base.Remove(path)
+}
+
+// faultFile instruments one open file's write and fsync paths.
+type faultFile struct {
+	f  wal.File
+	fs *faultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	flt, ok := f.fs.inj.Eval(f.fs.prefix + PointWrite)
+	if ok {
+		flt.Sleep()
+		if flt.Err != nil {
+			n := 0
+			if flt.Partial > 0 {
+				// Torn write: part of the frame reaches the disk before the
+				// failure, exactly what a crashed kernel leaves behind.
+				cut := flt.Partial
+				if cut > len(p) {
+					cut = len(p)
+				}
+				n, _ = f.f.Write(p[:cut])
+			}
+			return n, flt.Err
+		}
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check(PointSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Close() error { return f.f.Close() }

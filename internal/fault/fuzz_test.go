@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule checks that schedule decoding never panics on
+// arbitrary input and that every accepted schedule survives a
+// format/parse round trip unchanged — the property that makes schedules
+// safe to pass through flags and config files.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("wal.write after=10 every=2 count=3 err=eio delay=5ms partial=7")
+	f.Add("# comment\n\nwal.sync prob=0.25 err=enospc\nrepl.body err=cut")
+	f.Add("p")
+	f.Add("p prob=1 delay=0s")
+	f.Add("=")
+	f.Add("p after=18446744073709551615")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		again, err := ParseSchedule(FormatSchedule(rules))
+		if err != nil {
+			t.Fatalf("formatted schedule failed to re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(again, rules) {
+			t.Fatalf("round trip changed rules:\n  in:  %+v\n  out: %+v", rules, again)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+)
+
+// HTTP point-name suffixes used by Transport.
+const (
+	// PointRequest covers the round trip itself (connection establishment
+	// and request send); PointBody each read from the response body — a
+	// mid-stream cut.
+	PointRequest = ".request"
+	PointBody    = ".body"
+)
+
+// Transport is an http.RoundTripper that consults an injector before the
+// round trip (point prefix+".request") and on every response-body read
+// (prefix+".body"), so replication tests can cut connections at dial time
+// or mid-stream. A zero Base uses http.DefaultTransport.
+type Transport struct {
+	// Base is the wrapped transport (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Inj is the injector consulted at each point.
+	Inj *Injector
+	// Prefix namespaces the point names, e.g. "repl".
+	Prefix string
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f, ok := t.Inj.Eval(t.Prefix + PointRequest); ok {
+		f.Sleep()
+		if f.Err != nil {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, f.Err
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || resp == nil || resp.Body == nil {
+		return resp, err
+	}
+	resp.Body = &faultBody{body: resp.Body, t: t}
+	return resp, nil
+}
+
+// faultBody interposes on response-body reads to cut streams mid-flight.
+type faultBody struct {
+	body io.ReadCloser
+	t    *Transport
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	if f, ok := b.t.Inj.Eval(b.t.Prefix + PointBody); ok {
+		f.Sleep()
+		if f.Err != nil {
+			b.body.Close() // tear the connection down, not just this read
+			return 0, f.Err
+		}
+	}
+	return b.body.Read(p)
+}
+
+func (b *faultBody) Close() error { return b.body.Close() }

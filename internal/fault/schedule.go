@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSchedule decodes the one-rule-per-line text schedule format:
+//
+//	<point> [after=N] [every=N] [count=N] [prob=0.x] [err=KIND] [delay=DUR] [partial=N]
+//
+// Blank lines and lines starting with '#' are skipped; a trailing
+// '# comment' on a rule line is stripped. The point name comes first and
+// is mandatory; the remaining key=value fields may appear in any order.
+// Durations use Go syntax ("5ms", "1s"). Errors name the offending line.
+func ParseSchedule(text string) ([]Rule, error) {
+	var rules []Rule
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		r := Rule{Point: fields[0]}
+		if strings.ContainsRune(r.Point, '=') {
+			return nil, fmt.Errorf("fault: schedule line %d: rule must start with a point name, got %q", ln+1, r.Point)
+		}
+		for _, kv := range fields[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok || val == "" {
+				return nil, fmt.Errorf("fault: schedule line %d: want key=value, got %q", ln+1, kv)
+			}
+			var err error
+			switch key {
+			case "after":
+				r.After, err = strconv.ParseUint(val, 10, 64)
+			case "every":
+				r.Every, err = strconv.ParseUint(val, 10, 64)
+			case "count":
+				r.Count, err = strconv.ParseUint(val, 10, 64)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+				// The negated form also rejects NaN, whose comparisons are
+				// all false.
+				if err == nil && !(r.Prob >= 0 && r.Prob <= 1) {
+					err = fmt.Errorf("probability out of [0,1]")
+				}
+			case "err":
+				r.Err = val
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+				if err == nil && r.Delay < 0 {
+					err = fmt.Errorf("negative delay")
+				}
+			case "partial":
+				var n uint64
+				n, err = strconv.ParseUint(val, 10, 31)
+				r.Partial = int(n)
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: schedule line %d: %s=%s: %v", ln+1, key, val, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// FormatSchedule renders rules back to the ParseSchedule text format, one
+// rule per line — the round-trip half used by tests and by flag echoing.
+func FormatSchedule(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		b.WriteString(r.Point)
+		if r.After > 0 {
+			fmt.Fprintf(&b, " after=%d", r.After)
+		}
+		if r.Every > 0 {
+			fmt.Fprintf(&b, " every=%d", r.Every)
+		}
+		if r.Count > 0 {
+			fmt.Fprintf(&b, " count=%d", r.Count)
+		}
+		if r.Prob > 0 {
+			fmt.Fprintf(&b, " prob=%g", r.Prob)
+		}
+		if r.Err != "" {
+			fmt.Fprintf(&b, " err=%s", r.Err)
+		}
+		if r.Delay > 0 {
+			fmt.Fprintf(&b, " delay=%s", r.Delay)
+		}
+		if r.Partial > 0 {
+			fmt.Fprintf(&b, " partial=%d", r.Partial)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

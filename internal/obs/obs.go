@@ -345,6 +345,14 @@ type WALMetrics struct {
 	ReplayedRecords, ReplayedSamples Counter
 	// ReplayNanos is the duration of the most recent replay (0 = none ran).
 	ReplayNanos Gauge
+	// Degraded is 1 while the log is detached from a failing disk
+	// (FailDegrade policy) and ingest is in-memory only.
+	Degraded Gauge
+	// DroppedAppends counts records dropped while degraded (ingested in
+	// memory, never logged); WriteRetries counts segment-write retry
+	// attempts after transient errors; Reattaches counts recoveries from
+	// degraded mode back to a fresh on-disk segment.
+	DroppedAppends, WriteRetries, Reattaches Counter
 }
 
 // Metrics is the live instrument set of one monitor. Construct with
@@ -422,6 +430,10 @@ func (m *Metrics) Snapshot() Snapshot {
 			ReplayedRecords: m.WAL.ReplayedRecords.Load(),
 			ReplayedSamples: m.WAL.ReplayedSamples.Load(),
 			ReplayNanos:     m.WAL.ReplayNanos.Load(),
+			Degraded:        m.WAL.Degraded.Load(),
+			DroppedAppends:  m.WAL.DroppedAppends.Load(),
+			WriteRetries:    m.WAL.WriteRetries.Load(),
+			Reattaches:      m.WAL.Reattaches.Load(),
 		},
 		Aggregate:   snapshotQuery(&m.Aggregate),
 		Pattern:     snapshotQuery(&m.Pattern),
@@ -484,6 +496,10 @@ type WALSnapshot struct {
 	// ReplayedRecords/ReplayedSamples/ReplayNanos describe the last crash
 	// recovery replay.
 	ReplayedRecords, ReplayedSamples, ReplayNanos int64
+	// Degraded is 1 while the log is detached from a failing disk;
+	// DroppedAppends counts records dropped while degraded, WriteRetries
+	// the segment-write retries, Reattaches the recoveries back to disk.
+	Degraded, DroppedAppends, WriteRetries, Reattaches int64
 }
 
 // merge sums two WAL snapshots (sharded monitors present one surface).
@@ -491,6 +507,10 @@ func (w WALSnapshot) merge(o WALSnapshot) WALSnapshot {
 	replay := w.ReplayNanos
 	if o.ReplayNanos > replay {
 		replay = o.ReplayNanos
+	}
+	degraded := w.Degraded
+	if o.Degraded > degraded {
+		degraded = o.Degraded
 	}
 	return WALSnapshot{
 		Appends:         w.Appends + o.Appends,
@@ -504,6 +524,10 @@ func (w WALSnapshot) merge(o WALSnapshot) WALSnapshot {
 		ReplayedRecords: w.ReplayedRecords + o.ReplayedRecords,
 		ReplayedSamples: w.ReplayedSamples + o.ReplayedSamples,
 		ReplayNanos:     replay,
+		Degraded:        degraded,
+		DroppedAppends:  w.DroppedAppends + o.DroppedAppends,
+		WriteRetries:    w.WriteRetries + o.WriteRetries,
+		Reattaches:      w.Reattaches + o.Reattaches,
 	}
 }
 
@@ -533,6 +557,31 @@ func (q QuerySnapshot) PruningPower() float64 {
 	return float64(q.Verified) / float64(q.Candidates)
 }
 
+// FaultSnapshot is the fault-injection section of a Snapshot: all-zero in
+// production (no injector armed). The server fills it from the injector's
+// counters so chaos experiments can watch their own blast radius on
+// /metricsz.
+type FaultSnapshot struct {
+	// RulesArmed is the number of fault rules currently loaded.
+	RulesArmed int64
+	// Evals counts injection-point evaluations; Injected counts the
+	// subset that fired a fault.
+	Evals, Injected int64
+}
+
+// merge sums counters and takes the maximum of the armed-rules gauge.
+func (f FaultSnapshot) merge(o FaultSnapshot) FaultSnapshot {
+	armed := f.RulesArmed
+	if o.RulesArmed > armed {
+		armed = o.RulesArmed
+	}
+	return FaultSnapshot{
+		RulesArmed: armed,
+		Evals:      f.Evals + o.Evals,
+		Injected:   f.Injected + o.Injected,
+	}
+}
+
 // Snapshot is a point-in-time copy of a monitor's metrics: plain data, safe
 // to retain, serialize, or merge across shards.
 type Snapshot struct {
@@ -541,6 +590,7 @@ type Snapshot struct {
 	Parallel    ParallelSnapshot
 	WAL         WALSnapshot
 	Repl        ReplSnapshot
+	Fault       FaultSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
 	Correlation QuerySnapshot
@@ -585,6 +635,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		},
 		WAL:         s.WAL.merge(o.WAL),
 		Repl:        s.Repl.merge(o.Repl),
+		Fault:       s.Fault.merge(o.Fault),
 		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
 		Pattern:     s.Pattern.mergeQuery(o.Pattern),
 		Correlation: s.Correlation.mergeQuery(o.Correlation),

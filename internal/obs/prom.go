@@ -42,6 +42,10 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.counter("stardust_wal_replayed_records_total", "WAL records applied by crash-recovery replay.", s.WAL.ReplayedRecords)
 	p.counter("stardust_wal_replayed_samples_total", "Samples applied by crash-recovery replay.", s.WAL.ReplayedSamples)
 	p.gauge("stardust_wal_replay_duration_nanos", "Wall time of the most recent WAL replay (0 when none ran).", s.WAL.ReplayNanos)
+	p.gauge("stardust_wal_degraded", "1 while the WAL is detached from a failing disk and ingest is in-memory only.", s.WAL.Degraded)
+	p.counter("stardust_wal_dropped_appends_total", "Records dropped (kept in memory only) while the WAL was degraded.", s.WAL.DroppedAppends)
+	p.counter("stardust_wal_write_retries_total", "Segment-write retries after transient disk errors.", s.WAL.WriteRetries)
+	p.counter("stardust_wal_reattaches_total", "Recoveries from degraded mode back to an on-disk segment.", s.WAL.Reattaches)
 
 	p.gauge("stardust_repl_primary_streams_active", "Replication streams currently open on the primary.", s.Repl.StreamsActive)
 	p.counter("stardust_repl_primary_records_served_total", "WAL record frames copied onto replication streams.", s.Repl.RecordsServed)
@@ -58,6 +62,15 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.gauge("stardust_repl_follower_primary_lsn", "Primary's last advertised WAL record.", s.Repl.PrimaryLSN)
 	p.gauge("stardust_repl_follower_lag_records", "Replica lag in WAL records (primary LSN minus applied LSN).", s.Repl.LagRecords)
 	p.gauge("stardust_repl_follower_last_apply_unix_nanos", "Wall-clock time of the last applied record or heartbeat (0 before the first).", s.Repl.LastApplyUnixNanos)
+	p.counter("stardust_repl_health_probes_total", "Failover-watch probes of the primary's /healthz.", s.Repl.HealthProbes)
+	p.counter("stardust_repl_health_probe_failures_total", "Failed failover-watch probes (connection error, timeout, or non-200).", s.Repl.HealthProbeFailures)
+	p.counter("stardust_repl_promote_total", "Follower-to-primary promotions performed by this process.", s.Repl.Promotions)
+	p.gauge("stardust_repl_promote_sealed_lsn", "Last applied LSN at the moment the follower sealed its tail for promotion.", s.Repl.PromoteSealedLSN)
+	p.gauge("stardust_repl_promote_unix_nanos", "Wall-clock time of the promotion (0 before any).", s.Repl.PromoteUnixNanos)
+
+	p.gauge("stardust_fault_rules_armed", "Fault-injection rules currently loaded (0 in production).", s.Fault.RulesArmed)
+	p.counter("stardust_fault_evals_total", "Fault injection-point evaluations.", s.Fault.Evals)
+	p.counter("stardust_fault_injected_total", "Faults actually injected (errors, delays, torn writes, cut links).", s.Fault.Injected)
 
 	p.counter("stardust_index_inserts_total", "R*-tree leaf entries inserted (all levels).", s.Tree.Inserts)
 	p.counter("stardust_index_deletes_total", "R*-tree leaf entries deleted (all levels).", s.Tree.Deletes)

@@ -35,26 +35,43 @@ type ReplMetrics struct {
 	// or heartbeat (0 before the first), the basis of the lag-in-seconds
 	// readiness signal.
 	LastApplyUnixNanos Gauge
+
+	// HealthProbes counts failover-watch probes of the primary's /healthz;
+	// HealthProbeFailures counts the probes that failed (connection error,
+	// timeout, or non-200).
+	HealthProbes, HealthProbeFailures Counter
+	// Promotions counts follower-to-primary promotions performed by this
+	// process (0 or 1 in practice; a counter so restarts are visible).
+	Promotions Counter
+	// PromoteSealedLSN is the last LSN the follower had applied when it
+	// sealed its tail for promotion; PromoteUnixNanos is the wall-clock
+	// promotion time (both 0 before any promotion).
+	PromoteSealedLSN, PromoteUnixNanos Gauge
 }
 
 // Snapshot captures every replication instrument at one point in time.
 func (r *ReplMetrics) Snapshot() ReplSnapshot {
 	return ReplSnapshot{
-		StreamsActive:      r.StreamsActive.Load(),
-		RecordsServed:      r.RecordsServed.Load(),
-		BytesServed:        r.BytesServed.Load(),
-		HeartbeatsSent:     r.HeartbeatsSent.Load(),
-		SnapshotsServed:    r.SnapshotsServed.Load(),
-		Connected:          r.Connected.Load(),
-		RecordsApplied:     r.RecordsApplied.Load(),
-		SamplesApplied:     r.SamplesApplied.Load(),
-		BytesApplied:       r.BytesApplied.Load(),
-		Reconnects:         r.Reconnects.Load(),
-		Rebootstraps:       r.Rebootstraps.Load(),
-		AppliedLSN:         r.AppliedLSN.Load(),
-		PrimaryLSN:         r.PrimaryLSN.Load(),
-		LagRecords:         r.LagRecords.Load(),
-		LastApplyUnixNanos: r.LastApplyUnixNanos.Load(),
+		StreamsActive:       r.StreamsActive.Load(),
+		RecordsServed:       r.RecordsServed.Load(),
+		BytesServed:         r.BytesServed.Load(),
+		HeartbeatsSent:      r.HeartbeatsSent.Load(),
+		SnapshotsServed:     r.SnapshotsServed.Load(),
+		Connected:           r.Connected.Load(),
+		RecordsApplied:      r.RecordsApplied.Load(),
+		SamplesApplied:      r.SamplesApplied.Load(),
+		BytesApplied:        r.BytesApplied.Load(),
+		Reconnects:          r.Reconnects.Load(),
+		Rebootstraps:        r.Rebootstraps.Load(),
+		AppliedLSN:          r.AppliedLSN.Load(),
+		PrimaryLSN:          r.PrimaryLSN.Load(),
+		LagRecords:          r.LagRecords.Load(),
+		LastApplyUnixNanos:  r.LastApplyUnixNanos.Load(),
+		HealthProbes:        r.HealthProbes.Load(),
+		HealthProbeFailures: r.HealthProbeFailures.Load(),
+		Promotions:          r.Promotions.Load(),
+		PromoteSealedLSN:    r.PromoteSealedLSN.Load(),
+		PromoteUnixNanos:    r.PromoteUnixNanos.Load(),
 	}
 }
 
@@ -73,6 +90,11 @@ type ReplSnapshot struct {
 	Reconnects, Rebootstraps                     int64
 	AppliedLSN, PrimaryLSN, LagRecords           int64
 	LastApplyUnixNanos                           int64
+	// HealthProbes through PromoteUnixNanos are the automated-failover
+	// instruments (see ReplMetrics).
+	HealthProbes, HealthProbeFailures  int64
+	Promotions                         int64
+	PromoteSealedLSN, PromoteUnixNanos int64
 }
 
 // merge sums counters and takes the maximum of gauges — the conservative
@@ -86,20 +108,25 @@ func (r ReplSnapshot) merge(o ReplSnapshot) ReplSnapshot {
 		return b
 	}
 	return ReplSnapshot{
-		StreamsActive:      r.StreamsActive + o.StreamsActive,
-		RecordsServed:      r.RecordsServed + o.RecordsServed,
-		BytesServed:        r.BytesServed + o.BytesServed,
-		HeartbeatsSent:     r.HeartbeatsSent + o.HeartbeatsSent,
-		SnapshotsServed:    r.SnapshotsServed + o.SnapshotsServed,
-		Connected:          maxOf(r.Connected, o.Connected),
-		RecordsApplied:     r.RecordsApplied + o.RecordsApplied,
-		SamplesApplied:     r.SamplesApplied + o.SamplesApplied,
-		BytesApplied:       r.BytesApplied + o.BytesApplied,
-		Reconnects:         r.Reconnects + o.Reconnects,
-		Rebootstraps:       r.Rebootstraps + o.Rebootstraps,
-		AppliedLSN:         maxOf(r.AppliedLSN, o.AppliedLSN),
-		PrimaryLSN:         maxOf(r.PrimaryLSN, o.PrimaryLSN),
-		LagRecords:         maxOf(r.LagRecords, o.LagRecords),
-		LastApplyUnixNanos: maxOf(r.LastApplyUnixNanos, o.LastApplyUnixNanos),
+		StreamsActive:       r.StreamsActive + o.StreamsActive,
+		RecordsServed:       r.RecordsServed + o.RecordsServed,
+		BytesServed:         r.BytesServed + o.BytesServed,
+		HeartbeatsSent:      r.HeartbeatsSent + o.HeartbeatsSent,
+		SnapshotsServed:     r.SnapshotsServed + o.SnapshotsServed,
+		Connected:           maxOf(r.Connected, o.Connected),
+		RecordsApplied:      r.RecordsApplied + o.RecordsApplied,
+		SamplesApplied:      r.SamplesApplied + o.SamplesApplied,
+		BytesApplied:        r.BytesApplied + o.BytesApplied,
+		Reconnects:          r.Reconnects + o.Reconnects,
+		Rebootstraps:        r.Rebootstraps + o.Rebootstraps,
+		AppliedLSN:          maxOf(r.AppliedLSN, o.AppliedLSN),
+		PrimaryLSN:          maxOf(r.PrimaryLSN, o.PrimaryLSN),
+		LagRecords:          maxOf(r.LagRecords, o.LagRecords),
+		LastApplyUnixNanos:  maxOf(r.LastApplyUnixNanos, o.LastApplyUnixNanos),
+		HealthProbes:        r.HealthProbes + o.HealthProbes,
+		HealthProbeFailures: r.HealthProbeFailures + o.HealthProbeFailures,
+		Promotions:          r.Promotions + o.Promotions,
+		PromoteSealedLSN:    maxOf(r.PromoteSealedLSN, o.PromoteSealedLSN),
+		PromoteUnixNanos:    maxOf(r.PromoteUnixNanos, o.PromoteUnixNanos),
 	}
 }

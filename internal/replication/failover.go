@@ -1,0 +1,121 @@
+package replication
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stardust/internal/obs"
+)
+
+// FailoverConfig tunes a FailoverWatch. Primary and Promote are required;
+// zero values elsewhere select the documented defaults.
+type FailoverConfig struct {
+	// Primary is the watched primary's base URL.
+	Primary string
+	// Client issues the health probes (default: a dedicated client).
+	Client *http.Client
+	// Path is the health endpoint probed on the primary (default
+	// "/healthz"). Any 2xx response counts as healthy.
+	Path string
+	// Interval is the nominal probe period (default 1s). Each wait is
+	// jittered over [Interval/2, Interval) so that multiple watchers —
+	// for example one per replica — do not probe, and then promote, in
+	// lockstep.
+	Interval time.Duration
+	// Timeout bounds each probe request (default Interval): a hung
+	// primary must register as a failure, not stall the watch.
+	Timeout time.Duration
+	// FailAfter is how many consecutive failed probes declare the primary
+	// dead and trigger Promote (default 3). One flaky probe must not
+	// fail over a healthy primary.
+	FailAfter int
+	// Promote runs the promotion once the primary is declared dead.
+	Promote func(ctx context.Context) error
+	// OnProbe, when set, observes every probe result: err is nil for a
+	// healthy probe, and fails is the consecutive-failure count after
+	// this probe. A logging hook; it runs on the watch goroutine.
+	OnProbe func(err error, fails int)
+	// Metrics receives the stardust_repl_health_probe_* instruments
+	// (optional).
+	Metrics *obs.ReplMetrics
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Path == "" {
+		c.Path = "/healthz"
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	return c
+}
+
+// FailoverWatch probes the primary's health endpoint until either ctx is
+// cancelled (returning ctx.Err()) or FailAfter consecutive probes fail,
+// at which point it calls Promote exactly once and returns its error —
+// nil meaning this replica is now the primary. A single healthy probe
+// resets the failure count, so a primary that flaps below the threshold
+// is never failed over.
+func FailoverWatch(ctx context.Context, cfg FailoverConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Primary == "" || cfg.Promote == nil {
+		return fmt.Errorf("replication: FailoverConfig.Primary and Promote are required")
+	}
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(jitterBackoff(cfg.Interval)):
+		}
+		err := probeHealth(ctx, cfg)
+		if m := cfg.Metrics; m != nil {
+			m.HealthProbes.Inc()
+			if err != nil {
+				m.HealthProbeFailures.Inc()
+			}
+		}
+		if err != nil {
+			fails++
+		} else {
+			fails = 0
+		}
+		if cfg.OnProbe != nil {
+			cfg.OnProbe(err, fails)
+		}
+		if fails >= cfg.FailAfter {
+			return cfg.Promote(ctx)
+		}
+	}
+}
+
+// probeHealth issues one bounded GET against the primary's health
+// endpoint; any 2xx is healthy.
+func probeHealth(ctx context.Context, cfg FailoverConfig) error {
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Primary+cfg.Path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("replication: health probe: %s", resp.Status)
+	}
+	return nil
+}

@@ -2,12 +2,15 @@ package replication
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync"
@@ -42,6 +45,16 @@ type FollowerConfig struct {
 	// nor heartbeats for this long (default 15s), forcing a reconnect —
 	// the guard against half-open TCP connections.
 	StallTimeout time.Duration
+	// MirrorDir, when non-empty, keeps a local WAL mirroring the primary's
+	// records: each applied record is also appended to a log rooted here,
+	// with coinciding LSNs. The mirror is wiped and re-opened at the
+	// snapshot watermark on every bootstrap, so it is always a contiguous
+	// suffix of the primary's history — the raw material Seal hands to
+	// promotion. Without it, Seal fails and the replica cannot be promoted.
+	MirrorDir string
+	// MirrorSegmentBytes overrides the mirror log's segment rotation
+	// threshold (optional; default wal.DefaultSegmentBytes).
+	MirrorSegmentBytes int
 	// Metrics receives the stardust_repl_follower_* instruments (optional).
 	Metrics *obs.ReplMetrics
 }
@@ -112,8 +125,12 @@ func (s FollowerStatus) LagSeconds(now time.Time) float64 {
 type Follower struct {
 	cfg FollowerConfig
 
-	mu sync.Mutex
-	st FollowerStatus
+	mu      sync.Mutex
+	st      FollowerStatus
+	mirror  *wal.Log           // local WAL mirror; nil without MirrorDir or pre-bootstrap
+	sealed  bool               // Seal called: replication is permanently stopped
+	cancel  context.CancelFunc // cancels the active Run loop
+	runDone chan struct{}      // closed when the active Run loop exits
 }
 
 // NewFollower builds a follower for the given primary.
@@ -155,11 +172,40 @@ func (f *Follower) update(fn func(*FollowerStatus)) {
 	}
 }
 
+// ErrSealed is returned by Run after Seal has permanently stopped the
+// follower for promotion.
+var ErrSealed = errors.New("replication: follower sealed")
+
+// jitterBackoff spreads a reconnect delay over [d/2, d). With a fleet of
+// followers cut off by the same primary blip, deterministic backoff makes
+// them retry in lockstep and thunder at the recovering primary; jitter
+// de-synchronizes the herd. A package variable so tests can pin it.
+var jitterBackoff = func(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(d-half)))
+}
+
 // Run drives the replication loop until ctx is cancelled: connect, stream,
-// apply; on any failure back off exponentially and reconnect, starting
-// with a fresh snapshot bootstrap whenever the local state is not known to
-// be a prefix of the primary's. Run returns ctx.Err() on cancellation.
+// apply; on any failure back off exponentially (with jitter) and
+// reconnect, starting with a fresh snapshot bootstrap whenever the local
+// state is not known to be a prefix of the primary's. Run returns
+// ctx.Err() on cancellation and ErrSealed after Seal.
 func (f *Follower) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	f.mu.Lock()
+	if f.sealed {
+		f.mu.Unlock()
+		return ErrSealed
+	}
+	done := make(chan struct{})
+	f.cancel, f.runDone = cancel, done
+	f.mu.Unlock()
+	defer close(done)
+
 	backoff := f.cfg.MinBackoff
 	first := true
 	for {
@@ -181,7 +227,7 @@ func (f *Follower) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		}
 		backoff *= 2
 		if backoff > f.cfg.MaxBackoff {
@@ -240,6 +286,11 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	if err := f.cfg.Bootstrap(resp.Body, lsn); err != nil {
 		return fmt.Errorf("replication: bootstrap: %w", err)
 	}
+	if f.cfg.MirrorDir != "" {
+		if err := f.resetMirror(lsn); err != nil {
+			return err
+		}
+	}
 	f.update(func(st *FollowerStatus) {
 		st.Bootstrapped = true
 		st.AppliedLSN = lsn
@@ -248,6 +299,34 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 		}
 		st.LastContact = time.Now()
 	})
+	return nil
+}
+
+// resetMirror wipes the local mirror and re-opens it positioned just
+// past the snapshot watermark, so the first streamed record lands at its
+// primary-assigned LSN. Called after every successful bootstrap: the
+// snapshot supersedes whatever prefix the old mirror held.
+func (f *Follower) resetMirror(watermark uint64) error {
+	f.mu.Lock()
+	old := f.mirror
+	f.mirror = nil
+	f.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	// Default interval fsync: cheap off the apply path while following,
+	// and the log already has primary-grade durability the moment Seal
+	// hands it to promotion.
+	m, err := wal.OpenAt(wal.Config{
+		Dir:          f.cfg.MirrorDir,
+		SegmentBytes: f.cfg.MirrorSegmentBytes,
+	}, watermark+1)
+	if err != nil {
+		return fmt.Errorf("replication: opening mirror: %w", err)
+	}
+	f.mu.Lock()
+	f.mirror = m
+	f.mu.Unlock()
 	return nil
 }
 
@@ -318,6 +397,9 @@ func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
 	br := bufio.NewReaderSize(resp.Body, 64<<10)
 	lsn := from - 1
 	m := f.cfg.Metrics
+	f.mu.Lock()
+	mirror := f.mirror // only bootstrap (same goroutine) or Seal (post-Run) swap it
+	f.mu.Unlock()
 	for {
 		payload, frameLen, err := readFrame(br)
 		if err != nil {
@@ -344,6 +426,15 @@ func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
 			return applied, fmt.Errorf("replication: invalid frame payload at lsn %d", lsn+1)
 		}
 		rec.LSN = lsn + 1
+		// Mirror before Apply: a record the monitor saw but the mirror
+		// missed would leave a hole promotion cannot serve; the reverse —
+		// mirrored but unapplied after a failure here — is healed by the
+		// LSN-skip below on resume, or drained by Seal.
+		if mirror != nil && rec.LSN == mirror.LastLSN()+1 {
+			if _, err := mirror.Append(rec.Stream, rec.Start, rec.Values); err != nil {
+				return applied, fmt.Errorf("replication: mirror append lsn %d: %w", rec.LSN, err)
+			}
+		}
 		if err := f.cfg.Apply(rec); err != nil {
 			// Local state is now unknown; force a snapshot re-bootstrap.
 			f.update(func(st *FollowerStatus) { st.Bootstrapped = false })
@@ -366,6 +457,74 @@ func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
 			st.LastContact = now
 		})
 	}
+}
+
+// Seal permanently stops replication and hands the mirror log to the
+// caller for promotion: it cancels any active Run loop and waits for it
+// to exit, applies any records the mirror holds past the applied
+// watermark (the window where a record was mirrored but the stream died
+// before Apply), syncs the mirror to disk, and detaches it. After Seal
+// the follower is inert — Run returns ErrSealed — so there is exactly
+// one writer lineage for the log's LSNs. Seal fails when MirrorDir was
+// never configured or the follower has not bootstrapped.
+func (f *Follower) Seal() (*wal.Log, error) {
+	f.mu.Lock()
+	f.sealed = true
+	cancel, done := f.cancel, f.runDone
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+	f.mu.Lock()
+	mirror := f.mirror
+	f.mirror = nil
+	applied := f.st.AppliedLSN
+	f.mu.Unlock()
+	if mirror == nil {
+		return nil, fmt.Errorf("replication: seal: no mirror (MirrorDir unset or follower never bootstrapped)")
+	}
+	// Drain the mirror-ahead tail into the local state so the promoted
+	// monitor's memory covers every record its log will serve.
+	for lsn := applied + 1; lsn <= mirror.LastLSN(); {
+		data, next, err := mirror.ReadFrames(lsn, 0)
+		if err != nil {
+			_ = mirror.Close()
+			return nil, fmt.Errorf("replication: seal: reading mirror tail: %w", err)
+		}
+		br := bufio.NewReader(bytes.NewReader(data))
+		for ; lsn < next; lsn++ {
+			payload, _, err := readFrame(br)
+			if err != nil {
+				_ = mirror.Close()
+				return nil, fmt.Errorf("replication: seal: decoding mirror tail at lsn %d: %w", lsn, err)
+			}
+			rec, ok := wal.DecodeRecordPayload(payload)
+			if !ok {
+				_ = mirror.Close()
+				return nil, fmt.Errorf("replication: seal: invalid mirror payload at lsn %d", lsn)
+			}
+			rec.LSN = lsn
+			if err := f.cfg.Apply(rec); err != nil {
+				_ = mirror.Close()
+				return nil, fmt.Errorf("replication: seal: applying mirror tail lsn %d: %w", lsn, err)
+			}
+		}
+	}
+	if err := mirror.Sync(); err != nil {
+		_ = mirror.Close()
+		return nil, fmt.Errorf("replication: seal: syncing mirror: %w", err)
+	}
+	last := mirror.LastLSN()
+	f.update(func(st *FollowerStatus) {
+		st.Connected = false
+		if st.AppliedLSN < last {
+			st.AppliedLSN = last
+		}
+	})
+	return mirror, nil
 }
 
 // Probe fetches the primary's /repl/status once — a connectivity check

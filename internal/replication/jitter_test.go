@@ -1,0 +1,77 @@
+package replication
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBackoffBounds(t *testing.T) {
+	for _, d := range []time.Duration{
+		2 * time.Millisecond,
+		100 * time.Millisecond,
+		5 * time.Second,
+	} {
+		for i := 0; i < 200; i++ {
+			j := jitterBackoff(d)
+			if j < d/2 || j >= d {
+				t.Fatalf("jitterBackoff(%v) = %v, want in [%v, %v)", d, j, d/2, d)
+			}
+		}
+	}
+	// Degenerate delays pass through rather than dividing to zero.
+	if j := jitterBackoff(1); j != 1 {
+		t.Fatalf("jitterBackoff(1) = %v, want 1", j)
+	}
+	if j := jitterBackoff(0); j != 0 {
+		t.Fatalf("jitterBackoff(0) = %v, want 0", j)
+	}
+}
+
+func TestJitterBackoffSpreads(t *testing.T) {
+	// Over many draws the jitter must actually vary — a constant function
+	// would satisfy the bounds test while re-synchronizing the herd.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		seen[jitterBackoff(time.Second)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("200 draws produced only %d distinct delays", len(seen))
+	}
+}
+
+func TestRetentionFloor(t *testing.T) {
+	p := NewPrimary(nil, nil, PrimaryConfig{})
+	if got := p.RetentionFloor(100); got != 0 {
+		t.Fatalf("no streams, no RetainRecords: floor = %d, want 0", got)
+	}
+
+	// The slowest connected stream sets the floor.
+	a := p.track(40)
+	b := p.track(90)
+	if got := p.RetentionFloor(100); got != 40 {
+		t.Fatalf("floor = %d, want 40 (slowest stream)", got)
+	}
+	p.setPos(a, 95)
+	if got := p.RetentionFloor(100); got != 90 {
+		t.Fatalf("floor = %d, want 90 after the slow stream advanced", got)
+	}
+	p.untrack(a)
+	p.untrack(b)
+	if got := p.RetentionFloor(100); got != 0 {
+		t.Fatalf("floor = %d, want 0 after streams detached", got)
+	}
+
+	// RetainRecords keeps a trailing window even with no streams.
+	p = NewPrimary(nil, nil, PrimaryConfig{RetainRecords: 25})
+	if got := p.RetentionFloor(100); got != 76 {
+		t.Fatalf("RetainRecords floor = %d, want 76", got)
+	}
+	if got := p.RetentionFloor(10); got != 1 {
+		t.Fatalf("RetainRecords floor on short log = %d, want 1", got)
+	}
+	// The lower of the two constraints wins.
+	p.track(50)
+	if got := p.RetentionFloor(100); got != 50 {
+		t.Fatalf("combined floor = %d, want 50 (stream below grace window)", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"stardust/internal/obs"
@@ -39,6 +40,12 @@ type PrimaryConfig struct {
 	Heartbeat time.Duration
 	// ChunkBytes bounds the frames read per iteration (default 256 KiB).
 	ChunkBytes int
+	// RetainRecords, when positive, asks RetentionFloor to keep at least
+	// this many trailing records past checkpoints even with no follower
+	// connected — a grace window for followers that are briefly away, so
+	// a checkpoint during their reconnect backoff does not force a full
+	// snapshot re-bootstrap.
+	RetainRecords uint64
 	// Metrics receives the stardust_repl_primary_* instruments (optional).
 	Metrics *obs.ReplMetrics
 }
@@ -64,13 +71,70 @@ type Primary struct {
 	log  LogSource
 	snap SnapshotFunc
 	cfg  PrimaryConfig
+
+	mu      sync.Mutex
+	nextID  int
+	streams map[int]uint64 // stream ID → next LSN that stream needs
 }
 
 // NewPrimary builds a Primary over the log. snap supplies bootstrap
 // snapshots; a nil snap disables GET /repl/snapshot (404), which restricts
 // followers to bootstrapping from LSN 1 while the log is untrimmed.
 func NewPrimary(log LogSource, snap SnapshotFunc, cfg PrimaryConfig) *Primary {
-	return &Primary{log: log, snap: snap, cfg: cfg.withDefaults()}
+	return &Primary{log: log, snap: snap, cfg: cfg.withDefaults(), streams: make(map[int]uint64)}
+}
+
+// track registers a live WAL stream at its starting position and returns
+// its handle for setPos/untrack.
+func (p *Primary) track(from uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	p.streams[p.nextID] = from
+	return p.nextID
+}
+
+// setPos advances a tracked stream's next-needed LSN.
+func (p *Primary) setPos(id int, from uint64) {
+	p.mu.Lock()
+	p.streams[id] = from
+	p.mu.Unlock()
+}
+
+// untrack removes a finished stream from retention accounting.
+func (p *Primary) untrack(id int) {
+	p.mu.Lock()
+	delete(p.streams, id)
+	p.mu.Unlock()
+}
+
+// RetentionFloor reports the lowest LSN the primary still wants retained
+// given the log's last LSN: the minimum next-needed position across
+// connected follower streams, further lowered by the RetainRecords grace
+// window. Zero means no constraint. It has the wal.Log.SetRetention
+// callback shape — wired there, it stops a checkpoint's TrimThrough from
+// cutting the log out from under a live follower (which would otherwise
+// surface as a 410 Gone and a full snapshot re-bootstrap). It must not
+// call back into the log: it runs with the log's lock held.
+func (p *Primary) RetentionFloor(last uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var floor uint64
+	for _, pos := range p.streams {
+		if floor == 0 || pos < floor {
+			floor = pos
+		}
+	}
+	if n := p.cfg.RetainRecords; n > 0 {
+		keep := uint64(1)
+		if last >= n {
+			keep = last - n + 1
+		}
+		if floor == 0 || keep < floor {
+			floor = keep
+		}
+	}
+	return floor
 }
 
 // Register mounts the replication endpoints on the mux: GET /repl/status,
@@ -136,6 +200,8 @@ func (p *Primary) HandleWAL(w http.ResponseWriter, r *http.Request) {
 		m.StreamsActive.Add(1)
 		defer m.StreamsActive.Add(-1)
 	}
+	id := p.track(from)
+	defer p.untrack(id)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
@@ -168,6 +234,7 @@ func (p *Primary) HandleWAL(w http.ResponseWriter, r *http.Request) {
 				m.BytesServed.Add(int64(len(data)))
 			}
 			from = next
+			p.setPos(id, from)
 			lastSend = time.Now()
 			flush()
 			continue

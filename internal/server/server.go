@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"stardust"
+	"stardust/internal/fault"
 	"stardust/internal/obs"
 	"stardust/internal/replication"
 )
@@ -80,6 +81,18 @@ type Server struct {
 
 	follower    *replication.Follower // non-nil on a read replica: ingest is 403
 	replMetrics *obs.ReplMetrics      // merged into /metricsz when replication is wired
+
+	// Replication-primary state. The /repl/* and /wal routes are mounted
+	// unconditionally at construction and dispatch through this pointer,
+	// because http.ServeMux must not be mutated once requests are in
+	// flight — promotion swaps the pointer, not the routes.
+	primary atomic.Pointer[replication.Primary]
+	retain  uint64 // RetainRecords for the primary (set before attach/promote)
+
+	promoteMu sync.Mutex  // serializes Promote and makes it once-only
+	promoted  atomic.Bool // true once this replica has become the primary
+
+	faultInj *fault.Injector // non-nil when fault injection is armed
 }
 
 // eventBuffer bounds the retained event backlog.
@@ -117,6 +130,13 @@ func newServer(mon Backend, w *stardust.SafeWatcher, snapshotPath string) *Serve
 	s.mux.HandleFunc("POST /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	// Replication endpoints are mounted up front and return 503 until
+	// AttachPrimary (or a promotion) installs a primary behind them; the
+	// mux itself is never mutated after requests start flowing.
+	s.mux.HandleFunc("GET /repl/status", s.handleReplStatus)
+	s.mux.HandleFunc("GET /repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /wal", s.handleReplWAL)
+	s.mux.HandleFunc("POST /repl/promote", s.handlePromote)
 	// Runtime profiling. CPU profiles (?seconds=N) must finish inside the
 	// server's write timeout; keep N below ServeOptions.WriteTimeout.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -190,6 +210,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]any{"status": "ready"}
+	if s.mon.Metrics().WAL.Degraded == 1 {
+		// Still 200: the monitor serves and ingests, but in memory only —
+		// operators alert on this field (and the stardust_wal_degraded
+		// gauge) rather than on probe failures.
+		resp["status"] = "degraded"
+		resp["wal_degraded"] = true
+	}
 	if info := s.replayInfo(); info != nil {
 		resp["replay"] = info
 	}
@@ -217,6 +244,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			"segments_trimmed": wal.SegmentsTrimmed,
 			"replayed_records": wal.ReplayedRecords,
 			"replayed_samples": wal.ReplayedSamples,
+			"degraded":         wal.Degraded == 1,
+			"dropped_appends":  wal.DroppedAppends,
+			"write_retries":    wal.WriteRetries,
+			"reattaches":       wal.Reattaches,
 		},
 	}
 	if info := s.replayInfo(); info != nil {
@@ -224,6 +255,14 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}
 	if info := s.replicationInfo(); info != nil {
 		resp["replication"] = info
+	}
+	if s.faultInj != nil {
+		c := s.faultInj.Counters()
+		resp["fault"] = map[string]any{
+			"rules_armed": c.RulesArmed,
+			"evals":       c.Evals,
+			"injected":    c.Injected,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -260,7 +299,7 @@ func ingestStatus(err error) int {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.follower != nil {
+	if s.follower != nil && !s.promoted.Load() {
 		writeErr(w, http.StatusForbidden, "read-only replica: ingest on the primary")
 		return
 	}
@@ -426,6 +465,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.mon.Metrics()
 	if s.replMetrics != nil {
 		snap.Repl = s.replMetrics.Snapshot()
+	}
+	if s.faultInj != nil {
+		c := s.faultInj.Counters()
+		snap.Fault = obs.FaultSnapshot{RulesArmed: c.RulesArmed, Evals: c.Evals, Injected: c.Injected}
 	}
 	if err := obs.WriteProm(w, snap); err != nil {
 		log.Printf("server: writing /metricsz: %v", err)

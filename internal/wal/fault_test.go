@@ -1,0 +1,360 @@
+package wal_test
+
+import (
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"stardust/internal/fault"
+	"stardust/internal/obs"
+	"stardust/internal/wal"
+)
+
+// faultCfg builds a FailDegrade-ready config over an injector with short
+// timings suited to tests.
+func faultCfg(t *testing.T, inj *fault.Injector, policy wal.SyncPolicy, fail wal.FailPolicy) wal.Config {
+	t.Helper()
+	return wal.Config{
+		Dir:           filepath.Join(t.TempDir(), "wal"),
+		Policy:        policy,
+		SegmentBytes:  1 << 20,
+		Metrics:       &obs.NewMetrics().WAL,
+		FS:            fault.NewFS(wal.OSFS{}, inj, "wal"),
+		Fail:          fail,
+		RetryBackoff:  time.Millisecond,
+		ProbeInterval: 5 * time.Millisecond,
+	}
+}
+
+// replayValues reopens the log directory with a plain filesystem and
+// returns every (stream, start, values) tuple still on disk.
+func replayValues(t *testing.T, dir string) []wal.Record {
+	t.Helper()
+	l, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopening %s: %v", dir, err)
+	}
+	defer l.Close()
+	var recs []wal.Record
+	if _, err := l.Replay(func(r wal.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendRetriesTransientWriteError(t *testing.T) {
+	inj := fault.New(1, fault.Rule{Point: "wal" + fault.PointWrite, Count: 1, Err: fault.KindEIO})
+	cfg := faultCfg(t, inj, wal.SyncAlways, wal.FailStop)
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	lsn, err := l.Append(0, 1, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Append should survive one transient write error, got %v", err)
+	}
+	if lsn != 1 {
+		t.Fatalf("lsn = %d, want 1", lsn)
+	}
+	if got := cfg.Metrics.WriteRetries.Load(); got == 0 {
+		t.Fatal("WriteRetries should have counted the retry")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if recs := replayValues(t, cfg.Dir); len(recs) != 1 || len(recs[0].Values) != 3 {
+		t.Fatalf("replay got %+v, want the one retried record", recs)
+	}
+}
+
+func TestPartialWriteIsTruncatedAway(t *testing.T) {
+	// The first write tears after 5 bytes; the retry must not leave those
+	// bytes as mid-segment garbage.
+	inj := fault.New(1, fault.Rule{Point: "wal" + fault.PointWrite, Count: 1, Err: fault.KindEIO, Partial: 5})
+	cfg := faultCfg(t, inj, wal.SyncNone, wal.FailStop)
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(0, 1, []float64{1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := l.Append(1, 1, []float64{2}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs := replayValues(t, cfg.Dir)
+	if len(recs) != 2 {
+		t.Fatalf("replay got %d records, want 2 (torn bytes must be gone)", len(recs))
+	}
+	if recs[0].Values[0] != 1 || recs[1].Values[0] != 2 {
+		t.Fatalf("replay got %+v", recs)
+	}
+}
+
+func TestFailStopSurfacesPersistentError(t *testing.T) {
+	inj := fault.New(1, fault.Rule{Point: "wal" + fault.PointWrite, Err: fault.KindENOSPC})
+	cfg := faultCfg(t, inj, wal.SyncNone, wal.FailStop)
+	cfg.RetryAttempts = -1 // no retries: fail fast
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(0, 1, []float64{1}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Append error = %v, want ENOSPC through the chain", err)
+	}
+	if l.Degraded() {
+		t.Fatal("FailStop must not enter degraded mode")
+	}
+	// The disk "recovers": the very next append works — fail-stop keeps
+	// the log attached.
+	inj.Clear()
+	if _, err := l.Append(0, 1, []float64{1}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+}
+
+func TestDegradedModeEntryAndReattach(t *testing.T) {
+	inj := fault.New(1, fault.Rule{Point: "wal" + fault.PointWrite, Err: fault.KindEIO})
+	cfg := faultCfg(t, inj, wal.SyncAlways, wal.FailDegrade)
+	var notified atomic.Int64 // +1 on degrade, -1 on reattach
+	cfg.OnDegraded = func(d bool) {
+		if d {
+			notified.Add(1)
+		} else {
+			notified.Add(-1)
+		}
+	}
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+
+	if _, err := l.Append(0, 1, []float64{1}); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Append = %v, want ErrDegraded", err)
+	}
+	if !l.Degraded() {
+		t.Fatal("log should report degraded")
+	}
+	if cfg.Metrics.Degraded.Load() != 1 {
+		t.Fatal("Degraded gauge should be 1")
+	}
+	// Further appends drop without touching the dead disk.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(0, int64(2+i), []float64{1}); !errors.Is(err, wal.ErrDegraded) {
+			t.Fatalf("degraded Append = %v", err)
+		}
+	}
+	if got := cfg.Metrics.DroppedAppends.Load(); got < 4 {
+		t.Fatalf("DroppedAppends = %d, want ≥ 4", got)
+	}
+
+	// Disk recovers; the probe loop must reattach on its own.
+	inj.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("log did not reattach after the disk recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cfg.Metrics.Degraded.Load() != 0 || cfg.Metrics.Reattaches.Load() != 1 {
+		t.Fatalf("metrics after reattach: degraded=%d reattaches=%d",
+			cfg.Metrics.Degraded.Load(), cfg.Metrics.Reattaches.Load())
+	}
+	lsn, err := l.Append(0, 10, []float64{7})
+	if err != nil {
+		t.Fatalf("Append after reattach: %v", err)
+	}
+	if lsn < 2 {
+		t.Fatalf("post-reattach lsn = %d, want the sequence advanced past the dropped window", lsn)
+	}
+	// Wait for both notifications (they run on their own goroutines).
+	for notified.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("OnDegraded notifications unbalanced: %d", notified.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs := replayValues(t, cfg.Dir)
+	if len(recs) != 1 || recs[0].Values[0] != 7 {
+		t.Fatalf("replay got %+v, want only the post-reattach record", recs)
+	}
+}
+
+func TestDegradedOnFsyncFailure(t *testing.T) {
+	// Writes succeed but fsync fails: under SyncAlways + FailDegrade the
+	// group-commit leader must detach the log (a failed fsync cannot be
+	// retried — the kernel may have dropped the dirty pages).
+	inj := fault.New(1, fault.Rule{Point: "wal" + fault.PointSync, Err: fault.KindEIO})
+	cfg := faultCfg(t, inj, wal.SyncAlways, wal.FailDegrade)
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(0, 1, []float64{1}); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Append = %v, want ErrDegraded via fsync failure", err)
+	}
+	if !l.Degraded() {
+		t.Fatal("log should be degraded after fsync failure")
+	}
+}
+
+func TestReattachForcesFollowerRebootstrap(t *testing.T) {
+	inj := fault.New(1)
+	cfg := faultCfg(t, inj, wal.SyncNone, wal.FailDegrade)
+	cfg.ProbeInterval = time.Hour // manual reattach below
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(0, int64(i+1), []float64{float64(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// A follower is caught up through LSN 5 and would resume from 6.
+	inj.SetRules([]fault.Rule{{Point: "wal" + fault.PointWrite, Err: fault.KindEIO}})
+	if _, err := l.Append(0, 6, []float64{9}); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Append = %v, want ErrDegraded", err)
+	}
+	inj.Clear()
+	if err := l.Reattach(); err != nil {
+		t.Fatalf("Reattach: %v", err)
+	}
+	if _, _, err := l.ReadFrames(6, 0); !errors.Is(err, wal.ErrTrimmed) {
+		t.Fatalf("ReadFrames(6) = %v, want ErrTrimmed so the follower re-bootstraps", err)
+	}
+	// The fresh segment serves from FirstLSN on.
+	lsn, err := l.Append(0, 7, []float64{3})
+	if err != nil {
+		t.Fatalf("Append after reattach: %v", err)
+	}
+	if data, next, err := l.ReadFrames(l.FirstLSN(), 0); err != nil || next != lsn+1 || len(data) == 0 {
+		t.Fatalf("ReadFrames(FirstLSN) = (%d bytes, next %d, %v)", len(data), next, err)
+	}
+}
+
+func TestRecoverCallbackRunsBeforeReattachCompletes(t *testing.T) {
+	inj := fault.New(1, fault.Rule{Point: "wal" + fault.PointWrite, Count: 10, Err: fault.KindEIO})
+	cfg := faultCfg(t, inj, wal.SyncNone, wal.FailDegrade)
+	var l *wal.Log
+	var recovered atomic.Int64
+	cfg.Recover = func() error {
+		// Mimic the monitor's catch-up: reattach, then checkpoint (elided).
+		if err := l.Reattach(); err != nil {
+			return err
+		}
+		recovered.Add(1)
+		return nil
+	}
+	l, err := wal.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(0, 1, []float64{1}); !errors.Is(err, wal.ErrDegraded) {
+		t.Fatalf("Append = %v, want ErrDegraded", err)
+	}
+	inj.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("Recover callback never completed a reattach")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if recovered.Load() != 1 {
+		t.Fatalf("Recover ran %d times, want 1", recovered.Load())
+	}
+}
+
+func TestOpenAt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "mirror")
+	// Seed a stale segment that OpenAt must clear.
+	stale, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := stale.Append(0, 1, []float64{1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := stale.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l, err := wal.OpenAt(wal.Config{Dir: dir}, 42)
+	if err != nil {
+		t.Fatalf("OpenAt: %v", err)
+	}
+	defer l.Close()
+	if got := l.LastLSN(); got != 41 {
+		t.Fatalf("LastLSN = %d, want 41 (empty log positioned at 42)", got)
+	}
+	lsn, err := l.Append(3, 100, []float64{5})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if lsn != 42 {
+		t.Fatalf("first lsn = %d, want 42", lsn)
+	}
+	if first, last := l.Bounds(); first != 42 || last != 42 {
+		t.Fatalf("Bounds = (%d, %d), want (42, 42)", first, last)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs := replayValues(t, dir)
+	if len(recs) != 1 || recs[0].LSN != 42 || recs[0].Stream != 3 {
+		t.Fatalf("replay got %+v, want the one mirrored record at LSN 42", recs)
+	}
+}
+
+func TestRetentionFloorGuardsTrim(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := wal.Open(wal.Config{Dir: dir, SegmentBytes: 1}) // rotate on every record
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(0, int64(i+1), []float64{1}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	var floor atomic.Uint64
+	floor.Store(3) // a follower still needs LSN 3
+	l.SetRetention(func(last uint64) uint64 { return floor.Load() })
+	if _, err := l.TrimThrough(5); err != nil {
+		t.Fatalf("TrimThrough: %v", err)
+	}
+	if first := l.FirstLSN(); first > 3 {
+		t.Fatalf("FirstLSN = %d after guarded trim, want ≤ 3", first)
+	}
+	if _, _, err := l.ReadFrames(3, 0); err != nil {
+		t.Fatalf("ReadFrames(3) after guarded trim: %v", err)
+	}
+	// Follower catches up; the floor lifts and the next trim reclaims.
+	floor.Store(0)
+	if _, err := l.TrimThrough(5); err != nil {
+		t.Fatalf("TrimThrough: %v", err)
+	}
+	if first := l.FirstLSN(); first <= 3 {
+		t.Fatalf("FirstLSN = %d after unguarded trim, want > 3", first)
+	}
+}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the log needs from an open segment:
+// append writes, fsync, close. The fault-injection filesystem wraps it to
+// fail or tear individual operations.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// FS is the filesystem seam every disk operation of the log goes through.
+// Production uses OSFS; tests substitute a fault-injecting wrapper
+// (internal/fault.NewFS) to exercise disk-error handling — retries,
+// degraded mode, torn writes — without real hardware failures.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(dir string) ([]os.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// OpenFile opens a file with the given flags and permissions.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Truncate resizes the named file.
+	Truncate(path string, size int64) error
+	// Remove deletes the named file.
+	Remove(path string) error
+}
+
+// Open flags for the log's three file roles: appending to an existing
+// segment, creating a fresh one, and the degraded-mode probe file.
+const (
+	appendFlags = os.O_WRONLY | os.O_APPEND
+	createFlags = os.O_WRONLY | os.O_CREATE | os.O_EXCL | os.O_APPEND
+	probeFlags  = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+)
+
+// OSFS is the production FS: the real filesystem via package os.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }

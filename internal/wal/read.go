@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 )
 
 // ErrTrimmed marks a read request for records that snapshot-watermark GC
@@ -20,6 +19,9 @@ var ErrTrimmed = errors.New("wal: records trimmed")
 func (l *Log) FirstLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.nextLSN // mid-reattach: nothing retained
+	}
 	first := l.segs[0].first
 	if first >= l.nextLSN {
 		return l.nextLSN
@@ -33,9 +35,9 @@ func (l *Log) Bounds() (first, last uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	last = l.nextLSN - 1
-	first = l.segs[0].first
-	if first > last {
-		first = l.nextLSN
+	first = l.nextLSN
+	if len(l.segs) > 0 && l.segs[0].first <= last {
+		first = l.segs[0].first
 	}
 	return first, last
 }
@@ -71,6 +73,9 @@ func (l *Log) ReadFrames(from uint64, maxBytes int) (data []byte, next uint64, e
 	if from > last {
 		return nil, from, nil
 	}
+	if len(segs) == 0 {
+		return nil, from, fmt.Errorf("%w: lsn %d requested mid-reattach (nothing retained)", ErrTrimmed, from)
+	}
 	if from < segs[0].first {
 		return nil, from, fmt.Errorf("%w: lsn %d precedes oldest retained %d", ErrTrimmed, from, segs[0].first)
 	}
@@ -82,7 +87,7 @@ func (l *Log) ReadFrames(from uint64, maxBytes int) (data []byte, next uint64, e
 			idx = i
 		}
 	}
-	raw, err := os.ReadFile(segs[idx].path)
+	raw, err := l.fs.ReadFile(segs[idx].path)
 	if err != nil {
 		// A trim can race the read: the segment list was captured before the
 		// file vanished. Report it as a trim so the caller re-bootstraps.

@@ -2,7 +2,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"time"
 )
 
@@ -36,7 +35,7 @@ func (l *Log) Replay(fn func(Record) error) (ReplayStats, error) {
 	stats := ReplayStats{Segments: len(segs), TornBytes: l.torn}
 	lsn := segs[0].first
 	for i, seg := range segs {
-		data, err := os.ReadFile(seg.path)
+		data, err := l.fs.ReadFile(seg.path)
 		if err != nil {
 			return stats, fmt.Errorf("wal: replaying %s: %v", seg.path, err)
 		}
@@ -70,7 +69,7 @@ func (l *Log) Replay(fn func(Record) error) (ReplayStats, error) {
 		return stats, fmt.Errorf("%w: replay ended at lsn %d, expected %d", ErrCorrupt, lsn-1, last)
 	}
 	stats.Duration = time.Since(start)
-	if m := l.cfg.Metrics; m != nil {
+	if m := l.m(); m != nil {
 		m.ReplayedRecords.Add(stats.Records)
 		m.ReplayedSamples.Add(stats.Samples)
 		m.ReplayNanos.Set(stats.Duration.Nanoseconds())

@@ -169,7 +169,7 @@ var (
 // back to.
 func WriteSnapshotFile(s Snapshotter, path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := createSnapshotFile(tmp)
 	if err != nil {
 		return fmt.Errorf("stardust: creating snapshot temp file: %v", err)
 	}
@@ -195,6 +195,22 @@ func WriteSnapshotFile(s Snapshotter, path string) error {
 	}
 	syncDir(filepath.Dir(path))
 	return nil
+}
+
+// snapshotFile is the slice of *os.File WriteSnapshotFile needs — the
+// seam fault-injection tests substitute to simulate a full or failing
+// disk mid-snapshot.
+type snapshotFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// createSnapshotFile opens the snapshot temp file. A package variable so
+// tests can inject write and fsync failures; the production value is
+// os.Create.
+var createSnapshotFile = func(path string) (snapshotFile, error) {
+	return os.Create(path)
 }
 
 // syncDir fsyncs a directory so the renames above are durable. Best

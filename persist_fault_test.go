@@ -1,0 +1,155 @@
+package stardust
+
+import (
+	"bytes"
+	"os"
+	"syscall"
+	"testing"
+)
+
+// limitedFile fails Write with ENOSPC once allow bytes have been written,
+// and optionally fails Sync with EIO — a disk that fills up (or dies)
+// mid-snapshot.
+type limitedFile struct {
+	f       snapshotFile
+	allow   int
+	written int
+	syncErr error
+}
+
+func (f *limitedFile) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.allow {
+		n := f.allow - f.written
+		if n < 0 {
+			n = 0
+		}
+		f.f.Write(p[:n])
+		f.written += n
+		return n, syscall.ENOSPC
+	}
+	f.written += len(p)
+	return f.f.Write(p)
+}
+
+func (f *limitedFile) Sync() error {
+	if f.syncErr != nil {
+		return f.syncErr
+	}
+	return f.f.Sync()
+}
+
+func (f *limitedFile) Close() error { return f.f.Close() }
+
+// snapBytes serializes s for byte comparison.
+func snapBytes(t *testing.T, s Snapshotter) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// monitorAt builds a monitor and ingests n samples per stream so distinct
+// n produce distinct snapshots.
+func monitorAt(t *testing.T, n int) *Monitor {
+	t.Helper()
+	m, err := New(Config{Streams: 2, W: 8, Levels: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for s := 0; s < 2; s++ {
+			if err := m.Ingest(s, float64(i+s)); err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+		}
+	}
+	return m
+}
+
+// failSnapshotWrites swaps the snapshot-file seam so the next
+// WriteSnapshotFile hits wrap's failure, restoring the real seam on test
+// cleanup.
+func failSnapshotWrites(t *testing.T, wrap func(snapshotFile) snapshotFile) {
+	t.Helper()
+	orig := createSnapshotFile
+	createSnapshotFile = func(path string) (snapshotFile, error) {
+		f, err := orig(path)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(f), nil
+	}
+	t.Cleanup(func() { createSnapshotFile = orig })
+}
+
+// TestWriteSnapshotFileDiskFull simulates ENOSPC mid-write and EIO at
+// fsync: the failed write must leave no .tmp litter and must not disturb
+// the current snapshot or its .bak rotation — both generations stay
+// loadable — and a later write on the healed disk succeeds normally.
+func TestWriteSnapshotFileDiskFull(t *testing.T) {
+	path := t.TempDir() + "/state.snap"
+	gen1, gen2, gen3 := monitorAt(t, 4), monitorAt(t, 8), monitorAt(t, 12)
+
+	// Two healthy generations: path holds gen2, path.bak holds gen1.
+	if err := WriteSnapshotFile(gen1, path); err != nil {
+		t.Fatalf("WriteSnapshotFile(gen1): %v", err)
+	}
+	if err := WriteSnapshotFile(gen2, path); err != nil {
+		t.Fatalf("WriteSnapshotFile(gen2): %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		wrap func(snapshotFile) snapshotFile
+	}{
+		{"enospc-mid-write", func(f snapshotFile) snapshotFile { return &limitedFile{f: f, allow: 10} }},
+		{"eio-at-fsync", func(f snapshotFile) snapshotFile {
+			return &limitedFile{f: f, allow: 1 << 30, syncErr: syscall.EIO}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			failSnapshotWrites(t, tc.wrap)
+			if err := WriteSnapshotFile(gen3, path); err == nil {
+				t.Fatal("WriteSnapshotFile succeeded on a failing disk")
+			}
+			if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+				t.Fatalf("temp file left behind after failed write: %v", err)
+			}
+			cur, err := LoadFile(path)
+			if err != nil {
+				t.Fatalf("current snapshot unloadable after failed write: %v", err)
+			}
+			if !bytes.Equal(snapBytes(t, cur), snapBytes(t, gen2)) {
+				t.Fatal("failed write disturbed the current snapshot")
+			}
+			bak, err := LoadFile(path + ".bak")
+			if err != nil {
+				t.Fatalf("backup snapshot unloadable after failed write: %v", err)
+			}
+			if !bytes.Equal(snapBytes(t, bak), snapBytes(t, gen1)) {
+				t.Fatal("failed write disturbed the .bak rotation")
+			}
+		})
+	}
+
+	// Disk heals: the next write goes through and rotates normally.
+	if err := WriteSnapshotFile(gen3, path); err != nil {
+		t.Fatalf("WriteSnapshotFile after recovery: %v", err)
+	}
+	cur, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile after recovery: %v", err)
+	}
+	if !bytes.Equal(snapBytes(t, cur), snapBytes(t, gen3)) {
+		t.Fatal("post-recovery snapshot does not hold the new state")
+	}
+	bak, err := LoadFile(path + ".bak")
+	if err != nil {
+		t.Fatalf("LoadFile(.bak) after recovery: %v", err)
+	}
+	if !bytes.Equal(snapBytes(t, bak), snapBytes(t, gen2)) {
+		t.Fatal("post-recovery rotation did not keep the previous snapshot")
+	}
+}

@@ -71,6 +71,45 @@ func (s *SafeMonitor) BootstrapReplica(r io.Reader) error {
 	return nil
 }
 
+// Promote attaches log — a sealed replication mirror handed over by
+// Follower.Seal — as the wrapped monitor's write-ahead log, converting a
+// read-only follower into a durable primary in place: subsequent
+// ingestion write-ahead logs at the LSNs continuing the replicated
+// history (so surviving followers keep streaming without a re-bootstrap),
+// and ApplyWALRecord / BootstrapReplica begin refusing exactly as on any
+// durable monitor. The log is re-pointed at this monitor's metrics.
+func (s *SafeMonitor) Promote(log *wal.Log) error {
+	if log == nil {
+		return fmt.Errorf("stardust: Promote requires a sealed mirror log")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m.wal != nil {
+		return fmt.Errorf("stardust: Promote on an already-durable monitor")
+	}
+	log.SetMetrics(&s.m.metrics.WAL)
+	s.m.wal = log
+	return nil
+}
+
+// Promote attaches a sealed mirror log under the watcher lock (see
+// SafeMonitor.Promote). Standing queries keep running across the
+// promotion — only the durability role changes.
+func (s *SafeWatcher) Promote(log *wal.Log) error {
+	if log == nil {
+		return fmt.Errorf("stardust: Promote requires a sealed mirror log")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.w.mon
+	if m.wal != nil {
+		return fmt.Errorf("stardust: Promote on an already-durable monitor")
+	}
+	log.SetMetrics(&m.metrics.WAL)
+	m.wal = log
+	return nil
+}
+
 // applyReplicated applies one already-admitted replicated sample and
 // evaluates the standing queries, returning the events it triggered —
 // the live-replication counterpart of replaySample, which suppresses
