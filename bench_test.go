@@ -48,9 +48,9 @@ func BenchmarkTable1CorrelationScalability(b *testing.B) { benchExperiment(b, "t
 // and time vs threshold for f ∈ {2, 4, 8, 16}.
 func BenchmarkFig6Dimensionality(b *testing.B) { benchExperiment(b, "fig6") }
 
-// BenchmarkAppendSum measures the per-item maintenance cost of the online
+// BenchmarkIngestSum measures the per-item maintenance cost of the online
 // SUM summary (Theorem 4.3's Θ(f) per level).
-func BenchmarkAppendSum(b *testing.B) {
+func BenchmarkIngestSum(b *testing.B) {
 	for _, capacity := range []int{1, 64} {
 		b.Run(map[int]string{1: "c=1", 64: "c=64"}[capacity], func(b *testing.B) {
 			m, err := New(Config{Streams: 1, W: 32, Levels: 6, Transform: Sum, BoxCapacity: capacity})
@@ -61,14 +61,16 @@ func BenchmarkAppendSum(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.Append(0, rng.Float64())
+				if err := m.Ingest(0, rng.Float64()); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
 }
 
-// BenchmarkAppendDWTOnline measures per-item cost of merged DWT features.
-func BenchmarkAppendDWTOnline(b *testing.B) {
+// BenchmarkIngestDWTOnline measures per-item cost of merged DWT features.
+func BenchmarkIngestDWTOnline(b *testing.B) {
 	m, err := New(Config{
 		Streams: 1, W: 32, Levels: 5, Transform: DWT, Coefficients: 4,
 		Normalization: NormUnit, Rmax: 100, BoxCapacity: 16,
@@ -80,13 +82,15 @@ func BenchmarkAppendDWTOnline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Append(0, rng.Float64()*100)
+		if err := m.Ingest(0, rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
-// BenchmarkAppendDWTBatchZ measures per-item cost of the batch z-norm
+// BenchmarkIngestDWTBatchZ measures per-item cost of the batch z-norm
 // composite maintenance used by correlation monitoring.
-func BenchmarkAppendDWTBatchZ(b *testing.B) {
+func BenchmarkIngestDWTBatchZ(b *testing.B) {
 	m, err := New(Config{
 		Streams: 1, W: 16, Levels: 5, Transform: DWT, Coefficients: 2,
 		Normalization: NormZ, Mode: Batch,
@@ -98,7 +102,9 @@ func BenchmarkAppendDWTBatchZ(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Append(0, rng.Float64()*100)
+		if err := m.Ingest(0, rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -111,7 +117,9 @@ func BenchmarkAggregateQuery(b *testing.B) {
 	}
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 4096; i++ {
-		m.Append(0, rng.Float64())
+		if err := m.Ingest(0, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -136,7 +144,9 @@ func BenchmarkPatternQueryOnline(b *testing.B) {
 	data := gen.HostLoads(rng, 8, 1024)
 	for i := 0; i < 1024; i++ {
 		for s := 0; s < 8; s++ {
-			m.Append(s, data[s][i])
+			if err := m.Ingest(s, data[s][i]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	q := gen.HostLoad(rng, 16*11)
@@ -173,7 +183,9 @@ func BenchmarkCorrelations(b *testing.B) {
 				for s := 0; s < M; s++ {
 					vs[s] = data[s][i]
 				}
-				m.AppendAll(vs)
+				if err := m.IngestAll(vs); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -251,7 +263,9 @@ func BenchmarkCorrelationRound(b *testing.B) {
 		for s := 0; s < M; s++ {
 			vs[s] = data[s][i]
 		}
-		m.AppendAll(vs)
+		if err := m.IngestAll(vs); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -2,10 +2,12 @@
 # CI gate: formatting, build, vet, the offline doc-comment gate (doclint),
 # the documentation compile + flag-drift gate (docbuild), staticcheck, the
 # full test suite under the race detector, a short-mode chaos-matrix run
-# (randomized fault schedules across WAL + replication + failover), short
-# fuzz smokes over the WAL frame parser, the snapshot loader and the
+# (randomized fault schedules across WAL + replication + failover), a wire
+# soak smoke (concurrent binary TCP clients, snapshot checked byte-identical
+# against an HTTP-ingested reference), short fuzz smokes over the WAL frame
+# parser, the client wire-frame parser, the snapshot loader and the
 # fault-schedule parser, a one-iteration benchmark smoke pass, and the
-# benchmark-regression comparison against the committed BENCH_PR4.json
+# benchmark-regression comparison against the committed BENCH_PR7.json
 # baseline. Run from the repository root. Fails fast on the first error.
 #
 # Each stage prints its elapsed wall-clock seconds so slow stages are
@@ -82,8 +84,15 @@ stage "chaos matrix (short mode, -race)"
 go test -race -short -count=1 -run '^TestChaosMatrix$' ./internal/replication
 stage_done
 
+# Like the chaos matrix: -count=1 so the soak demonstrably runs the
+# concurrent wire clients every time rather than replaying a cached pass.
+stage "wire soak smoke (concurrent TCP clients vs HTTP reference, -race)"
+go test -race -count=1 -run '^TestWireSoak$' ./client
+stage_done
+
 stage "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wal
+go test -run='^$' -fuzz=FuzzDecodeWireFrame -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz=FuzzReplaySegment -fuzztime=5s ./internal/wal
 go test -run='^$' -fuzz=FuzzLoadSnapshot -fuzztime=5s .
 go test -run='^$' -fuzz=FuzzParseSchedule -fuzztime=5s ./internal/fault
@@ -93,8 +102,8 @@ stage "bench smoke (1 iteration)"
 go test -bench=. -benchtime=1x -run '^$' ./...
 stage_done
 
-stage "bench regression gate (BENCH_PR4.json)"
-go run ./cmd/stardust-bench -compare BENCH_PR4.json
+stage "bench regression gate (BENCH_PR7.json)"
+go run ./cmd/stardust-bench -compare BENCH_PR7.json
 stage_done
 
 echo "CI OK"

@@ -1,0 +1,139 @@
+// Package client is the unified Go client for a Stardust server: one
+// Client API — Ingest, IngestBatch, Stats, Close — over two
+// interchangeable transports. Callers pick a dial option, not a different
+// API:
+//
+//	c, err := client.New(client.WithTCP("localhost:9090"))   // binary wire
+//	c, err := client.New(client.WithHTTP("http://localhost:8080")) // JSON
+//
+// The TCP transport speaks the internal/wire binary protocol over one
+// persistent connection — length-prefixed CRC32-checked frames, no
+// per-sample marshalling — and is the high-rate path; the HTTP transport
+// drives the same endpoints a curl script would and needs nothing but the
+// server's ordinary listener. Both map server-side rejections back to the
+// stardust sentinel errors, so errors.Is(err, stardust.ErrBadValue) and
+// friends behave identically over either wire and in process.
+//
+// A Client is safe for concurrent use; requests on the TCP transport
+// serialize on the single connection, so for multi-core load generation
+// open one Client per goroutine.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stardust"
+)
+
+// transport is the seam between the Client API and a wire: both the HTTP
+// and the binary TCP implementations satisfy it.
+type transport interface {
+	ingest(stream int, vs []float64) error
+	stats() (stardust.Stats, error)
+	close() error
+}
+
+// options accumulates dial configuration.
+type options struct {
+	httpURL    string
+	tcpAddr    string
+	timeout    time.Duration
+	httpClient *http.Client
+	maxFrame   int
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithHTTP selects the HTTP/JSON transport against the server's base URL
+// (e.g. "http://localhost:8080").
+func WithHTTP(baseURL string) Option {
+	return func(opt *options) { opt.httpURL = baseURL }
+}
+
+// WithTCP selects the binary wire transport against the server's
+// -tcp-addr listener (e.g. "localhost:9090").
+func WithTCP(addr string) Option {
+	return func(opt *options) { opt.tcpAddr = addr }
+}
+
+// WithTimeout bounds dialing and each request round-trip (default 10s).
+func WithTimeout(d time.Duration) Option {
+	return func(opt *options) { opt.timeout = d }
+}
+
+// WithHTTPClient substitutes the http.Client used by the HTTP transport
+// (ignored by TCP). Useful for tests and custom transports.
+func WithHTTPClient(c *http.Client) Option {
+	return func(opt *options) { opt.httpClient = c }
+}
+
+// Client is a connection to one Stardust server. Construct with New.
+type Client struct {
+	tr transport
+}
+
+// New dials a Stardust server. Exactly one of WithHTTP or WithTCP must be
+// given; the TCP dial performs the protocol handshake before returning,
+// so a version-mismatched or unreachable server fails here, not on the
+// first ingest.
+func New(opts ...Option) (*Client, error) {
+	var cfg options
+	cfg.timeout = 10 * time.Second
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	switch {
+	case cfg.httpURL != "" && cfg.tcpAddr != "":
+		return nil, errors.New("client: WithHTTP and WithTCP are mutually exclusive")
+	case cfg.httpURL != "":
+		return &Client{tr: newHTTPTransport(cfg)}, nil
+	case cfg.tcpAddr != "":
+		tr, err := dialTCP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Client{tr: tr}, nil
+	default:
+		return nil, errors.New("client: dial target required: pass WithHTTP or WithTCP")
+	}
+}
+
+// Ingest appends one value to one stream. Rejections carry the stardust
+// sentinel errors (ErrStreamRange, ErrBadValue, ErrQuarantined)
+// regardless of transport.
+func (c *Client) Ingest(stream int, v float64) error {
+	var one [1]float64
+	one[0] = v
+	return c.tr.ingest(stream, one[:])
+}
+
+// IngestBatch appends a run of consecutive values to one stream — the
+// amortized bulk path, one request per batch. The server applies the
+// skip-and-join contract of stardust's IngestBatch: inadmissible samples
+// are skipped, admitted ones advance the clock in order, and the joined
+// rejection comes back as the error.
+func (c *Client) IngestBatch(stream int, vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return c.tr.ingest(stream, vs)
+}
+
+// Stats fetches the server's space-usage snapshot (summary boxes, raw
+// history, ingest guard counters).
+func (c *Client) Stats() (stardust.Stats, error) {
+	return c.tr.stats()
+}
+
+// Close releases the transport (the TCP connection, or the HTTP client's
+// idle connections). The Client must not be used afterwards.
+func (c *Client) Close() error {
+	return c.tr.close()
+}
+
+// errClosed is returned by requests on a closed or broken client.
+var errClosed = fmt.Errorf("client: connection closed")

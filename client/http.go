@@ -1,0 +1,140 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"stardust"
+	"stardust/internal/wire"
+)
+
+// httpTransport drives the server's JSON endpoints: POST /ingest and GET
+// /stats. It needs nothing beyond the ordinary HTTP listener, at the cost
+// of JSON marshalling per request.
+//
+// One transport-specific wrinkle: JSON has no encoding for NaN or the
+// infinities, so non-finite samples cannot reach the server's guard over
+// this transport at all. They are rejected client-side with the same
+// stardust.ErrBadValue the guard's default Reject policy would return —
+// which means server-side repair policies (clamp, last-value) never see
+// them. Clients that need bad samples delivered for repair use the binary
+// TCP transport.
+type httpTransport struct {
+	base   string
+	client *http.Client
+	closed atomic.Bool
+}
+
+// newHTTPTransport builds the JSON transport for the base URL.
+func newHTTPTransport(cfg options) *httpTransport {
+	hc := cfg.httpClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.timeout}
+	} else if hc.Timeout == 0 && cfg.timeout > 0 {
+		c := *hc
+		c.Timeout = cfg.timeout
+		hc = &c
+	}
+	return &httpTransport{base: strings.TrimRight(cfg.httpURL, "/"), client: hc}
+}
+
+// ingestBody mirrors the server's stream+values ingest request shape.
+type ingestBody struct {
+	Stream int       `json:"stream"`
+	Values []float64 `json:"values"`
+}
+
+// errorBody mirrors the server's JSON error envelope. Code carries the
+// wire nack code since the unified client API landed; older servers send
+// only the message.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  byte   `json:"code"`
+}
+
+// ingest POSTs one stream's value run to /ingest.
+func (t *httpTransport) ingest(stream int, vs []float64) error {
+	if t.closed.Load() {
+		return errClosed
+	}
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: JSON cannot carry non-finite sample %v", stardust.ErrBadValue, v)
+		}
+	}
+	body, err := json.Marshal(ingestBody{Stream: stream, Values: vs})
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Post(t.base+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return decodeHTTPError(resp)
+}
+
+// stats GETs /stats and decodes the snapshot.
+func (t *httpTransport) stats() (stardust.Stats, error) {
+	if t.closed.Load() {
+		return stardust.Stats{}, errClosed
+	}
+	resp, err := t.client.Get(t.base + "/stats")
+	if err != nil {
+		return stardust.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return stardust.Stats{}, decodeHTTPError(resp)
+	}
+	var st stardust.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return stardust.Stats{}, fmt.Errorf("client: decoding /stats: %w", err)
+	}
+	return st, nil
+}
+
+// close marks the transport unusable and releases idle connections.
+func (t *httpTransport) close() error {
+	t.closed.Store(true)
+	t.client.CloseIdleConnections()
+	return nil
+}
+
+// decodeHTTPError maps a non-200 response to the same typed errors the
+// binary transport produces: the server's machine-readable code field
+// when present, else a status-based fallback for older servers.
+func decodeHTTPError(resp *http.Response) error {
+	var eb errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+		return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	if eb.Code != 0 {
+		return wire.ErrFor(eb.Code, eb.Error)
+	}
+	switch resp.StatusCode {
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", stardust.ErrQuarantined, eb.Error)
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", stardust.ErrBadValue, eb.Error)
+	default:
+		return fmt.Errorf("client: %s: %s", resp.Status, eb.Error)
+	}
+}
+
+// compile-time interface checks for both transports.
+var (
+	_ transport = (*httpTransport)(nil)
+	_ transport = (*tcpTransport)(nil)
+)

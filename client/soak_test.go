@@ -1,0 +1,94 @@
+package client_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stardust"
+	"stardust/client"
+)
+
+// TestWireSoak is the CI soak smoke: N concurrent binary clients sustain
+// batched ingest against one TCP server (one stream per client, the
+// sharding a fleet of forwarders would use), and the resulting snapshot
+// must be byte-identical to the same per-stream sequences ingested through
+// the HTTP/JSON endpoint. It pins two properties at once: the transport
+// tier holds up under concurrent load (run under -race in CI), and
+// concurrent wire ingest corrupts nothing — both paths land the exact same
+// monitor state.
+func TestWireSoak(t *testing.T) {
+	const (
+		clients = 4
+		chunk   = 32
+		batches = 50 // 1.6k samples per stream; a few seconds under -race
+	)
+	cfg := stardust.Config{
+		Streams: clients, W: 16, Levels: 4, Transform: stardust.DWT,
+		Coefficients: 2, Normalization: stardust.NormUnit, Rmax: 100,
+		History: 512,
+	}
+	data := make([][]float64, clients)
+	for s := range data {
+		rng := rand.New(rand.NewSource(int64(1000 + s)))
+		data[s] = make([]float64, chunk*batches)
+		for i := range data[s] {
+			data[s][i] = rng.Float64() * 100
+		}
+	}
+
+	// Soak: one binary client per stream, all concurrent.
+	tcpMon := newBackend(t, cfg)
+	addr := startTCP(t, tcpMon)
+	var wg sync.WaitGroup
+	for s := 0; s < clients; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			c, err := client.New(client.WithTCP(addr))
+			if err != nil {
+				t.Errorf("client %d: %v", stream, err)
+				return
+			}
+			defer c.Close()
+			for b := 0; b < batches; b++ {
+				if err := c.IngestBatch(stream, data[stream][b*chunk:(b+1)*chunk]); err != nil {
+					t.Errorf("client %d batch %d: %v", stream, b, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Reference: the same sequences over HTTP/JSON.
+	httpMon := newBackend(t, cfg)
+	hc, err := client.New(client.WithHTTP(startHTTP(t, httpMon)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	for s := 0; s < clients; s++ {
+		for b := 0; b < batches; b++ {
+			if err := hc.IngestBatch(s, data[s][b*chunk:(b+1)*chunk]); err != nil {
+				t.Fatalf("http stream %d batch %d: %v", s, b, err)
+			}
+		}
+	}
+
+	var tcpSnap, httpSnap bytes.Buffer
+	if err := tcpMon.Snapshot(&tcpSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := httpMon.Snapshot(&httpSnap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tcpSnap.Bytes(), httpSnap.Bytes()) {
+		t.Fatalf("soak snapshot diverged from HTTP reference: tcp %d bytes, http %d bytes",
+			tcpSnap.Len(), httpSnap.Len())
+	}
+}

@@ -1,0 +1,145 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"stardust"
+	"stardust/internal/wire"
+
+	"encoding/json"
+)
+
+// tcpTransport is the binary wire transport: one persistent connection,
+// strict request/response, reusable encode buffer. All methods serialize
+// on mu; any I/O or framing error poisons the connection (subsequent
+// calls return errClosed) because a desynchronized frame stream cannot be
+// trusted.
+type tcpTransport struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	buf      []byte
+	seq      uint64
+	timeout  time.Duration
+	maxFrame int
+	broken   error // non-nil once the connection is unusable
+	streams  int   // advertised by the server's HelloAck
+}
+
+// dialTCP connects and performs the Hello/HelloAck handshake.
+func dialTCP(cfg options) (*tcpTransport, error) {
+	conn, err := net.DialTimeout("tcp", cfg.tcpAddr, cfg.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", cfg.tcpAddr, err)
+	}
+	t := &tcpTransport{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 64<<10),
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		timeout:  cfg.timeout,
+		maxFrame: cfg.maxFrame,
+	}
+	f, err := t.roundTrip(wire.AppendHello(nil, wire.Version))
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake with %s: %w", cfg.tcpAddr, err)
+	}
+	if f.Type != wire.TypeHelloAck || f.Version != wire.Version {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake with %s: unexpected reply (type 0x%02x, version %d)",
+			cfg.tcpAddr, f.Type, f.Version)
+	}
+	t.streams = int(f.Streams)
+	return t, nil
+}
+
+// roundTrip writes one framed request and reads one response frame. Nacks
+// are returned as frames, not errors — the caller maps them. Callers hold
+// mu (dialTCP owns the transport exclusively during handshake).
+func (t *tcpTransport) roundTrip(frame []byte) (wire.Frame, error) {
+	if t.broken != nil {
+		return wire.Frame{}, t.broken
+	}
+	fail := func(err error) (wire.Frame, error) {
+		t.broken = errClosed
+		t.conn.Close()
+		return wire.Frame{}, err
+	}
+	t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	if _, err := t.bw.Write(frame); err != nil {
+		return fail(err)
+	}
+	if err := t.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	t.conn.SetReadDeadline(time.Now().Add(t.timeout))
+	f, _, err := wire.ReadFrame(t.br, t.maxFrame)
+	if err != nil {
+		return fail(err)
+	}
+	return f, nil
+}
+
+// ingest sends one Ingest frame and maps the ack/nack.
+func (t *tcpTransport) ingest(stream int, vs []float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	t.buf = wire.AppendIngest(t.buf[:0], t.seq, uint64(stream), vs)
+	f, err := t.roundTrip(t.buf)
+	if err != nil {
+		return err
+	}
+	switch {
+	case f.Type == wire.TypeAck && f.Seq == t.seq:
+		return nil
+	case f.Type == wire.TypeNack:
+		return wire.ErrFor(f.Code, f.Msg)
+	default:
+		t.broken = errClosed
+		t.conn.Close()
+		return fmt.Errorf("client: desynchronized reply (type 0x%02x seq %d, want seq %d)", f.Type, f.Seq, t.seq)
+	}
+}
+
+// stats sends one Stats frame and decodes the JSON reply.
+func (t *tcpTransport) stats() (stardust.Stats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	t.buf = wire.AppendStats(t.buf[:0], t.seq)
+	f, err := t.roundTrip(t.buf)
+	if err != nil {
+		return stardust.Stats{}, err
+	}
+	switch {
+	case f.Type == wire.TypeStatsReply && f.Seq == t.seq:
+		var st stardust.Stats
+		if err := json.Unmarshal(f.Blob, &st); err != nil {
+			return stardust.Stats{}, fmt.Errorf("client: decoding stats reply: %w", err)
+		}
+		return st, nil
+	case f.Type == wire.TypeNack:
+		return stardust.Stats{}, wire.ErrFor(f.Code, f.Msg)
+	default:
+		t.broken = errClosed
+		t.conn.Close()
+		return stardust.Stats{}, fmt.Errorf("client: desynchronized reply (type 0x%02x seq %d, want seq %d)", f.Type, f.Seq, t.seq)
+	}
+}
+
+// close tears the connection down.
+func (t *tcpTransport) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.broken != nil {
+		return nil
+	}
+	t.broken = errClosed
+	return t.conn.Close()
+}

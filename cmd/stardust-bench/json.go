@@ -16,7 +16,7 @@ import (
 
 // benchReport is the machine-readable benchmark artifact written by
 // `stardust-bench -json` and consumed by `-compare`. The committed
-// BENCH_PR4.json baseline uses this schema; bump Schema when the workload
+// BENCH_PR7.json baseline uses this schema; bump Schema when the workload
 // set or field meanings change (a schema mismatch fails the comparison
 // with a "refresh the baseline" hint rather than a bogus delta).
 type benchReport struct {
@@ -28,8 +28,9 @@ type benchReport struct {
 }
 
 // Schema 2 added the write-ahead-logged ingest rows
-// (ingest/batch+wal-{interval,always,none}).
-const benchSchema = 2
+// (ingest/batch+wal-{interval,always,none}); schema 3 added the
+// client-driven wire rows (ingest/wire-{http,tcp}).
+const benchSchema = 3
 
 // workloadResult is one (workload, workers) cell. Throughput and elapsed
 // wall-clock vary with the host; the remaining fields — node accesses,
@@ -159,6 +160,21 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 			Throughput: float64(streams*arrivals) / elapsed.Seconds(),
 			Inserts:    ms.Tree.Inserts,
 		})
+	}
+
+	// Client-driven ingestion over live loopback listeners: the HTTP/JSON
+	// endpoint vs the binary TCP wire, both batching through the client
+	// package. Same data, same chunking: 4-sample frames, the real-time
+	// forwarding regime where per-request cost dominates and the wire
+	// matters (large backfill batches converge to the backend's ingest
+	// limit on either transport). The TCP row is expected to hold ≥ 2× the
+	// HTTP row's samples/sec.
+	wireRows, err := wireWorkloads(walkCfg, data, 4)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range wireRows {
+		add(w)
 	}
 
 	// Aggregate monitoring: screened threshold checks on the loop monitor's

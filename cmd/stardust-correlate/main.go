@@ -81,7 +81,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
 			continue
 		}
-		mon.Append(sid, v)
+		if err := mon.Ingest(sid, v); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+			continue
+		}
 		arrivals[sid]++
 
 		// A detection round fires when the LAST stream of a synchronized

@@ -121,8 +121,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
 			continue
 		}
+		if err := mon.Ingest(sid, v); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+			continue
+		}
 		total++
-		mon.Append(sid, v)
 		if trained[sid] < *train {
 			trainers[sid].Push(v)
 			trained[sid]++

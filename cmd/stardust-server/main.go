@@ -2,6 +2,16 @@
 // plus aggregate, pattern and correlation queries over a shared Stardust
 // summary, with crash-safe snapshot persistence across restarts.
 //
+// With -tcp-addr set, a second ingest surface mounts next to HTTP: the
+// binary wire protocol served by internal/transport, for high-rate
+// forwarders using the client package (client.WithTCP). Both surfaces
+// feed the same backend and enforce the same guard policies;
+// -tcp-max-conns caps concurrent wire connections, with excess dials
+// queueing in the kernel accept backlog. The tier drains before the WAL
+// closes on shutdown, and is instrumented as the stardust_net_* series
+// on GET /metricsz. See RUNBOOK.md, "Wire protocol", for the frame
+// layout and alert mapping.
+//
 // Usage:
 //
 //	stardust-server -addr :8080 -streams 16 -w 16 -levels 5 \
@@ -67,6 +77,7 @@ import (
 	"stardust/internal/replication"
 	"stardust/internal/resilience"
 	"stardust/internal/server"
+	"stardust/internal/transport"
 	"stardust/internal/wal"
 )
 
@@ -102,6 +113,8 @@ func main() {
 	quarantine := flag.Int("quarantine-after", 0, "consecutive bad values before a stream is quarantined (0 = default, <0 disables)")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "HTTP request read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP response write timeout")
+	tcpAddr := flag.String("tcp-addr", "", "binary wire-protocol listen address (empty disables the TCP tier)")
+	tcpMaxConns := flag.Int("tcp-max-conns", 256, "max concurrent TCP wire connections (excess dials queue in the kernel backlog)")
 	flag.Parse()
 
 	policy, err := resilience.ParsePolicy(*badValues)
@@ -234,18 +247,21 @@ func main() {
 	// a follower pushes replicated records through the same safe wrapper
 	// the HTTP handlers query.
 	var srv *server.Server
+	var backend stardust.Interface
 	var applyRec func(stardust.WALRecord) error
 	var bootstrap func(io.Reader, uint64) error
 	var reattach func(string) error
 	if *watch {
 		sw := stardust.NewSafeWatcher(mon)
-		srv = server.NewWithWatcher(sw, *snapshot)
+		srv = server.New(sw, server.WithWatcher(sw), server.WithSnapshotPath(*snapshot))
+		backend = sw
 		applyRec = sw.ApplyWALRecord
 		bootstrap = func(r io.Reader, _ uint64) error { return sw.BootstrapReplica(r) }
 		reattach = sw.ReattachWAL
 	} else {
 		sm := stardust.WrapSafe(mon)
-		srv = server.New(sm, *snapshot)
+		srv = server.New(sm, server.WithSnapshotPath(*snapshot))
+		backend = sm
 		applyRec = sm.ApplyWALRecord
 		bootstrap = func(r io.Reader, _ uint64) error { return sm.BootstrapReplica(r) }
 		reattach = sm.ReattachWAL
@@ -354,11 +370,39 @@ func main() {
 		ln.Addr(), mon.NumStreams(), *w, *levels, *transform, *mode, *watch, policy)
 	log.Printf("observability: metrics at GET /metricsz (Prometheus text), profiles at GET /debug/pprof/")
 
+	// The binary wire tier shares the backend, the read-only stance, and
+	// the lifecycle context with the HTTP server, and publishes its
+	// stardust_net_* series through /metricsz. Shutdown waits for its drain
+	// before closing the WAL.
+	tcpDone := make(chan struct{})
+	close(tcpDone)
+	if *tcpAddr != "" {
+		tln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := transport.NewServer(transport.Config{
+			Backend:  backend,
+			ReadOnly: srv.IsReadOnly,
+			MaxConns: *tcpMaxConns,
+		})
+		srv.SetNetMetrics(ts.Metrics())
+		tcpDone = make(chan struct{})
+		go func() {
+			defer close(tcpDone)
+			if err := ts.Serve(ctx, tln); err != nil && ctx.Err() == nil {
+				log.Printf("tcp transport: %v", err)
+			}
+		}()
+		log.Printf("binary wire protocol listening on %s (max %d conns)", tln.Addr(), *tcpMaxConns)
+	}
+
 	err = srv.Serve(ctx, ln, server.ServeOptions{
 		SnapshotEvery: *snapEvery,
 		ReadTimeout:   *readTimeout,
 		WriteTimeout:  *writeTimeout,
 	})
+	<-tcpDone
 	// Close the WAL after the final snapshot so a clean shutdown loses
 	// nothing regardless of the fsync policy.
 	if cerr := mon.Close(); cerr != nil {

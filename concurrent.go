@@ -25,28 +25,6 @@ func NewSafe(cfg Config) (*SafeMonitor, error) {
 	return &SafeMonitor{m: m}, nil
 }
 
-// Append ingests one value for one stream, panicking on samples the guard
-// cannot repair (see Monitor.Append).
-//
-// Deprecated: Append is the panicking wrapper kept for callers that predate
-// the resilience guard. New code should use Ingest, which reports
-// unadmittable samples as typed errors.
-func (s *SafeMonitor) Append(stream int, v float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m.Append(stream, v)
-}
-
-// AppendAll ingests one synchronized arrival across all streams.
-//
-// Deprecated: AppendAll panics on the first unadmittable sample. New code
-// should use IngestAll, which returns a typed error instead.
-func (s *SafeMonitor) AppendAll(vs []float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m.AppendAll(vs)
-}
-
 // Ingest ingests one value through the resilience guard, returning a typed
 // error (ErrStreamRange, ErrBadValue, ErrQuarantined) instead of panicking.
 func (s *SafeMonitor) Ingest(stream int, v float64) error {

@@ -27,7 +27,12 @@ func TestSafeMonitorConcurrentIngestAndQuery(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(stream)))
 			data := gen.Burst(rng, perStream, 5, 20)
 			for _, v := range data {
-				sm.Append(stream, v)
+				// Errorf, not the Fatalf helper: this runs off the test
+				// goroutine.
+				if err := sm.Ingest(stream, v); err != nil {
+					t.Errorf("ingest stream %d: %v", stream, err)
+					return
+				}
 			}
 		}(s)
 	}
@@ -84,8 +89,8 @@ func TestSafeMonitorDelegation(t *testing.T) {
 	data := gen.CorrelatedWalks(rng, 2, 256, 2, 0.1)
 	for i := 0; i < 256; i++ {
 		vs := []float64{data[0][i], data[1][i]}
-		sm.AppendAll(vs)
-		plain.AppendAll(vs)
+		mustIngestAll(t, sm, vs)
+		mustIngestAll(t, plain, vs)
 	}
 	a, err := sm.Correlations(2, 0.5)
 	if err != nil {

@@ -20,7 +20,9 @@ func ExampleNew() {
 	}
 	// Quiet values, then a burst.
 	for _, v := range []float64{1, 1, 1, 1, 1, 1, 10, 10, 10, 10} {
-		mon.Append(0, v)
+		if err := mon.Ingest(0, v); err != nil {
+			panic(err)
+		}
 	}
 	res, err := mon.CheckAggregate(0, 8, 30) // last 8 values, threshold 30
 	if err != nil {
@@ -38,7 +40,7 @@ func ExampleMonitor_AggregateBound() {
 		Streams: 1, W: 4, Levels: 3, Transform: stardust.Sum,
 	})
 	for i := 1; i <= 16; i++ {
-		mon.Append(0, float64(i))
+		mon.Ingest(0, float64(i))
 	}
 	// Window 12 = 4 + 8: composed from levels 0 and 1.
 	bound, _ := mon.AggregateBound(0, 12)
@@ -57,7 +59,7 @@ func ExampleMonitor_FindPattern() {
 	})
 	ramp := func(i int) float64 { return float64(i%32) / 4 }
 	for i := 0; i < 200; i++ {
-		mon.Append(0, ramp(i))
+		mon.Ingest(0, ramp(i))
 	}
 	// Query: one full ramp period, as last seen ending at t = 191.
 	q := make([]float64, 32)

@@ -34,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	go func() {
-		if err := http.Serve(ln, server.New(mon, "")); err != nil {
+		if err := http.Serve(ln, server.New(mon)); err != nil {
 			log.Print(err)
 		}
 	}()

@@ -143,25 +143,6 @@ func TestIngestAllPartialFailure(t *testing.T) {
 	}
 }
 
-func TestAppendStillPanicsUnderReject(t *testing.T) {
-	m := newSumMonitor(t, Config{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Append(NaN) did not panic under Reject policy")
-		}
-	}()
-	m.Append(0, math.NaN())
-}
-
-func TestAppendRepairsUnderPolicy(t *testing.T) {
-	m := newSumMonitor(t, Config{BadValues: GuardConfig{Policy: LastValueBad}})
-	m.Append(0, 5)
-	m.Append(0, math.NaN()) // must not panic: gap-filled
-	if m.Now(0) != 1 {
-		t.Fatalf("clock = %d", m.Now(0))
-	}
-}
-
 func TestAddStreamGrowsGuard(t *testing.T) {
 	m := newSumMonitor(t, Config{})
 	id := m.AddStream()

@@ -110,8 +110,8 @@ func TestNearestPatternsPublicAPI(t *testing.T) {
 	rng := rand.New(rand.NewSource(292))
 	data := gen.RandomWalks(rng, 2, 500)
 	for i := 0; i < 500; i++ {
-		m.Append(0, data[0][i])
-		m.Append(1, data[1][i])
+		mustIngest(t, m, 0, data[0][i])
+		mustIngest(t, m, 1, data[1][i])
 	}
 	q := make([]float64, 64)
 	copy(q, data[1][300:364])

@@ -5,14 +5,14 @@ import "io"
 // Interface is the unified monitoring surface shared by every monitor
 // flavor in the package: the plain Monitor, the lock-guarded SafeMonitor,
 // the stream-partitioned ShardedMonitor and the standing-query SafeWatcher
-// all satisfy it. It is the contract the HTTP server binds against
-// (internal/server.Backend is an alias), and the type to accept when a
-// component only needs to feed and query a monitor without caring how it
-// is synchronized or distributed.
+// all satisfy it. It is the contract both servers bind against — the HTTP
+// server in internal/server and the binary TCP tier in internal/transport
+// — and the type to accept when a component only needs to feed and query a
+// monitor without caring how it is synchronized or distributed.
 //
 // The surface has three parts: ingestion (Ingest, IngestAll, IngestBatch —
-// the guarded, error-returning paths; the panicking Append wrappers are
-// deprecated and deliberately excluded), the three query classes of the paper (aggregate,
+// the guarded, error-returning paths; the historical panicking Append
+// wrappers are gone), the three query classes of the paper (aggregate,
 // pattern/nearest-neighbor, correlation), and the stats surface (Stats for
 // space accounting, Metrics for runtime observability, Snapshot for
 // persistence).

@@ -590,6 +590,7 @@ type Snapshot struct {
 	Parallel    ParallelSnapshot
 	WAL         WALSnapshot
 	Repl        ReplSnapshot
+	Net         NetSnapshot
 	Fault       FaultSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
@@ -635,6 +636,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		},
 		WAL:         s.WAL.merge(o.WAL),
 		Repl:        s.Repl.merge(o.Repl),
+		Net:         s.Net.merge(o.Net),
 		Fault:       s.Fault.merge(o.Fault),
 		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
 		Pattern:     s.Pattern.mergeQuery(o.Pattern),

@@ -68,6 +68,20 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.gauge("stardust_repl_promote_sealed_lsn", "Last applied LSN at the moment the follower sealed its tail for promotion.", s.Repl.PromoteSealedLSN)
 	p.gauge("stardust_repl_promote_unix_nanos", "Wall-clock time of the promotion (0 before any).", s.Repl.PromoteUnixNanos)
 
+	p.gauge("stardust_net_conns_open", "Binary TCP ingest connections currently open.", s.Net.ConnsOpen)
+	p.counter("stardust_net_conns_total", "Binary TCP ingest connections accepted since start.", s.Net.ConnsTotal)
+	p.counter("stardust_net_handshakes_total", "Completed wire-protocol handshakes.", s.Net.Handshakes)
+	p.counter("stardust_net_version_mismatches_total", "Hellos nacked for an unknown protocol version.", s.Net.VersionMismatches)
+	p.counter("stardust_net_frames_in_total", "Wire frames read from clients.", s.Net.FramesIn)
+	p.counter("stardust_net_frames_out_total", "Wire frames written to clients.", s.Net.FramesOut)
+	p.counter("stardust_net_bytes_in_total", "Framed bytes read from clients.", s.Net.BytesIn)
+	p.counter("stardust_net_bytes_out_total", "Framed bytes written to clients.", s.Net.BytesOut)
+	p.counter("stardust_net_samples_total", "Sample values admitted over the binary wire.", s.Net.Samples)
+	p.counter("stardust_net_acks_total", "Requests acknowledged.", s.Net.Acks)
+	p.counter("stardust_net_nacks_total", "Requests rejected with a nack.", s.Net.Nacks)
+	p.counter("stardust_net_proto_errors_total", "Nacks that closed the connection (malformed, oversized, or corrupt frames).", s.Net.ProtoErrors)
+	p.histogramSeconds("stardust_net_frame_latency_seconds", "Server-side wall time from request frame arrival to response write.", s.Net.FrameNanos)
+
 	p.gauge("stardust_fault_rules_armed", "Fault-injection rules currently loaded (0 in production).", s.Fault.RulesArmed)
 	p.counter("stardust_fault_evals_total", "Fault injection-point evaluations.", s.Fault.Evals)
 	p.counter("stardust_fault_injected_total", "Faults actually injected (errors, delays, torn writes, cut links).", s.Fault.Injected)

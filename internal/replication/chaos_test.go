@@ -81,7 +81,7 @@ wal.write prob=0.08 err=eio partial=3
 	}
 	defer pm.Close()
 	psm := stardust.WrapSafe(pm)
-	psrv := server.New(psm, "")
+	psrv := server.New(psm)
 	psrv.AttachPrimary(pm.WAL(), nil)
 	pts := httptest.NewServer(psrv)
 	defer pts.Close()
@@ -100,7 +100,7 @@ repl.body    prob=0.03 err=eio
 		t.Fatalf("New(replica): %v", err)
 	}
 	rsm := stardust.WrapSafe(rm)
-	rsrv := server.New(rsm, "")
+	rsrv := server.New(rsm)
 	f, err := replication.NewFollower(replication.FollowerConfig{
 		Primary: pts.URL,
 		Client: &http.Client{Transport: &fault.Transport{

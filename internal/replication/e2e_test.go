@@ -41,7 +41,7 @@ func newPrimaryServer(t *testing.T) (*stardust.SafeMonitor, *stardust.Monitor, s
 	}
 	t.Cleanup(func() { m.Close() })
 	sm := stardust.WrapSafe(m)
-	srv := server.New(sm, "")
+	srv := server.New(sm)
 	srv.AttachPrimary(m.WAL(), nil)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -415,7 +415,7 @@ func TestE2EReadOnlyReplicaServer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewFollower: %v", err)
 	}
-	replicaSrv := server.New(fsm, "")
+	replicaSrv := server.New(fsm)
 	replicaSrv.SetFollower(f, nil)
 	rts := httptest.NewServer(replicaSrv)
 	defer rts.Close()

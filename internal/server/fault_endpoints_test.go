@@ -103,7 +103,7 @@ func TestDegradedReadyz(t *testing.T) {
 	}
 	t.Cleanup(func() { m.Close() })
 	sm := stardust.WrapSafe(m)
-	ts := httptest.NewServer(New(sm, ""))
+	ts := httptest.NewServer(New(sm))
 	t.Cleanup(ts.Close)
 
 	resp, body := getJSON(t, ts.URL+"/readyz")
@@ -168,7 +168,7 @@ func TestPromoteEndpointFullPath(t *testing.T) {
 	}
 	t.Cleanup(func() { pm.Close() })
 	psm := stardust.WrapSafe(pm)
-	psrv := New(psm, "")
+	psrv := New(psm)
 	psrv.AttachPrimary(pm.WAL(), nil)
 	pts := httptest.NewServer(psrv)
 	t.Cleanup(pts.Close)
@@ -184,7 +184,7 @@ func TestPromoteEndpointFullPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	rsm := stardust.WrapSafe(rm)
-	rsrv := New(rsm, "")
+	rsrv := New(rsm)
 	f, err := replication.NewFollower(replication.FollowerConfig{
 		Primary:   pts.URL,
 		Bootstrap: func(r io.Reader, _ uint64) error { return rsm.BootstrapReplica(r) },
@@ -264,7 +264,7 @@ func TestStatzFaultSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(mon, "")
+	srv := New(mon)
 	inj := fault.New(1, fault.Rule{Point: "x.y", Err: fault.KindEIO})
 	srv.SetFaultInjector(inj)
 	inj.Eval("x.y")

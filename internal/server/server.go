@@ -53,19 +53,12 @@ import (
 	"stardust/internal/fault"
 	"stardust/internal/obs"
 	"stardust/internal/replication"
+	"stardust/internal/wire"
 )
 
-// Backend is the monitor surface the server serves — the package-level
-// stardust.Interface, which SafeMonitor, ShardedMonitor and SafeWatcher
-// all satisfy.
-//
-// Deprecated: Backend predates the promotion of the unified surface to the
-// root package; new code should name stardust.Interface directly.
-type Backend = stardust.Interface
-
-// Server routes HTTP requests to a Backend.
+// Server routes HTTP requests to a stardust.Interface backend.
 type Server struct {
-	mon  Backend
+	mon  stardust.Interface
 	mux  *http.ServeMux
 	path string // snapshot file path ("" disables POST /snapshot)
 
@@ -81,6 +74,7 @@ type Server struct {
 
 	follower    *replication.Follower // non-nil on a read replica: ingest is 403
 	replMetrics *obs.ReplMetrics      // merged into /metricsz when replication is wired
+	netMetrics  *obs.NetMetrics       // merged into /metricsz when the TCP tier is mounted
 
 	// Replication-primary state. The /repl/* and /wal routes are mounted
 	// unconditionally at construction and dispatch through this pointer,
@@ -98,25 +92,54 @@ type Server struct {
 // eventBuffer bounds the retained event backlog.
 const eventBuffer = 4096
 
-// New builds a server around the monitor. snapshotPath may be empty to
-// disable persistence. Any stardust.Interface works as the backend — a
-// SafeMonitor, or a ShardedMonitor for multi-core ingestion.
-func New(mon Backend, snapshotPath string) *Server {
-	return newServer(mon, nil, snapshotPath)
+// Option configures New. Options compose left to right; the zero
+// configuration (no options) serves a backend with persistence disabled
+// and no standing queries.
+type Option func(*Server)
+
+// WithSnapshotPath enables POST /snapshot, the auto-snapshot loop, and
+// the final snapshot on shutdown, all writing to path. An empty path
+// leaves persistence disabled.
+func WithSnapshotPath(path string) Option {
+	return func(s *Server) { s.path = path }
 }
 
-// NewWithWatcher builds a server whose ingestion evaluates the watcher's
-// standing queries; triggered events accumulate in a bounded buffer served
-// by GET /events, and new watches can be registered via POST /watch. The
-// watcher's event sink is claimed by the server.
-func NewWithWatcher(w *stardust.SafeWatcher, snapshotPath string) *Server {
-	s := newServer(w, w, snapshotPath)
-	w.SetEventSink(s.appendEvents)
+// WithWatcher enables standing queries: the server claims w's event sink,
+// triggered events accumulate in a bounded buffer served by GET /events,
+// and POST /watch registers new watches. Pass the same watcher as the
+// backend — it is the ingestion surface whose pushes evaluate the
+// watches.
+func WithWatcher(w *stardust.SafeWatcher) Option {
+	return func(s *Server) {
+		s.watcher = w
+		w.SetEventSink(s.appendEvents)
+	}
+}
+
+// New builds a server around the monitor. Any stardust.Interface works as
+// the backend — a SafeMonitor, a ShardedMonitor for multi-core ingestion,
+// or a SafeWatcher (combine with WithWatcher to expose its standing
+// queries).
+func New(mon stardust.Interface, opts ...Option) *Server {
+	s := newServer(mon)
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
 
-func newServer(mon Backend, w *stardust.SafeWatcher, snapshotPath string) *Server {
-	s := &Server{mon: mon, mux: http.NewServeMux(), path: snapshotPath, watcher: w}
+// NewWithWatcher builds a server whose ingestion evaluates the watcher's
+// standing queries.
+//
+// Deprecated: NewWithWatcher is the pre-options constructor, kept as a
+// thin wrapper for one release. New code should call
+// New(w, WithWatcher(w), WithSnapshotPath(path)).
+func NewWithWatcher(w *stardust.SafeWatcher, snapshotPath string) *Server {
+	return New(w, WithWatcher(w), WithSnapshotPath(snapshotPath))
+}
+
+func newServer(mon stardust.Interface) *Server {
+	s := &Server{mon: mon, mux: http.NewServeMux()}
 	s.ready.Store(true)
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /aggregate", s.handleAggregate)
@@ -299,8 +322,11 @@ func ingestStatus(err error) int {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.follower != nil && !s.promoted.Load() {
-		writeErr(w, http.StatusForbidden, "read-only replica: ingest on the primary")
+	if s.IsReadOnly() {
+		writeJSON(w, http.StatusForbidden, map[string]any{
+			"error": "read-only replica: ingest on the primary",
+			"code":  wire.CodeReadOnly,
+		})
 		return
 	}
 	var req ingestRequest
@@ -317,9 +343,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			if err := s.mon.IngestAll(row); err != nil {
 				// Earlier rows (and repaired streams of this row) are
-				// already ingested; report how far we got.
+				// already ingested; report how far we got. The code field
+				// is the wire nack code of the typed cause, so the client
+				// package maps either transport's rejection identically.
 				writeJSON(w, ingestStatus(err), map[string]any{
-					"error": err.Error(), "rows": i,
+					"error": err.Error(), "code": wire.CodeFor(err), "rows": i,
 				})
 				return
 			}
@@ -329,7 +357,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		for i, v := range req.Values {
 			if err := s.mon.Ingest(*req.Stream, v); err != nil {
 				writeJSON(w, ingestStatus(err), map[string]any{
-					"error": err.Error(), "values": i,
+					"error": err.Error(), "code": wire.CodeFor(err), "values": i,
 				})
 				return
 			}
@@ -338,6 +366,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusBadRequest, "provide either stream+values or rows")
 	}
+}
+
+// IsReadOnly reports whether this server currently refuses writes: it is
+// following a primary and has not been promoted. The TCP transport's
+// ReadOnly hook binds here so both ingest surfaces flip together on
+// promotion.
+func (s *Server) IsReadOnly() bool {
+	return s.follower != nil && !s.promoted.Load()
+}
+
+// SetNetMetrics registers the binary transport's instrument set so its
+// stardust_net_* series are merged into GET /metricsz. Call before Serve.
+func (s *Server) SetNetMetrics(nm *obs.NetMetrics) {
+	s.netMetrics = nm
 }
 
 func intParam(r *http.Request, name string) (int, error) {
@@ -465,6 +507,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.mon.Metrics()
 	if s.replMetrics != nil {
 		snap.Repl = s.replMetrics.Snapshot()
+	}
+	if s.netMetrics != nil {
+		snap.Net = s.netMetrics.Snapshot()
 	}
 	if s.faultInj != nil {
 		c := s.faultInj.Counters()

@@ -31,7 +31,7 @@ func newTestServer(t *testing.T, snapshotPath string) (*httptest.Server, *stardu
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(mon, snapshotPath))
+	ts := httptest.NewServer(New(mon, WithSnapshotPath(snapshotPath)))
 	t.Cleanup(ts.Close)
 	return ts, mon
 }
@@ -179,13 +179,15 @@ func TestPatternEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(mon, ""))
+	ts := httptest.NewServer(New(mon))
 	defer ts.Close()
 
 	rng := rand.New(rand.NewSource(231))
 	data := gen.RandomWalks(rng, 2, 300)
 	for i := 0; i < 300; i++ {
-		mon.AppendAll([]float64{data[0][i], data[1][i]})
+		if err := mon.IngestAll([]float64{data[0][i], data[1][i]}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	q := make([]float64, 40)
 	copy(q, data[0][200:240])
@@ -223,13 +225,15 @@ func TestCorrelationsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(mon, ""))
+	ts := httptest.NewServer(New(mon))
 	defer ts.Close()
 
 	rng := rand.New(rand.NewSource(232))
 	data := gen.CorrelatedWalks(rng, 4, 256, 2, 0.1)
 	for i := 0; i < 256; i++ {
-		mon.AppendAll([]float64{data[0][i], data[1][i], data[2][i], data[3][i]})
+		if err := mon.IngestAll([]float64{data[0][i], data[1][i], data[2][i], data[3][i]}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	resp, out := getJSON(t, ts.URL+"/correlations?level=2&radius=0.5")
 	if resp.StatusCode != http.StatusOK {
@@ -510,7 +514,7 @@ func TestReadyzDuringShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(mon, "")
+	s := New(mon)
 	s.ready.Store(false)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
@@ -532,7 +536,7 @@ func TestPanicRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(mon, "")
+	s := New(mon)
 	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	})
@@ -578,7 +582,7 @@ func TestIngestBadValueSurvives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(mon, "")
+	s := New(mon)
 	if err := s.mon.Ingest(0, math.NaN()); !errors.Is(err, stardust.ErrBadValue) {
 		t.Fatalf("backend NaN err = %v", err)
 	}
@@ -626,7 +630,7 @@ func TestServeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(mon, path)
+	s := New(mon, WithSnapshotPath(path))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -701,7 +705,7 @@ func TestServeWithoutSnapshotPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(mon, "")
+	s := New(mon)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

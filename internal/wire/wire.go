@@ -1,0 +1,390 @@
+// Package wire defines Stardust's client-facing binary ingest protocol:
+// the versioned frame vocabulary spoken between the client package's TCP
+// transport and internal/transport's listener. It promotes the frame
+// format already proven on disk (internal/wal) and on the replication
+// wire to the client boundary, so every layer of the system splits byte
+// streams with the same length-prefixed, CRC32-checked codec:
+//
+//	[4] payload length (little-endian uint32)
+//	[4] CRC32 (IEEE) of the payload
+//	[N] payload, whose first byte is the frame type
+//
+// A session opens with a handshake — the client sends Hello (magic +
+// protocol version), the server answers HelloAck (accepted version +
+// stream count) or a Nack carrying CodeVersion — and then proceeds
+// request/response: each Ingest frame (one run of values for one stream,
+// covering both single-sample and batch ingestion) is answered by an Ack
+// with the admitted sample count or a Nack whose code maps back to the
+// monitor's typed resilience errors, and each Stats frame by a StatsReply
+// carrying the JSON-encoded space snapshot. Sequence numbers echo back in
+// every response so a client can detect a desynchronized stream.
+//
+// Malformed bytes never panic either peer: framing errors are typed
+// (ErrTooLarge, ErrChecksum, ErrMalformed), and servers answer them with
+// a CodeProto Nack before closing the connection.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"stardust"
+	"stardust/internal/wal"
+)
+
+// Version is the protocol version this package speaks. A server nacks
+// (CodeVersion) hellos carrying any other version; there is exactly one
+// live version per binary.
+const Version = 1
+
+// Magic opens every Hello payload after the type byte, so a server can
+// distinguish a Stardust client from a stray TCP connection on the first
+// frame.
+const Magic = "SDWP"
+
+// Frame type bytes. The WAL owns 0x01 (wal.PayloadSamples) and the
+// replication wire 0x02 (replication.PayloadHeartbeat); the client wire
+// claims the 0x20 range so a frame can never be mistaken across protocols.
+const (
+	// TypeHello is the client's opening frame: Magic, then the protocol
+	// version as a uvarint.
+	TypeHello = 0x20
+	// TypeHelloAck is the server's handshake answer: accepted version and
+	// the monitor's stream count, both uvarints.
+	TypeHelloAck = 0x21
+	// TypeIngest carries one run of values for one stream: sequence
+	// number, stream id and value count as uvarints, then count little-
+	// endian float64s. One value is a single ingest; more is a batch.
+	TypeIngest = 0x22
+	// TypeAck acknowledges one Ingest: its sequence number and the number
+	// of samples admitted, both uvarints.
+	TypeAck = 0x23
+	// TypeNack rejects one request: sequence number (uvarint), a code
+	// byte, and a length-prefixed human-readable message.
+	TypeNack = 0x24
+	// TypeStats requests the monitor's space snapshot: one uvarint
+	// sequence number.
+	TypeStats = 0x25
+	// TypeStatsReply answers TypeStats: sequence number, then a length-
+	// prefixed JSON encoding of stardust.Stats.
+	TypeStatsReply = 0x26
+)
+
+// Nack codes. CodeBadValue, CodeStreamRange and CodeQuarantined mirror the
+// resilience guard's typed errors so a client-side errors.Is works across
+// the wire exactly as it does in process.
+const (
+	// CodeBadValue maps stardust.ErrBadValue: a non-finite or otherwise
+	// inadmissible sample.
+	CodeBadValue = 1
+	// CodeStreamRange maps stardust.ErrStreamRange: a stream id outside
+	// the monitor's range.
+	CodeStreamRange = 2
+	// CodeQuarantined maps stardust.ErrQuarantined: the stream is
+	// quarantined after consecutive bad values.
+	CodeQuarantined = 3
+	// CodeReadOnly rejects writes on a read replica; ingest belongs on
+	// the primary.
+	CodeReadOnly = 4
+	// CodeProto rejects a malformed or out-of-protocol frame; the server
+	// closes the connection after sending it.
+	CodeProto = 5
+	// CodeVersion rejects a Hello whose protocol version this server does
+	// not speak; the connection closes after the nack.
+	CodeVersion = 6
+	// CodeInternal reports a server-side failure that is none of the
+	// client's doing.
+	CodeInternal = 7
+)
+
+// MaxFrameBytes is the default bound on one frame's payload. It caps the
+// allocation a corrupt or hostile length prefix can drive while leaving
+// room for ~500k samples per batch frame.
+const MaxFrameBytes = 4 << 20
+
+// Framing errors surfaced by ReadFrame. ErrChecksum and ErrMalformed mean
+// the stream is desynchronized beyond repair; ErrTooLarge may simply be a
+// client exceeding the server's configured bound.
+var (
+	// ErrTooLarge marks a frame whose declared payload exceeds the
+	// reader's byte bound.
+	ErrTooLarge = errors.New("wire: frame exceeds size bound")
+	// ErrChecksum marks a frame whose payload fails its CRC32.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrMalformed marks a payload that does not parse as its declared
+	// frame type.
+	ErrMalformed = errors.New("wire: malformed frame payload")
+)
+
+// Frame is one decoded wire frame: the Type byte plus the fields of
+// whichever frame type it is (unused fields are zero).
+type Frame struct {
+	// Type is the frame type byte (TypeHello … TypeStatsReply).
+	Type byte
+	// Seq is the request sequence number echoed in responses (Ingest,
+	// Ack, Nack, Stats, StatsReply).
+	Seq uint64
+	// Version is the protocol version (Hello, HelloAck).
+	Version uint64
+	// Streams is the monitor's stream count (HelloAck).
+	Streams uint64
+	// Stream is the target stream id (Ingest).
+	Stream uint64
+	// Values is the sample run (Ingest).
+	Values []float64
+	// Samples is the admitted sample count (Ack).
+	Samples uint64
+	// Code is the rejection code (Nack).
+	Code byte
+	// Msg is the human-readable rejection message (Nack).
+	Msg string
+	// Blob is the raw trailing payload (StatsReply JSON).
+	Blob []byte
+}
+
+// AppendHello frames a client Hello onto dst.
+func AppendHello(dst []byte, version uint64) []byte {
+	p := append([]byte{TypeHello}, Magic...)
+	p = binary.AppendUvarint(p, version)
+	return wal.EncodeFrame(dst, p)
+}
+
+// AppendHelloAck frames a server HelloAck onto dst.
+func AppendHelloAck(dst []byte, version, streams uint64) []byte {
+	p := binary.AppendUvarint([]byte{TypeHelloAck}, version)
+	p = binary.AppendUvarint(p, streams)
+	return wal.EncodeFrame(dst, p)
+}
+
+// AppendIngest frames one sample run for one stream onto dst.
+func AppendIngest(dst []byte, seq, stream uint64, vs []float64) []byte {
+	p := binary.AppendUvarint([]byte{TypeIngest}, seq)
+	p = binary.AppendUvarint(p, stream)
+	p = binary.AppendUvarint(p, uint64(len(vs)))
+	for _, v := range vs {
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(v))
+	}
+	return wal.EncodeFrame(dst, p)
+}
+
+// AppendAck frames an acknowledgement onto dst.
+func AppendAck(dst []byte, seq, samples uint64) []byte {
+	p := binary.AppendUvarint([]byte{TypeAck}, seq)
+	p = binary.AppendUvarint(p, samples)
+	return wal.EncodeFrame(dst, p)
+}
+
+// AppendNack frames a rejection onto dst.
+func AppendNack(dst []byte, seq uint64, code byte, msg string) []byte {
+	p := binary.AppendUvarint([]byte{TypeNack}, seq)
+	p = append(p, code)
+	p = binary.AppendUvarint(p, uint64(len(msg)))
+	p = append(p, msg...)
+	return wal.EncodeFrame(dst, p)
+}
+
+// AppendStats frames a stats request onto dst.
+func AppendStats(dst []byte, seq uint64) []byte {
+	return wal.EncodeFrame(dst, binary.AppendUvarint([]byte{TypeStats}, seq))
+}
+
+// AppendStatsReply frames a stats response carrying JSON-encoded
+// stardust.Stats onto dst.
+func AppendStatsReply(dst []byte, seq uint64, blob []byte) []byte {
+	p := binary.AppendUvarint([]byte{TypeStatsReply}, seq)
+	p = binary.AppendUvarint(p, uint64(len(blob)))
+	p = append(p, blob...)
+	return wal.EncodeFrame(dst, p)
+}
+
+// ParsePayload decodes one frame payload (the bytes inside the length+CRC
+// framing) into a Frame. It returns ErrMalformed when the payload does not
+// parse exactly as its declared type — trailing garbage included, so a
+// parsed frame round-trips byte-for-byte.
+func ParsePayload(payload []byte) (Frame, error) {
+	if len(payload) == 0 {
+		return Frame{}, fmt.Errorf("%w: empty payload", ErrMalformed)
+	}
+	f := Frame{Type: payload[0]}
+	p := payload[1:]
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, false
+		}
+		p = p[n:]
+		return v, true
+	}
+	fail := func(what string) (Frame, error) {
+		return Frame{}, fmt.Errorf("%w: %s in frame type 0x%02x", ErrMalformed, what, f.Type)
+	}
+	switch f.Type {
+	case TypeHello:
+		if len(p) < len(Magic) || string(p[:len(Magic)]) != Magic {
+			return fail("bad magic")
+		}
+		p = p[len(Magic):]
+		var ok bool
+		if f.Version, ok = uv(); !ok {
+			return fail("bad version")
+		}
+	case TypeHelloAck:
+		var ok bool
+		if f.Version, ok = uv(); !ok {
+			return fail("bad version")
+		}
+		if f.Streams, ok = uv(); !ok {
+			return fail("bad stream count")
+		}
+	case TypeIngest:
+		var ok bool
+		if f.Seq, ok = uv(); !ok {
+			return fail("bad seq")
+		}
+		if f.Stream, ok = uv(); !ok {
+			return fail("bad stream")
+		}
+		count, ok := uv()
+		if !ok {
+			return fail("bad count")
+		}
+		if uint64(len(p)) != 8*count {
+			return fail("value run length mismatch")
+		}
+		f.Values = make([]float64, count)
+		for i := range f.Values {
+			f.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		p = p[8*count:]
+	case TypeAck:
+		var ok bool
+		if f.Seq, ok = uv(); !ok {
+			return fail("bad seq")
+		}
+		if f.Samples, ok = uv(); !ok {
+			return fail("bad sample count")
+		}
+	case TypeNack:
+		var ok bool
+		if f.Seq, ok = uv(); !ok {
+			return fail("bad seq")
+		}
+		if len(p) == 0 {
+			return fail("missing code")
+		}
+		f.Code = p[0]
+		p = p[1:]
+		n, ok := uv()
+		if !ok || uint64(len(p)) != n {
+			return fail("bad message")
+		}
+		f.Msg = string(p)
+		p = nil
+	case TypeStats:
+		var ok bool
+		if f.Seq, ok = uv(); !ok {
+			return fail("bad seq")
+		}
+	case TypeStatsReply:
+		var ok bool
+		if f.Seq, ok = uv(); !ok {
+			return fail("bad seq")
+		}
+		n, ok := uv()
+		if !ok || uint64(len(p)) != n {
+			return fail("bad blob")
+		}
+		f.Blob = append([]byte(nil), p...)
+		p = nil
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown frame type 0x%02x", ErrMalformed, f.Type)
+	}
+	if len(p) != 0 {
+		return fail("trailing bytes")
+	}
+	return f, nil
+}
+
+// ReadFrame reads one complete frame from r — header, bound check,
+// payload, CRC — and parses it, returning the frame and the total bytes
+// consumed. maxBytes bounds the payload (0 selects MaxFrameBytes). io.EOF
+// is returned untouched when the stream ends cleanly between frames; a
+// stream ending inside a frame is io.ErrUnexpectedEOF.
+func ReadFrame(r *bufio.Reader, maxBytes int) (Frame, int, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxFrameBytes
+	}
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:1]); err != nil {
+		return Frame{}, 0, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r, header[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, 1, err
+	}
+	length := binary.LittleEndian.Uint32(header[:4])
+	if length == 0 {
+		return Frame{}, len(header), fmt.Errorf("%w: zero-length payload", ErrMalformed)
+	}
+	if int64(length) > int64(maxBytes) {
+		return Frame{}, len(header), fmt.Errorf("%w: %d bytes > bound %d", ErrTooLarge, length, maxBytes)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, len(header), err
+	}
+	n := len(header) + len(payload)
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[4:8]) {
+		return Frame{}, n, ErrChecksum
+	}
+	f, err := ParsePayload(payload)
+	return f, n, err
+}
+
+// CodeFor maps an ingest error to its wire nack code (CodeInternal when
+// the error carries no typed cause).
+func CodeFor(err error) byte {
+	switch {
+	case errors.Is(err, stardust.ErrStreamRange):
+		return CodeStreamRange
+	case errors.Is(err, stardust.ErrBadValue):
+		return CodeBadValue
+	case errors.Is(err, stardust.ErrQuarantined):
+		return CodeQuarantined
+	default:
+		return CodeInternal
+	}
+}
+
+// ErrFor reconstructs a typed error from a nack, so client-side errors.Is
+// against the stardust sentinel errors behaves identically over the wire
+// and in process. Codes without an in-process sentinel (read-only,
+// protocol, version, internal) become plain errors carrying the message.
+func ErrFor(code byte, msg string) error {
+	switch code {
+	case CodeStreamRange:
+		return fmt.Errorf("%w: %s", stardust.ErrStreamRange, msg)
+	case CodeBadValue:
+		return fmt.Errorf("%w: %s", stardust.ErrBadValue, msg)
+	case CodeQuarantined:
+		return fmt.Errorf("%w: %s", stardust.ErrQuarantined, msg)
+	case CodeReadOnly:
+		return fmt.Errorf("wire: read-only replica: %s", msg)
+	case CodeProto:
+		return fmt.Errorf("wire: protocol error: %s", msg)
+	case CodeVersion:
+		return fmt.Errorf("wire: version rejected: %s", msg)
+	default:
+		return fmt.Errorf("wire: server error (code %d): %s", code, msg)
+	}
+}

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"stardust"
+)
+
+// readOne parses a single encoded frame through ReadFrame.
+func readOne(t *testing.T, raw []byte, maxBytes int) (Frame, int, error) {
+	t.Helper()
+	return ReadFrame(bufio.NewReader(bytes.NewReader(raw)), maxBytes)
+}
+
+func TestFrameRoundTrips(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want Frame
+	}{
+		{"hello", AppendHello(nil, 1), Frame{Type: TypeHello, Version: 1}},
+		{"hello-ack", AppendHelloAck(nil, 1, 64), Frame{Type: TypeHelloAck, Version: 1, Streams: 64}},
+		{"ingest-single", AppendIngest(nil, 7, 3, []float64{2.5}),
+			Frame{Type: TypeIngest, Seq: 7, Stream: 3, Values: []float64{2.5}}},
+		{"ingest-batch", AppendIngest(nil, 8, 0, []float64{1, -2, math.Inf(1), 0}),
+			Frame{Type: TypeIngest, Seq: 8, Stream: 0, Values: []float64{1, -2, math.Inf(1), 0}}},
+		{"ack", AppendAck(nil, 9, 256), Frame{Type: TypeAck, Seq: 9, Samples: 256}},
+		{"nack", AppendNack(nil, 10, CodeBadValue, "NaN rejected"),
+			Frame{Type: TypeNack, Seq: 10, Code: CodeBadValue, Msg: "NaN rejected"}},
+		{"nack-empty-msg", AppendNack(nil, 11, CodeProto, ""),
+			Frame{Type: TypeNack, Seq: 11, Code: CodeProto}},
+		{"stats", AppendStats(nil, 12), Frame{Type: TypeStats, Seq: 12}},
+		{"stats-reply", AppendStatsReply(nil, 13, []byte(`{"streams":4}`)),
+			Frame{Type: TypeStatsReply, Seq: 13, Blob: []byte(`{"streams":4}`)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, n, err := readOne(t, tc.raw, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(tc.raw) {
+				t.Fatalf("consumed %d of %d bytes", n, len(tc.raw))
+			}
+			if f.Type != tc.want.Type || f.Seq != tc.want.Seq ||
+				f.Version != tc.want.Version || f.Streams != tc.want.Streams ||
+				f.Stream != tc.want.Stream || f.Samples != tc.want.Samples ||
+				f.Code != tc.want.Code || f.Msg != tc.want.Msg ||
+				string(f.Blob) != string(tc.want.Blob) {
+				t.Fatalf("frame = %+v, want %+v", f, tc.want)
+			}
+			if len(f.Values) != len(tc.want.Values) {
+				t.Fatalf("values %v, want %v", f.Values, tc.want.Values)
+			}
+			for i := range f.Values {
+				if f.Values[i] != tc.want.Values[i] {
+					t.Fatalf("values %v, want %v", f.Values, tc.want.Values)
+				}
+			}
+		})
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	if _, _, err := readOne(t, nil, 0); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFramePartialFrames(t *testing.T) {
+	raw := AppendIngest(nil, 1, 0, []float64{1, 2, 3})
+	// Every strict prefix is a truncated frame, never a clean EOF and
+	// never a panic.
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := readOne(t, raw[:cut], 0)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix %d/%d: err = %v, want io.ErrUnexpectedEOF", cut, len(raw), err)
+		}
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	raw := AppendIngest(nil, 1, 0, make([]float64, 100)) // 8+~800 bytes
+	_, _, err := readOne(t, raw, 64)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// The default bound admits it.
+	if _, _, err := readOne(t, raw, 0); err != nil {
+		t.Fatalf("default bound rejected a valid frame: %v", err)
+	}
+}
+
+func TestReadFrameZeroLength(t *testing.T) {
+	raw := make([]byte, 8) // zero length, zero CRC
+	_, _, err := readOne(t, raw, 0)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestReadFrameBadCRC(t *testing.T) {
+	raw := AppendAck(nil, 5, 1)
+	raw[len(raw)-1] ^= 0xff // corrupt payload; CRC no longer matches
+	_, _, err := readOne(t, raw, 0)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestParsePayloadRejectsTrailingBytes(t *testing.T) {
+	p := binary.AppendUvarint([]byte{TypeAck}, 1)
+	p = binary.AppendUvarint(p, 2)
+	p = append(p, 0xEE) // trailing garbage after a well-formed ack
+	if _, err := ParsePayload(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestParsePayloadRejectsUnknownType(t *testing.T) {
+	if _, err := ParsePayload([]byte{0x7f, 1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestParsePayloadRejectsBadMagic(t *testing.T) {
+	p := append([]byte{TypeHello}, "XXXX"...)
+	p = binary.AppendUvarint(p, Version)
+	if _, err := ParsePayload(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestParsePayloadIngestLengthMismatch(t *testing.T) {
+	p := binary.AppendUvarint([]byte{TypeIngest}, 1) // seq
+	p = binary.AppendUvarint(p, 0)                   // stream
+	p = binary.AppendUvarint(p, 1000)                // claims 1000 values
+	p = append(p, make([]byte, 16)...)               // carries 2
+	if _, err := ParsePayload(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestCodeErrRoundTrip(t *testing.T) {
+	cases := []struct {
+		err  error
+		code byte
+	}{
+		{stardust.ErrBadValue, CodeBadValue},
+		{stardust.ErrStreamRange, CodeStreamRange},
+		{stardust.ErrQuarantined, CodeQuarantined},
+		{errors.New("disk on fire"), CodeInternal},
+	}
+	for _, tc := range cases {
+		if got := CodeFor(tc.err); got != tc.code {
+			t.Fatalf("CodeFor(%v) = %d, want %d", tc.err, got, tc.code)
+		}
+	}
+	// Typed codes reconstruct errors.Is-able sentinels on the far side.
+	for _, sentinel := range []error{stardust.ErrBadValue, stardust.ErrStreamRange, stardust.ErrQuarantined} {
+		back := ErrFor(CodeFor(sentinel), "over the wire")
+		if !errors.Is(back, sentinel) {
+			t.Fatalf("ErrFor(CodeFor(%v)) = %v: errors.Is lost the sentinel", sentinel, back)
+		}
+	}
+	// Untyped codes still carry the message.
+	for _, code := range []byte{CodeReadOnly, CodeProto, CodeVersion, CodeInternal} {
+		if msg := ErrFor(code, "details here").Error(); !strings.Contains(msg, "details here") {
+			t.Fatalf("ErrFor(%d) dropped the message: %q", code, msg)
+		}
+	}
+}
+
+// TestReadFrameSequence checks that back-to-back frames split cleanly and
+// the byte accounting adds up to the stream length.
+func TestReadFrameSequence(t *testing.T) {
+	var raw []byte
+	raw = AppendHello(raw, Version)
+	raw = AppendIngest(raw, 1, 0, []float64{1, 2})
+	raw = AppendStats(raw, 2)
+	br := bufio.NewReader(bytes.NewReader(raw))
+	total := 0
+	wantTypes := []byte{TypeHello, TypeIngest, TypeStats}
+	for _, want := range wantTypes {
+		f, n, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != want {
+			t.Fatalf("type 0x%02x, want 0x%02x", f.Type, want)
+		}
+		total += n
+	}
+	if total != len(raw) {
+		t.Fatalf("consumed %d of %d bytes", total, len(raw))
+	}
+	if _, _, err := ReadFrame(br, 0); err != io.EOF {
+		t.Fatalf("tail err = %v, want io.EOF", err)
+	}
+}
+
+// FuzzDecodeWireFrame throws arbitrary bytes at the frame reader: it must
+// never panic, and whatever parses must re-encode to a payload that parses
+// identically (the decode/encode fixpoint).
+func FuzzDecodeWireFrame(f *testing.F) {
+	f.Add(AppendHello(nil, Version))
+	f.Add(AppendHelloAck(nil, Version, 16))
+	f.Add(AppendIngest(nil, 1, 2, []float64{3.5, -1, 0}))
+	f.Add(AppendAck(nil, 1, 3))
+	f.Add(AppendNack(nil, 2, CodeBadValue, "bad"))
+	f.Add(AppendStats(nil, 4))
+	f.Add(AppendStatsReply(nil, 4, []byte(`{"ok":true}`)))
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			frame, n, err := ReadFrame(br, MaxFrameBytes)
+			if n > len(data) {
+				t.Fatalf("claimed %d bytes from a %d-byte stream", n, len(data))
+			}
+			if err != nil {
+				return // typed rejection is fine; panics are the bug
+			}
+			reencoded := reencode(frame)
+			back, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(reencoded)), MaxFrameBytes)
+			if err != nil {
+				t.Fatalf("re-encode of parsed frame %+v failed to parse: %v", frame, err)
+			}
+			if back.Type != frame.Type || back.Seq != frame.Seq || back.Code != frame.Code ||
+				back.Msg != frame.Msg || len(back.Values) != len(frame.Values) {
+				t.Fatalf("fixpoint violated: %+v != %+v", back, frame)
+			}
+		}
+	})
+}
+
+// reencode rebuilds the encoded form of a parsed frame.
+func reencode(f Frame) []byte {
+	switch f.Type {
+	case TypeHello:
+		return AppendHello(nil, f.Version)
+	case TypeHelloAck:
+		return AppendHelloAck(nil, f.Version, f.Streams)
+	case TypeIngest:
+		return AppendIngest(nil, f.Seq, f.Stream, f.Values)
+	case TypeAck:
+		return AppendAck(nil, f.Seq, f.Samples)
+	case TypeNack:
+		return AppendNack(nil, f.Seq, f.Code, f.Msg)
+	case TypeStats:
+		return AppendStats(nil, f.Seq)
+	case TypeStatsReply:
+		return AppendStatsReply(nil, f.Seq, f.Blob)
+	default:
+		panic("unknown frame type escaped ParsePayload")
+	}
+}

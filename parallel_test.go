@@ -33,8 +33,8 @@ func newParityPair(t *testing.T, seed int64) (*Monitor, *Monitor) {
 	data := gen.CorrelatedWalks(rng, cfg.Streams, 500, 2, 0.1)
 	for i := 0; i < 500; i++ {
 		for s := 0; s < cfg.Streams; s++ {
-			serial.Append(s, data[s][i])
-			fanned.Append(s, data[s][i])
+			mustIngest(t, serial, s, data[s][i])
+			mustIngest(t, fanned, s, data[s][i])
 		}
 	}
 	return serial, fanned
@@ -101,8 +101,8 @@ func TestParallelParityFindPattern(t *testing.T) {
 		}
 		for i := 0; i < 600; i++ {
 			for s := 0; s < 4; s++ {
-				serial.Append(s, data[s][i])
-				fanned.Append(s, data[s][i])
+				mustIngest(t, serial, s, data[s][i])
+				mustIngest(t, fanned, s, data[s][i])
 			}
 		}
 		q := make([]float64, 80)

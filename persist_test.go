@@ -26,8 +26,8 @@ func TestMonitorSnapshotRoundTrip(t *testing.T) {
 	}
 	data := gen.RandomWalks(rng, 2, 500)
 	for i := 0; i < 500; i++ {
-		m.Append(0, data[0][i])
-		m.Append(1, data[1][i])
+		mustIngest(t, m, 0, data[0][i])
+		mustIngest(t, m, 1, data[1][i])
 	}
 
 	var buf bytes.Buffer
@@ -84,8 +84,8 @@ func snapshotBytes(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		m.Append(0, float64(i))
-		m.Append(1, float64(i%5))
+		mustIngest(t, m, 0, float64(i))
+		mustIngest(t, m, 1, float64(i%5))
 	}
 	var buf bytes.Buffer
 	if err := m.Snapshot(&buf); err != nil {
@@ -102,7 +102,7 @@ func TestLoadLegacySDS1(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 60; i++ {
-		m.AppendAll([]float64{float64(i), float64(2 * i)})
+		mustIngestAll(t, m, []float64{float64(i), float64(2 * i)})
 	}
 	var legacy bytes.Buffer
 	legacy.Write(snapshotMagicV1[:])
@@ -170,7 +170,7 @@ func TestWriteSnapshotFileAndLoadFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		m.Append(0, float64(i))
+		mustIngest(t, m, 0, float64(i))
 	}
 	if err := WriteSnapshotFile(m, path); err != nil {
 		t.Fatal(err)
@@ -184,7 +184,7 @@ func TestWriteSnapshotFileAndLoadFile(t *testing.T) {
 	}
 
 	// A second write keeps the previous snapshot as .bak.
-	m.Append(0, 1)
+	mustIngest(t, m, 0, 1)
 	if err := WriteSnapshotFile(m, path); err != nil {
 		t.Fatal(err)
 	}

@@ -87,20 +87,6 @@ func (sm *ShardedMonitor) locate(stream int) (*SafeMonitor, int, error) {
 	return sm.shards[stream/sm.perShrd], stream % sm.perShrd, nil
 }
 
-// Append ingests one value; only the owning shard locks. Out-of-range
-// streams and samples the shard's guard cannot repair panic.
-//
-// Deprecated: Append is the panicking wrapper kept for callers that
-// predate the resilience guard. New code (servers, network boundaries)
-// should use Ingest, which returns typed errors instead.
-func (sm *ShardedMonitor) Append(stream int, v float64) {
-	shard, local, err := sm.locate(stream)
-	if err != nil {
-		panic(err.Error())
-	}
-	shard.Append(local, v)
-}
-
 // Ingest ingests one value through the owning shard's resilience guard,
 // returning a typed error (ErrStreamRange, ErrBadValue, ErrQuarantined)
 // instead of panicking.

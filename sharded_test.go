@@ -1,6 +1,7 @@
 package stardust
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -48,8 +49,8 @@ func TestShardedMatchesSingle(t *testing.T) {
 	data := gen.RandomWalks(rng, 6, 400)
 	for i := 0; i < 400; i++ {
 		for s := 0; s < 6; s++ {
-			sm.Append(s, data[s][i])
-			single.Append(s, data[s][i])
+			mustIngest(t, sm, s, data[s][i])
+			mustIngest(t, single, s, data[s][i])
 		}
 	}
 	for s := 0; s < 6; s++ {
@@ -94,7 +95,7 @@ func TestShardedAggregate(t *testing.T) {
 	}
 	for i := 0; i < 50; i++ {
 		for s := 0; s < 5; s++ {
-			sm.Append(s, float64(s+1)) // stream s gets constant s+1
+			mustIngest(t, sm, s, float64(s+1)) // stream s gets constant s+1
 		}
 	}
 	for s := 0; s < 5; s++ {
@@ -107,12 +108,9 @@ func TestShardedAggregate(t *testing.T) {
 			t.Fatalf("stream %d bound [%g, %g], want %g", s, res.Bound.Lo, res.Bound.Hi, want)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range stream should panic")
-		}
-	}()
-	sm.Append(9, 1)
+	if err := sm.Ingest(9, 1); !errors.Is(err, ErrStreamRange) {
+		t.Fatalf("out-of-range ingest err = %v, want ErrStreamRange", err)
+	}
 }
 
 // TestShardedConcurrentIngest drives all shards from parallel writers; run
@@ -129,7 +127,12 @@ func TestShardedConcurrentIngest(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(stream)))
 			for i := 0; i < 1000; i++ {
-				sm.Append(stream, rng.Float64())
+				// Errorf, not the Fatalf helper: this runs off the test
+				// goroutine.
+				if err := sm.Ingest(stream, rng.Float64()); err != nil {
+					t.Errorf("ingest stream %d: %v", stream, err)
+					return
+				}
 			}
 		}(s)
 	}

@@ -458,41 +458,11 @@ func (m *Monitor) IngestAll(vs []float64) error {
 	return errors.Join(errs...)
 }
 
-// Append ingests one value for one stream, updating every resolution whose
-// schedule fires. It routes through the same guard as Ingest: samples the
-// policy repairs are appended repaired; samples it cannot repair panic.
-// Under the default Reject policy this preserves the historical contract
-// that non-finite values panic.
-//
-// Deprecated: Append is a panicking wrapper kept for callers that predate
-// the resilience guard. New code should use Ingest, the one fallible
-// ingestion entry point, and handle its typed errors.
-func (m *Monitor) Append(stream int, v float64) {
-	if err := m.Ingest(stream, v); err != nil {
-		panic(fmt.Sprintf("stardust: Append: %v", err))
-	}
-}
-
 // AddStream registers a new empty stream and returns its id.
 func (m *Monitor) AddStream() int {
 	id := m.sum.AddStream()
 	m.guard.Grow()
 	return id
-}
-
-// AppendAll ingests one synchronized arrival across all streams, panicking
-// on the first inadmissible sample (see Append).
-//
-// Deprecated: AppendAll is a panicking wrapper over IngestAll. New code
-// should use IngestAll, which attempts every stream and returns the joined
-// typed errors instead of panicking.
-func (m *Monitor) AppendAll(vs []float64) {
-	if len(vs) != m.NumStreams() {
-		panic(fmt.Sprintf("stardust: AppendAll got %d values for %d streams", len(vs), m.NumStreams()))
-	}
-	for i, v := range vs {
-		m.Append(i, v)
-	}
 }
 
 // SetBadValuePolicy replaces the ingestion guard, resetting its counters

@@ -54,7 +54,7 @@ func TestBurstMonitoringEndToEnd(t *testing.T) {
 	data := gen.Burst(rng, 2000, 5, 40)
 	alarms := 0
 	for i, v := range data {
-		m.Append(0, v)
+		mustIngest(t, m, 0, v)
 		if i < 80 {
 			continue
 		}
@@ -100,7 +100,7 @@ func TestPatternSearchEndToEnd(t *testing.T) {
 		}
 		for i := 0; i < 600; i++ {
 			for s := 0; s < 3; s++ {
-				m.Append(s, data[s][i])
+				mustIngest(t, m, s, data[s][i])
 			}
 		}
 		q := make([]float64, 80)
@@ -144,7 +144,7 @@ func TestCorrelationEndToEnd(t *testing.T) {
 		for s := 0; s < M; s++ {
 			vs[s] = data[s][i]
 		}
-		m.AppendAll(vs)
+		mustIngestAll(t, m, vs)
 	}
 	res, err := m.Correlations(3, 0.5)
 	if err != nil {
@@ -172,7 +172,7 @@ func TestSWATMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		m.Append(0, 1)
+		mustIngest(t, m, 0, 1)
 	}
 	// Level-2 features (window 16, T=4) exist at t ≡ 3 mod 4.
 	if _, ok := m.Summary().FeatureBoxAt(0, 2, 99); !ok {
@@ -194,7 +194,7 @@ func TestDaubechiesBatch(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(144))
 	for i := 0; i < 128; i++ {
-		m.Append(0, rng.Float64())
+		mustIngest(t, m, 0, rng.Float64())
 	}
 	if _, ok := m.Summary().FeatureBoxAt(0, 1, 127); !ok {
 		t.Fatal("D4 batch feature missing")
@@ -207,7 +207,7 @@ func TestAggregateBoundAccessor(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		m.Append(0, float64(i%7))
+		mustIngest(t, m, 0, float64(i%7))
 	}
 	iv, err := m.AggregateBound(0, 12)
 	if err != nil {
