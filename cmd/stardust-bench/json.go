@@ -16,7 +16,7 @@ import (
 
 // benchReport is the machine-readable benchmark artifact written by
 // `stardust-bench -json` and consumed by `-compare`. The committed
-// BENCH_PR7.json baseline uses this schema; bump Schema when the workload
+// BENCH_PR8.json baseline uses this schema; bump Schema when the workload
 // set or field meanings change (a schema mismatch fails the comparison
 // with a "refresh the baseline" hint rather than a bogus delta).
 type benchReport struct {
@@ -29,8 +29,10 @@ type benchReport struct {
 
 // Schema 2 added the write-ahead-logged ingest rows
 // (ingest/batch+wal-{interval,always,none}); schema 3 added the
-// client-driven wire rows (ingest/wire-{http,tcp}).
-const benchSchema = 3
+// client-driven wire rows (ingest/wire-{http,tcp}); schema 4 added the
+// coordinator-tier rows (cluster/ingest-router, cluster/query-fanout) and
+// the warn-only allocs-per-op column on ingest rows.
+const benchSchema = 4
 
 // workloadResult is one (workload, workers) cell. Throughput and elapsed
 // wall-clock vary with the host; the remaining fields — node accesses,
@@ -49,6 +51,25 @@ type workloadResult struct {
 	Candidates     int64   `json:"candidates"`
 	Verified       int64   `json:"verified"`
 	PruningPower   float64 `json:"pruning_power"`
+	// AllocsPerOp is the heap allocations per ingested sample, recorded on
+	// ingest rows only. It is machine-stable but Go-version-sensitive, so
+	// -compare warns rather than fails when it grows.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// allocsSnapshot reads the cumulative heap-allocation counter.
+func allocsSnapshot() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// allocsSince converts a Mallocs delta into allocations per operation.
+func allocsSince(start uint64, ops int64) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	return float64(allocsSnapshot()-start) / float64(ops)
 }
 
 // benchWorkers is the workers dimension recorded for the query workloads:
@@ -87,6 +108,7 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 			return nil, err
 		}
 		start := time.Now()
+		allocs0 := allocsSnapshot()
 		if batched {
 			for s := 0; s < streams; s++ {
 				if err := m.IngestBatch(s, data[s]); err != nil {
@@ -102,6 +124,8 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 				}
 			}
 		}
+		ops := int64(streams) * int64(arrivals)
+		allocsPerOp := allocsSince(allocs0, ops)
 		elapsed := time.Since(start)
 		name := "ingest/loop"
 		if batched {
@@ -110,9 +134,10 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 		ms := m.Metrics()
 		add(workloadResult{
 			Name: name, Workers: 1,
-			Ops: int64(streams) * int64(arrivals), ElapsedNs: elapsed.Nanoseconds(),
-			Throughput: float64(streams*arrivals) / elapsed.Seconds(),
-			Inserts:    ms.Tree.Inserts,
+			Ops: ops, ElapsedNs: elapsed.Nanoseconds(),
+			Throughput:  float64(ops) / elapsed.Seconds(),
+			Inserts:     ms.Tree.Inserts,
+			AllocsPerOp: allocsPerOp,
 		})
 	}
 
@@ -140,6 +165,7 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 			return nil, err
 		}
 		start := time.Now()
+		allocs0 := allocsSnapshot()
 		for s := 0; s < streams; s++ {
 			if err := m.IngestBatch(s, data[s]); err != nil {
 				m.Close()
@@ -147,6 +173,8 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 				return nil, err
 			}
 		}
+		ops := int64(streams) * int64(arrivals)
+		allocsPerOp := allocsSince(allocs0, ops)
 		elapsed := time.Since(start)
 		ms := m.Metrics()
 		if err := m.Close(); err != nil {
@@ -156,9 +184,10 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 		os.RemoveAll(dir)
 		add(workloadResult{
 			Name: "ingest/batch+wal-" + pol.name, Workers: 1,
-			Ops: int64(streams) * int64(arrivals), ElapsedNs: elapsed.Nanoseconds(),
-			Throughput: float64(streams*arrivals) / elapsed.Seconds(),
-			Inserts:    ms.Tree.Inserts,
+			Ops: ops, ElapsedNs: elapsed.Nanoseconds(),
+			Throughput:  float64(ops) / elapsed.Seconds(),
+			Inserts:     ms.Tree.Inserts,
+			AllocsPerOp: allocsPerOp,
 		})
 	}
 
@@ -174,6 +203,17 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 		return nil, err
 	}
 	for _, w := range wireRows {
+		add(w)
+	}
+
+	// The coordinator tier on loopback: ingest forwarded through the
+	// router's consistent-hash ring, and correlation queries scattered
+	// across the fleet and gathered through the cross-shard merge.
+	clusterRows, err := clusterWorkloads(walkCfg, data, queries, rep.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range clusterRows {
 		add(w)
 	}
 
@@ -388,6 +428,13 @@ func compareBench(opt experiments.Options, baselinePath string, tolerance float6
 		}
 		if exceeds(c.PruningPower, b.PruningPower, -1) {
 			fail("%s: pruning power fell %.3f -> %.3f", key, b.PruningPower, c.PruningPower)
+		}
+		// Allocation growth warns but never fails: allocs/op is stable on
+		// one Go version yet shifts across toolchain upgrades, so gating it
+		// would couple the baseline to the runner's Go version.
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+tolerance) {
+			fmt.Fprintf(opt.Out, "warn: %s: allocs/op grew %.1f -> %.1f (warn-only)\n",
+				key, b.AllocsPerOp, c.AllocsPerOp)
 		}
 		if b.Throughput > 0 && c.Throughput < b.Throughput*(1-tolerance) {
 			msg := fmt.Sprintf("%s: throughput %.0f/s vs baseline %.0f/s (-%.0f%%)",

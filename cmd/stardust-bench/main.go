@@ -17,11 +17,13 @@
 // -json runs the benchmark workloads (ingestion loop vs batch, batched
 // ingest with a write-ahead log under each fsync policy, client-driven
 // wire ingest over HTTP/JSON and binary TCP against live loopback
-// listeners, plus each query class at workers ∈ {1, 4}) and writes a
-// machine-readable report —
-// throughput, node accesses, pruning power — to stdout. -compare FILE
-// re-runs the same workloads and fails (exit 1) when they regress beyond
-// -tolerance against the committed baseline; see BENCH_PR7.json and ci.sh.
+// listeners, router-forwarded ingest and scatter-gather queries over a
+// loopback cluster, plus each query class at workers ∈ {1, 4}) and writes
+// a machine-readable report —
+// throughput, allocations, node accesses, pruning power — to stdout.
+// -compare FILE re-runs the same workloads and fails (exit 1) when they
+// regress beyond -tolerance against the committed baseline; see
+// BENCH_PR8.json and ci.sh.
 package main
 
 import (

@@ -65,6 +65,7 @@ func wireWorkloads(cfg stardust.Config, data [][]float64, chunk int) ([]workload
 			return nil, fmt.Errorf("wire/%s: %v", mode, err)
 		}
 		start := time.Now()
+		allocs0 := allocsSnapshot()
 		for s := 0; s < streams; s++ {
 			for off := 0; off < arrivals; off += chunk {
 				end := off + chunk
@@ -78,14 +79,16 @@ func wireWorkloads(cfg stardust.Config, data [][]float64, chunk int) ([]workload
 				}
 			}
 		}
+		allocsPerOp := allocsSince(allocs0, ops)
 		elapsed := time.Since(start)
 		c.Close()
 		stop()
 		out = append(out, workloadResult{
 			Name: "ingest/wire-" + mode, Workers: 1,
 			Ops: ops, ElapsedNs: elapsed.Nanoseconds(),
-			Throughput: float64(ops) / elapsed.Seconds(),
-			Inserts:    m.Metrics().Tree.Inserts,
+			Throughput:  float64(ops) / elapsed.Seconds(),
+			Inserts:     m.Metrics().Tree.Inserts,
+			AllocsPerOp: allocsPerOp,
 		})
 	}
 	return out, nil

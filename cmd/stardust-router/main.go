@@ -1,0 +1,285 @@
+// Command stardust-router runs the cluster coordinator tier: it partitions
+// a stream population over N backend stardust-server processes with a
+// consistent-hash ring and serves the exact HTTP and TCP surfaces a single
+// server has — ingest forwards to each stream's owning shard, queries
+// scatter to every shard and gather into one merged answer.
+//
+// Every backend must run with the full stream width (-streams on the
+// backend equal to -streams here): the ring decides which shard ingests a
+// stream, and full-width provisioning keeps stream ids global on every
+// shard, so merged query results are byte-identical to a single monitor
+// holding all streams. See RUNBOOK.md, "Cluster topology", for the
+// deployment diagram and the join/leave drill.
+//
+// Usage:
+//
+//	stardust-router -addr :8080 -streams 64 \
+//	    -shards "a=http://10.0.0.5:8080;10.0.0.5:9090,b=http://10.0.0.6:8080" \
+//	    -vnodes 64 -partial degrade -shard-timeout 5s
+//
+// The -shards spec is a comma-separated list of name=httpURL[;tcpAddr]
+// entries. Shard names are ring identities: rename a shard and every
+// stream remaps, so names must outlive process restarts and address
+// changes. When a shard advertises a tcpAddr, ingest forwarding prefers
+// the binary wire protocol and falls back to HTTP.
+//
+// Per-shard RPCs are bounded by -shard-timeout and retried -retries times
+// with linear -retry-backoff. -partial picks what a scatter-gather query
+// does when shards stay down after retries: "fail" returns an error,
+// "degrade" merges the shards that answered and marks the HTTP response
+// with "partial": true. -health-every runs a background /healthz probe
+// over the fleet, feeding the stardust_cluster_shard_healthy gauges.
+//
+// Beyond the standard endpoints, the router serves an admin surface:
+// GET /clusterz reports ring topology, per-shard health and stream
+// ownership; POST /cluster/shards joins ({"action": "add", ...}) or
+// departs ({"action": "remove", ...}) a shard at runtime, remapping the
+// ring in place. Coordinator metrics are the stardust_cluster_* series on
+// GET /metricsz.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stardust/internal/cluster"
+	"stardust/internal/obs"
+	"stardust/internal/server"
+	"stardust/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	streams := flag.Int("streams", 4, "cluster-wide number of streams (backends must run full width)")
+	shardSpec := flag.String("shards", "", "backend shards: comma-separated name=httpURL[;tcpAddr] entries")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the consistent-hash ring")
+	shardTimeout := flag.Duration("shard-timeout", 5*time.Second, "per-shard RPC timeout")
+	partial := flag.String("partial", "degrade", "partial-result policy when shards fail after retries: fail, degrade")
+	retries := flag.Int("retries", 2, "retry attempts per failed shard RPC or ingest forward")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base delay between retries (grows linearly)")
+	healthEvery := flag.Duration("health-every", 10*time.Second, "background shard health-probe period (0 disables)")
+	readTimeout := flag.Duration("read-timeout", 15*time.Second, "HTTP request read timeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP response write timeout")
+	tcpAddr := flag.String("tcp-addr", "", "binary wire-protocol listen address (empty disables the TCP tier)")
+	tcpMaxConns := flag.Int("tcp-max-conns", 256, "max concurrent TCP wire connections (excess dials queue in the kernel backlog)")
+	flag.Parse()
+
+	shards, err := parseShards(*shardSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var policy cluster.PartialPolicy
+	switch *partial {
+	case "fail":
+		policy = cluster.PartialFail
+	case "degrade":
+		policy = cluster.PartialDegrade
+	default:
+		log.Fatalf("unknown partial policy %q", *partial)
+	}
+
+	cm := obs.NewClusterMetrics()
+	cl, err := cluster.New(cluster.Config{
+		Shards:       shards,
+		Streams:      *streams,
+		VNodes:       *vnodes,
+		ShardTimeout: *shardTimeout,
+		Partial:      policy,
+		Retries:      *retries,
+		RetryBackoff: *retryBackoff,
+		HealthEvery:  *healthEvery,
+		Metrics:      cm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(cl)
+	srv.SetClusterMetrics(cm)
+	srv.Handle("GET /clusterz", clusterzHandler(cl, cm))
+	srv.Handle("POST /cluster/shards", shardAdminHandler(cl))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One eager probe so /clusterz and the health gauges are meaningful
+	// before the first background tick.
+	healthy := cl.ProbeHealth(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("stardust-router listening on %s (%d streams over %d shards, %d healthy, vnodes=%d, partial=%s)",
+		ln.Addr(), *streams, len(shards), healthy, *vnodes, policy)
+	log.Printf("admin: topology at GET /clusterz, join/leave at POST /cluster/shards, metrics at GET /metricsz")
+
+	// The binary wire tier forwards through the same coordinator, so a
+	// high-rate TCP producer talks to the router exactly as it would to a
+	// single server.
+	tcpDone := make(chan struct{})
+	close(tcpDone)
+	if *tcpAddr != "" {
+		tln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := transport.NewServer(transport.Config{
+			Backend:  cl,
+			ReadOnly: srv.IsReadOnly,
+			MaxConns: *tcpMaxConns,
+		})
+		srv.SetNetMetrics(ts.Metrics())
+		tcpDone = make(chan struct{})
+		go func() {
+			defer close(tcpDone)
+			if err := ts.Serve(ctx, tln); err != nil && ctx.Err() == nil {
+				log.Printf("tcp transport: %v", err)
+			}
+		}()
+		log.Printf("binary wire protocol listening on %s (max %d conns)", tln.Addr(), *tcpMaxConns)
+	}
+
+	err = srv.Serve(ctx, ln, server.ServeOptions{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	})
+	<-tcpDone
+	if cerr := cl.Close(); cerr != nil {
+		log.Printf("closing cluster: %v", cerr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("stardust-router: shut down cleanly")
+}
+
+// parseShards decodes the -shards spec: comma-separated
+// name=httpURL[;tcpAddr] entries.
+func parseShards(spec string) ([]cluster.ShardConfig, error) {
+	var out []cluster.ShardConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, badShardSpec(part)
+		}
+		httpURL, tcpAddr, _ := strings.Cut(rest, ";")
+		if httpURL == "" {
+			return nil, badShardSpec(part)
+		}
+		out = append(out, cluster.ShardConfig{Name: name, HTTP: httpURL, TCP: tcpAddr})
+	}
+	if len(out) == 0 {
+		return nil, badShardSpec(spec)
+	}
+	return out, nil
+}
+
+type shardSpecError string
+
+func (e shardSpecError) Error() string {
+	return "-shards: want comma-separated name=httpURL[;tcpAddr] entries, got " + string(e)
+}
+
+func badShardSpec(s string) error { return shardSpecError("\"" + s + "\"") }
+
+// clusterzHandler reports the ring topology: members, vnodes, per-shard
+// health and forward/error counters, and how many streams each shard
+// currently owns.
+func clusterzHandler(cl *cluster.Cluster, cm *obs.ClusterMetrics) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		owned := make(map[string]int)
+		for i := 0; i < cl.NumStreams(); i++ {
+			owned[cl.Owner(i)]++
+		}
+		snap := cm.Snapshot()
+		health := make(map[string]obs.ClusterShardSnapshot, len(snap.PerShard))
+		for _, ps := range snap.PerShard {
+			health[ps.Name] = ps
+		}
+		type shardInfo struct {
+			Name         string `json:"name"`
+			HTTP         string `json:"http"`
+			TCP          string `json:"tcp,omitempty"`
+			Healthy      bool   `json:"healthy"`
+			OwnedStreams int    `json:"owned_streams"`
+			Forwards     int64  `json:"forwards"`
+			Errors       int64  `json:"errors"`
+		}
+		infos := make([]shardInfo, 0, len(owned))
+		for _, sc := range cl.Shards() {
+			ps := health[sc.Name]
+			infos = append(infos, shardInfo{
+				Name:         sc.Name,
+				HTTP:         sc.HTTP,
+				TCP:          sc.TCP,
+				Healthy:      ps.Healthy > 0,
+				OwnedStreams: owned[sc.Name],
+				Forwards:     ps.Forwards,
+				Errors:       ps.Errors,
+			})
+		}
+		server.WriteJSON(w, http.StatusOK, map[string]any{
+			"streams":   cl.NumStreams(),
+			"ring_size": snap.RingVNodes,
+			"shards":    infos,
+			"remaps":    snap.RingRemaps,
+			"partials":  snap.PartialResults,
+			"fanouts":   snap.Fanouts,
+		})
+	}
+}
+
+// shardAdminRequest is the body of POST /cluster/shards.
+type shardAdminRequest struct {
+	Action string `json:"action"` // "add" or "remove"
+	Name   string `json:"name"`
+	HTTP   string `json:"http,omitempty"`
+	TCP    string `json:"tcp,omitempty"`
+}
+
+// shardAdminHandler joins or departs a shard at runtime, remapping the
+// ring in place. The RUNBOOK's join/leave drill moves stream history via
+// snapshot+WAL handoff before flipping traffic here.
+func shardAdminHandler(cl *cluster.Cluster) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req shardAdminRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			server.WriteError(w, http.StatusBadRequest, "decoding body: %v", err)
+			return
+		}
+		switch req.Action {
+		case "add":
+			err := cl.AddShard(cluster.ShardConfig{Name: req.Name, HTTP: req.HTTP, TCP: req.TCP})
+			if err != nil {
+				server.WriteError(w, http.StatusConflict, "%v", err)
+				return
+			}
+		case "remove":
+			if err := cl.RemoveShard(req.Name); err != nil {
+				server.WriteError(w, http.StatusConflict, "%v", err)
+				return
+			}
+		default:
+			server.WriteError(w, http.StatusBadRequest, "unknown action %q (want add or remove)", req.Action)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"members": cl.Members(),
+		})
+	}
+}

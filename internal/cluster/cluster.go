@@ -1,0 +1,473 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"stardust"
+	"stardust/internal/obs"
+)
+
+// PartialPolicy selects what a scatter-gather query does when some shards
+// fail after retries.
+type PartialPolicy string
+
+const (
+	// PartialFail returns an error when any shard is unavailable —
+	// consistency over availability.
+	PartialFail PartialPolicy = "fail"
+	// PartialDegrade merges the shards that answered and returns the
+	// result alongside stardust.ErrPartialResult; the router's HTTP
+	// surface marks such responses with "partial": true.
+	PartialDegrade PartialPolicy = "degrade"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	// Shards are the backend processes. Every backend must run with the
+	// full stream width (-streams equal to Streams here): the ring decides
+	// which shard ingests a stream, and full-width provisioning keeps
+	// stream ids global on every shard — no id translation, and queries
+	// over a shard's unowned (hence empty) streams contribute nothing.
+	Shards []ShardConfig
+	// Streams is the cluster-wide stream count.
+	Streams int
+	// VNodes is the number of virtual nodes per shard on the ring
+	// (default 64).
+	VNodes int
+	// ShardTimeout bounds each per-shard RPC (default 5s).
+	ShardTimeout time.Duration
+	// Partial selects the partial-result policy (default PartialDegrade).
+	Partial PartialPolicy
+	// Retries is how many times a failed ingest forward or query leg is
+	// re-attempted (default 2).
+	Retries int
+	// RetryBackoff is the base delay between attempts, growing linearly
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// HealthEvery is the background health-probe period; 0 disables the
+	// probe loop (tests drive health through forwards instead).
+	HealthEvery time.Duration
+	// Metrics receives the stardust_cluster_* instrument updates; nil
+	// allocates a private set.
+	Metrics *obs.ClusterMetrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = 5 * time.Second
+	}
+	if c.Partial == "" {
+		c.Partial = PartialDegrade
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewClusterMetrics()
+	}
+	return c
+}
+
+// Cluster is the coordinator: it implements stardust.Interface over a
+// fleet of backend servers, so the same HTTP and TCP tiers that serve a
+// single monitor serve a whole partition unchanged.
+type Cluster struct {
+	cfg Config
+	met *obs.ClusterMetrics
+
+	mu     sync.RWMutex // guards ring and shards across join/leave
+	ring   *Ring
+	shards map[string]*shard
+
+	stop   context.CancelFunc
+	probes sync.WaitGroup
+}
+
+// Compile-time check: the coordinator is a drop-in monitor backend.
+var _ stardust.Interface = (*Cluster)(nil)
+
+// New builds a cluster coordinator and, when cfg.HealthEvery > 0, starts
+// its background health-probe loop. Close releases it.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("cluster: Streams must be positive, got %d", cfg.Streams)
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: at least one shard required")
+	}
+	names := make([]string, 0, len(cfg.Shards))
+	for _, sc := range cfg.Shards {
+		if sc.Name == "" || sc.HTTP == "" {
+			return nil, fmt.Errorf("cluster: shard needs a name and an HTTP address, got %+v", sc)
+		}
+		names = append(names, sc.Name)
+	}
+	ring, err := NewRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, met: cfg.Metrics, ring: ring, shards: make(map[string]*shard, len(cfg.Shards))}
+	for _, sc := range cfg.Shards {
+		c.shards[sc.Name] = newShard(sc, cfg.ShardTimeout, c.met.Shard(sc.Name))
+	}
+	c.met.Shards.Set(int64(len(c.shards)))
+	c.met.RingVNodes.Set(int64(len(c.shards) * cfg.VNodes))
+	if cfg.HealthEvery > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		c.stop = cancel
+		c.probes.Add(1)
+		go c.healthLoop(ctx)
+	}
+	return c, nil
+}
+
+// Close stops the health loop and releases every shard connection.
+func (c *Cluster) Close() error {
+	if c.stop != nil {
+		c.stop()
+		c.probes.Wait()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		s.close()
+	}
+	return nil
+}
+
+// healthLoop probes every shard's /healthz on the configured period.
+func (c *Cluster) healthLoop(ctx context.Context) {
+	defer c.probes.Done()
+	ticker := time.NewTicker(c.cfg.HealthEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.ProbeHealth(ctx)
+		}
+	}
+}
+
+// ProbeHealth checks every shard's /healthz once and updates the health
+// gauges; it returns the number of healthy shards. The background loop
+// calls it on a timer; the router's admin surface may call it on demand.
+func (c *Cluster) ProbeHealth(ctx context.Context) int {
+	healthy := 0
+	for _, s := range c.snapshotShards() {
+		c.met.HealthProbes.Inc()
+		probeCtx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+		err := s.probeHealth(probeCtx)
+		cancel()
+		if err != nil {
+			c.met.HealthProbeFailures.Inc()
+			s.met.Healthy.Set(0)
+			continue
+		}
+		s.met.Healthy.Set(1)
+		healthy++
+	}
+	c.met.ShardsHealthy.Set(int64(healthy))
+	return healthy
+}
+
+// snapshotShards returns the current shard set sorted by name, detached
+// from the lock so callers iterate a stable view during join/leave.
+func (c *Cluster) snapshotShards() []*shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*shard, 0, len(c.shards))
+	for _, s := range c.shards {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}
+
+// owner resolves the shard owning a stream id on the current ring.
+func (c *Cluster) owner(stream int) (*shard, error) {
+	if stream < 0 || stream >= c.cfg.Streams {
+		return nil, fmt.Errorf("cluster: %w: stream %d not in [0, %d)", stardust.ErrStreamRange, stream, c.cfg.Streams)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shards[c.ring.Lookup(stream)], nil
+}
+
+// Owner returns the name of the shard owning the stream id (for the admin
+// surface and tests); it does not validate the id against Streams.
+func (c *Cluster) Owner(stream int) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Lookup(stream)
+}
+
+// Members returns the ring's shard names in sorted order.
+func (c *Cluster) Members() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Members()
+}
+
+// Shards returns the current shard configurations sorted by name (for the
+// admin surface).
+func (c *Cluster) Shards() []ShardConfig {
+	snap := c.snapshotShards()
+	out := make([]ShardConfig, len(snap))
+	for i, s := range snap {
+		out[i] = s.cfg
+	}
+	return out
+}
+
+// AddShard joins a backend to the ring. Only streams remapping onto the
+// new shard move (≤ 1/N expected); the RUNBOOK's join drill covers moving
+// their history via snapshot+WAL handoff before flipping traffic.
+func (c *Cluster) AddShard(sc ShardConfig) error {
+	if sc.Name == "" || sc.HTTP == "" {
+		return fmt.Errorf("cluster: shard needs a name and an HTTP address, got %+v", sc)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.shards[sc.Name]; ok {
+		return fmt.Errorf("cluster: shard %q already joined", sc.Name)
+	}
+	ring, err := c.ring.WithAdded(sc.Name)
+	if err != nil {
+		return err
+	}
+	c.ring = ring
+	c.shards[sc.Name] = newShard(sc, c.cfg.ShardTimeout, c.met.Shard(sc.Name))
+	c.met.RingRemaps.Inc()
+	c.met.Shards.Set(int64(len(c.shards)))
+	c.met.RingVNodes.Set(int64(len(c.shards) * c.cfg.VNodes))
+	return nil
+}
+
+// RemoveShard departs a backend from the ring; its streams redistribute to
+// the survivors.
+func (c *Cluster) RemoveShard(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.shards) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last shard %q", name)
+	}
+	s, ok := c.shards[name]
+	if !ok {
+		return fmt.Errorf("cluster: shard %q not found", name)
+	}
+	ring, err := c.ring.WithRemoved(name)
+	if err != nil {
+		return err
+	}
+	c.ring = ring
+	delete(c.shards, name)
+	s.close()
+	c.met.RingRemaps.Inc()
+	c.met.Shards.Set(int64(len(c.shards)))
+	c.met.RingVNodes.Set(int64(len(c.shards) * c.cfg.VNodes))
+	return nil
+}
+
+// forward routes one ingest request to the owning shard with retry/backoff
+// on transport errors. Typed rejections (ErrBadValue, ErrStreamRange,
+// ErrQuarantined) come back verbatim — they are the same answer a single
+// server would give and retrying cannot change them.
+func (c *Cluster) forward(stream int, vs []float64) error {
+	s, err := c.owner(stream)
+	if err != nil {
+		return err
+	}
+	attempts := c.cfg.Retries + 1
+	for attempt := 0; ; attempt++ {
+		err := s.ingest(stream, vs)
+		if err == nil || isTypedRejection(err) {
+			s.met.Forwards.Inc()
+			s.met.Healthy.Set(1)
+			return err
+		}
+		s.met.Errors.Inc()
+		s.dropConn()
+		if attempt == attempts-1 {
+			s.met.Healthy.Set(0)
+			return fmt.Errorf("cluster: shard %s: %w", s.cfg.Name, err)
+		}
+		c.met.IngestRetries.Inc()
+		time.Sleep(c.cfg.RetryBackoff * time.Duration(attempt+1))
+	}
+}
+
+// Ingest forwards one sample to the stream's owning shard.
+func (c *Cluster) Ingest(stream int, v float64) error {
+	var one [1]float64
+	one[0] = v
+	return c.forward(stream, one[:])
+}
+
+// IngestBatch forwards a run of consecutive values for one stream to its
+// owning shard in one request.
+func (c *Cluster) IngestBatch(stream int, vs []float64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return c.forward(stream, vs)
+}
+
+// IngestAll forwards one synchronized arrival, vs[i] going to stream i's
+// owning shard; per-stream failures join, as on a single monitor.
+func (c *Cluster) IngestAll(vs []float64) error {
+	if len(vs) != c.cfg.Streams {
+		return fmt.Errorf("cluster: %w: IngestAll got %d values for %d streams",
+			stardust.ErrStreamRange, len(vs), c.cfg.Streams)
+	}
+	var errs []error
+	for i, v := range vs {
+		if err := c.Ingest(i, v); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// NumStreams returns the cluster-wide stream count.
+func (c *Cluster) NumStreams() int { return c.cfg.Streams }
+
+// Now returns the stream's most recent discrete time from its owning
+// shard, or −1 when the shard cannot be reached (the same value an
+// un-ingested stream reports).
+func (c *Cluster) Now(stream int) int64 {
+	s, err := c.owner(stream)
+	if err != nil {
+		return -1
+	}
+	var t int64 = -1
+	if err := c.callWithRetry(s, "now", map[string]any{"stream": stream}, &t); err != nil {
+		return -1
+	}
+	return t
+}
+
+// callWithRetry performs a single-shard RPC with the same retry/backoff
+// contract as ingest forwarding. Query rejections (the backend answered
+// 4xx) propagate immediately.
+func (c *Cluster) callWithRetry(s *shard, kind string, req map[string]any, out any) error {
+	attempts := c.cfg.Retries + 1
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
+		err := s.call(ctx, kind, req, out)
+		cancel()
+		if err == nil {
+			s.met.Healthy.Set(1)
+			return nil
+		}
+		if isQueryRejection(err) {
+			return err
+		}
+		s.met.Errors.Inc()
+		if attempt == attempts-1 {
+			s.met.Healthy.Set(0)
+			return fmt.Errorf("cluster: shard %s: %w", s.cfg.Name, err)
+		}
+		time.Sleep(c.cfg.RetryBackoff * time.Duration(attempt+1))
+	}
+}
+
+// CheckAggregate routes the check to the stream's owning shard.
+func (c *Cluster) CheckAggregate(stream, window int, threshold float64) (stardust.AggregateResult, error) {
+	s, err := c.owner(stream)
+	if err != nil {
+		return stardust.AggregateResult{}, err
+	}
+	var res stardust.AggregateResult
+	err = c.callWithRetry(s, "aggregate", map[string]any{
+		"stream": stream, "window": window, "threshold": threshold,
+	}, &res)
+	return res, err
+}
+
+// AggregateBound routes the bound query to the stream's owning shard.
+func (c *Cluster) AggregateBound(stream, window int) (stardust.Interval, error) {
+	s, err := c.owner(stream)
+	if err != nil {
+		return stardust.Interval{}, err
+	}
+	var res stardust.Interval
+	err = c.callWithRetry(s, "bound", map[string]any{"stream": stream, "window": window}, &res)
+	return res, err
+}
+
+// Stats merges the shards' space snapshots. Shards run full-width, so
+// Streams is the configured total, not the sum of shard reports; history
+// and index sizes sum (unowned streams hold nothing and contribute
+// nothing). Unreachable shards are skipped — Stats carries no error.
+func (c *Cluster) Stats() stardust.Stats {
+	var out stardust.Stats
+	first := true
+	for _, s := range c.snapshotShards() {
+		var st stardust.Stats
+		if err := c.callWithRetry(s, "stats", nil, &st); err != nil {
+			continue
+		}
+		if first {
+			out = st
+			first = false
+			continue
+		}
+		out.RawHistory += st.RawHistory
+		for j := range out.Levels {
+			if j >= len(st.Levels) {
+				break
+			}
+			out.Levels[j].ThreadBoxes += st.Levels[j].ThreadBoxes
+			out.Levels[j].IndexEntries += st.Levels[j].IndexEntries
+			if st.Levels[j].IndexHeight > out.Levels[j].IndexHeight {
+				out.Levels[j].IndexHeight = st.Levels[j].IndexHeight
+			}
+		}
+	}
+	out.Streams = c.cfg.Streams
+	return out
+}
+
+// Metrics merges the shards' observability snapshots, best effort:
+// unreachable shards are skipped. The router's own stardust_cluster_*
+// section is merged in by the serving layer (Server.SetClusterMetrics),
+// not here, so backend counters and coordinator counters stay separable.
+func (c *Cluster) Metrics() stardust.MetricsSnapshot {
+	var out stardust.MetricsSnapshot
+	first := true
+	for _, s := range c.snapshotShards() {
+		var snap stardust.MetricsSnapshot
+		if err := c.callWithRetry(s, "metrics", nil, &snap); err != nil {
+			continue
+		}
+		if first {
+			out = snap
+			first = false
+			continue
+		}
+		out = out.Merge(snap)
+	}
+	return out
+}
+
+// Snapshot is unsupported on the coordinator: state lives on the shards,
+// each of which snapshots (and WAL-checkpoints) itself. See the RUNBOOK's
+// cluster topology section for the per-shard procedure.
+func (c *Cluster) Snapshot(io.Writer) error {
+	return errors.New("cluster: snapshots live on the shards; snapshot each backend directly")
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"stardust"
+	"stardust/client"
+	"stardust/internal/obs"
+)
+
+// ShardConfig names one backend stardust-server process.
+type ShardConfig struct {
+	// Name is the shard's stable identity on the ring — rename a shard and
+	// every stream remaps, so names outlive process restarts and address
+	// changes.
+	Name string
+	// HTTP is the backend's base URL (e.g. "http://10.0.0.5:8080"); it
+	// carries query RPCs and is the ingest fallback.
+	HTTP string
+	// TCP is the backend's binary wire address (e.g. "10.0.0.5:9090");
+	// empty means ingest goes over HTTP only.
+	TCP string
+}
+
+// shard is the router's live handle on one backend: a lazily dialed ingest
+// client (binary TCP preferred, HTTP fallback) plus an HTTP client for
+// query RPCs, with the per-shard instrument slice.
+type shard struct {
+	cfg     ShardConfig
+	timeout time.Duration
+	hc      *http.Client
+	met     *obs.ShardMetrics
+
+	mu     sync.Mutex
+	ing    *client.Client // nil until first use or after a drop
+	ingTCP bool           // true when ing speaks the binary wire
+}
+
+func newShard(cfg ShardConfig, timeout time.Duration, met *obs.ShardMetrics) *shard {
+	return &shard{
+		cfg:     cfg,
+		timeout: timeout,
+		hc:      &http.Client{Timeout: timeout},
+		met:     met,
+	}
+}
+
+// ingestClient returns the shard's ingest client, dialing on first use:
+// binary TCP when the shard advertises a wire address and the dial
+// succeeds, HTTP otherwise. A failed TCP dial falls back to HTTP for this
+// client's lifetime; dropConn discards the client so the next call retries
+// TCP first.
+func (s *shard) ingestClient() (*client.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ing != nil {
+		return s.ing, nil
+	}
+	if s.cfg.TCP != "" {
+		c, err := client.New(client.WithTCP(s.cfg.TCP), client.WithTimeout(s.timeout))
+		if err == nil {
+			s.ing, s.ingTCP = c, true
+			return c, nil
+		}
+	}
+	c, err := client.New(client.WithHTTP(s.cfg.HTTP), client.WithTimeout(s.timeout))
+	if err != nil {
+		return nil, err
+	}
+	s.ing, s.ingTCP = c, false
+	return c, nil
+}
+
+// dropConn discards the ingest client after a transport error. The TCP
+// transport breaks permanently once a request fails mid-frame, so the next
+// forward re-dials instead of hammering a dead connection.
+func (s *shard) dropConn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ing != nil {
+		_ = s.ing.Close()
+		s.ing = nil
+	}
+}
+
+// ingest performs one forwarding attempt.
+func (s *shard) ingest(stream int, vs []float64) error {
+	c, err := s.ingestClient()
+	if err != nil {
+		return err
+	}
+	return c.IngestBatch(stream, vs)
+}
+
+// close releases the shard's connections.
+func (s *shard) close() {
+	s.dropConn()
+	s.hc.CloseIdleConnections()
+}
+
+// rpcError is a backend's application-level rejection of a query RPC: the
+// shard is up and answered, the monitor refused the query (bad level,
+// negative lag, ...). It is not a shard failure — retrying or degrading
+// would mask a caller bug — so scatter propagates it verbatim.
+type rpcError struct {
+	status int
+	msg    string
+}
+
+func (e *rpcError) Error() string { return e.msg }
+
+// isQueryRejection reports whether err is a backend's 4xx answer rather
+// than a transport/5xx failure.
+func isQueryRejection(err error) bool {
+	var re *rpcError
+	return errors.As(err, &re) && re.status >= 400 && re.status < 500
+}
+
+// call performs one query RPC against the shard's /cluster/q endpoint and
+// decodes the result envelope into out (a pointer).
+func (s *shard) call(ctx context.Context, kind string, req map[string]any, out any) error {
+	body := map[string]any{"kind": kind}
+	for k, v := range req {
+		body[k] = v
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: marshaling %s request: %v", kind, err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.HTTP+"/cluster/q", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := s.hc.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(payload, &e)
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("shard %s: HTTP %d", s.cfg.Name, resp.StatusCode)
+		}
+		return &rpcError{status: resp.StatusCode, msg: e.Error}
+	}
+	var envelope struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(payload, &envelope); err != nil {
+		return fmt.Errorf("cluster: decoding %s envelope from shard %s: %v", kind, s.cfg.Name, err)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(envelope.Result, out); err != nil {
+		return fmt.Errorf("cluster: decoding %s result from shard %s: %v", kind, s.cfg.Name, err)
+	}
+	return nil
+}
+
+// probeHealth performs one /healthz round-trip.
+func (s *shard) probeHealth(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.HTTP+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %s: /healthz returned %d", s.cfg.Name, resp.StatusCode)
+	}
+	return nil
+}
+
+// isTypedRejection reports whether err is one of the stardust sentinel
+// errors — a valid per-sample outcome a single server would also return,
+// never a reason to retry or fail the shard.
+func isTypedRejection(err error) bool {
+	return errors.Is(err, stardust.ErrBadValue) ||
+		errors.Is(err, stardust.ErrStreamRange) ||
+		errors.Is(err, stardust.ErrQuarantined)
+}

@@ -202,7 +202,14 @@ func (p pairsByID) Less(i, j int) bool {
 	if p[i].A != p[j].A {
 		return p[i].A < p[j].A
 	}
-	return p[i].B < p[j].B
+	if p[i].B != p[j].B {
+		return p[i].B < p[j].B
+	}
+	// Lagged screens report one pair per probed feature time, so (A, B)
+	// alone is not a total order; breaking ties by TimeB keeps the output
+	// canonical — any merge of partial screens (parallel workers, shards,
+	// cluster scatter-gather) sorts to the same sequence.
+	return p[i].TimeB < p[j].TimeB
 }
 
 func sortPairs(ps []CorrPair) { sort.Sort(pairsByID(ps)) }

@@ -76,7 +76,18 @@ func (s *Summary) NearestPatterns(q []float64, k int) ([]Match, error) {
 			verified = append(verified, Match{Stream: key.Stream, End: key.End, Dist: verdicts[i].dist})
 		}
 	}
-	sort.Slice(verified, func(a, b int) bool { return verified[a].Dist < verified[b].Dist })
+	// Ties break by (stream, end) so the ranking is a total order: merges
+	// of per-shard answers (ShardedMonitor, the cluster router) sort to
+	// exactly this sequence.
+	sort.Slice(verified, func(a, b int) bool {
+		if verified[a].Dist != verified[b].Dist {
+			return verified[a].Dist < verified[b].Dist
+		}
+		if verified[a].Stream != verified[b].Stream {
+			return verified[a].Stream < verified[b].Stream
+		}
+		return verified[a].End < verified[b].End
+	})
 	if len(verified) > k {
 		verified = verified[:k]
 	}

@@ -592,6 +592,7 @@ type Snapshot struct {
 	Repl        ReplSnapshot
 	Net         NetSnapshot
 	Fault       FaultSnapshot
+	Cluster     ClusterSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
 	Correlation QuerySnapshot
@@ -638,6 +639,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		Repl:        s.Repl.merge(o.Repl),
 		Net:         s.Net.merge(o.Net),
 		Fault:       s.Fault.merge(o.Fault),
+		Cluster:     s.Cluster.merge(o.Cluster),
 		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
 		Pattern:     s.Pattern.mergeQuery(o.Pattern),
 		Correlation: s.Correlation.mergeQuery(o.Correlation),

@@ -86,6 +86,32 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.counter("stardust_fault_evals_total", "Fault injection-point evaluations.", s.Fault.Evals)
 	p.counter("stardust_fault_injected_total", "Faults actually injected (errors, delays, torn writes, cut links).", s.Fault.Injected)
 
+	p.gauge("stardust_cluster_shards", "Shards configured on the router's consistent-hash ring (0 when not a router).", s.Cluster.Shards)
+	p.gauge("stardust_cluster_ring_vnodes", "Virtual nodes on the consistent-hash ring.", s.Cluster.RingVNodes)
+	p.gauge("stardust_cluster_shards_healthy", "Shards that passed their most recent health probe.", s.Cluster.ShardsHealthy)
+	p.counter("stardust_cluster_fanouts_total", "Scatter-gather query rounds fanned out to the shards.", s.Cluster.Fanouts)
+	p.histogramSeconds("stardust_cluster_fanout_latency_seconds", "Wall time of a full scatter-gather round (slowest shard dominates).", s.Cluster.FanoutNanos)
+	p.counter("stardust_cluster_partial_results_total", "Query rounds answered from a subset of shards under the degrade policy.", s.Cluster.PartialResults)
+	p.counter("stardust_cluster_query_failures_total", "Scatter-gather rounds that returned an error to the caller.", s.Cluster.QueryFailures)
+	p.counter("stardust_cluster_ingest_retries_total", "Forwarded ingest attempts beyond the first (retry/backoff path).", s.Cluster.IngestRetries)
+	p.counter("stardust_cluster_ring_remaps_total", "Shard join/leave events that rebuilt the ring.", s.Cluster.RingRemaps)
+	p.counter("stardust_cluster_health_probes_total", "Background shard health probes.", s.Cluster.HealthProbes)
+	p.counter("stardust_cluster_health_probe_failures_total", "Background shard health probes that failed.", s.Cluster.HealthProbeFailures)
+	if len(s.Cluster.PerShard) > 0 {
+		p.help("stardust_cluster_shard_healthy", "1 while the labeled shard is passing health probes and forwards.", "gauge")
+		for _, sh := range s.Cluster.PerShard {
+			p.printf("stardust_cluster_shard_healthy{shard=%q} %d\n", sh.Name, sh.Healthy)
+		}
+		p.help("stardust_cluster_shard_forwards_total", "Ingest requests forwarded to the labeled shard.", "counter")
+		for _, sh := range s.Cluster.PerShard {
+			p.printf("stardust_cluster_shard_forwards_total{shard=%q} %d\n", sh.Name, sh.Forwards)
+		}
+		p.help("stardust_cluster_shard_errors_total", "Forwards and query legs that failed against the labeled shard.", "counter")
+		for _, sh := range s.Cluster.PerShard {
+			p.printf("stardust_cluster_shard_errors_total{shard=%q} %d\n", sh.Name, sh.Errors)
+		}
+	}
+
 	p.counter("stardust_index_inserts_total", "R*-tree leaf entries inserted (all levels).", s.Tree.Inserts)
 	p.counter("stardust_index_deletes_total", "R*-tree leaf entries deleted (all levels).", s.Tree.Deletes)
 	p.counter("stardust_index_searches_total", "R*-tree search traversals (range, sphere, nearest-neighbor).", s.Tree.Searches)

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"stardust"
+	"stardust/internal/obs"
+)
+
+// SetClusterMetrics registers a router's coordinator instrument set so its
+// stardust_cluster_* series are merged into GET /metricsz. Call before
+// Serve.
+func (s *Server) SetClusterMetrics(cm *obs.ClusterMetrics) {
+	s.clusterMetrics = cm
+}
+
+// Handle registers an extra route on the server's mux before Serve. The
+// router binary mounts its cluster admin surface (GET /clusterz,
+// POST /cluster/shards) next to the standard endpoints with it.
+func (s *Server) Handle(pattern string, handler http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, handler)
+}
+
+// WriteJSON exposes the server's JSON response convention to admin
+// handlers registered via Handle.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, v)
+}
+
+// WriteError exposes the server's JSON error convention to admin handlers
+// registered via Handle.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErr(w, status, format, args...)
+}
+
+// nearestRequest is the body of POST /nearest.
+type nearestRequest struct {
+	Query []float64 `json:"query"`
+	K     int       `json:"k"`
+}
+
+// handleNearest answers the k-nearest-neighbor pattern query — the fourth
+// query class, exposed over HTTP so a router can serve it cluster-wide
+// with the exact surface a single server has.
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	var req nearestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Query) == 0 || req.K <= 0 {
+		writeErr(w, http.StatusBadRequest, "query and positive k required")
+		return
+	}
+	matches, err := s.mon.NearestPatterns(req.Query, req.K)
+	partial := errors.Is(err, stardust.ErrPartialResult)
+	if err != nil && !partial {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := map[string]any{"matches": matches}
+	if partial {
+		resp["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterQueryRequest is the body of POST /cluster/q, the coordinator RPC
+// endpoint: one kind-dispatched surface returning native result structs so
+// a router's merge sees exactly the float64 values the backend computed
+// (Go's JSON encoding round-trips float64 exactly).
+type clusterQueryRequest struct {
+	Kind      string                `json:"kind"`
+	Query     []float64             `json:"query,omitempty"`
+	Radius    float64               `json:"radius,omitempty"`
+	K         int                   `json:"k,omitempty"`
+	Level     int                   `json:"level,omitempty"`
+	Lag       int                   `json:"lag,omitempty"`
+	Stream    int                   `json:"stream,omitempty"`
+	Window    int                   `json:"window,omitempty"`
+	Threshold float64               `json:"threshold,omitempty"`
+	Probes    []stardust.ZNormProbe `json:"probes,omitempty"`
+}
+
+// clusterResult wraps every /cluster/q answer.
+func clusterResult(w http.ResponseWriter, v any) {
+	writeJSON(w, http.StatusOK, map[string]any{"result": v})
+}
+
+// handleClusterQuery serves the coordinator RPC surface. Monitor
+// rejections (bad level, negative lag, out-of-range stream) return 422 —
+// the router propagates them to its caller instead of treating the shard
+// as failed.
+func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
+	var req clusterQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	features := func(level, lag int) ([]stardust.LevelFeature, bool) {
+		fs, ok := s.mon.(stardust.FeatureSource)
+		if !ok {
+			return nil, false
+		}
+		return fs.RecentLevelFeatures(level, lag), true
+	}
+	switch req.Kind {
+	case "pattern":
+		res, err := s.mon.FindPattern(req.Query, req.Radius)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		clusterResult(w, res)
+	case "nearest":
+		matches, err := s.mon.NearestPatterns(req.Query, req.K)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		clusterResult(w, matches)
+	case "correlations":
+		res, err := s.mon.Correlations(req.Level, req.Radius)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		feats, ok := features(req.Level, 0)
+		if !ok {
+			writeErr(w, http.StatusNotImplemented, "backend does not export features")
+			return
+		}
+		clusterResult(w, map[string]any{"intra": res, "features": feats})
+	case "lagged":
+		pairs, err := s.mon.LaggedCorrelations(req.Level, req.Radius, req.Lag)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		feats, ok := features(req.Level, req.Lag)
+		if !ok {
+			writeErr(w, http.StatusNotImplemented, "backend does not export features")
+			return
+		}
+		clusterResult(w, map[string]any{"pairs": pairs, "features": feats})
+	case "features":
+		feats, ok := features(req.Level, req.Lag)
+		if !ok {
+			writeErr(w, http.StatusNotImplemented, "backend does not export features")
+			return
+		}
+		clusterResult(w, feats)
+	case "znorm":
+		fs, ok := s.mon.(stardust.FeatureSource)
+		if !ok {
+			writeErr(w, http.StatusNotImplemented, "backend does not export features")
+			return
+		}
+		out := make([]stardust.ZNormResult, len(req.Probes))
+		for i, p := range req.Probes {
+			values, ok := fs.ZNormWindow(p.Stream, p.Level, p.T)
+			out[i] = stardust.ZNormResult{Values: values, OK: ok}
+		}
+		clusterResult(w, out)
+	case "aggregate":
+		res, err := s.mon.CheckAggregate(req.Stream, req.Window, req.Threshold)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		clusterResult(w, res)
+	case "bound":
+		res, err := s.mon.AggregateBound(req.Stream, req.Window)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		clusterResult(w, res)
+	case "now":
+		if req.Stream < 0 || req.Stream >= s.mon.NumStreams() {
+			writeErr(w, http.StatusUnprocessableEntity, "stream %d out of range", req.Stream)
+			return
+		}
+		clusterResult(w, s.mon.Now(req.Stream))
+	case "stats":
+		clusterResult(w, s.mon.Stats())
+	case "metrics":
+		clusterResult(w, s.mon.Metrics())
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown kind %q", req.Kind)
+	}
+}

@@ -8,7 +8,9 @@
 //	POST /ingest        {"rows": [[s0v, s1v, ...], ...]}              — synchronized arrivals
 //	GET  /aggregate     ?stream=0&window=40&threshold=300             — one Algorithm-2 check
 //	POST /pattern       {"query": [...], "radius": 0.05}              — variable-length similarity
+//	POST /nearest       {"query": [...], "k": 3}                      — k-nearest-neighbor patterns
 //	GET  /correlations  ?level=3&radius=0.5[&lag=32]                  — correlated pairs
+//	POST /cluster/q     {"kind": "pattern"|"correlations"|...}        — coordinator RPC: native result structs for a router's scatter-gather merge
 //	GET  /stats                                                       — summary space snapshot
 //	GET  /statz                                                       — operational status: readiness, WAL counters, recovery replay
 //	GET  /healthz                                                     — liveness (always 200 while the process serves)
@@ -72,9 +74,10 @@ type Server struct {
 	events  []stardust.Event
 	evBase  int // sequence number of events[0]
 
-	follower    *replication.Follower // non-nil on a read replica: ingest is 403
-	replMetrics *obs.ReplMetrics      // merged into /metricsz when replication is wired
-	netMetrics  *obs.NetMetrics       // merged into /metricsz when the TCP tier is mounted
+	follower       *replication.Follower // non-nil on a read replica: ingest is 403
+	replMetrics    *obs.ReplMetrics      // merged into /metricsz when replication is wired
+	netMetrics     *obs.NetMetrics       // merged into /metricsz when the TCP tier is mounted
+	clusterMetrics *obs.ClusterMetrics   // merged into /metricsz on a cluster router
 
 	// Replication-primary state. The /repl/* and /wal routes are mounted
 	// unconditionally at construction and dispatch through this pointer,
@@ -144,7 +147,9 @@ func newServer(mon stardust.Interface) *Server {
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /aggregate", s.handleAggregate)
 	s.mux.HandleFunc("POST /pattern", s.handlePattern)
+	s.mux.HandleFunc("POST /nearest", s.handleNearest)
 	s.mux.HandleFunc("GET /correlations", s.handleCorrelations)
+	s.mux.HandleFunc("POST /cluster/q", s.handleClusterQuery)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -447,15 +452,20 @@ func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.mon.FindPattern(req.Query, req.Radius)
-	if err != nil {
+	partial := errors.Is(err, stardust.ErrPartialResult)
+	if err != nil && !partial {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"candidates": len(res.Candidates),
 		"precision":  res.Precision(),
 		"matches":    res.Matches,
-	})
+	}
+	if partial {
+		resp["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
@@ -476,23 +486,33 @@ func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		pairs, err := s.mon.LaggedCorrelations(level, radius, lag)
-		if err != nil {
+		partial := errors.Is(err, stardust.ErrPartialResult)
+		if err != nil && !partial {
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"screened": pairs})
+		resp := map[string]any{"screened": pairs}
+		if partial {
+			resp["partial"] = true
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	res, err := s.mon.Correlations(level, radius)
-	if err != nil {
+	partial := errors.Is(err, stardust.ErrPartialResult)
+	if err != nil && !partial {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"screened":  len(res.Candidates),
 		"precision": res.Precision(),
 		"pairs":     res.Pairs,
-	})
+	}
+	if partial {
+		resp["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -510,6 +530,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.netMetrics != nil {
 		snap.Net = s.netMetrics.Snapshot()
+	}
+	if s.clusterMetrics != nil {
+		snap.Cluster = s.clusterMetrics.Snapshot()
 	}
 	if s.faultInj != nil {
 		c := s.faultInj.Counters()

@@ -1,0 +1,275 @@
+// Command clustersmoke drives the cluster e2e CI stage: ci.sh boots three
+// stardust-server processes and one stardust-router on ephemeral ports,
+// then invokes this driver in phases. The driver never manages processes —
+// ci.sh owns the lifecycle (and tears everything down via its exit trap) —
+// it only generates load and checks answers.
+//
+// Phases (selected with -phase):
+//
+//	ports    print -n free TCP ports, one per line, for ci.sh to assign
+//	wait     poll each -urls entry's /healthz until 200 or -timeout
+//	ingest   ingest the seeded random-walk workload into the router
+//	         (even streams over the binary TCP wire, odd streams over
+//	         HTTP) and the same samples into the single-process
+//	         reference server
+//	compare  run all four query classes against router and reference and
+//	         fail unless every response is byte-identical
+//	partial  run the same queries against the router and fail unless
+//	         every response is 200 with "partial": true — the degraded
+//	         path, exercised by ci.sh after it kill -9s one backend
+//
+// The workload derives entirely from -seed, so ingest and compare agree on
+// the data without sharing files.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"stardust/client"
+	"stardust/internal/gen"
+)
+
+func main() {
+	phase := flag.String("phase", "", "ports, wait, ingest, compare, or partial")
+	n := flag.Int("n", 1, "ports: how many free ports to print")
+	urls := flag.String("urls", "", "wait: comma-separated base URLs to poll for /healthz")
+	timeout := flag.Duration("timeout", 30*time.Second, "wait: readiness deadline")
+	routerHTTP := flag.String("router-http", "", "router base URL")
+	routerTCP := flag.String("router-tcp", "", "router binary wire address (ingest phase)")
+	refHTTP := flag.String("ref-http", "", "single-process reference base URL")
+	streams := flag.Int("streams", 6, "workload stream count")
+	samples := flag.Int("samples", 400, "workload samples per stream")
+	seed := flag.Int64("seed", 99, "workload seed")
+	flag.Parse()
+
+	var err error
+	switch *phase {
+	case "ports":
+		err = printPorts(*n)
+	case "wait":
+		err = waitHealthy(strings.Split(*urls, ","), *timeout)
+	case "ingest":
+		err = ingest(*routerHTTP, *routerTCP, *refHTTP, *streams, *samples, *seed)
+	case "compare":
+		err = compare(*routerHTTP, *refHTTP, *streams, *samples, *seed)
+	case "partial":
+		err = expectPartial(*routerHTTP, *streams, *samples, *seed)
+	default:
+		err = fmt.Errorf("unknown -phase %q (want ports, wait, ingest, compare, or partial)", *phase)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clustersmoke %s: %v\n", *phase, err)
+		os.Exit(1)
+	}
+}
+
+// printPorts binds n ephemeral listeners at once (so the kernel hands out
+// distinct ports), prints the ports, then releases them for ci.sh to use.
+func printPorts(n int) error {
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners = append(listeners, ln)
+	}
+	for _, ln := range listeners {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+	return nil
+}
+
+// waitHealthy polls every URL's /healthz until all answer 200.
+func waitHealthy(urls []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	hc := &http.Client{Timeout: 2 * time.Second}
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		for {
+			resp, err := hc.Get(u + "/healthz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s not healthy after %s (last: %v)", u, timeout, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// workload regenerates the seeded data both the ingest and compare phases
+// use.
+func workload(streams, samples int, seed int64) [][]float64 {
+	return gen.RandomWalks(rand.New(rand.NewSource(seed)), streams, samples)
+}
+
+// ingest pushes the workload through the router over both transports and
+// into the reference over HTTP.
+func ingest(routerHTTP, routerTCP, refHTTP string, streams, samples int, seed int64) error {
+	if routerHTTP == "" || routerTCP == "" || refHTTP == "" {
+		return fmt.Errorf("-router-http, -router-tcp and -ref-http required")
+	}
+	data := workload(streams, samples, seed)
+	tcpClient, err := client.New(client.WithTCP(routerTCP), client.WithTimeout(10*time.Second))
+	if err != nil {
+		return fmt.Errorf("dialing router wire: %v", err)
+	}
+	defer tcpClient.Close()
+	httpClient, err := client.New(client.WithHTTP(routerHTTP), client.WithTimeout(10*time.Second))
+	if err != nil {
+		return err
+	}
+	defer httpClient.Close()
+	refClient, err := client.New(client.WithHTTP(refHTTP), client.WithTimeout(10*time.Second))
+	if err != nil {
+		return err
+	}
+	defer refClient.Close()
+	for s := 0; s < streams; s++ {
+		ing := httpClient
+		via := "http"
+		if s%2 == 0 {
+			ing = tcpClient
+			via = "tcp"
+		}
+		if err := ing.IngestBatch(s, data[s]); err != nil {
+			return fmt.Errorf("router ingest stream %d via %s: %v", s, via, err)
+		}
+		if err := refClient.IngestBatch(s, data[s]); err != nil {
+			return fmt.Errorf("reference ingest stream %d: %v", s, err)
+		}
+	}
+	log.Printf("ingested %d streams x %d samples (even streams via wire, odd via HTTP)", streams, samples)
+	return nil
+}
+
+// queryCase is one query-class probe.
+type queryCase struct {
+	name   string
+	method string
+	path   string
+	body   any
+}
+
+// queries builds the four query-class probes from the seeded workload.
+func queries(streams, samples int, seed int64) []queryCase {
+	data := workload(streams, samples, seed)
+	q := make([]float64, 48)
+	copy(q, data[streams-2][samples-100:samples-52])
+	return []queryCase{
+		{"pattern", http.MethodPost, "/pattern", map[string]any{"query": q, "radius": 12.0}},
+		{"nearest", http.MethodPost, "/nearest", map[string]any{"query": q, "k": 5}},
+		{"correlations", http.MethodGet, "/correlations?level=1&radius=4", nil},
+		{"lagged", http.MethodGet, "/correlations?level=1&radius=4&lag=8", nil},
+	}
+}
+
+// do performs one request and returns status and body.
+func do(qc queryCase, base string) (int, []byte, error) {
+	var rd io.Reader
+	if qc.body != nil {
+		raw, err := json.Marshal(qc.body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(qc.method, base+qc.path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if qc.body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// compare replays every query class against router and reference and
+// requires byte-identical 200 responses.
+func compare(routerHTTP, refHTTP string, streams, samples int, seed int64) error {
+	if routerHTTP == "" || refHTTP == "" {
+		return fmt.Errorf("-router-http and -ref-http required")
+	}
+	for _, qc := range queries(streams, samples, seed) {
+		gotStatus, got, err := do(qc, routerHTTP)
+		if err != nil {
+			return fmt.Errorf("%s via router: %v", qc.name, err)
+		}
+		wantStatus, want, err := do(qc, refHTTP)
+		if err != nil {
+			return fmt.Errorf("%s via reference: %v", qc.name, err)
+		}
+		if wantStatus != http.StatusOK {
+			return fmt.Errorf("%s: reference answered %d: %s", qc.name, wantStatus, want)
+		}
+		if gotStatus != wantStatus {
+			return fmt.Errorf("%s: router answered %d, reference %d: %s", qc.name, gotStatus, wantStatus, got)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("%s: responses differ\nrouter:    %s\nreference: %s", qc.name, got, want)
+		}
+		log.Printf("%s: byte-identical (%d bytes)", qc.name, len(got))
+	}
+	return nil
+}
+
+// expectPartial requires every query class to keep answering 200 with the
+// partial flag set — the degraded path after ci.sh killed a backend.
+func expectPartial(routerHTTP string, streams, samples int, seed int64) error {
+	if routerHTTP == "" {
+		return fmt.Errorf("-router-http required")
+	}
+	for _, qc := range queries(streams, samples, seed) {
+		status, body, err := do(qc, routerHTTP)
+		if err != nil {
+			return fmt.Errorf("%s: %v", qc.name, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("%s: degraded router answered %d: %s", qc.name, status, body)
+		}
+		var resp struct {
+			Partial bool `json:"partial"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("%s: %v", qc.name, err)
+		}
+		if !resp.Partial {
+			return fmt.Errorf("%s: response not flagged partial: %s", qc.name, body)
+		}
+		log.Printf("%s: degraded answer flagged partial", qc.name)
+	}
+	return nil
+}

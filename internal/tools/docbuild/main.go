@@ -8,14 +8,16 @@
 //     (they must start with a package clause); intentionally
 //     non-compilable snippets belong in plain ``` or ```text fences.
 //  2. With -flagsrc and -flagdoc set, every flag registered by the named
-//     command source file must be mentioned (as -name) somewhere in the
-//     -flagdoc markdown files, so the operator-facing flag reference
-//     cannot silently miss a flag added to the binary.
+//     command source files (comma-separated, one per binary) must be
+//     mentioned (as -name) somewhere in the -flagdoc markdown files, so
+//     the operator-facing flag reference cannot silently miss a flag
+//     added to any binary.
 //
 // Usage:
 //
 //	go run ./internal/tools/docbuild \
-//	    -flagsrc cmd/stardust-server/main.go -flagdoc README.md,RUNBOOK.md \
+//	    -flagsrc cmd/stardust-server/main.go,cmd/stardust-router/main.go \
+//	    -flagdoc README.md,RUNBOOK.md \
 //	    README.md RUNBOOK.md DESIGN.md
 //
 // It must run from the module root (ci.sh does). Exit status 1 on any
@@ -43,7 +45,7 @@ import (
 const scratchDir = "tmp-docbuild"
 
 func main() {
-	flagSrc := flag.String("flagsrc", "", "Go source file whose flag registrations must be documented")
+	flagSrc := flag.String("flagsrc", "", "comma-separated Go source files whose flag registrations must be documented")
 	flagDoc := flag.String("flagdoc", "", "comma-separated markdown files that together document every flag from -flagsrc")
 	flag.Parse()
 
@@ -55,9 +57,15 @@ func main() {
 		}
 	}
 	if *flagSrc != "" {
-		if err := checkFlagsDocumented(*flagSrc, strings.Split(*flagDoc, ",")); err != nil {
-			fmt.Fprintf(os.Stderr, "docbuild: %v\n", err)
-			failed = true
+		for _, src := range strings.Split(*flagSrc, ",") {
+			src = strings.TrimSpace(src)
+			if src == "" {
+				continue
+			}
+			if err := checkFlagsDocumented(src, strings.Split(*flagDoc, ",")); err != nil {
+				fmt.Fprintf(os.Stderr, "docbuild: %v\n", err)
+				failed = true
+			}
 		}
 	}
 	if failed {

@@ -433,7 +433,13 @@ type localFeature struct {
 func (s *SafeMonitor) recentLevelFeatures(level, maxLag int) []localFeature {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	sum := s.m.sum
+	return s.m.recentLevelFeatures(level, maxLag)
+}
+
+// recentLevelFeatures is the lock-free core of the feature export shared by
+// SafeMonitor (read lock) and SafeWatcher (watcher mutex).
+func (m *Monitor) recentLevelFeatures(level, maxLag int) []localFeature {
+	sum := m.sum
 	if level < 0 || level >= sum.Config().Levels {
 		return nil
 	}
@@ -462,8 +468,20 @@ func (s *SafeMonitor) recentLevelFeatures(level, maxLag int) []localFeature {
 func (s *SafeMonitor) zNormWindow(stream, level int, t int64) ([]float64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	w := int64(s.m.sum.Config().LevelWindow(level))
-	win, err := s.m.sum.History(stream).Range(t-w+1, t)
+	return s.m.zNormWindow(stream, level, t)
+}
+
+// zNormWindow is the lock-free core of the verification-window export
+// shared by SafeMonitor (read lock) and SafeWatcher (watcher mutex).
+func (m *Monitor) zNormWindow(stream, level int, t int64) ([]float64, bool) {
+	if level < 0 || level >= m.sum.Config().Levels {
+		return nil, false
+	}
+	if stream < 0 || stream >= m.sum.NumStreams() {
+		return nil, false
+	}
+	w := int64(m.sum.Config().LevelWindow(level))
+	win, err := m.sum.History(stream).Range(t-w+1, t)
 	if err != nil {
 		return nil, false
 	}
