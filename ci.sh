@@ -9,10 +9,14 @@
 # reference), a cluster e2e smoke (three stardust-server shards behind a
 # stardust-router on ephemeral ports: mixed-transport ingest, every query
 # class byte-compared against a single-process reference, then one shard
-# kill -9ed to exercise the degraded partial-result path), short fuzz
+# kill -9ed to exercise the degraded partial-result path), a spec e2e
+# smoke (two spec-loaded servers covering all three watch kinds across
+# two tenants: attributed events, per-tenant metrics, typed quota
+# rejections and an atomic live /specz reload), short fuzz
 # smokes over the WAL frame parser, the client wire-frame parser, the
-# snapshot loader, the fault-schedule parser and the consistent-hash ring
-# lookup, a one-iteration benchmark smoke pass, and the
+# snapshot loader, the fault-schedule parser, the consistent-hash ring
+# lookup and the monitor-spec parser, a one-iteration benchmark smoke
+# pass, and the
 # benchmark-regression comparison against the committed BENCH_PR8.json
 # baseline. Run from the repository root. Fails fast on the first error.
 #
@@ -188,6 +192,50 @@ kill $SMOKE_PIDS 2>/dev/null || true
 SMOKE_PIDS=""
 stage_done
 
+# Spec e2e smoke: two spec-loaded stardust-server processes (one
+# transform cannot host all three watch kinds — aggregate bounds need SUM
+# extents, feature-space queries need DWT coefficients). The specsmoke
+# driver writes the spec/tenant files, ci.sh boots a SUM server carrying
+# aggregate watches across two tenants and a DWT server carrying pattern
+# + correlation watches, and the run phase asserts boot-loaded specs,
+# attributed events, per-tenant metrics, typed quota rejections, a live
+# /specz reload and the atomicity of a rejected one.
+stage "spec e2e smoke (two tenants + live /specz reload)"
+go build -o "$SCRATCH/specsmoke" ./internal/tools/specsmoke
+"$SCRATCH/specsmoke" -phase files -dir "$SCRATCH"
+
+set -- $("$SCRATCH/clustersmoke" -phase ports -n 2)
+SPEC_SUM=$1; SPEC_DWT=$2
+
+"$SCRATCH/stardust-server" -addr "127.0.0.1:$SPEC_SUM" \
+    -streams 4 -w 8 -levels 4 -transform sum \
+    -spec-file "$SCRATCH/sum.spec" -tenants-file "$SCRATCH/tenants.json" \
+    >"$SCRATCH/spec-sum.log" 2>&1 &
+SMOKE_PIDS="$SMOKE_PIDS $!"
+"$SCRATCH/stardust-server" -addr "127.0.0.1:$SPEC_DWT" \
+    -streams 4 -w 8 -levels 3 -transform dwt -mode batch -norm z -f 4 -history 600 \
+    -spec-file "$SCRATCH/dwt.spec" \
+    >"$SCRATCH/spec-dwt.log" 2>&1 &
+SMOKE_PIDS="$SMOKE_PIDS $!"
+
+spec_logs() {
+    for log in spec-sum spec-dwt; do
+        echo "--- $log.log ---" >&2
+        cat "$SCRATCH/$log.log" >&2 || true
+    done
+}
+
+"$SCRATCH/clustersmoke" -phase wait -timeout 30s \
+    -urls "http://127.0.0.1:$SPEC_SUM,http://127.0.0.1:$SPEC_DWT" \
+    || { spec_logs; exit 1; }
+"$SCRATCH/specsmoke" -phase run \
+    -sum-url "http://127.0.0.1:$SPEC_SUM" -dwt-url "http://127.0.0.1:$SPEC_DWT" \
+    || { spec_logs; exit 1; }
+
+kill $SMOKE_PIDS 2>/dev/null || true
+SMOKE_PIDS=""
+stage_done
+
 stage "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wal
 go test -run='^$' -fuzz=FuzzDecodeWireFrame -fuzztime=5s ./internal/wire
@@ -195,6 +243,7 @@ go test -run='^$' -fuzz=FuzzReplaySegment -fuzztime=5s ./internal/wal
 go test -run='^$' -fuzz=FuzzLoadSnapshot -fuzztime=5s .
 go test -run='^$' -fuzz=FuzzParseSchedule -fuzztime=5s ./internal/fault
 go test -run='^$' -fuzz=FuzzRingLookup -fuzztime=5s ./internal/cluster
+go test -run='^$' -fuzz=FuzzParseSpec -fuzztime=5s ./internal/spec
 stage_done
 
 stage "bench smoke (1 iteration)"

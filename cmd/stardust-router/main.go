@@ -107,6 +107,9 @@ func main() {
 	srv.SetClusterMetrics(cm)
 	srv.Handle("GET /clusterz", clusterzHandler(cl, cm))
 	srv.Handle("POST /cluster/shards", shardAdminHandler(cl))
+	// Spec and tenant admin has no router-local registry: reads pass
+	// through to a shard, writes broadcast so the fleet stays uniform.
+	srv.SetSpecForwarder(newSpecAdmin(cl, *shardTimeout))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,192 @@
+// Spec and tenant admin forwarding for the cluster router.
+//
+// The router holds no tenant registry of its own: every backend shard
+// runs full-width with an identical registry, and the router keeps them
+// identical by broadcasting admin writes. Because shards apply the same
+// admissions in the same order, their tenant slice allocations agree,
+// so a tenant-local stream id resolves to the same global stream on
+// every shard and scatter-gather answers stay coherent.
+//
+//	GET    /specz, /tenantz  — served from the first shard that answers
+//	POST   /specz, /tenantz  — broadcast; rolled back on partial failure
+//	DELETE /specz, /tenantz  — broadcast; per-shard outcomes reported
+//
+// A POST that lands on only some shards would split the fleet's watch
+// state, so partial success is unwound: the succeeded shards get the
+// matching DELETE before the client sees the 502.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"stardust/internal/cluster"
+	"stardust/internal/server"
+)
+
+// specAdmin forwards the /specz and /tenantz surface across the fleet.
+type specAdmin struct {
+	cl     *cluster.Cluster
+	client *http.Client
+}
+
+func newSpecAdmin(cl *cluster.Cluster, timeout time.Duration) *specAdmin {
+	return &specAdmin{cl: cl, client: &http.Client{Timeout: timeout}}
+}
+
+// shardOutcome is one shard's response to a broadcast admin call.
+type shardOutcome struct {
+	Shard  string          `json:"shard"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (sa *specAdmin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		sa.passthrough(w, r)
+	case http.MethodPost:
+		sa.broadcastPost(w, r)
+	case http.MethodDelete:
+		sa.broadcast(w, r, http.MethodDelete, nil)
+	default:
+		server.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// forward replays the request against one shard and returns its response.
+func (sa *specAdmin) forward(shard cluster.ShardConfig, method, uri string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, shard.HTTP+uri, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return sa.client.Do(req)
+}
+
+// passthrough serves a read from the first shard that answers: the
+// broadcast discipline keeps shard registries identical, so any healthy
+// shard's view is the fleet's view.
+func (sa *specAdmin) passthrough(w http.ResponseWriter, r *http.Request) {
+	uri := r.URL.RequestURI()
+	var lastErr error
+	for _, shard := range sa.cl.Shards() {
+		resp, err := sa.forward(shard, http.MethodGet, uri, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	server.WriteError(w, http.StatusBadGateway, "no shard answered %s: %v", uri, lastErr)
+}
+
+// broadcast replays the request on every shard and reports per-shard
+// outcomes: 200 when the fleet agrees, 502 with the detail when not.
+func (sa *specAdmin) broadcast(w http.ResponseWriter, r *http.Request, method string, body []byte) []shardOutcome {
+	uri := r.URL.RequestURI()
+	shards := sa.cl.Shards()
+	outcomes := make([]shardOutcome, 0, len(shards))
+	allOK := true
+	for _, shard := range shards {
+		out := shardOutcome{Shard: shard.Name}
+		resp, err := sa.forward(shard, method, uri, body)
+		if err != nil {
+			out.Error = err.Error()
+			allOK = false
+		} else {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			out.Status = resp.StatusCode
+			out.Body = json.RawMessage(raw)
+			if resp.StatusCode >= 300 {
+				allOK = false
+			}
+		}
+		outcomes = append(outcomes, out)
+	}
+	if w != nil {
+		status := http.StatusOK
+		if !allOK {
+			status = http.StatusBadGateway
+		}
+		server.WriteJSON(w, status, map[string]any{"ok": allOK, "shards": outcomes})
+	}
+	return outcomes
+}
+
+// broadcastPost applies a spec load or tenant admission fleet-wide. On
+// partial success the succeeded shards are rolled back with the matching
+// DELETE so no shard drifts from the others.
+func (sa *specAdmin) broadcastPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	// Both admin bodies name their object with a "name" field; it keys
+	// the rollback DELETE.
+	var named struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &named); err != nil || named.Name == "" {
+		server.WriteError(w, http.StatusBadRequest, "body must carry a name field: %v", err)
+		return
+	}
+
+	uri := r.URL.Path
+	shards := sa.cl.Shards()
+	outcomes := make([]shardOutcome, 0, len(shards))
+	var succeeded []cluster.ShardConfig
+	allOK := true
+	for _, shard := range shards {
+		out := shardOutcome{Shard: shard.Name}
+		resp, err := sa.forward(shard, http.MethodPost, uri, body)
+		if err != nil {
+			out.Error = err.Error()
+			allOK = false
+		} else {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			out.Status = resp.StatusCode
+			out.Body = json.RawMessage(raw)
+			if resp.StatusCode < 300 {
+				succeeded = append(succeeded, shard)
+			} else {
+				allOK = false
+			}
+		}
+		outcomes = append(outcomes, out)
+	}
+	if allOK {
+		server.WriteJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": outcomes})
+		return
+	}
+	// Partial failure: unwind the shards that accepted so the fleet
+	// stays uniform, then surface the original per-shard detail.
+	rolledBack := make([]string, 0, len(succeeded))
+	for _, shard := range succeeded {
+		if resp, err := sa.forward(shard, http.MethodDelete, uri+"?name="+url.QueryEscape(named.Name), nil); err == nil {
+			resp.Body.Close()
+			rolledBack = append(rolledBack, shard.Name)
+		}
+	}
+	server.WriteJSON(w, http.StatusBadGateway, map[string]any{
+		"ok": false, "shards": outcomes, "rolled_back": rolledBack,
+	})
+}

@@ -67,6 +67,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -77,6 +78,7 @@ import (
 	"stardust/internal/replication"
 	"stardust/internal/resilience"
 	"stardust/internal/server"
+	"stardust/internal/tenant"
 	"stardust/internal/transport"
 	"stardust/internal/wal"
 )
@@ -107,6 +109,8 @@ func main() {
 	faultSchedule := flag.String("fault-schedule", "", "arm deterministic fault injection: inline schedule text, or @file (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault-schedule rules")
 	watch := flag.Bool("watch", false, "enable standing queries: POST /watch registers them, GET /events drains alarms")
+	specFile := flag.String("spec-file", "", "monitor spec loaded at startup (implies -watch; a spec that fails to parse, compile or install aborts boot)")
+	tenantsFile := flag.String("tenants-file", "", "tenant config JSON array loaded at startup (implies -watch)")
 	badValues := flag.String("bad-values", "reject", "bad-value policy: reject, clamp, lastvalue")
 	clampMin := flag.Float64("clamp-min", 0, "lower clamp bound for -bad-values clamp")
 	clampMax := flag.Float64("clamp-max", 0, "upper clamp bound for -bad-values clamp")
@@ -116,6 +120,13 @@ func main() {
 	tcpAddr := flag.String("tcp-addr", "", "binary wire-protocol listen address (empty disables the TCP tier)")
 	tcpMaxConns := flag.Int("tcp-max-conns", 256, "max concurrent TCP wire connections (excess dials queue in the kernel backlog)")
 	flag.Parse()
+
+	// Declarative monitoring rides on the watcher: spec-loaded watches are
+	// ordinary standing queries, so either spec flag switches the tier on.
+	if (*specFile != "" || *tenantsFile != "") && !*watch {
+		*watch = true
+		log.Printf("spec: -spec-file/-tenants-file imply -watch; enabling standing queries")
+	}
 
 	policy, err := resilience.ParsePolicy(*badValues)
 	if err != nil {
@@ -253,12 +264,54 @@ func main() {
 	var reattach func(string) error
 	if *watch {
 		sw := stardust.NewSafeWatcher(mon)
-		srv = server.New(sw, server.WithWatcher(sw), server.WithSnapshotPath(*snapshot))
+		// Watcher-backed servers always carry a tenant registry: /specz
+		// and /tenantz admin work even when boot loaded nothing.
+		tm := obs.NewTenantMetrics()
+		tenants := tenant.New(sw, tm, time.Now)
+		srv = server.New(sw, server.WithWatcher(sw), server.WithSnapshotPath(*snapshot),
+			server.WithTenants(tenants, tm))
 		backend = sw
 		applyRec = sw.ApplyWALRecord
 		bootstrap = func(r io.Reader, _ uint64) error { return sw.BootstrapReplica(r) }
 		reattach = sw.ReattachWAL
+		// Boot-time config is all-or-nothing: a tenant or spec the
+		// operator asked for that cannot be installed is a fatal
+		// misconfiguration, not something to limp past.
+		if *tenantsFile != "" {
+			b, err := os.ReadFile(*tenantsFile)
+			if err != nil {
+				log.Fatalf("-tenants-file: %v", err)
+			}
+			cfgs, err := tenant.ParseConfigs(b)
+			if err != nil {
+				log.Fatalf("-tenants-file %s: %v", *tenantsFile, err)
+			}
+			for _, c := range cfgs {
+				if err := tenants.Add(c); err != nil {
+					log.Fatalf("-tenants-file %s: tenant %q: %v", *tenantsFile, c.Name, err)
+				}
+			}
+			log.Printf("tenants: admitted %d from %s", len(cfgs), *tenantsFile)
+		}
+		if *specFile != "" {
+			b, err := os.ReadFile(*specFile)
+			if err != nil {
+				log.Fatalf("-spec-file: %v", err)
+			}
+			name := strings.TrimSuffix(filepath.Base(*specFile), filepath.Ext(*specFile))
+			if err := tenants.Load(name, string(b)); err != nil {
+				log.Fatalf("-spec-file %s: %v", *specFile, err)
+			}
+			info, err := tenants.Spec(name)
+			if err != nil {
+				log.Fatalf("-spec-file %s: %v", *specFile, err)
+			}
+			log.Printf("spec: loaded unit %q from %s (%d watches)", name, *specFile, info.Watches)
+		}
 	} else {
+		if *specFile != "" || *tenantsFile != "" {
+			log.Fatal("internal: spec flags without watcher mode") // unreachable: flags imply -watch
+		}
 		sm := stardust.WrapSafe(mon)
 		srv = server.New(sm, server.WithSnapshotPath(*snapshot))
 		backend = sm

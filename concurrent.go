@@ -195,6 +195,18 @@ func (s *SafeWatcher) Unwatch(id int) bool {
 	return s.w.Unwatch(id)
 }
 
+// Batch runs fn against the underlying watcher while holding the lock,
+// so a multi-watch mutation — installing a compiled spec, or swapping
+// one spec for another — is atomic with respect to concurrent pushes: no
+// push can observe a half-installed watch set. fn must not call back
+// into the SafeWatcher (the lock is not reentrant) and must not retain
+// the bare watcher past its return.
+func (s *SafeWatcher) Batch(fn func(*Watcher) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.w)
+}
+
 // Push ingests one value and returns the events it triggered.
 func (s *SafeWatcher) Push(stream int, v float64) ([]Event, error) {
 	s.mu.Lock()

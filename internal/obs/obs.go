@@ -362,6 +362,7 @@ type Metrics struct {
 	Tree        TreeMetrics
 	Parallel    ParallelMetrics
 	WAL         WALMetrics
+	Watch       WatchMetrics
 	Aggregate   QueryMetrics
 	Pattern     QueryMetrics
 	Correlation QueryMetrics
@@ -377,6 +378,7 @@ func NewMetrics() *Metrics {
 	m.Parallel.StageNanos = NewHistogram(LatencyBuckets())
 	m.WAL.FsyncNanos = NewHistogram(LatencyBuckets())
 	m.WAL.GroupCommit = NewHistogram(CountBuckets())
+	m.Watch.EvaluateNanos = NewHistogram(LatencyBuckets())
 	m.Aggregate.Latency = NewHistogram(LatencyBuckets())
 	m.Pattern.Latency = NewHistogram(LatencyBuckets())
 	m.Correlation.Latency = NewHistogram(LatencyBuckets())
@@ -434,6 +436,17 @@ func (m *Metrics) Snapshot() Snapshot {
 			DroppedAppends:  m.WAL.DroppedAppends.Load(),
 			WriteRetries:    m.WAL.WriteRetries.Load(),
 			Reattaches:      m.WAL.Reattaches.Load(),
+		},
+		Watch: WatchSnapshot{
+			ActiveAggregate:   m.Watch.ActiveAggregate.Load(),
+			ActivePattern:     m.Watch.ActivePattern.Load(),
+			ActiveCorrelation: m.Watch.ActiveCorrelation.Load(),
+			Installs:          m.Watch.Installs.Load(),
+			Uninstalls:        m.Watch.Uninstalls.Load(),
+			Fired:             m.Watch.Fired.Load(),
+			Cleared:           m.Watch.Cleared.Load(),
+			Evaluations:       m.Watch.Evaluations.Load(),
+			EvaluateNanos:     m.Watch.EvaluateNanos.Snapshot(),
 		},
 		Aggregate:   snapshotQuery(&m.Aggregate),
 		Pattern:     snapshotQuery(&m.Pattern),
@@ -589,10 +602,12 @@ type Snapshot struct {
 	Tree        TreeSnapshot
 	Parallel    ParallelSnapshot
 	WAL         WALSnapshot
+	Watch       WatchSnapshot
 	Repl        ReplSnapshot
 	Net         NetSnapshot
 	Fault       FaultSnapshot
 	Cluster     ClusterSnapshot
+	Tenant      TenantsSnapshot
 	Aggregate   QuerySnapshot
 	Pattern     QuerySnapshot
 	Correlation QuerySnapshot
@@ -636,10 +651,12 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			SearchNodes: s.Tree.SearchNodes.merge(o.Tree.SearchNodes),
 		},
 		WAL:         s.WAL.merge(o.WAL),
+		Watch:       s.Watch.merge(o.Watch),
 		Repl:        s.Repl.merge(o.Repl),
 		Net:         s.Net.merge(o.Net),
 		Fault:       s.Fault.merge(o.Fault),
 		Cluster:     s.Cluster.merge(o.Cluster),
+		Tenant:      s.Tenant.merge(o.Tenant),
 		Aggregate:   s.Aggregate.mergeQuery(o.Aggregate),
 		Pattern:     s.Pattern.mergeQuery(o.Pattern),
 		Correlation: s.Correlation.mergeQuery(o.Correlation),

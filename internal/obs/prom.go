@@ -47,6 +47,44 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.counter("stardust_wal_write_retries_total", "Segment-write retries after transient disk errors.", s.WAL.WriteRetries)
 	p.counter("stardust_wal_reattaches_total", "Recoveries from degraded mode back to an on-disk segment.", s.WAL.Reattaches)
 
+	p.help("stardust_watch_active", "Standing watches currently registered, by kind.", "gauge")
+	p.printf("stardust_watch_active{kind=%q} %d\n", "aggregate", s.Watch.ActiveAggregate)
+	p.printf("stardust_watch_active{kind=%q} %d\n", "pattern", s.Watch.ActivePattern)
+	p.printf("stardust_watch_active{kind=%q} %d\n", "correlation", s.Watch.ActiveCorrelation)
+	p.counter("stardust_watch_installs_total", "Standing-watch registrations (spec reloads show as paired bursts).", s.Watch.Installs)
+	p.counter("stardust_watch_uninstalls_total", "Standing-watch removals.", s.Watch.Uninstalls)
+	p.counter("stardust_watch_events_fired_total", "Standing-query events delivered (alarms, matches, pairs).", s.Watch.Fired)
+	p.counter("stardust_watch_events_cleared_total", "Aggregate-cleared events delivered (edge-triggered watches).", s.Watch.Cleared)
+	p.counter("stardust_watch_evaluations_total", "Standing-query evaluation passes (one per admitted push).", s.Watch.Evaluations)
+	p.histogramSeconds("stardust_watch_evaluate_latency_seconds", "Sampled wall time of one standing-query evaluation pass.", s.Watch.EvaluateNanos)
+
+	if len(s.Tenant.PerTenant) > 0 {
+		p.help("stardust_tenant_streams", "Stream-space width allocated to the labeled tenant.", "gauge")
+		for _, t := range s.Tenant.PerTenant {
+			p.printf("stardust_tenant_streams{tenant=%q} %d\n", t.Name, t.Streams)
+		}
+		p.help("stardust_tenant_samples_total", "Ingestion attempts admitted into the labeled tenant's quota checks.", "counter")
+		for _, t := range s.Tenant.PerTenant {
+			p.printf("stardust_tenant_samples_total{tenant=%q} %d\n", t.Name, t.Samples)
+		}
+		p.help("stardust_tenant_rejected_total", "Samples refused by the stream quota or the backend guard.", "counter")
+		for _, t := range s.Tenant.PerTenant {
+			p.printf("stardust_tenant_rejected_total{tenant=%q} %d\n", t.Name, t.Rejected)
+		}
+		p.help("stardust_tenant_rate_limited_total", "Samples refused by the tenant's ingest-rate quota.", "counter")
+		for _, t := range s.Tenant.PerTenant {
+			p.printf("stardust_tenant_rate_limited_total{tenant=%q} %d\n", t.Name, t.RateLimited)
+		}
+		p.help("stardust_tenant_watches_active", "Standing watches currently installed for the labeled tenant.", "gauge")
+		for _, t := range s.Tenant.PerTenant {
+			p.printf("stardust_tenant_watches_active{tenant=%q} %d\n", t.Name, t.WatchesActive)
+		}
+		p.help("stardust_tenant_events_total", "Standing-query events attributed to the labeled tenant.", "counter")
+		for _, t := range s.Tenant.PerTenant {
+			p.printf("stardust_tenant_events_total{tenant=%q} %d\n", t.Name, t.Events)
+		}
+	}
+
 	p.gauge("stardust_repl_primary_streams_active", "Replication streams currently open on the primary.", s.Repl.StreamsActive)
 	p.counter("stardust_repl_primary_records_served_total", "WAL record frames copied onto replication streams.", s.Repl.RecordsServed)
 	p.counter("stardust_repl_primary_bytes_served_total", "Framed bytes copied onto replication streams.", s.Repl.BytesServed)

@@ -1,0 +1,65 @@
+package resilience
+
+import "time"
+
+// RateLimiter is a token-bucket ingest-rate guard: capacity Burst tokens,
+// refilled at Rate tokens per second, one token per admitted sample. It
+// extends the package's ingestion-boundary role from value admissibility
+// to traffic admissibility — the per-tenant ingest quota of the serving
+// tier is built on it.
+//
+// The zero Rate disables limiting (AllowN always succeeds). Like Guard,
+// a RateLimiter is not safe for concurrent use; the owning registry's
+// lock serializes access. The clock is injectable so quota tests are
+// deterministic.
+type RateLimiter struct {
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewRateLimiter builds a limiter admitting perSec samples per second
+// with a burst bucket of burst samples (burst < 1 selects perSec, so a
+// plain "N per second" quota needs only one number). A nil now uses
+// time.Now. perSec <= 0 disables limiting.
+func NewRateLimiter(perSec float64, burst float64, now func() time.Time) *RateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = perSec
+	}
+	l := &RateLimiter{rate: perSec, burst: burst, now: now}
+	if perSec > 0 {
+		l.tokens = burst
+		l.last = now()
+	}
+	return l
+}
+
+// AllowN reports whether n samples may be admitted now, consuming n
+// tokens when they may. A request larger than the whole bucket is always
+// refused (it could never succeed); callers should split such batches.
+func (l *RateLimiter) AllowN(n int) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	if elapsed := now.Sub(l.last); elapsed > 0 {
+		l.tokens += elapsed.Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if float64(n) > l.tokens {
+		return false
+	}
+	l.tokens -= float64(n)
+	return true
+}
+
+// Limit returns the configured rate in samples per second (0 = unlimited).
+func (l *RateLimiter) Limit() float64 { return l.rate }

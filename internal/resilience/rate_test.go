@@ -1,0 +1,66 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told to, making token arithmetic exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newLimiter(rate, burst float64) (*RateLimiter, *fakeClock) {
+	c := newFakeClock()
+	return NewRateLimiter(rate, burst, c.now), c
+}
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	l, c := newLimiter(10, 5)
+	for i := 0; i < 5; i++ {
+		if !l.AllowN(1) {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if l.AllowN(1) {
+		t.Fatal("empty bucket admitted a sample")
+	}
+	c.advance(100 * time.Millisecond) // refills 1 token at 10/s
+	if !l.AllowN(1) {
+		t.Fatal("refilled token refused")
+	}
+	if l.AllowN(1) {
+		t.Fatal("second sample admitted with one refilled token")
+	}
+}
+
+func TestRateLimiterBurstCapsRefill(t *testing.T) {
+	l, c := newLimiter(100, 4)
+	if !l.AllowN(4) {
+		t.Fatal("initial burst refused")
+	}
+	c.advance(time.Hour)
+	if l.AllowN(5) {
+		t.Fatal("request larger than the bucket admitted")
+	}
+	if !l.AllowN(4) {
+		t.Fatal("bucket-sized request refused after long idle")
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	l, _ := newLimiter(7, 0) // burst < 1 selects the rate
+	if !l.AllowN(7) || l.AllowN(1) {
+		t.Fatal("default burst is not the rate")
+	}
+	unlimited := NewRateLimiter(0, 0, nil)
+	for i := 0; i < 1000; i++ {
+		if !unlimited.AllowN(1000) {
+			t.Fatal("zero rate must disable limiting")
+		}
+	}
+	if unlimited.Limit() != 0 {
+		t.Fatalf("Limit() = %v, want 0", unlimited.Limit())
+	}
+}

@@ -17,7 +17,13 @@
 //	GET  /readyz                                                      — readiness (503 while shutting down; reports the recovery replay)
 //	POST /snapshot                                                    — persist state to the snapshot path (checkpoints: trims the WAL)
 //	POST /watch         {"type":"aggregate"|"pattern"|"correlation"}  — register a standing query (watcher-backed servers)
-//	GET  /events        ?since=N                                      — drain standing-query events (watcher-backed servers)
+//	GET  /events        ?since=N[&tenant=name]                        — drain standing-query events (watcher-backed servers)
+//	GET  /specz         [?name=unit]                                  — list loaded monitor specs (tenant-tier servers)
+//	POST /specz         {"name": "unit", "source": "watch ..."}       — load or atomically swap a named spec
+//	DELETE /specz       ?name=unit                                    — unload a spec and all its watches
+//	GET  /tenantz                                                     — list tenants: stream slices, quotas, watch counts
+//	POST /tenantz       {"name": "acme", "streams": 8, ...}           — admit a tenant (allocates a stream slice)
+//	DELETE /tenantz     ?name=acme                                    — retire a tenant (refused while specs watch it)
 //	GET  /metricsz                                                    — Prometheus text metrics (ingestion, index, query classes)
 //	GET  /debug/pprof/                                                — runtime profiles (heap, goroutine, 30s CPU via /debug/pprof/profile)
 //	GET  /repl/status                                                 — retained WAL range (primaries, via AttachPrimary)
@@ -55,6 +61,7 @@ import (
 	"stardust/internal/fault"
 	"stardust/internal/obs"
 	"stardust/internal/replication"
+	"stardust/internal/tenant"
 	"stardust/internal/wire"
 )
 
@@ -71,8 +78,12 @@ type Server struct {
 
 	watcher *stardust.SafeWatcher // non-nil when standing queries are enabled
 	evMu    sync.Mutex
-	events  []stardust.Event
+	events  []annotatedEvent
 	evBase  int // sequence number of events[0]
+
+	tenants       *tenant.Registry   // non-nil when the multi-tenant tier is enabled
+	tenantMetrics *obs.TenantMetrics // merged into /metricsz when tenants are wired
+	specForward   http.Handler       // registry-less /specz//tenantz delegate (cluster router)
 
 	follower       *replication.Follower // non-nil on a read replica: ingest is 403
 	replMetrics    *obs.ReplMetrics      // merged into /metricsz when replication is wired
@@ -158,6 +169,14 @@ func newServer(mon stardust.Interface) *Server {
 	s.mux.HandleFunc("POST /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	// Spec and tenant admin. Mounted unconditionally like /watch: they
+	// answer 501 until WithTenants wires a registry behind them.
+	s.mux.HandleFunc("GET /specz", s.handleSpecList)
+	s.mux.HandleFunc("POST /specz", s.handleSpecLoad)
+	s.mux.HandleFunc("DELETE /specz", s.handleSpecUnload)
+	s.mux.HandleFunc("GET /tenantz", s.handleTenantList)
+	s.mux.HandleFunc("POST /tenantz", s.handleTenantAdd)
+	s.mux.HandleFunc("DELETE /tenantz", s.handleTenantRemove)
 	// Replication endpoints are mounted up front and return 503 until
 	// AttachPrimary (or a promotion) installs a primary behind them; the
 	// mux itself is never mutated after requests start flowing.
@@ -175,11 +194,37 @@ func newServer(mon stardust.Interface) *Server {
 	return s
 }
 
-// appendEvents adds triggered events to the bounded buffer.
+// annotatedEvent is one buffered event plus its spec attribution (empty
+// for watches registered through the plain API, so their JSON encoding
+// is unchanged).
+type annotatedEvent struct {
+	stardust.Event
+	Tenant string `json:"tenant,omitempty"`
+	Watch  string `json:"watch,omitempty"`
+}
+
+// appendEvents adds triggered events to the bounded buffer, attributing
+// each to its tenant and spec watch when the tenant tier is wired.
+// Trigger messages (on_fire/on_clear clauses) are logged here — the
+// event stream itself is unchanged by them.
 func (s *Server) appendEvents(events []stardust.Event) {
+	annotated := make([]annotatedEvent, len(events))
+	for i, e := range events {
+		annotated[i] = annotatedEvent{Event: e}
+		if s.tenants == nil {
+			continue
+		}
+		note := s.tenants.Annotate(e)
+		annotated[i].Tenant = note.Tenant
+		annotated[i].Watch = note.Watch
+		if note.Message != "" {
+			log.Printf("trigger: %s (spec %s, watch %s, tenant %q, stream %d, t=%d)",
+				note.Message, note.Spec, note.Watch, note.Tenant, e.Stream, e.Time)
+		}
+	}
 	s.evMu.Lock()
 	defer s.evMu.Unlock()
-	s.events = append(s.events, events...)
+	s.events = append(s.events, annotated...)
 	if drop := len(s.events) - eventBuffer; drop > 0 {
 		s.events = s.events[drop:]
 		s.evBase += drop
@@ -306,10 +351,13 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // ingestRequest accepts either per-stream values or synchronized rows.
+// A tenant name routes stream+values through the tenant registry, which
+// translates the tenant-local stream id and enforces the quota set.
 type ingestRequest struct {
 	Stream *int        `json:"stream,omitempty"`
 	Values []float64   `json:"values,omitempty"`
 	Rows   [][]float64 `json:"rows,omitempty"`
+	Tenant string      `json:"tenant,omitempty"`
 }
 
 // ingestStatus maps the guard's typed errors to HTTP statuses: malformed
@@ -337,6 +385,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if req.Tenant != "" {
+		s.handleTenantIngest(w, req)
 		return
 	}
 	switch {
@@ -534,6 +586,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.clusterMetrics != nil {
 		snap.Cluster = s.clusterMetrics.Snapshot()
 	}
+	if s.tenantMetrics != nil {
+		snap.Tenant = s.tenantMetrics.Snapshot()
+	}
 	if s.faultInj != nil {
 		c := s.faultInj.Counters()
 		snap.Fault = obs.FaultSnapshot{RulesArmed: c.RulesArmed, Evals: c.Evals, Injected: c.Injected}
@@ -583,7 +638,16 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		// Nonsensical parameters are the client's fault: 400 with the
+		// typed nack code, like the ingest path. Anything else (a core
+		// rejection the up-front validation cannot see) stays 422.
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, stardust.ErrBadWatch) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]any{
+			"error": err.Error(), "code": wire.CodeFor(err),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"id": id})
@@ -605,6 +669,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	// ?tenant= narrows the drain to one tenant's attributed events.
+	// Sequence numbers stay global, so a filtered consumer's since cursor
+	// works unchanged against the unfiltered stream.
+	tenantFilter := r.URL.Query().Get("tenant")
 	s.evMu.Lock()
 	defer s.evMu.Unlock()
 	start := since - s.evBase
@@ -616,11 +684,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	type seqEvent struct {
 		Seq int `json:"seq"`
-		stardust.Event
+		annotatedEvent
 	}
 	out := make([]seqEvent, 0, len(s.events)-start)
 	for i := start; i < len(s.events); i++ {
-		out = append(out, seqEvent{Seq: s.evBase + i, Event: s.events[i]})
+		if tenantFilter != "" && s.events[i].Tenant != tenantFilter {
+			continue
+		}
+		out = append(out, seqEvent{Seq: s.evBase + i, annotatedEvent: s.events[i]})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"next":   s.evBase + len(s.events),

@@ -21,6 +21,7 @@ import (
 
 	"stardust"
 	"stardust/internal/gen"
+	"stardust/internal/wire"
 )
 
 func newTestServer(t *testing.T, snapshotPath string) (*httptest.Server, *stardust.SafeMonitor) {
@@ -412,9 +413,14 @@ func TestWatcherBackedServer(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad type status %d", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/watch", map[string]any{"type": "aggregate", "stream": 9, "window": 8, "threshold": 1})
-	if resp.StatusCode != http.StatusUnprocessableEntity {
+	// Invalid watch parameters carry the typed ErrBadWatch rejection
+	// (400 + machine-readable code), not the generic 422.
+	resp, out = postJSON(t, ts.URL+"/watch", map[string]any{"type": "aggregate", "stream": 9, "window": 8, "threshold": 1})
+	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad stream status %d", resp.StatusCode)
+	}
+	if code, _ := out["code"].(float64); byte(code) != wire.CodeBadWatch {
+		t.Fatalf("bad stream code = %v, want %d", out["code"], wire.CodeBadWatch)
 	}
 	resp, _ = getJSON(t, ts.URL+"/events?since=x")
 	if resp.StatusCode != http.StatusBadRequest {

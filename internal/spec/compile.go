@@ -1,0 +1,188 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompiledWatch is one concrete watch ready to install: ranges are
+// expanded (one CompiledWatch per stream), query references resolved,
+// and every parameter validated against its namespace's stream count.
+type CompiledWatch struct {
+	// Tenant is the owning namespace ("" = default). Name is the
+	// declaration's name; Index distinguishes the expansions of a
+	// ranged aggregate watch (0 otherwise).
+	Tenant string
+	Name   string
+	Index  int
+
+	// Kind selects which parameter fields below apply.
+	Kind Kind
+
+	// Stream is the namespace-local stream id of an aggregate watch.
+	Stream    int
+	Window    int
+	Threshold float64
+	Edge      bool
+
+	// Query is the resolved query vector of a pattern watch (a copy;
+	// mutating it does not alias the spec).
+	Query  []float64
+	Radius float64
+	Level  int
+
+	// OnFire and OnClear carry the trigger messages through to the
+	// serving tier.
+	OnFire, OnClear string
+}
+
+// Compiled is the result of compiling one spec: a flat, ordered list of
+// concrete watches. Install applies it to a Watcher atomically.
+type Compiled struct {
+	// Watches are the expanded watches in declaration order (range
+	// expansions are consecutive, ascending by stream).
+	Watches []CompiledWatch
+}
+
+// CompileOptions supplies the environment a spec compiles against.
+type CompileOptions struct {
+	// Streams is the default namespace's stream count; aggregate
+	// watches outside tenant blocks must target [0, Streams).
+	Streams int
+	// TenantStreams resolves a tenant name to its stream count. A nil
+	// func or a false return rejects every tenant block, so a spec
+	// cannot reference a tenant the serving tier does not know.
+	TenantStreams func(name string) (streams int, ok bool)
+}
+
+// Compile resolves and validates a parsed spec, returning the expanded
+// watch list or the first semantic error as a positioned *Error. A spec
+// that compiles is installable up to quota: every stream id is in
+// range, every window and radius positive, every query reference bound.
+func Compile(s *Spec, opts CompileOptions) (*Compiled, error) {
+	c := &Compiled{}
+	topLets, err := bindLets(nil, s.Lets)
+	if err != nil {
+		return nil, err
+	}
+	if err := compileScope(c, "", opts.Streams, topLets, s.Watches); err != nil {
+		return nil, err
+	}
+	seenTenants := make(map[string]bool)
+	for _, t := range s.Tenants {
+		if seenTenants[t.Name] {
+			return nil, errAt(t.Pos, "duplicate tenant block %q", t.Name)
+		}
+		seenTenants[t.Name] = true
+		streams, ok := 0, false
+		if opts.TenantStreams != nil {
+			streams, ok = opts.TenantStreams(t.Name)
+		}
+		if !ok {
+			return nil, errAt(t.Pos, "unknown tenant %q", t.Name)
+		}
+		lets, err := bindLets(topLets, t.Lets)
+		if err != nil {
+			return nil, err
+		}
+		if err := compileScope(c, t.Name, streams, lets, t.Watches); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// bindLets layers new let bindings over an outer scope, rejecting
+// duplicates within the new layer (shadowing the outer scope is fine).
+func bindLets(outer map[string][]float64, lets []Let) (map[string][]float64, *Error) {
+	bound := make(map[string][]float64, len(outer)+len(lets))
+	for name, v := range outer {
+		bound[name] = v
+	}
+	local := make(map[string]bool, len(lets))
+	for _, l := range lets {
+		if local[l.Name] {
+			return nil, errAt(l.Pos, "duplicate vector %q", l.Name)
+		}
+		local[l.Name] = true
+		if len(l.Values) == 0 {
+			return nil, errAt(l.Pos, "vector %q is empty", l.Name)
+		}
+		bound[l.Name] = l.Values
+	}
+	return bound, nil
+}
+
+// compileScope expands and validates one namespace's watches.
+func compileScope(c *Compiled, tenant string, streams int, lets map[string][]float64, watches []Watch) *Error {
+	names := make(map[string]bool, len(watches))
+	for _, w := range watches {
+		if names[w.Name] {
+			return errAt(w.Pos, "duplicate watch %q", w.Name)
+		}
+		names[w.Name] = true
+		switch w.Kind {
+		case KindAggregate:
+			if w.StreamHi < w.StreamLo {
+				return errAt(w.RangePos, "stream range %d..%d is empty (end before start)", w.StreamLo, w.StreamHi)
+			}
+			if w.StreamHi >= streams {
+				return errAt(w.RangePos, "stream %d out of range: %s has %d streams", w.StreamHi, namespaceDesc(tenant), streams)
+			}
+			if w.Window <= 0 {
+				return errAt(w.Pos, "watch %q: window must be positive, got %d", w.Name, w.Window)
+			}
+			if math.IsNaN(w.Threshold) {
+				return errAt(w.Pos, "watch %q: threshold is NaN", w.Name)
+			}
+			for s := w.StreamLo; s <= w.StreamHi; s++ {
+				c.Watches = append(c.Watches, CompiledWatch{
+					Tenant: tenant, Name: w.Name, Index: s - w.StreamLo,
+					Kind: KindAggregate, Stream: s,
+					Window: w.Window, Threshold: w.Threshold, Edge: w.Edge,
+					OnFire: w.OnFire, OnClear: w.OnClear,
+				})
+			}
+		case KindPattern:
+			query := w.Query
+			if w.QueryRef != "" {
+				bound, ok := lets[w.QueryRef]
+				if !ok {
+					return errAt(w.QueryPos, "watch %q: unknown query vector %q", w.Name, w.QueryRef)
+				}
+				query = bound
+			}
+			if len(query) == 0 {
+				return errAt(w.QueryPos, "watch %q: query vector is empty", w.Name)
+			}
+			if !(w.Radius > 0) {
+				return errAt(w.Pos, "watch %q: radius must be positive, got %v", w.Name, w.Radius)
+			}
+			c.Watches = append(c.Watches, CompiledWatch{
+				Tenant: tenant, Name: w.Name,
+				Kind: KindPattern, Query: append([]float64(nil), query...), Radius: w.Radius,
+				OnFire: w.OnFire, OnClear: w.OnClear,
+			})
+		case KindCorrelation:
+			if !(w.Radius > 0) {
+				return errAt(w.Pos, "watch %q: radius must be positive, got %v", w.Name, w.Radius)
+			}
+			c.Watches = append(c.Watches, CompiledWatch{
+				Tenant: tenant, Name: w.Name,
+				Kind: KindCorrelation, Level: w.Level, Radius: w.Radius,
+				OnFire: w.OnFire, OnClear: w.OnClear,
+			})
+		default:
+			return errAt(w.Pos, "watch %q: unknown kind %v", w.Name, w.Kind)
+		}
+	}
+	return nil
+}
+
+// namespaceDesc names a namespace for diagnostics.
+func namespaceDesc(tenant string) string {
+	if tenant == "" {
+		return "the default namespace"
+	}
+	return fmt.Sprintf("tenant %q", tenant)
+}

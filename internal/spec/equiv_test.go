@@ -1,0 +1,165 @@
+package spec_test
+
+// The equivalence pin: a watch installed from spec text must be
+// indistinguishable from the same watch registered through the Go
+// Watcher API. Two identical monitors consume the same trace — one with
+// spec-installed watches, one with API-installed watches in the spec's
+// expansion order — and their event streams must be byte-identical
+// after JSON marshaling. Run under -race this also exercises the
+// SafeWatcher sink path the server uses in production.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stardust"
+	"stardust/internal/gen"
+	"stardust/internal/spec"
+)
+
+// installSpec compiles src and installs it on sw inside one batch.
+func installSpec(t *testing.T, sw *stardust.SafeWatcher, src string) {
+	t.Helper()
+	parsed, err := spec.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	compiled, err := spec.Compile(parsed, spec.CompileOptions{Streams: sw.NumStreams()})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := sw.Batch(func(w *stardust.Watcher) error {
+		_, err := spec.Install(w, compiled, nil)
+		return err
+	}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+}
+
+// runTrace feeds the trace (data[stream][tick]) and collects every event.
+func runTrace(t *testing.T, sw *stardust.SafeWatcher, data [][]float64) []stardust.Event {
+	t.Helper()
+	var events []stardust.Event
+	sw.SetEventSink(func(evs []stardust.Event) { events = append(events, evs...) })
+	ticks := len(data[0])
+	row := make([]float64, len(data))
+	for i := 0; i < ticks; i++ {
+		for s := range data {
+			row[s] = data[s][i]
+		}
+		if err := sw.IngestAll(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return events
+}
+
+// assertSameEvents byte-compares the JSON event streams.
+func assertSameEvents(t *testing.T, fromSpec, fromAPI []stardust.Event) {
+	t.Helper()
+	if len(fromSpec) == 0 {
+		t.Fatal("trace produced no events; the equivalence check is vacuous")
+	}
+	a, err := json.Marshal(fromSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(fromAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("event streams diverge:\nspec: %s\napi:  %s", a, b)
+	}
+}
+
+func TestSpecEquivalentToAPIAggregates(t *testing.T) {
+	cfg := stardust.Config{Streams: 4, W: 8, Levels: 4, Transform: stardust.Sum, BoxCapacity: 4}
+	mk := func() *stardust.SafeWatcher {
+		m, err := stardust.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stardust.NewSafeWatcher(m)
+	}
+	specSide, apiSide := mk(), mk()
+
+	installSpec(t, specSide, `
+watch burst on stream 0..2 aggregate window 8 threshold 25 edge;
+watch sustained on stream 1 aggregate window 16 threshold 40;
+`)
+	// The same watches, registered in the spec's expansion order: the
+	// range ascends stream by stream, then the next declaration.
+	if err := apiSide.Batch(func(w *stardust.Watcher) error {
+		for s := 0; s <= 2; s++ {
+			if _, err := w.WatchAggregate(s, 8, 25, true); err != nil {
+				return err
+			}
+		}
+		_, err := w.WatchAggregate(1, 16, 40, false)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiet baseline with bursts on streams 1 and 2.
+	data := make([][]float64, 4)
+	for s := range data {
+		data[s] = make([]float64, 120)
+		for i := range data[s] {
+			data[s][i] = 2
+		}
+	}
+	for i := 40; i < 60; i++ {
+		data[1][i] = 30
+	}
+	for i := 80; i < 90; i++ {
+		data[2][i] = 50
+	}
+	assertSameEvents(t, runTrace(t, specSide, data), runTrace(t, apiSide, data))
+}
+
+func TestSpecEquivalentToAPIPatternAndCorrelation(t *testing.T) {
+	cfg := stardust.Config{
+		Streams: 4, W: 8, Levels: 3, Transform: stardust.DWT, Mode: stardust.Batch,
+		Coefficients: 4, Normalization: stardust.NormZ, History: 600,
+	}
+	mk := func() *stardust.SafeWatcher {
+		m, err := stardust.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stardust.NewSafeWatcher(m)
+	}
+	specSide, apiSide := mk(), mk()
+
+	rng := rand.New(rand.NewSource(417))
+	data := gen.CorrelatedWalks(rng, 4, 400, 2, 0.1)
+	// The pattern is a subsequence stream 1 will actually trace.
+	pattern := make([]float64, 40)
+	copy(pattern, data[1][200:240])
+
+	nums := make([]string, len(pattern))
+	for i, v := range pattern {
+		nums[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	src := "let shape = [" + strings.Join(nums, ", ") + "];\n" +
+		"watch echo pattern query shape radius 0.05;\n" +
+		"watch tracks correlation level 2 radius 0.5;\n"
+	installSpec(t, specSide, src)
+
+	if err := apiSide.Batch(func(w *stardust.Watcher) error {
+		if _, err := w.WatchPattern(pattern, 0.05); err != nil {
+			return err
+		}
+		_, err := w.WatchCorrelation(2, 0.5)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertSameEvents(t, runTrace(t, specSide, data), runTrace(t, apiSide, data))
+}

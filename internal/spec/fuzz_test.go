@@ -1,0 +1,44 @@
+package spec
+
+import "testing"
+
+// FuzzParseSpec feeds arbitrary bytes through the parser and pins the
+// two properties a config language owes its operators: no input panics,
+// and anything that parses round-trips — Print(Parse(x)) is a fixpoint
+// (reparsing the canonical form reproduces it byte for byte).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		sampleSpec,
+		"",
+		"# just a comment\n",
+		"let v = [1, 2.5, -3e2];",
+		"watch a on stream 0 aggregate window 4 threshold 1;",
+		"watch a on stream 0..7 aggregate window 256 threshold 4.5 edge on_fire \"hi\" on_clear \"bye\";",
+		"watch p pattern query [0, 1, 0] radius 0.5;",
+		"watch p pattern query named radius 1e-3;",
+		"watch c correlation level 3 radius 0.25;",
+		"tenant acme { let q = [1]; watch w pattern query q radius 2; }",
+		"watch a on stream 5..2 aggregate window 0 threshold 1;", // parses, fails compile
+		"let v = [9999999999999999999];",
+		"watch a on stream 0 aggregate window 4 threshold 1e999;",
+		"watch \u00e9 correlation level 0 radius 1;",
+		"watch a correlation level 0 radius 1 on_fire \"\\\"quoted\\\" \\u263a\";",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics and non-fixpoints are not
+		}
+		printed := Print(s)
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if again := Print(s2); again != printed {
+			t.Fatalf("Print is not a fixpoint\ninput: %q\nfirst: %q\nsecond: %q", src, printed, again)
+		}
+	})
+}

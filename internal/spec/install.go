@@ -1,0 +1,100 @@
+package spec
+
+import "fmt"
+
+// Target is the watch-installation surface a compiled spec applies to.
+// *stardust.Watcher satisfies it directly; the multi-tenant registry
+// wraps it to translate namespace-local stream ids.
+type Target interface {
+	WatchAggregate(stream, window int, threshold float64, edgeTriggered bool) (int, error)
+	WatchPattern(query []float64, radius float64) (int, error)
+	WatchCorrelation(level int, radius float64) (int, error)
+	Unwatch(id int) bool
+}
+
+// InstalledWatch records one live watch created by Install: the watcher
+// id it got, plus the compiled declaration it came from (for event
+// attribution and trigger-message lookup).
+type InstalledWatch struct {
+	// ID is the watch id assigned by the target.
+	ID int
+	// Watch is the compiled declaration behind the id.
+	Watch CompiledWatch
+}
+
+// Installation is the set of live watches one Install call produced.
+// Uninstall removes them all, making spec load/unload/reload symmetric.
+type Installation struct {
+	// Watches lists the installed watches in installation order.
+	Watches []InstalledWatch
+	target  Target
+}
+
+// Base maps a tenant name to its namespace's global stream offset. A
+// false return aborts the install (unknown tenant at install time —
+// the registry shrank between Compile and Install).
+type Base func(tenant string) (base int, ok bool)
+
+// Install applies a compiled spec to the target atomically: it installs
+// every watch in order and, if any installation fails, unwinds all the
+// watches it already created before returning the error, so a failed
+// install leaves the target exactly as it found it. base translates
+// tenant-local aggregate stream ids to the target's global id space; a
+// nil base is the identity (default namespace only). Callers needing
+// atomicity against concurrent pushes run Install inside
+// SafeWatcher.Batch.
+func Install(t Target, c *Compiled, base Base) (*Installation, error) {
+	inst := &Installation{target: t}
+	fail := func(err error) (*Installation, error) {
+		inst.Uninstall()
+		return nil, err
+	}
+	for _, cw := range c.Watches {
+		var id int
+		var err error
+		switch cw.Kind {
+		case KindAggregate:
+			stream := cw.Stream
+			if base != nil {
+				off, ok := base(cw.Tenant)
+				if !ok {
+					return fail(fmt.Errorf("watch %s: unknown tenant %q", watchDesc(cw), cw.Tenant))
+				}
+				stream += off
+			}
+			id, err = t.WatchAggregate(stream, cw.Window, cw.Threshold, cw.Edge)
+		case KindPattern:
+			id, err = t.WatchPattern(cw.Query, cw.Radius)
+		case KindCorrelation:
+			id, err = t.WatchCorrelation(cw.Level, cw.Radius)
+		default:
+			err = fmt.Errorf("unknown kind %v", cw.Kind)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("watch %s: %w", watchDesc(cw), err))
+		}
+		inst.Watches = append(inst.Watches, InstalledWatch{ID: id, Watch: cw})
+	}
+	return inst, nil
+}
+
+// Uninstall removes every watch the installation created. It is
+// idempotent: a second call is a no-op.
+func (inst *Installation) Uninstall() {
+	for _, w := range inst.Watches {
+		inst.target.Unwatch(w.ID)
+	}
+	inst.Watches = nil
+}
+
+// watchDesc names a compiled watch for error messages.
+func watchDesc(cw CompiledWatch) string {
+	name := cw.Name
+	if cw.Tenant != "" {
+		name = cw.Tenant + "/" + name
+	}
+	if cw.Kind == KindAggregate {
+		return fmt.Sprintf("%q (stream %d)", name, cw.Stream)
+	}
+	return fmt.Sprintf("%q", name)
+}

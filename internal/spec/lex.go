@@ -1,0 +1,320 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates the token classes of the spec language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // carries float64 value
+	tokString // carries unquoted value
+	tokSemi   // ;
+	tokLBrace // {
+	tokRBrace // }
+	tokLBrack // [
+	tokRBrack // ]
+	tokComma  // ,
+	tokDotDot // ..
+	tokAssign // =
+)
+
+// String names a token kind for diagnostics.
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of spec"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSemi:
+		return "';'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokDotDot:
+		return "'..'"
+	case tokAssign:
+		return "'='"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string  // raw text for idents; message for diagnostics
+	num  float64 // value of a tokNumber
+	str  string  // value of a tokString
+}
+
+// describe renders a token for "unexpected X" diagnostics.
+func (t token) describe() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	case tokString:
+		return "string"
+	default:
+		return t.kind.String()
+	}
+}
+
+// lexer tokenizes spec source with 1-based line/col tracking. Columns
+// count runes, matching what an editor shows.
+type lexer struct {
+	src       string
+	off       int // byte offset of next rune
+	line, col int // position of next rune
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// peekRune returns the next rune without consuming it (0 at EOF).
+func (l *lexer) peekRune() (rune, int) {
+	if l.off >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.off:])
+}
+
+// nextRune consumes and returns the next rune (0 at EOF).
+func (l *lexer) nextRune() rune {
+	r, size := l.peekRune()
+	if size == 0 {
+		return 0
+	}
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// pos is the position of the next rune.
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// skipSpace consumes whitespace and # comments.
+func (l *lexer) skipSpace() {
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return
+		}
+		switch {
+		case r == '#':
+			for {
+				r, size = l.peekRune()
+				if size == 0 || r == '\n' {
+					break
+				}
+				l.nextRune()
+			}
+		case unicode.IsSpace(r):
+			l.nextRune()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentRest(r rune) bool  { return isIdentStart(r) || unicode.IsDigit(r) }
+
+// next lexes one token, or returns a positioned diagnostic.
+func (l *lexer) next() (token, *Error) {
+	l.skipSpace()
+	start := l.pos()
+	r, size := l.peekRune()
+	if size == 0 {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	switch {
+	case isIdentStart(r):
+		begin := l.off
+		for {
+			r, size = l.peekRune()
+			if size == 0 || !isIdentRest(r) {
+				break
+			}
+			l.nextRune()
+		}
+		return token{kind: tokIdent, pos: start, text: l.src[begin:l.off]}, nil
+	case unicode.IsDigit(r) || r == '-' || r == '+':
+		return l.lexNumber(start)
+	case r == '"':
+		return l.lexString(start)
+	}
+	l.nextRune()
+	switch r {
+	case ';':
+		return token{kind: tokSemi, pos: start}, nil
+	case '{':
+		return token{kind: tokLBrace, pos: start}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: start}, nil
+	case '[':
+		return token{kind: tokLBrack, pos: start}, nil
+	case ']':
+		return token{kind: tokRBrack, pos: start}, nil
+	case ',':
+		return token{kind: tokComma, pos: start}, nil
+	case '=':
+		return token{kind: tokAssign, pos: start}, nil
+	case '.':
+		if r2, _ := l.peekRune(); r2 == '.' {
+			l.nextRune()
+			return token{kind: tokDotDot, pos: start}, nil
+		}
+		return token{}, errAt(start, "unexpected '.' (stream ranges use '..')")
+	}
+	return token{}, errAt(start, "unexpected character %q", r)
+}
+
+// lexNumber scans a decimal literal with optional sign, fraction and
+// exponent, then parses it with strconv so the value set matches Go's.
+// Out-of-range literals (overflow to ±Inf) are rejected here so no
+// later stage ever sees a non-finite value.
+func (l *lexer) lexNumber(start Pos) (token, *Error) {
+	begin := l.off
+	if r, _ := l.peekRune(); r == '-' || r == '+' {
+		l.nextRune()
+	}
+	digits := 0
+	for {
+		r, size := l.peekRune()
+		if size == 0 || !unicode.IsDigit(r) {
+			break
+		}
+		l.nextRune()
+		digits++
+	}
+	if r, _ := l.peekRune(); r == '.' {
+		// One digit of lookahead distinguishes "1.5" from "1..5".
+		if l.off+1 < len(l.src) {
+			if r2, _ := utf8.DecodeRuneInString(l.src[l.off+1:]); unicode.IsDigit(r2) {
+				l.nextRune() // '.'
+				for {
+					r, size := l.peekRune()
+					if size == 0 || !unicode.IsDigit(r) {
+						break
+					}
+					l.nextRune()
+					digits++
+				}
+			}
+		}
+	}
+	if digits == 0 {
+		return token{}, errAt(start, "malformed number")
+	}
+	if r, _ := l.peekRune(); r == 'e' || r == 'E' {
+		mark := l.off
+		l.nextRune()
+		if r, _ := l.peekRune(); r == '-' || r == '+' {
+			l.nextRune()
+		}
+		expDigits := 0
+		for {
+			r, size := l.peekRune()
+			if size == 0 || !unicode.IsDigit(r) {
+				break
+			}
+			l.nextRune()
+			expDigits++
+		}
+		if expDigits == 0 {
+			// "256e" is an ident-adjacent typo; report it rather than
+			// silently splitting into number + ident.
+			l.off = mark
+			return token{}, errAt(start, "malformed exponent in number %q", l.src[begin:l.off]+"e")
+		}
+	}
+	text := l.src[begin:l.off]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		if numErr, ok := err.(*strconv.NumError); ok && numErr.Err == strconv.ErrRange {
+			return token{}, errAt(start, "number %s out of range", text)
+		}
+		return token{}, errAt(start, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, pos: start, text: text, num: v}, nil
+}
+
+// lexString scans a Go-syntax quoted string (no newlines) and unquotes
+// it, so trigger messages round-trip exactly through the printer.
+func (l *lexer) lexString(start Pos) (token, *Error) {
+	begin := l.off
+	l.nextRune() // opening quote
+	for {
+		r, size := l.peekRune()
+		if size == 0 || r == '\n' {
+			return token{}, errAt(start, "unterminated string")
+		}
+		l.nextRune()
+		if r == '\\' {
+			if r2, size2 := l.peekRune(); size2 != 0 && r2 != '\n' {
+				l.nextRune()
+			}
+			continue
+		}
+		if r == '"' {
+			break
+		}
+	}
+	raw := l.src[begin:l.off]
+	s, err := strconv.Unquote(raw)
+	if err != nil {
+		return token{}, errAt(start, "malformed string %s", raw)
+	}
+	if !utf8.ValidString(s) {
+		return token{}, errAt(start, "string is not valid UTF-8")
+	}
+	return token{kind: tokString, pos: start, str: s}, nil
+}
+
+// lexAll tokenizes the whole source (trailing tokEOF included), used by
+// the parser to fail fast on the first lexical error.
+func lexAll(src string) ([]token, *Error) {
+	if !utf8.ValidString(src) {
+		return nil, &Error{Line: 1, Col: 1, Msg: "spec is not valid UTF-8"}
+	}
+	// Normalize CRLF so column numbers match editors on any platform.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package spec
+
+import "math"
+
+// Parse turns spec source into its syntax tree, or returns the first
+// syntax error as a *Error with 1-based line/col. Parse performs no
+// name resolution or bounds checking — that is Compile's job — so a
+// *Spec round-trips through Print even when it references unknown
+// vectors or out-of-range streams.
+func Parse(src string) (*Spec, error) {
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	s, err := p.spec()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parser is a recursive-descent parser over the pre-lexed token slice.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// expect consumes a token of the given kind or fails with what it found.
+func (p *parser) expect(kind tokKind, where string) (token, *Error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, errAt(t.pos, "expected %s %s, found %s", kind, where, t.describe())
+	}
+	return t, nil
+}
+
+// keyword consumes an identifier with the exact given text.
+func (p *parser) keyword(word, where string) (token, *Error) {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return token{}, errAt(t.pos, "expected '%s' %s, found %s", word, where, t.describe())
+	}
+	return t, nil
+}
+
+// spec := { let | watch | tenant-block } EOF
+func (p *parser) spec() (*Spec, *Error) {
+	s := &Spec{}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return s, nil
+		case t.kind == tokIdent && t.text == "let":
+			l, err := p.let()
+			if err != nil {
+				return nil, err
+			}
+			s.Lets = append(s.Lets, l)
+		case t.kind == tokIdent && t.text == "watch":
+			w, err := p.watch()
+			if err != nil {
+				return nil, err
+			}
+			s.Watches = append(s.Watches, w)
+		case t.kind == tokIdent && t.text == "tenant":
+			b, err := p.tenantBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Tenants = append(s.Tenants, b)
+		default:
+			return nil, errAt(t.pos, "expected 'let', 'watch' or 'tenant', found %s", t.describe())
+		}
+	}
+}
+
+// tenantBlock := "tenant" IDENT "{" { let | watch } "}"
+func (p *parser) tenantBlock() (TenantBlock, *Error) {
+	kw := p.next() // "tenant"
+	name, err := p.ident("after 'tenant'")
+	if err != nil {
+		return TenantBlock{}, err
+	}
+	if _, err := p.expect(tokLBrace, "to open tenant block"); err != nil {
+		return TenantBlock{}, err
+	}
+	b := TenantBlock{Name: name, Pos: kw.pos}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.next()
+			return b, nil
+		case t.kind == tokIdent && t.text == "let":
+			l, err := p.let()
+			if err != nil {
+				return TenantBlock{}, err
+			}
+			b.Lets = append(b.Lets, l)
+		case t.kind == tokIdent && t.text == "watch":
+			w, err := p.watch()
+			if err != nil {
+				return TenantBlock{}, err
+			}
+			b.Watches = append(b.Watches, w)
+		default:
+			return TenantBlock{}, errAt(t.pos, "expected 'let', 'watch' or '}' in tenant block, found %s", t.describe())
+		}
+	}
+}
+
+// let := "let" IDENT "=" vector ";"
+func (p *parser) let() (Let, *Error) {
+	kw := p.next() // "let"
+	name, err := p.ident("after 'let'")
+	if err != nil {
+		return Let{}, err
+	}
+	if _, err := p.expect(tokAssign, "after vector name"); err != nil {
+		return Let{}, err
+	}
+	values, err := p.vector()
+	if err != nil {
+		return Let{}, err
+	}
+	if _, err := p.expect(tokSemi, "to end 'let'"); err != nil {
+		return Let{}, err
+	}
+	return Let{Name: name, Values: values, Pos: kw.pos}, nil
+}
+
+// vector := "[" NUM { "," NUM } "]"
+func (p *parser) vector() ([]float64, *Error) {
+	if _, err := p.expect(tokLBrack, "to open vector"); err != nil {
+		return nil, err
+	}
+	var values []float64
+	for {
+		t, err := p.expect(tokNumber, "in vector")
+		if err != nil {
+			return nil, err
+		}
+		values = append(values, t.num)
+		switch sep := p.next(); sep.kind {
+		case tokComma:
+			// next element
+		case tokRBrack:
+			return values, nil
+		default:
+			return nil, errAt(sep.pos, "expected ',' or ']' in vector, found %s", sep.describe())
+		}
+	}
+}
+
+// watch := "watch" IDENT body { trigger } ";"
+func (p *parser) watch() (Watch, *Error) {
+	kw := p.next() // "watch"
+	name, err := p.ident("after 'watch'")
+	if err != nil {
+		return Watch{}, err
+	}
+	w := Watch{Name: name, Pos: kw.pos}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return Watch{}, errAt(t.pos, "expected 'on', 'pattern' or 'correlation' after watch name, found %s", t.describe())
+	}
+	switch t.text {
+	case "on":
+		if err := p.aggregateBody(&w); err != nil {
+			return Watch{}, err
+		}
+	case "pattern":
+		if err := p.patternBody(&w); err != nil {
+			return Watch{}, err
+		}
+	case "correlation":
+		if err := p.correlationBody(&w); err != nil {
+			return Watch{}, err
+		}
+	default:
+		return Watch{}, errAt(t.pos, "expected 'on', 'pattern' or 'correlation' after watch name, found %s", t.describe())
+	}
+	if err := p.triggers(&w); err != nil {
+		return Watch{}, err
+	}
+	if _, err := p.expect(tokSemi, "to end 'watch'"); err != nil {
+		return Watch{}, err
+	}
+	return w, nil
+}
+
+// aggregateBody := "on" "stream" INT [".." INT]
+//
+//	"aggregate" "window" INT "threshold" NUM ["edge" | "level"]
+func (p *parser) aggregateBody(w *Watch) *Error {
+	w.Kind = KindAggregate
+	p.next() // "on"
+	if _, err := p.keyword("stream", "after 'on'"); err != nil {
+		return err
+	}
+	lo, pos, err := p.intLit("as stream id")
+	if err != nil {
+		return err
+	}
+	w.RangePos = pos
+	w.StreamLo, w.StreamHi = lo, lo
+	if p.peek().kind == tokDotDot {
+		p.next()
+		hi, _, err := p.intLit("as range end")
+		if err != nil {
+			return err
+		}
+		w.StreamHi = hi
+	}
+	if _, err := p.keyword("aggregate", "after stream range"); err != nil {
+		return err
+	}
+	if _, err := p.keyword("window", "in aggregate watch"); err != nil {
+		return err
+	}
+	win, _, err := p.intLit("as window length")
+	if err != nil {
+		return err
+	}
+	w.Window = win
+	if _, err := p.keyword("threshold", "after window"); err != nil {
+		return err
+	}
+	th, err := p.expect(tokNumber, "as threshold")
+	if err != nil {
+		return err
+	}
+	w.Threshold = th.num
+	if t := p.peek(); t.kind == tokIdent && (t.text == "edge" || t.text == "level") {
+		p.next()
+		w.Edge = t.text == "edge"
+	}
+	return nil
+}
+
+// patternBody := "pattern" "query" (IDENT | vector) "radius" NUM
+func (p *parser) patternBody(w *Watch) *Error {
+	w.Kind = KindPattern
+	p.next() // "pattern"
+	if _, err := p.keyword("query", "in pattern watch"); err != nil {
+		return err
+	}
+	t := p.peek()
+	w.QueryPos = t.pos
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		w.QueryRef = t.text
+	case tokLBrack:
+		q, err := p.vector()
+		if err != nil {
+			return err
+		}
+		w.Query = q
+	default:
+		return errAt(t.pos, "expected vector name or inline vector after 'query', found %s", t.describe())
+	}
+	if _, err := p.keyword("radius", "after query"); err != nil {
+		return err
+	}
+	r, err := p.expect(tokNumber, "as radius")
+	if err != nil {
+		return err
+	}
+	w.Radius = r.num
+	return nil
+}
+
+// correlationBody := "correlation" "level" INT "radius" NUM
+func (p *parser) correlationBody(w *Watch) *Error {
+	w.Kind = KindCorrelation
+	p.next() // "correlation"
+	if _, err := p.keyword("level", "in correlation watch"); err != nil {
+		return err
+	}
+	lvl, _, err := p.intLit("as level")
+	if err != nil {
+		return err
+	}
+	w.Level = lvl
+	if _, err := p.keyword("radius", "after level"); err != nil {
+		return err
+	}
+	r, err := p.expect(tokNumber, "as radius")
+	if err != nil {
+		return err
+	}
+	w.Radius = r.num
+	return nil
+}
+
+// triggers := { ("on_fire" | "on_clear") STRING }
+// Each clause may appear at most once.
+func (p *parser) triggers(w *Watch) *Error {
+	for {
+		t := p.peek()
+		if t.kind != tokIdent || (t.text != "on_fire" && t.text != "on_clear") {
+			return nil
+		}
+		p.next()
+		msg, err := p.expect(tokString, "after '"+t.text+"'")
+		if err != nil {
+			return err
+		}
+		if msg.str == "" {
+			return errAt(msg.pos, "%s message must not be empty", t.text)
+		}
+		if t.text == "on_fire" {
+			if w.OnFire != "" {
+				return errAt(t.pos, "duplicate on_fire clause")
+			}
+			w.OnFire = msg.str
+		} else {
+			if w.OnClear != "" {
+				return errAt(t.pos, "duplicate on_clear clause")
+			}
+			w.OnClear = msg.str
+		}
+	}
+}
+
+// ident consumes an identifier, rejecting keywords so "watch watch ..."
+// is an error rather than a trap.
+func (p *parser) ident(where string) (string, *Error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", errAt(t.pos, "expected identifier %s, found %s", where, t.describe())
+	}
+	if isKeyword(t.text) {
+		return "", errAt(t.pos, "'%s' is a keyword and cannot be used as a name", t.text)
+	}
+	return t.text, nil
+}
+
+// intLit consumes a number token that must be a non-negative integer
+// (stream ids, windows and levels are counts, not measurements).
+func (p *parser) intLit(where string) (int, Pos, *Error) {
+	t, err := p.expect(tokNumber, where)
+	if err != nil {
+		return 0, Pos{}, err
+	}
+	if t.num < 0 || t.num != math.Trunc(t.num) || t.num > math.MaxInt32 {
+		return 0, Pos{}, errAt(t.pos, "expected non-negative integer %s, found %s", where, t.text)
+	}
+	return int(t.num), t.pos, nil
+}
+
+// isKeyword reports whether a word is reserved by the grammar.
+func isKeyword(s string) bool {
+	switch s {
+	case "let", "watch", "tenant", "on", "stream", "aggregate", "window",
+		"threshold", "edge", "level", "pattern", "query", "radius",
+		"correlation", "on_fire", "on_clear":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package spec
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Print renders a spec in canonical form: top-level lets, then
+// top-level watches, then tenant blocks, one declaration per line.
+// Print is a fixpoint under Parse — Parse(Print(s)) yields a spec that
+// prints identically — which the FuzzParseSpec round-trip pins down.
+func Print(s *Spec) string {
+	var b strings.Builder
+	for _, l := range s.Lets {
+		printLet(&b, "", l)
+	}
+	for _, w := range s.Watches {
+		printWatch(&b, "", w)
+	}
+	for _, t := range s.Tenants {
+		b.WriteString("tenant ")
+		b.WriteString(t.Name)
+		b.WriteString(" {\n")
+		for _, l := range t.Lets {
+			printLet(&b, "    ", l)
+		}
+		for _, w := range t.Watches {
+			printWatch(&b, "    ", w)
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func printLet(b *strings.Builder, indent string, l Let) {
+	b.WriteString(indent)
+	b.WriteString("let ")
+	b.WriteString(l.Name)
+	b.WriteString(" = ")
+	printVector(b, l.Values)
+	b.WriteString(";\n")
+}
+
+func printWatch(b *strings.Builder, indent string, w Watch) {
+	b.WriteString(indent)
+	b.WriteString("watch ")
+	b.WriteString(w.Name)
+	switch w.Kind {
+	case KindAggregate:
+		b.WriteString(" on stream ")
+		b.WriteString(strconv.Itoa(w.StreamLo))
+		if w.StreamHi != w.StreamLo {
+			b.WriteString("..")
+			b.WriteString(strconv.Itoa(w.StreamHi))
+		}
+		b.WriteString(" aggregate window ")
+		b.WriteString(strconv.Itoa(w.Window))
+		b.WriteString(" threshold ")
+		b.WriteString(formatNum(w.Threshold))
+		if w.Edge {
+			b.WriteString(" edge")
+		}
+	case KindPattern:
+		b.WriteString(" pattern query ")
+		if w.QueryRef != "" {
+			b.WriteString(w.QueryRef)
+		} else {
+			printVector(b, w.Query)
+		}
+		b.WriteString(" radius ")
+		b.WriteString(formatNum(w.Radius))
+	case KindCorrelation:
+		b.WriteString(" correlation level ")
+		b.WriteString(strconv.Itoa(w.Level))
+		b.WriteString(" radius ")
+		b.WriteString(formatNum(w.Radius))
+	}
+	if w.OnFire != "" {
+		b.WriteString(" on_fire ")
+		b.WriteString(strconv.Quote(w.OnFire))
+	}
+	if w.OnClear != "" {
+		b.WriteString(" on_clear ")
+		b.WriteString(strconv.Quote(w.OnClear))
+	}
+	b.WriteString(";\n")
+}
+
+func printVector(b *strings.Builder, values []float64) {
+	b.WriteString("[")
+	for i, v := range values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(formatNum(v))
+	}
+	b.WriteString("]")
+}
+
+// formatNum renders a float in the shortest form that parses back to
+// the same value ('g' with -1 precision), keeping Print→Parse lossless.
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,166 @@
+// Package spec implements Stardust's declarative monitor-spec language:
+// a small RTLola-style text format that compiles into sets of standing
+// aggregate, pattern and correlation watches, so a fleet of dashboards
+// or per-customer alerting scenarios is a text file instead of a Go
+// build. The toolchain is the usual three stages, all hand-written on
+// the standard library:
+//
+//	Parse   text        → *Spec      (syntax, line/col diagnostics)
+//	Compile *Spec       → *Compiled  (name resolution, range expansion)
+//	Install *Compiled   → *Installation (against a live Watcher, atomic)
+//
+// # Language
+//
+// A spec is a sequence of declarations, each terminated by a semicolon.
+// `#` starts a comment running to end of line.
+//
+//	# a named query vector, usable by any pattern watch in scope
+//	let spike = [0, 4, 16, 4, 0];
+//
+//	# one aggregate watch per stream in the inclusive range 3..64
+//	watch burst on stream 3..64 aggregate window 256 threshold 4.5 edge
+//	    on_fire "burst started" on_clear "burst over";
+//
+//	# a pattern watch over all streams, query inline or by name
+//	watch spikes pattern query spike radius 0.5;
+//
+//	# a correlation watch at one resolution level
+//	watch moves correlation level 3 radius 0.25;
+//
+//	# declarations inside a tenant block install into that tenant's
+//	# stream namespace and count against its quotas
+//	tenant acme {
+//	    watch cpu on stream 0..3 aggregate window 64 threshold 100;
+//	}
+//
+// Aggregate watches are level-triggered by default (an event per
+// alarming step); the `edge` keyword selects edge triggering (one event
+// per quiet→alarm transition plus a cleared event). The optional
+// on_fire/on_clear strings are trigger messages: they are attached to
+// the watch, logged by the server when its events fire, and visible in
+// GET /specz — they do not change the event stream itself.
+//
+// Every stage reports precise positions: Parse and Compile return
+// *Error values carrying the 1-based line and column of the offending
+// token, so an operator editing a thousand-line spec is pointed at the
+// exact place. Install is atomic — on any failure every watch already
+// installed by the same call is unwound, so a failed load changes
+// nothing.
+package spec
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// Error is a spec diagnostic anchored to a source position. It is the
+// concrete type behind every parse and compile failure; callers recover
+// the position with errors.As for structured error bodies.
+type Error struct {
+	// Line and Col locate the offending token, 1-based.
+	Line, Col int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements error as "line:col: msg".
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// errAt builds a positioned diagnostic.
+func errAt(p Pos, format string, args ...any) *Error {
+	return &Error{Line: p.Line, Col: p.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Kind distinguishes the three watch classes of the paper.
+type Kind int
+
+const (
+	// KindAggregate is a standing Algorithm-2 threshold watch on one
+	// stream (ranges expand to one watch per stream).
+	KindAggregate Kind = iota
+	// KindPattern is a standing similarity watch over all streams.
+	KindPattern
+	// KindCorrelation is a standing correlated-pair watch at one level.
+	KindCorrelation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindAggregate:
+		return "aggregate"
+	case KindPattern:
+		return "pattern"
+	case KindCorrelation:
+		return "correlation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Let is a named query vector declaration.
+type Let struct {
+	// Name is the vector's identifier; Values its elements.
+	Name   string
+	Values []float64
+	// Pos locates the declaration.
+	Pos Pos
+}
+
+// Watch is one parsed watch declaration (not yet range-expanded).
+type Watch struct {
+	// Name is the declaration's identifier, unique per namespace.
+	Name string
+	// Kind selects which of the class-specific fields below apply.
+	Kind Kind
+	// Pos locates the declaration; RangePos and QueryPos locate the
+	// stream range and the query reference for targeted diagnostics.
+	Pos, RangePos, QueryPos Pos
+
+	// StreamLo..StreamHi is the inclusive stream range of an aggregate
+	// watch (a single stream parses as Lo == Hi).
+	StreamLo, StreamHi int
+	// Window and Threshold parameterize the aggregate check; Edge
+	// selects edge triggering.
+	Window    int
+	Threshold float64
+	Edge      bool
+
+	// QueryRef names a let-bound vector; Query holds an inline vector.
+	// Exactly one is set on a pattern watch.
+	QueryRef string
+	Query    []float64
+
+	// Radius is the pattern or correlation radius.
+	Radius float64
+	// Level is the correlation resolution level.
+	Level int
+
+	// OnFire and OnClear are the optional trigger messages ("" = none).
+	OnFire, OnClear string
+}
+
+// TenantBlock scopes declarations to one tenant's namespace.
+type TenantBlock struct {
+	// Name is the tenant's identifier.
+	Name string
+	// Pos locates the block header.
+	Pos Pos
+	// Lets and Watches are the block's declarations; block-local lets
+	// shadow top-level ones.
+	Lets    []Let
+	Watches []Watch
+}
+
+// Spec is one parsed spec file: top-level declarations install into the
+// default namespace, tenant blocks into their tenant's.
+type Spec struct {
+	// Lets are the top-level vectors, visible to tenant blocks too.
+	Lets []Let
+	// Watches are the default-namespace watch declarations.
+	Watches []Watch
+	// Tenants are the tenant-scoped blocks, in declaration order.
+	Tenants []TenantBlock
+}

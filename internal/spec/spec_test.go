@@ -1,0 +1,318 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `
+# full-language sample
+let spike = [0, 4, 16, 4, 0];
+
+watch burst on stream 3..6 aggregate window 256 threshold 4.5 edge
+    on_fire "burst started" on_clear "burst over";
+watch flat on stream 1 aggregate window 64 threshold -2;
+watch spikes pattern query spike radius 0.5;
+watch inline pattern query [1, 2.5, -3e2] radius 0.25;
+watch moves correlation level 3 radius 0.25 on_fire "pair moved";
+
+tenant acme {
+    let ramp = [1, 2, 3];
+    watch cpu on stream 0..2 aggregate window 64 threshold 100;
+    watch shape pattern query ramp radius 1;
+}
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := Parse(sampleSpec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Lets) != 1 || len(s.Watches) != 5 || len(s.Tenants) != 1 {
+		t.Fatalf("got %d lets, %d watches, %d tenants", len(s.Lets), len(s.Watches), len(s.Tenants))
+	}
+	burst := s.Watches[0]
+	if burst.Name != "burst" || burst.Kind != KindAggregate ||
+		burst.StreamLo != 3 || burst.StreamHi != 6 ||
+		burst.Window != 256 || burst.Threshold != 4.5 || !burst.Edge ||
+		burst.OnFire != "burst started" || burst.OnClear != "burst over" {
+		t.Fatalf("burst parsed wrong: %+v", burst)
+	}
+	if burst.Pos.Line != 5 || burst.Pos.Col != 1 {
+		t.Fatalf("burst position = %v, want 5:1", burst.Pos)
+	}
+	flat := s.Watches[1]
+	if flat.StreamLo != 1 || flat.StreamHi != 1 || flat.Edge || flat.Threshold != -2 {
+		t.Fatalf("flat parsed wrong: %+v", flat)
+	}
+	inline := s.Watches[3]
+	if !reflect.DeepEqual(inline.Query, []float64{1, 2.5, -300}) || inline.Radius != 0.25 {
+		t.Fatalf("inline parsed wrong: %+v", inline)
+	}
+	acme := s.Tenants[0]
+	if acme.Name != "acme" || len(acme.Lets) != 1 || len(acme.Watches) != 2 {
+		t.Fatalf("tenant parsed wrong: %+v", acme)
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	cases := []struct {
+		name, src  string
+		line, col  int
+		wantSubstr string
+	}{
+		{"missing semi", "watch a on stream 0 aggregate window 4 threshold 1", 1, 51, "expected ';'"},
+		{"bad keyword", "wach a;", 1, 1, "expected 'let', 'watch' or 'tenant'"},
+		{"keyword as name", "watch watch on stream 0 aggregate window 4 threshold 1;", 1, 7, "keyword"},
+		{"fractional stream", "watch a on stream 1.5 aggregate window 4 threshold 1;", 1, 19, "non-negative integer"},
+		{"negative window", "watch a on stream 0 aggregate window -4 threshold 1;", 1, 38, "non-negative integer"},
+		{"unterminated string", "watch a on stream 0 aggregate window 4 threshold 1 on_fire \"oops;", 1, 60, "unterminated string"},
+		{"empty vector", "let v = [];", 1, 10, "expected number"},
+		{"dup on_fire", "watch a correlation level 0 radius 1 on_fire \"x\" on_fire \"y\";", 1, 50, "duplicate on_fire"},
+		{"empty trigger", "watch a correlation level 0 radius 1 on_fire \"\";", 1, 46, "must not be empty"},
+		{"huge number", "watch a on stream 0 aggregate window 4 threshold 1e999;", 1, 50, "out of range"},
+		{"lone dot", "watch a on stream 0 . aggregate window 4 threshold 1;", 1, 21, "unexpected '.'"},
+		{"second line", "let v = [1];\nwatch a pattern query missing radius;", 2, 37, "expected number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T is not *spec.Error", err)
+			}
+			if se.Line != tc.line || se.Col != tc.col {
+				t.Fatalf("error at %d:%d, want %d:%d (%v)", se.Line, se.Col, tc.line, tc.col, se)
+			}
+			if !strings.Contains(se.Msg, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", se.Msg, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestPrintParseFixpoint(t *testing.T) {
+	s, err := Parse(sampleSpec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	printed := Print(s)
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of canonical form failed: %v\n%s", err, printed)
+	}
+	if again := Print(s2); again != printed {
+		t.Fatalf("Print is not a fixpoint:\n--- first ---\n%s--- second ---\n%s", printed, again)
+	}
+}
+
+func TestCompileSample(t *testing.T) {
+	s, err := Parse(sampleSpec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c, err := Compile(s, CompileOptions{
+		Streams: 8,
+		TenantStreams: func(name string) (int, bool) {
+			if name == "acme" {
+				return 4, true
+			}
+			return 0, false
+		},
+	})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// burst expands to 4 watches (3..6), flat/spikes/inline/moves are 1
+	// each, acme adds 3 (cpu 0..2) + 1 (shape).
+	if len(c.Watches) != 12 {
+		t.Fatalf("got %d compiled watches, want 12", len(c.Watches))
+	}
+	for i := 0; i < 4; i++ {
+		cw := c.Watches[i]
+		if cw.Name != "burst" || cw.Index != i || cw.Stream != 3+i || !cw.Edge {
+			t.Fatalf("burst expansion %d wrong: %+v", i, cw)
+		}
+	}
+	spikes := c.Watches[5]
+	if spikes.Name != "spikes" || !reflect.DeepEqual(spikes.Query, []float64{0, 4, 16, 4, 0}) {
+		t.Fatalf("spikes did not resolve let: %+v", spikes)
+	}
+	shape := c.Watches[11]
+	if shape.Tenant != "acme" || !reflect.DeepEqual(shape.Query, []float64{1, 2, 3}) {
+		t.Fatalf("tenant-local let not resolved: %+v", shape)
+	}
+	cpu := c.Watches[8]
+	if cpu.Tenant != "acme" || cpu.Stream != 0 {
+		t.Fatalf("tenant aggregate wrong: %+v", cpu)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tenants := func(name string) (int, bool) {
+		if name == "acme" {
+			return 2, true
+		}
+		return 0, false
+	}
+	cases := []struct {
+		name, src, wantSubstr string
+	}{
+		{"stream out of range", "watch a on stream 0..9 aggregate window 4 threshold 1;", "out of range"},
+		{"empty range", "watch a on stream 5..2 aggregate window 4 threshold 1;", "empty"},
+		{"zero window", "watch a on stream 0 aggregate window 0 threshold 1;", "window must be positive"},
+		{"zero radius", "watch a pattern query [1] radius 0;", "radius must be positive"},
+		{"unknown query", "watch a pattern query nope radius 1;", "unknown query vector"},
+		{"dup watch", "watch a correlation level 0 radius 1;\nwatch a correlation level 1 radius 1;", "duplicate watch"},
+		{"dup let", "let v = [1];\nlet v = [2];", "duplicate vector"},
+		{"unknown tenant", "tenant ghost { watch a correlation level 0 radius 1; }", "unknown tenant"},
+		{"dup tenant", "tenant acme { }\ntenant acme { }", "duplicate tenant"},
+		{"tenant stream quota", "tenant acme { watch a on stream 0..5 aggregate window 4 threshold 1; }", "2 streams"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			_, err = Compile(s, CompileOptions{Streams: 8, TenantStreams: tenants})
+			if err == nil {
+				t.Fatal("Compile succeeded, want error")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T is not *spec.Error", err)
+			}
+			if !strings.Contains(se.Msg, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", se.Msg, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestCompileRejectsNaNThreshold(t *testing.T) {
+	s := &Spec{Watches: []Watch{{
+		Name: "bad", Kind: KindAggregate, Window: 4, Threshold: math.NaN(),
+	}}}
+	if _, err := Compile(s, CompileOptions{Streams: 4}); err == nil {
+		t.Fatal("NaN threshold compiled")
+	}
+}
+
+// fakeTarget records install/unwatch calls and can fail on demand.
+type fakeTarget struct {
+	nextID  int
+	live    map[int]bool
+	failOn  int // fail the Nth install call (1-based); 0 = never
+	calls   int
+	watched []int
+}
+
+func newFakeTarget() *fakeTarget { return &fakeTarget{live: make(map[int]bool)} }
+
+func (f *fakeTarget) install() (int, error) {
+	f.calls++
+	if f.failOn != 0 && f.calls == f.failOn {
+		return 0, errors.New("boom")
+	}
+	id := f.nextID
+	f.nextID++
+	f.live[id] = true
+	f.watched = append(f.watched, id)
+	return id, nil
+}
+
+func (f *fakeTarget) WatchAggregate(stream, window int, threshold float64, edge bool) (int, error) {
+	return f.install()
+}
+func (f *fakeTarget) WatchPattern(q []float64, r float64) (int, error) { return f.install() }
+func (f *fakeTarget) WatchCorrelation(l int, r float64) (int, error)   { return f.install() }
+func (f *fakeTarget) Unwatch(id int) bool {
+	if !f.live[id] {
+		return false
+	}
+	delete(f.live, id)
+	return true
+}
+
+func compileSample(t *testing.T) *Compiled {
+	t.Helper()
+	s, err := Parse(sampleSpec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c, err := Compile(s, CompileOptions{Streams: 8, TenantStreams: func(string) (int, bool) { return 4, true }})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+func TestInstallAndUninstall(t *testing.T) {
+	c := compileSample(t)
+	ft := newFakeTarget()
+	inst, err := Install(ft, c, func(string) (int, bool) { return 4, true })
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if len(inst.Watches) != len(c.Watches) || len(ft.live) != len(c.Watches) {
+		t.Fatalf("installed %d of %d watches", len(ft.live), len(c.Watches))
+	}
+	inst.Uninstall()
+	if len(ft.live) != 0 {
+		t.Fatalf("%d watches leaked after Uninstall", len(ft.live))
+	}
+	inst.Uninstall() // idempotent
+}
+
+func TestInstallUnwindsOnFailure(t *testing.T) {
+	c := compileSample(t)
+	ft := newFakeTarget()
+	ft.failOn = 7
+	inst, err := Install(ft, c, func(string) (int, bool) { return 4, true })
+	if err == nil {
+		t.Fatal("Install succeeded despite forced failure")
+	}
+	if inst != nil {
+		t.Fatal("failed Install returned a non-nil installation")
+	}
+	if len(ft.live) != 0 {
+		t.Fatalf("failed Install leaked %d watches", len(ft.live))
+	}
+}
+
+func TestInstallTranslatesTenantStreams(t *testing.T) {
+	src := "tenant acme { watch a on stream 1 aggregate window 4 threshold 1; }"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c, err := Compile(s, CompileOptions{TenantStreams: func(string) (int, bool) { return 4, true }})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var gotStream int
+	ft := &translatingTarget{onAggregate: func(stream int) { gotStream = stream }}
+	if _, err := Install(ft, c, func(string) (int, bool) { return 100, true }); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if gotStream != 101 {
+		t.Fatalf("tenant stream 1 installed as global %d, want 101", gotStream)
+	}
+}
+
+type translatingTarget struct{ onAggregate func(stream int) }
+
+func (t *translatingTarget) WatchAggregate(stream, window int, threshold float64, edge bool) (int, error) {
+	t.onAggregate(stream)
+	return 1, nil
+}
+func (t *translatingTarget) WatchPattern(q []float64, r float64) (int, error) { return 2, nil }
+func (t *translatingTarget) WatchCorrelation(l int, r float64) (int, error)   { return 3, nil }
+func (t *translatingTarget) Unwatch(id int) bool                              { return true }

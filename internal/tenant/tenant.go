@@ -1,0 +1,547 @@
+// Package tenant multiplexes independent namespaces over one Stardust
+// backend. Each tenant is allocated a contiguous slice of the backend's
+// stream-id space and addresses its streams 0..Streams-1; the registry
+// translates ids at the ingestion and watch-installation boundaries, so
+// a tenant can neither read nor alarm on another tenant's streams.
+//
+// The registry is also the serving tier's spec store: monitor specs
+// (internal/spec) load, reload and unload as named units, installed
+// atomically against the shared watcher — a failed load or a quota
+// breach changes nothing. Three quotas protect the shared backend:
+//
+//   - Streams: the width of the tenant's id slice (enforced at
+//     allocation, ingestion and spec compilation).
+//   - MaxWatches: how many standing watches the tenant's specs may
+//     install (0 = unlimited).
+//   - RatePerSec/Burst: a token-bucket ingest rate (internal/resilience;
+//     0 = unlimited).
+//
+// Per-tenant traffic and quota pressure surface as the
+// stardust_tenant_* series via obs.TenantMetrics.
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stardust"
+	"stardust/internal/obs"
+	"stardust/internal/resilience"
+	"stardust/internal/spec"
+)
+
+// Sentinel errors for quota and namespace failures; servers map them to
+// HTTP statuses with errors.Is.
+var (
+	// ErrUnknownTenant marks an operation naming a tenant the registry
+	// does not serve.
+	ErrUnknownTenant = errors.New("unknown tenant")
+	// ErrUnknownSpec marks an unload/inspect of a spec never loaded.
+	ErrUnknownSpec = errors.New("unknown spec")
+	// ErrStreamQuota marks an ingest targeting a stream outside the
+	// tenant's allocated width.
+	ErrStreamQuota = errors.New("stream outside tenant quota")
+	// ErrWatchQuota marks a spec load that would exceed a tenant's
+	// standing-watch quota.
+	ErrWatchQuota = errors.New("tenant watch quota exceeded")
+	// ErrRateLimited marks samples refused by a tenant's ingest rate.
+	ErrRateLimited = errors.New("tenant rate limit exceeded")
+	// ErrExhausted marks a tenant admission the backend has no stream
+	// space left for.
+	ErrExhausted = errors.New("backend stream space exhausted")
+	// ErrDuplicate marks an admission reusing an existing tenant name.
+	ErrDuplicate = errors.New("duplicate tenant")
+	// ErrTenantBusy marks a removal of a tenant that still has spec
+	// watches installed (unload the specs first).
+	ErrTenantBusy = errors.New("tenant has installed watches")
+)
+
+// Config declares one tenant, as read from a -tenants-file entry or a
+// POST /tenantz body.
+type Config struct {
+	// Name identifies the tenant in specs, ingest requests and metrics.
+	Name string `json:"name"`
+	// Streams is the tenant's stream-space width (required, positive).
+	Streams int `json:"streams"`
+	// MaxWatches caps the standing watches the tenant's specs may
+	// install; 0 leaves them uncapped.
+	MaxWatches int `json:"max_watches,omitempty"`
+	// RatePerSec and Burst parameterize the ingest token bucket; a zero
+	// rate leaves ingestion unlimited, a zero burst defaults to the rate.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      float64 `json:"burst,omitempty"`
+}
+
+// ParseConfigs decodes a -tenants-file: a JSON array of Config objects.
+// Unknown fields are rejected so a typo'd quota cannot silently become
+// "unlimited".
+func ParseConfigs(data []byte) ([]Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfgs []Config
+	if err := dec.Decode(&cfgs); err != nil {
+		return nil, fmt.Errorf("tenants file: %w", err)
+	}
+	return cfgs, nil
+}
+
+// Info is one tenant's row in GET /tenantz.
+type Info struct {
+	Name string `json:"name"`
+	// Base and Streams are the tenant's slice of the backend id space:
+	// global ids [Base, Base+Streams).
+	Base    int `json:"base"`
+	Streams int `json:"streams"`
+	// MaxWatches and RatePerSec echo the configured quotas.
+	MaxWatches int     `json:"max_watches,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Watches is the number of standing watches currently installed for
+	// the tenant by loaded specs.
+	Watches int `json:"watches"`
+}
+
+// SpecInfo is one loaded spec's row in GET /specz.
+type SpecInfo struct {
+	Name string `json:"name"`
+	// Source is the spec text as loaded.
+	Source string `json:"source"`
+	// Watches is the number of standing watches the spec installed.
+	Watches int `json:"watches"`
+}
+
+// Note attributes one watcher event: which tenant and declaration fired
+// it, and the declaration's trigger message for that event kind ("" =
+// none). The zero Note marks an unattributed event (a watch installed
+// through the plain API).
+type Note struct {
+	// Tenant is the owning namespace ("" for the default namespace —
+	// still attributed if Watch is non-empty).
+	Tenant string
+	// Spec and Watch name the declaration behind the event.
+	Spec, Watch string
+	// Message is the on_fire or on_clear text matching the event's kind.
+	Message string
+}
+
+// Attributed reports whether the note names a spec-declared watch.
+func (n Note) Attributed() bool { return n.Spec != "" }
+
+// attribution is the leaf-locked watch-id index. Annotate runs inside
+// the watcher's event sink (under the watcher lock), so this state has
+// its own mutex that no registry path holds while waiting on the
+// watcher: attrMu is always the innermost lock.
+type attribution struct {
+	tenant, spec, watch string
+	onFire, onClear     string
+	inst                *obs.TenantInstruments // nil for default namespace
+}
+
+// tenantState is one admitted tenant.
+type tenantState struct {
+	cfg     Config
+	base    int
+	limiter *resilience.RateLimiter
+	watches int // standing watches installed by loaded specs
+	inst    *obs.TenantInstruments
+}
+
+// specUnit is one loaded spec.
+type specUnit struct {
+	name   string
+	source string
+	inst   *spec.Installation
+	// ids snapshots the installed watch ids (inst.Watches empties on
+	// Uninstall, but attribution must still be retired afterwards).
+	ids []int
+	// perTenant counts the unit's watches by tenant name ("" = default),
+	// so unload and swap can return quota.
+	perTenant map[string]int
+}
+
+// Registry is the multi-tenant control plane over one SafeWatcher. All
+// admin operations (Add/Remove/Load/Unload) and tenant ingestion
+// serialize behind its mutex; event annotation takes only the leaf
+// attribution lock so the watcher's event sink may call it.
+type Registry struct {
+	mu       sync.Mutex
+	w        *stardust.SafeWatcher
+	metrics  *obs.TenantMetrics
+	clock    func() time.Time
+	tenants  map[string]*tenantState
+	order    []string
+	nextBase int
+	specs    map[string]*specUnit
+	specOrd  []string
+
+	attrMu sync.Mutex
+	attr   map[int]attribution
+}
+
+// New builds a registry over the watcher. metrics may be nil (no
+// stardust_tenant_* series); clock may be nil (time.Now) and exists so
+// rate-quota tests are deterministic.
+func New(w *stardust.SafeWatcher, metrics *obs.TenantMetrics, clock func() time.Time) *Registry {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registry{
+		w:       w,
+		metrics: metrics,
+		clock:   clock,
+		tenants: make(map[string]*tenantState),
+		specs:   make(map[string]*specUnit),
+		attr:    make(map[int]attribution),
+	}
+}
+
+// Add admits a tenant, allocating the next contiguous slice of the
+// backend's stream space. Slices are never reused: removing a tenant
+// retires its ids, so a new tenant can never see a predecessor's data.
+func (r *Registry) Add(cfg Config) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("tenant: name must not be empty")
+	}
+	if cfg.Streams <= 0 {
+		return fmt.Errorf("tenant %q: streams must be positive, got %d", cfg.Name, cfg.Streams)
+	}
+	if cfg.MaxWatches < 0 || cfg.RatePerSec < 0 || cfg.Burst < 0 {
+		return fmt.Errorf("tenant %q: quotas must be non-negative", cfg.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[cfg.Name]; ok {
+		return fmt.Errorf("tenant %q: %w", cfg.Name, ErrDuplicate)
+	}
+	if r.nextBase+cfg.Streams > r.w.NumStreams() {
+		return fmt.Errorf("tenant %q needs %d streams, %d left: %w",
+			cfg.Name, cfg.Streams, r.w.NumStreams()-r.nextBase, ErrExhausted)
+	}
+	st := &tenantState{
+		cfg:     cfg,
+		base:    r.nextBase,
+		limiter: resilience.NewRateLimiter(cfg.RatePerSec, cfg.Burst, r.clock),
+	}
+	if r.metrics != nil {
+		st.inst = r.metrics.Tenant(cfg.Name)
+		st.inst.Streams.Set(int64(cfg.Streams))
+	}
+	r.nextBase += cfg.Streams
+	r.tenants[cfg.Name] = st
+	r.order = append(r.order, cfg.Name)
+	return nil
+}
+
+// Remove retires a tenant. It refuses while loaded specs still have
+// watches installed for the tenant — unload those specs first — so a
+// removal can never leave orphaned standing queries alarming on ids a
+// future tenant might receive.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.tenants[name]
+	if !ok {
+		return fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
+	}
+	if st.watches > 0 {
+		return fmt.Errorf("tenant %q has %d spec watches installed: %w", name, st.watches, ErrTenantBusy)
+	}
+	delete(r.tenants, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	if st.inst != nil {
+		st.inst.Streams.Set(0)
+	}
+	return nil
+}
+
+// Tenants lists the admitted tenants in admission order.
+func (r *Registry) Tenants() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	infos := make([]Info, 0, len(r.order))
+	for _, name := range r.order {
+		st := r.tenants[name]
+		infos = append(infos, Info{
+			Name: name, Base: st.base, Streams: st.cfg.Streams,
+			MaxWatches: st.cfg.MaxWatches, RatePerSec: st.cfg.RatePerSec,
+			Watches: st.watches,
+		})
+	}
+	return infos
+}
+
+// Ingest pushes one tenant-local sample through the shared watcher.
+func (r *Registry) Ingest(name string, stream int, v float64) error {
+	return r.ingest(name, stream, func(global int) error {
+		return r.w.Ingest(global, v)
+	}, 1)
+}
+
+// IngestBatch pushes a run of tenant-local samples for one stream. The
+// whole batch is admitted or refused by the rate quota as a unit (a
+// batch larger than the burst bucket is always refused; split it).
+func (r *Registry) IngestBatch(name string, stream int, vs []float64) error {
+	return r.ingest(name, stream, func(global int) error {
+		return r.w.IngestBatch(global, vs)
+	}, len(vs))
+}
+
+// ingest runs the shared quota path: resolve, stream bounds, rate, push.
+func (r *Registry) ingest(name string, stream int, push func(global int) error, n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.tenants[name]
+	if !ok {
+		return fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
+	}
+	if stream < 0 || stream >= st.cfg.Streams {
+		if st.inst != nil {
+			st.inst.Rejected.Add(int64(n))
+		}
+		return fmt.Errorf("tenant %q stream %d outside [0, %d): %w", name, stream, st.cfg.Streams, ErrStreamQuota)
+	}
+	if !st.limiter.AllowN(n) {
+		if st.inst != nil {
+			st.inst.RateLimited.Add(int64(n))
+		}
+		return fmt.Errorf("tenant %q over %g samples/s: %w", name, st.limiter.Limit(), ErrRateLimited)
+	}
+	if err := push(st.base + stream); err != nil {
+		if st.inst != nil {
+			st.inst.Rejected.Add(int64(n))
+		}
+		return err
+	}
+	if st.inst != nil {
+		st.inst.Samples.Add(int64(n))
+	}
+	return nil
+}
+
+// Resolve translates a tenant-local stream id to the backend's global
+// id, for read-path queries scoped to a tenant.
+func (r *Registry) Resolve(name string, stream int) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.tenants[name]
+	if !ok {
+		return 0, fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
+	}
+	if stream < 0 || stream >= st.cfg.Streams {
+		return 0, fmt.Errorf("tenant %q stream %d outside [0, %d): %w", name, stream, st.cfg.Streams, ErrStreamQuota)
+	}
+	return st.base + stream, nil
+}
+
+// Load parses, compiles and installs a spec as a named unit. Loading an
+// existing name is an atomic swap: the new revision installs and the old
+// one uninstalls inside one watcher critical section, so concurrent
+// pushes observe either revision in full, never a mix, and a failed new
+// revision leaves the old one running. Parse and compile errors are
+// *spec.Error values carrying line/col.
+func (r *Registry) Load(name, source string) error {
+	if name == "" {
+		return fmt.Errorf("spec: name must not be empty")
+	}
+	parsed, err := spec.Parse(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	compiled, err := spec.Compile(parsed, spec.CompileOptions{
+		Streams:       r.w.NumStreams(),
+		TenantStreams: r.tenantStreamsLocked,
+	})
+	if err != nil {
+		return err
+	}
+	perTenant := make(map[string]int)
+	for _, cw := range compiled.Watches {
+		perTenant[cw.Tenant]++
+	}
+	old := r.specs[name] // nil on first load
+	for tn, count := range perTenant {
+		if tn == "" {
+			continue
+		}
+		st := r.tenants[tn]
+		prev := 0
+		if old != nil {
+			prev = old.perTenant[tn]
+		}
+		if st.cfg.MaxWatches > 0 && st.watches-prev+count > st.cfg.MaxWatches {
+			return fmt.Errorf("tenant %q: spec needs %d watches, %d of %d in use: %w",
+				tn, count, st.watches-prev, st.cfg.MaxWatches, ErrWatchQuota)
+		}
+	}
+	var inst *spec.Installation
+	err = r.w.Batch(func(w *stardust.Watcher) error {
+		var ierr error
+		inst, ierr = spec.Install(w, compiled, r.baseLocked)
+		if ierr != nil {
+			return ierr
+		}
+		if old != nil {
+			old.inst.Uninstall()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if old != nil {
+		r.retireLocked(old)
+	}
+	unit := &specUnit{name: name, source: source, inst: inst, perTenant: perTenant}
+	for _, iw := range inst.Watches {
+		unit.ids = append(unit.ids, iw.ID)
+	}
+	r.specs[name] = unit
+	if old == nil {
+		r.specOrd = append(r.specOrd, name)
+	}
+	r.adoptLocked(unit)
+	return nil
+}
+
+// Unload removes a named spec and all its watches atomically.
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	unit, ok := r.specs[name]
+	if !ok {
+		return fmt.Errorf("spec %q: %w", name, ErrUnknownSpec)
+	}
+	r.w.Batch(func(*stardust.Watcher) error {
+		unit.inst.Uninstall()
+		return nil
+	})
+	r.retireLocked(unit)
+	delete(r.specs, name)
+	for i, n := range r.specOrd {
+		if n == name {
+			r.specOrd = append(r.specOrd[:i], r.specOrd[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Specs lists the loaded units in load order.
+func (r *Registry) Specs() []SpecInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	infos := make([]SpecInfo, 0, len(r.specOrd))
+	for _, name := range r.specOrd {
+		u := r.specs[name]
+		infos = append(infos, SpecInfo{Name: name, Source: u.source, Watches: len(u.inst.Watches)})
+	}
+	return infos
+}
+
+// Spec returns one loaded unit.
+func (r *Registry) Spec(name string) (SpecInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.specs[name]
+	if !ok {
+		return SpecInfo{}, fmt.Errorf("spec %q: %w", name, ErrUnknownSpec)
+	}
+	return SpecInfo{Name: name, Source: u.source, Watches: len(u.inst.Watches)}, nil
+}
+
+// adoptLocked indexes a freshly installed unit for event attribution and
+// charges its watches against tenant quotas and gauges.
+func (r *Registry) adoptLocked(unit *specUnit) {
+	r.attrMu.Lock()
+	for _, iw := range unit.inst.Watches {
+		cw := iw.Watch
+		a := attribution{
+			tenant: cw.Tenant, spec: unit.name, watch: cw.Name,
+			onFire: cw.OnFire, onClear: cw.OnClear,
+		}
+		if st, ok := r.tenants[cw.Tenant]; ok && cw.Tenant != "" {
+			a.inst = st.inst
+		}
+		r.attr[iw.ID] = a
+	}
+	r.attrMu.Unlock()
+	for tn, count := range unit.perTenant {
+		if st, ok := r.tenants[tn]; ok && tn != "" {
+			st.watches += count
+			if st.inst != nil {
+				st.inst.WatchesActive.Add(int64(count))
+			}
+		}
+	}
+}
+
+// retireLocked drops a unit's attribution entries and returns its quota.
+func (r *Registry) retireLocked(unit *specUnit) {
+	r.attrMu.Lock()
+	for _, id := range unit.ids {
+		delete(r.attr, id)
+	}
+	r.attrMu.Unlock()
+	for tn, count := range unit.perTenant {
+		if st, ok := r.tenants[tn]; ok && tn != "" {
+			st.watches -= count
+			if st.inst != nil {
+				st.inst.WatchesActive.Add(int64(-count))
+			}
+		}
+	}
+}
+
+// tenantStreamsLocked is the spec.CompileOptions tenant resolver.
+func (r *Registry) tenantStreamsLocked(name string) (int, bool) {
+	st, ok := r.tenants[name]
+	if !ok {
+		return 0, false
+	}
+	return st.cfg.Streams, true
+}
+
+// baseLocked is the spec.Install stream-base resolver.
+func (r *Registry) baseLocked(name string) (int, bool) {
+	if name == "" {
+		return 0, true
+	}
+	st, ok := r.tenants[name]
+	if !ok {
+		return 0, false
+	}
+	return st.base, true
+}
+
+// Annotate attributes one event and, for tenant-owned watches, counts it
+// against the tenant's Events series. It takes only the leaf attribution
+// lock, so the watcher's event sink (which runs under the watcher lock)
+// may call it without deadlocking against Load/Ingest.
+func (r *Registry) Annotate(e stardust.Event) Note {
+	r.attrMu.Lock()
+	a, ok := r.attr[e.WatchID]
+	r.attrMu.Unlock()
+	if !ok {
+		return Note{}
+	}
+	n := Note{Tenant: a.tenant, Spec: a.spec, Watch: a.watch}
+	if e.Kind == stardust.EventAggregateCleared {
+		n.Message = a.onClear
+	} else {
+		n.Message = a.onFire
+	}
+	if a.inst != nil {
+		a.inst.Events.Inc()
+	}
+	return n
+}

@@ -1,5 +1,5 @@
-// Command docbuild keeps the prose documentation honest. It does two
-// things, both wired into ci.sh as hard gates:
+// Command docbuild keeps the prose documentation honest. It does three
+// things, all wired into ci.sh as hard gates:
 //
 //  1. Every fenced ```go block in the markdown files named on the command
 //     line is extracted into a scratch package inside the module and
@@ -7,7 +7,10 @@
 //     away from the real API. Blocks are required to be complete files
 //     (they must start with a package clause); intentionally
 //     non-compilable snippets belong in plain ``` or ```text fences.
-//  2. With -flagsrc and -flagdoc set, every flag registered by the named
+//  2. Every fenced ```spec block is run through the internal/spec parser,
+//     so monitor-spec examples in the docs always parse. Deliberately
+//     broken examples belong in plain ``` fences.
+//  3. With -flagsrc and -flagdoc set, every flag registered by the named
 //     command source files (comma-separated, one per binary) must be
 //     mentioned (as -name) somewhere in the -flagdoc markdown files, so
 //     the operator-facing flag reference cannot silently miss a flag
@@ -36,6 +39,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"stardust/internal/spec"
 )
 
 // scratchDir is created under the module root so extracted blocks compile
@@ -52,6 +57,10 @@ func main() {
 	failed := false
 	for _, md := range flag.Args() {
 		if err := buildBlocks(md); err != nil {
+			fmt.Fprintf(os.Stderr, "docbuild: %v\n", err)
+			failed = true
+		}
+		if err := parseSpecBlocks(md); err != nil {
 			fmt.Fprintf(os.Stderr, "docbuild: %v\n", err)
 			failed = true
 		}
@@ -73,27 +82,48 @@ func main() {
 	}
 }
 
-// extractGoBlocks returns the contents of every ```go fenced block in the
-// markdown source, with the 1-based line number of each block's opening
-// fence for error attribution.
-func extractGoBlocks(src string) (blocks []string, lines []int) {
+// extractBlocks returns the contents of every fenced block with the given
+// info string (```<lang>) in the markdown source, with the 1-based line
+// number of each block's opening fence for error attribution.
+func extractBlocks(src, lang string) (blocks []string, lines []int) {
 	var cur []string
-	inGo := false
+	open := "```" + lang
+	in := false
 	start := 0
 	for i, line := range strings.Split(src, "\n") {
 		trimmed := strings.TrimSpace(line)
 		switch {
-		case !inGo && trimmed == "```go":
-			inGo, cur, start = true, nil, i+1
-		case inGo && trimmed == "```":
-			inGo = false
+		case !in && trimmed == open:
+			in, cur, start = true, nil, i+1
+		case in && trimmed == "```":
+			in = false
 			blocks = append(blocks, strings.Join(cur, "\n")+"\n")
 			lines = append(lines, start)
-		case inGo:
+		case in:
 			cur = append(cur, line)
 		}
 	}
 	return blocks, lines
+}
+
+// parseSpecBlocks runs every ```spec block in one markdown file through
+// the monitor-spec parser.
+func parseSpecBlocks(mdPath string) error {
+	src, err := os.ReadFile(mdPath)
+	if err != nil {
+		return err
+	}
+	blocks, lines := extractBlocks(string(src), "spec")
+	var errs []string
+	for i, block := range blocks {
+		if _, err := spec.Parse(block); err != nil {
+			errs = append(errs, fmt.Sprintf("%s:%d: ```spec block does not parse: %v", mdPath, lines[i], err))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%s", strings.Join(errs, "\n"))
+	}
+	return nil
 }
 
 // buildBlocks extracts and compiles every ```go block in one markdown file.
@@ -102,7 +132,7 @@ func buildBlocks(mdPath string) error {
 	if err != nil {
 		return err
 	}
-	blocks, lines := extractGoBlocks(string(src))
+	blocks, lines := extractBlocks(string(src), "go")
 	if len(blocks) == 0 {
 		return nil
 	}

@@ -1,0 +1,376 @@
+// Command specsmoke drives the declarative-monitoring e2e CI stage:
+// ci.sh boots two spec-loaded stardust-server processes on ephemeral
+// ports — a SUM backend serving aggregate watches across two tenants and
+// a DWT backend serving pattern + correlation watches (one transform
+// cannot host all three kinds: aggregate bounds need SUM extents, the
+// feature-space queries need wavelet coefficients) — then invokes this
+// driver in phases. Like clustersmoke, the driver never manages
+// processes; ci.sh owns the lifecycle.
+//
+// Phases (selected with -phase):
+//
+//	files  write sum.spec, dwt.spec and tenants.json into -dir for
+//	       ci.sh to pass as -spec-file/-tenants-file
+//	run    ingest the seeded burst + pattern workloads and assert the
+//	       whole surface: boot-loaded specs on GET /specz, tenants on
+//	       GET /tenantz, attributed events on GET /events?tenant=,
+//	       stardust_tenant_*/stardust_watch_* series on GET /metricsz,
+//	       typed quota rejections, then a live POST /specz reload and
+//	       the atomicity of a rejected one
+//
+// The workload derives entirely from -seed so the files and run phases
+// agree on the planted pattern without sharing state.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"stardust/internal/gen"
+)
+
+// The two tenants sharing the SUM backend. Slices are allocated in file
+// order: acme owns global streams 0..1, bravo 2..3.
+const tenantsJSON = `[
+  {"name": "acme",  "streams": 2, "max_watches": 8, "rate_per_sec": 100000, "burst": 256},
+  {"name": "bravo", "streams": 2, "max_watches": 8, "rate_per_sec": 100000, "burst": 256}
+]`
+
+// sumSpec: a fleet-wide burst watch over both tenants' slices plus one
+// attributed watch per tenant. Window sums of the burst trace cross 60
+// and 100 but the quiet baseline stays far below.
+const sumSpec = `# fleet-wide burst detection over both tenant slices
+watch global_burst on stream 0..3 aggregate window 8 threshold 100 edge;
+
+tenant acme {
+    watch hot on stream 0 aggregate window 8 threshold 60 edge
+        on_fire "acme running hot" on_clear "acme recovered";
+}
+
+tenant bravo {
+    watch hot on stream 1 aggregate window 8 threshold 60 edge
+        on_fire "bravo running hot";
+}
+`
+
+// sumSpecV2 is the live-reload revision: a lower fleet threshold and one
+// extra acme watch, so the swap is visible in the /specz watch count.
+const sumSpecV2 = `watch global_burst on stream 0..3 aggregate window 8 threshold 90 edge;
+
+tenant acme {
+    watch hot on stream 0 aggregate window 8 threshold 60 edge
+        on_fire "acme running hot";
+    watch sustained on stream 0 aggregate window 16 threshold 200;
+}
+
+tenant bravo {
+    watch hot on stream 1 aggregate window 8 threshold 60 edge;
+}
+`
+
+// badSpec fails to parse on line 2 — the reject-and-keep-serving probe.
+const badSpec = `watch ok on stream 0 aggregate window 8 threshold 5;
+watch broken on stream 0 aggregate window;
+`
+
+func main() {
+	phase := flag.String("phase", "", "files or run")
+	dir := flag.String("dir", "", "files: directory to write spec/tenant files into")
+	sumURL := flag.String("sum-url", "", "run: SUM server base URL")
+	dwtURL := flag.String("dwt-url", "", "run: DWT server base URL")
+	seed := flag.Int64("seed", 417, "pattern/correlation workload seed")
+	flag.Parse()
+
+	var err error
+	switch *phase {
+	case "files":
+		err = writeFiles(*dir, *seed)
+	case "run":
+		err = run(*sumURL, *dwtURL, *seed)
+	default:
+		err = fmt.Errorf("unknown -phase %q (want files or run)", *phase)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specsmoke %s: %v\n", *phase, err)
+		os.Exit(1)
+	}
+}
+
+// dwtWorkload derives the DWT servers's trace and the pattern vector the
+// spec plants: 4 correlated walks, with the query being the subsequence
+// stream 1 traces at positions 200..239.
+func dwtWorkload(seed int64) (data [][]float64, pattern []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	data = gen.CorrelatedWalks(rng, 4, 400, 2, 0.1)
+	pattern = make([]float64, 40)
+	copy(pattern, data[1][200:240])
+	return data, pattern
+}
+
+func writeFiles(dir string, seed int64) error {
+	if dir == "" {
+		return fmt.Errorf("-dir required")
+	}
+	_, pattern := dwtWorkload(seed)
+	nums := make([]string, len(pattern))
+	for i, v := range pattern {
+		nums[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	dwtSpec := "# feature-space watches: a planted subsequence and the correlated pair\n" +
+		"let shape = [" + strings.Join(nums, ", ") + "];\n" +
+		"watch echo pattern query shape radius 0.05;\n" +
+		"watch tracks correlation level 2 radius 0.5;\n"
+	for name, content := range map[string]string{
+		"sum.spec":     sumSpec,
+		"dwt.spec":     dwtSpec,
+		"tenants.json": tenantsJSON,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var hc = &http.Client{Timeout: 10 * time.Second}
+
+// call issues one JSON request and decodes the response body.
+func call(method, url string, body any) (int, map[string]any, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("decoding %s %s: %w", method, url, err)
+	}
+	return resp.StatusCode, out, nil
+}
+
+// ingestTenant pushes one batch through the tenant-scoped ingest path.
+func ingestTenant(base, tenant string, stream int, values []float64) (int, map[string]any, error) {
+	return call("POST", base+"/ingest", map[string]any{
+		"tenant": tenant, "stream": stream, "values": values,
+	})
+}
+
+func run(sumURL, dwtURL string, seed int64) error {
+	if sumURL == "" || dwtURL == "" {
+		return fmt.Errorf("-sum-url and -dwt-url required")
+	}
+
+	// Boot state: both spec files loaded, both tenants admitted.
+	if err := expectSpec(sumURL, "sum", 6); err != nil {
+		return err
+	}
+	if err := expectSpec(dwtURL, "dwt", 2); err != nil {
+		return err
+	}
+	status, body, err := call("GET", sumURL+"/tenantz", nil)
+	if err != nil || status != 200 {
+		return fmt.Errorf("GET /tenantz: status %d err %v", status, err)
+	}
+	if n := len(body["tenants"].([]any)); n != 2 {
+		return fmt.Errorf("tenants at boot = %d, want 2 (%v)", n, body["tenants"])
+	}
+
+	// Burst trace per tenant: quiet baseline, then a burst whose window
+	// sums cross both the tenant (60) and fleet (100) thresholds.
+	quiet := repeat(2, 24)
+	burst := repeat(30, 16)
+	for _, tn := range []struct {
+		name   string
+		stream int
+	}{{"acme", 0}, {"bravo", 1}} {
+		for _, batch := range [][]float64{quiet, burst, quiet} {
+			if status, body, err = ingestTenant(sumURL, tn.name, tn.stream, batch); err != nil || status != 200 {
+				return fmt.Errorf("ingest %s: status %d body %v err %v", tn.name, status, body, err)
+			}
+		}
+	}
+
+	// Attributed events: each tenant sees its own watch fire, with the
+	// trigger identity, and the filter hides the other tenant.
+	for _, name := range []string{"acme", "bravo"} {
+		status, body, err = call("GET", sumURL+"/events?tenant="+name, nil)
+		if err != nil || status != 200 {
+			return fmt.Errorf("GET /events?tenant=%s: status %d err %v", name, status, err)
+		}
+		events := body["events"].([]any)
+		if len(events) == 0 {
+			return fmt.Errorf("no events attributed to %s", name)
+		}
+		for _, raw := range events {
+			ev := raw.(map[string]any)
+			if ev["tenant"] != name || ev["watch"] != "hot" {
+				return fmt.Errorf("misattributed event for %s: %v", name, ev)
+			}
+		}
+	}
+	// The fleet-wide watch fired too: unfiltered drain sees unattributed
+	// global_burst events alongside the tenant ones.
+	status, body, err = call("GET", sumURL+"/events", nil)
+	if err != nil || status != 200 {
+		return fmt.Errorf("GET /events: status %d err %v", status, err)
+	}
+	var globalFired bool
+	for _, raw := range body["events"].([]any) {
+		if ev := raw.(map[string]any); ev["tenant"] == nil {
+			globalFired = true
+		}
+	}
+	if !globalFired {
+		return fmt.Errorf("fleet-wide global_burst never fired: %v", body["events"])
+	}
+
+	// Typed quota rejections: batch over the token bucket (429/code 10),
+	// stream outside the slice (400/code 10), unknown tenant (404/code 11).
+	if err := expectRejection(sumURL, "bravo", 0, repeat(1, 300), 429, 10); err != nil {
+		return err
+	}
+	if err := expectRejection(sumURL, "bravo", 7, []float64{1}, 400, 10); err != nil {
+		return err
+	}
+	if err := expectRejection(sumURL, "ghost", 0, []float64{1}, 404, 11); err != nil {
+		return err
+	}
+
+	// Per-tenant and watch series on /metricsz.
+	prom, err := promText(sumURL)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`stardust_tenant_samples_total{tenant="acme"} 64`,
+		`stardust_tenant_samples_total{tenant="bravo"} 64`,
+		`stardust_tenant_rate_limited_total{tenant="bravo"} 300`,
+		`stardust_tenant_rejected_total{tenant="bravo"} 1`,
+		`stardust_tenant_watches_active{tenant="acme"} 1`,
+		`stardust_watch_active{kind="aggregate"} 6`,
+	} {
+		if !strings.Contains(prom, want) {
+			return fmt.Errorf("metricsz missing %q", want)
+		}
+	}
+	if !strings.Contains(prom, `stardust_tenant_events_total{tenant="acme"}`) {
+		return fmt.Errorf("metricsz missing acme event counter")
+	}
+
+	// DWT server: the seeded trace carries the planted pattern and the
+	// correlated pair; both feature-space watches must report.
+	data, _ := dwtWorkload(seed)
+	for i := range data {
+		status, body, err = call("POST", dwtURL+"/ingest", map[string]any{
+			"stream": i, "values": data[i],
+		})
+		if err != nil || status != 200 {
+			return fmt.Errorf("dwt ingest stream %d: status %d body %v err %v", i, status, body, err)
+		}
+	}
+	status, body, err = call("GET", dwtURL+"/events", nil)
+	if err != nil || status != 200 {
+		return fmt.Errorf("GET dwt /events: status %d err %v", status, err)
+	}
+	kinds := map[float64]bool{}
+	for _, raw := range body["events"].([]any) {
+		kinds[raw.(map[string]any)["Kind"].(float64)] = true
+	}
+	// EventPattern = 2, EventCorrelation = 3.
+	if !kinds[2] || !kinds[3] {
+		return fmt.Errorf("dwt events missing a kind: have %v, want pattern (2) and correlation (3)", kinds)
+	}
+
+	// Live reload: the v2 revision swaps in atomically (watch count 7),
+	// then a broken revision is rejected with its position and the v2
+	// watch set keeps serving.
+	status, body, err = call("POST", sumURL+"/specz", map[string]any{"name": "sum", "source": sumSpecV2})
+	if err != nil || status != 200 {
+		return fmt.Errorf("reload v2: status %d body %v err %v", status, body, err)
+	}
+	if err := expectSpec(sumURL, "sum", 7); err != nil {
+		return fmt.Errorf("after v2 reload: %w", err)
+	}
+	status, body, err = call("POST", sumURL+"/specz", map[string]any{"name": "sum", "source": badSpec})
+	if err != nil || status != 400 {
+		return fmt.Errorf("broken reload: status %d body %v err %v, want 400", status, body, err)
+	}
+	if body["line"].(float64) != 2 || body["code"].(float64) != 9 {
+		return fmt.Errorf("broken reload diagnostics: %v, want line 2 code 9", body)
+	}
+	if err := expectSpec(sumURL, "sum", 7); err != nil {
+		return fmt.Errorf("v2 not preserved after rejected reload: %w", err)
+	}
+	return nil
+}
+
+// expectSpec asserts one loaded unit's name and installed watch count.
+func expectSpec(base, name string, watches int) error {
+	status, body, err := call("GET", base+"/specz?name="+name, nil)
+	if err != nil || status != 200 {
+		return fmt.Errorf("GET /specz?name=%s: status %d err %v", name, status, err)
+	}
+	if got := body["watches"].(float64); int(got) != watches {
+		return fmt.Errorf("spec %s watches = %v, want %d", name, got, watches)
+	}
+	return nil
+}
+
+// expectRejection asserts a tenant ingest fails with the given HTTP
+// status and wire code.
+func expectRejection(base, tenant string, stream int, values []float64, status int, code float64) error {
+	got, body, err := ingestTenant(base, tenant, stream, values)
+	if err != nil {
+		return err
+	}
+	if got != status || body["code"].(float64) != code {
+		return fmt.Errorf("ingest %s stream %d: status %d code %v, want %d/%v",
+			tenant, stream, got, body["code"], status, code)
+	}
+	return nil
+}
+
+// promText fetches the Prometheus exposition from /metricsz.
+func promText(base string) (string, error) {
+	resp, err := hc.Get(base + "/metricsz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// repeat builds a constant batch.
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

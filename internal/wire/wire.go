@@ -100,6 +100,23 @@ const (
 	// CodeInternal reports a server-side failure that is none of the
 	// client's doing.
 	CodeInternal = 7
+	// CodeBadWatch maps stardust.ErrBadWatch: a standing-query
+	// registration with nonsensical parameters.
+	CodeBadWatch = 8
+	// CodeSpec rejects a monitor spec that fails to parse or compile;
+	// the HTTP body carries the line/col diagnostic.
+	CodeSpec = 9
+	// CodeQuota rejects an operation breaching tenant resource admission:
+	// a quota (stream width, watch count, ingest rate), an exhausted
+	// backend stream space, a duplicate tenant name, or a removal blocked
+	// by installed watches.
+	CodeQuota = 10
+	// CodeUnknownTenant rejects an operation naming a tenant the server
+	// does not serve.
+	CodeUnknownTenant = 11
+	// CodeUnknownSpec rejects an operation naming a spec unit that is not
+	// loaded.
+	CodeUnknownSpec = 12
 )
 
 // MaxFrameBytes is the default bound on one frame's payload. It caps the
@@ -361,6 +378,8 @@ func CodeFor(err error) byte {
 		return CodeBadValue
 	case errors.Is(err, stardust.ErrQuarantined):
 		return CodeQuarantined
+	case errors.Is(err, stardust.ErrBadWatch):
+		return CodeBadWatch
 	default:
 		return CodeInternal
 	}
@@ -378,6 +397,8 @@ func ErrFor(code byte, msg string) error {
 		return fmt.Errorf("%w: %s", stardust.ErrBadValue, msg)
 	case CodeQuarantined:
 		return fmt.Errorf("%w: %s", stardust.ErrQuarantined, msg)
+	case CodeBadWatch:
+		return fmt.Errorf("%w: %s", stardust.ErrBadWatch, msg)
 	case CodeReadOnly:
 		return fmt.Errorf("wire: read-only replica: %s", msg)
 	case CodeProto:

@@ -1,8 +1,22 @@
 package stardust
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"time"
+
+	"stardust/internal/core"
+	"stardust/internal/obs"
 )
+
+// ErrBadWatch marks a standing-query registration rejected for
+// nonsensical parameters (non-positive window or radius, empty or
+// non-finite query, out-of-range stream or level). Registration
+// validates up front so a bad watch can never fail later at evaluate
+// time; callers match the sentinel with errors.Is and servers map it to
+// HTTP 400.
+var ErrBadWatch = errors.New("invalid watch")
 
 // EventKind distinguishes watcher events.
 type EventKind int
@@ -129,16 +143,30 @@ func (w *Watcher) Monitor() *Monitor { return w.mon }
 // an event. The watch id identifies events.
 func (w *Watcher) WatchAggregate(stream, window int, threshold float64, edgeTriggered bool) (int, error) {
 	if stream < 0 || stream >= w.mon.NumStreams() {
-		return 0, fmt.Errorf("stardust: stream %d out of range [0, %d)", stream, w.mon.NumStreams())
+		return 0, fmt.Errorf("stardust: %w: stream %d out of range [0, %d)", ErrBadWatch, stream, w.mon.NumStreams())
+	}
+	if window <= 0 {
+		return 0, fmt.Errorf("stardust: %w: aggregate window must be positive (got %d)", ErrBadWatch, window)
+	}
+	if math.IsNaN(threshold) {
+		return 0, fmt.Errorf("stardust: %w: aggregate threshold is NaN", ErrBadWatch)
 	}
 	if _, err := w.mon.Summary().Config().DecomposeWindow(window); err != nil {
-		return 0, fmt.Errorf("stardust: %v", err)
+		return 0, fmt.Errorf("stardust: %w: %v", ErrBadWatch, err)
+	}
+	// An aggregate bound needs SUM sub-window extents; on a DWT summary
+	// every evaluation would fail, so refuse at install time.
+	if w.mon.Summary().Config().Transform == core.TransformDWT {
+		return 0, fmt.Errorf("stardust: %w: core: aggregate query on a DWT summary", ErrBadWatch)
 	}
 	id := w.nextID
 	w.nextID++
 	w.aggs = append(w.aggs, &aggWatch{
 		id: id, stream: stream, window: window, threshold: threshold, edge: edgeTriggered,
 	})
+	wm := w.watchMetrics()
+	wm.ActiveAggregate.Add(1)
+	wm.Installs.Inc()
 	return id, nil
 }
 
@@ -148,13 +176,21 @@ func (w *Watcher) WatchAggregate(stream, window int, threshold float64, edgeTrig
 // arrival for Online monitors with W=1 evaluation is too costly — the
 // evaluation period is W in all modes).
 func (w *Watcher) WatchPattern(query []float64, radius float64) (int, error) {
-	if len(query) == 0 || radius <= 0 {
-		return 0, fmt.Errorf("stardust: pattern watch needs a query and positive radius")
+	if len(query) == 0 {
+		return 0, fmt.Errorf("stardust: %w: pattern watch needs a non-empty query", ErrBadWatch)
+	}
+	if !(radius > 0) { // rejects zero, negatives and NaN in one comparison
+		return 0, fmt.Errorf("stardust: %w: pattern radius must be positive (got %v)", ErrBadWatch, radius)
+	}
+	for i, v := range query {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("stardust: %w: pattern query[%d] is not finite (%v)", ErrBadWatch, i, v)
+		}
 	}
 	// Validate the query shape against the monitor's mode now rather than
 	// at the first evaluation.
 	if _, err := w.mon.FindPattern(query, radius); err != nil {
-		return 0, fmt.Errorf("stardust: %v", err)
+		return 0, fmt.Errorf("stardust: %w: %v", ErrBadWatch, err)
 	}
 	id := w.nextID
 	w.nextID++
@@ -164,6 +200,9 @@ func (w *Watcher) WatchPattern(query []float64, radius float64) (int, error) {
 		every: int64(w.mon.Summary().Config().W),
 		seen:  make(map[matchKey]bool),
 	})
+	wm := w.watchMetrics()
+	wm.ActivePattern.Add(1)
+	wm.Installs.Inc()
 	return id, nil
 }
 
@@ -172,13 +211,16 @@ func (w *Watcher) WatchPattern(query []float64, radius float64) (int, error) {
 // not already reported are emitted as EventCorrelation events, Stream and
 // StreamB carrying the pair and Value its correlation coefficient.
 func (w *Watcher) WatchCorrelation(level int, radius float64) (int, error) {
-	if radius <= 0 {
-		return 0, fmt.Errorf("stardust: correlation watch needs a positive radius")
+	if !(radius > 0) { // rejects zero, negatives and NaN in one comparison
+		return 0, fmt.Errorf("stardust: %w: correlation radius must be positive (got %v)", ErrBadWatch, radius)
+	}
+	if level < 0 {
+		return 0, fmt.Errorf("stardust: %w: correlation level must be non-negative (got %d)", ErrBadWatch, level)
 	}
 	// Validate the level and monitor mode now rather than at the first
 	// evaluation tick.
 	if _, err := w.mon.Correlations(level, radius); err != nil {
-		return 0, fmt.Errorf("stardust: %v", err)
+		return 0, fmt.Errorf("stardust: %w: %v", ErrBadWatch, err)
 	}
 	id := w.nextID
 	w.nextID++
@@ -187,31 +229,56 @@ func (w *Watcher) WatchCorrelation(level int, radius float64) (int, error) {
 		every: int64(w.mon.Summary().Config().W),
 		seen:  make(map[pairKey]bool),
 	})
+	wm := w.watchMetrics()
+	wm.ActiveCorrelation.Add(1)
+	wm.Installs.Inc()
 	return id, nil
 }
 
-// Unwatch removes a standing query by id.
+// Unwatch removes a standing query by id. Ids are never reused: a watch
+// registered after an Unwatch gets a fresh id, so late consumers can
+// never misattribute its events to the removed watch.
 func (w *Watcher) Unwatch(id int) bool {
+	wm := w.watchMetrics()
 	for i, a := range w.aggs {
 		if a.id == id {
 			w.aggs = append(w.aggs[:i], w.aggs[i+1:]...)
+			wm.ActiveAggregate.Add(-1)
+			wm.Uninstalls.Inc()
 			return true
 		}
 	}
 	for i, p := range w.patterns {
 		if p.id == id {
 			w.patterns = append(w.patterns[:i], w.patterns[i+1:]...)
+			wm.ActivePattern.Add(-1)
+			wm.Uninstalls.Inc()
 			return true
 		}
 	}
 	for i, c := range w.corrs {
 		if c.id == id {
 			w.corrs = append(w.corrs[:i], w.corrs[i+1:]...)
+			wm.ActiveCorrelation.Add(-1)
+			wm.Uninstalls.Inc()
 			return true
 		}
 	}
 	return false
 }
+
+// watchMetrics returns the monitor's standing-query instrument set (a
+// shared zero-value set when the monitor carries no metrics, so call
+// sites stay unconditional).
+func (w *Watcher) watchMetrics() *obs.WatchMetrics {
+	if w.mon.metrics != nil {
+		return &w.mon.metrics.Watch
+	}
+	return &fallbackWatchMetrics
+}
+
+// fallbackWatchMetrics absorbs updates from metrics-less monitors.
+var fallbackWatchMetrics = obs.WatchMetrics{EvaluateNanos: obs.NewHistogram(obs.LatencyBuckets())}
 
 // Push ingests one value and evaluates the standing queries it can affect,
 // returning the triggered events (nil when quiet).
@@ -230,7 +297,34 @@ func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
 	if err := w.mon.Ingest(stream, v); err != nil {
 		return nil, err
 	}
-	return w.evaluate(stream, w.mon.Now(stream))
+	return w.evaluateInstrumented(stream, w.mon.Now(stream))
+}
+
+// evaluateInstrumented wraps one live evaluation pass with the
+// stardust_watch_* instruments: an evaluation counter driving sampled
+// pass latency (one pass in obs.SampleEvery is timed, mirroring the
+// append-latency discipline) and fired/cleared event counters. WAL
+// replay bypasses it — replayed events are suppressed, not delivered, so
+// they must not count as fired.
+func (w *Watcher) evaluateInstrumented(stream int, t int64) ([]Event, error) {
+	wm := w.watchMetrics()
+	timed := obs.Sampled(wm.Evaluations.Inc())
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	events, err := w.evaluate(stream, t)
+	if timed {
+		wm.EvaluateNanos.Observe(float64(time.Since(start)))
+	}
+	for _, e := range events {
+		if e.Kind == EventAggregateCleared {
+			wm.Cleared.Inc()
+		} else {
+			wm.Fired.Inc()
+		}
+	}
+	return events, err
 }
 
 // replaySample applies one already-admitted sample during WAL replay and

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"stardust/internal/gen"
@@ -182,6 +183,85 @@ func TestUnwatch(t *testing.T) {
 			t.Fatal("unwatched query still fired")
 		}
 	}
+}
+
+// TestWatchIDsNeverReused: a watch id retired by Unwatch must never be
+// handed out again — consumers key alert state and spec attribution by
+// id, so recycling one would silently re-route another watch's events.
+func TestWatchIDsNeverReused(t *testing.T) {
+	w := newWatcher(t, Config{Streams: 2, W: 4, Levels: 3, Transform: Sum})
+	seen := make(map[int]bool)
+	claim := func(id int) {
+		t.Helper()
+		if seen[id] {
+			t.Fatalf("watch id %d issued twice", id)
+		}
+		seen[id] = true
+	}
+	var ids []int
+	for i := 0; i < 5; i++ {
+		id, err := w.WatchAggregate(i%2, 4, 10, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		claim(id)
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if !w.Unwatch(id) {
+			t.Fatalf("unwatch %d failed", id)
+		}
+	}
+	// Fresh installs after a full teardown still get fresh ids.
+	for i := 0; i < 5; i++ {
+		id, err := w.WatchAggregate(0, 8, 5, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		claim(id)
+	}
+}
+
+// TestConcurrentPushAndUnwatch races producers against watch churn on a
+// SafeWatcher: installs and unwatches interleave with pushes, which under
+// -race pins the locking of the install/evaluate/retire paths.
+func TestConcurrentPushAndUnwatch(t *testing.T) {
+	m, err := New(Config{Streams: 4, W: 4, Levels: 3, Transform: Sum, BoxCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSafeWatcher(m)
+	sw.SetEventSink(func([]Event) {})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			id, err := sw.WatchAggregate(i%4, 4, 5, i%2 == 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !sw.Unwatch(id) {
+				t.Errorf("unwatch %d failed", id)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := sw.Ingest(stream, float64(i%7)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	<-done
 }
 
 func TestEventKindString(t *testing.T) {
