@@ -132,6 +132,18 @@ func clusterWorkloads(ingestCfg stardust.Config, data [][]float64, queries int, 
 	allocsPerOp := allocsSince(allocs0, ops)
 	elapsed := time.Since(start)
 	inserts := f.inserts()
+	// The row's latency columns take the worst shard: the tail-latency
+	// contract must hold on every member of the fleet.
+	var p50, p99 float64
+	for _, m := range f.mons {
+		ms := m.Metrics()
+		if v := ms.Ingest.AppendNanos.P50(); v > p50 {
+			p50 = v
+		}
+		if v := ms.Ingest.AppendNanos.P99(); v > p99 {
+			p99 = v
+		}
+	}
 	f.stop()
 	out = append(out, workloadResult{
 		Name: "cluster/ingest-router", Workers: benchFleetSize,
@@ -139,6 +151,8 @@ func clusterWorkloads(ingestCfg stardust.Config, data [][]float64, queries int, 
 		Throughput:  float64(ops) / elapsed.Seconds(),
 		Inserts:     inserts,
 		AllocsPerOp: allocsPerOp,
+		AppendP50Ns: p50,
+		AppendP99Ns: p99,
 	})
 
 	// Scatter-gather correlation detection over a warm NormZ fleet.

@@ -16,7 +16,7 @@ import (
 
 // benchReport is the machine-readable benchmark artifact written by
 // `stardust-bench -json` and consumed by `-compare`. The committed
-// BENCH_PR8.json baseline uses this schema; bump Schema when the workload
+// BENCH_PR10.json baseline uses this schema; bump Schema when the workload
 // set or field meanings change (a schema mismatch fails the comparison
 // with a "refresh the baseline" hint rather than a bogus delta).
 type benchReport struct {
@@ -31,8 +31,12 @@ type benchReport struct {
 // (ingest/batch+wal-{interval,always,none}); schema 3 added the
 // client-driven wire rows (ingest/wire-{http,tcp}); schema 4 added the
 // coordinator-tier rows (cluster/ingest-router, cluster/query-fanout) and
-// the warn-only allocs-per-op column on ingest rows.
-const benchSchema = 4
+// the warn-only allocs-per-op column on ingest rows; schema 5 added the
+// sampled append-latency columns (append_p50_ns/append_p99_ns) on ingest
+// rows — the tail-latency contract behind the worst-case O(1)
+// sliding-window aggregation (DESIGN.md, "Sliding-window aggregation"),
+// hard-gated in -compare by the -p99-ceiling-ms flag.
+const benchSchema = 5
 
 // workloadResult is one (workload, workers) cell. Throughput and elapsed
 // wall-clock vary with the host; the remaining fields — node accesses,
@@ -55,6 +59,15 @@ type workloadResult struct {
 	// ingest rows only. It is machine-stable but Go-version-sensitive, so
 	// -compare warns rather than fails when it grows.
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// AppendP50Ns and AppendP99Ns are the sampled per-append latency
+	// percentiles (nanoseconds, from the stardust_ingest_append_latency
+	// histogram; one append in obs.SampleEvery is timed), recorded on
+	// ingest rows only. Wall-clock latency varies with the host, so the
+	// baseline delta is warn-only, but -compare hard-gates AppendP99Ns
+	// against the absolute -p99-ceiling-ms contract: worst-case O(1)
+	// aggregation means the tail must stay flat even under burst load.
+	AppendP50Ns float64 `json:"append_p50_ns,omitempty"`
+	AppendP99Ns float64 `json:"append_p99_ns,omitempty"`
 }
 
 // allocsSnapshot reads the cumulative heap-allocation counter.
@@ -138,6 +151,8 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 			Throughput:  float64(ops) / elapsed.Seconds(),
 			Inserts:     ms.Tree.Inserts,
 			AllocsPerOp: allocsPerOp,
+			AppendP50Ns: ms.Ingest.AppendNanos.P50(),
+			AppendP99Ns: ms.Ingest.AppendNanos.P99(),
 		})
 	}
 
@@ -188,6 +203,8 @@ func runBenchReport(opt experiments.Options) (*benchReport, error) {
 			Throughput:  float64(ops) / elapsed.Seconds(),
 			Inserts:     ms.Tree.Inserts,
 			AllocsPerOp: allocsPerOp,
+			AppendP50Ns: ms.Ingest.AppendNanos.P50(),
+			AppendP99Ns: ms.Ingest.AppendNanos.P99(),
 		})
 	}
 
@@ -362,7 +379,14 @@ func writeBenchJSON(opt experiments.Options, w io.Writer) error {
 // deltas are reported but fail the run only when gateThroughput is set —
 // wall-clock comparisons across different machines (a laptop baseline vs a
 // CI runner) are noise, the deterministic counters are not.
-func compareBench(opt experiments.Options, baselinePath string, tolerance float64, gateThroughput bool) error {
+//
+// p99CeilingNs, when positive, is the tail-latency contract: every current
+// ingest row's sampled append-latency p99 must stay below it, or the run
+// fails hard. Unlike baseline throughput deltas this is an absolute bound
+// chosen with generous headroom over any supported machine (see RUNBOOK.md,
+// "Tail latency"), so it gates without cross-machine noise. Baseline p99
+// growth beyond the tolerance additionally warns.
+func compareBench(opt experiments.Options, baselinePath string, tolerance float64, gateThroughput bool, p99CeilingNs float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("reading baseline: %v", err)
@@ -428,6 +452,14 @@ func compareBench(opt experiments.Options, baselinePath string, tolerance float6
 		}
 		if exceeds(c.PruningPower, b.PruningPower, -1) {
 			fail("%s: pruning power fell %.3f -> %.3f", key, b.PruningPower, c.PruningPower)
+		}
+		if p99CeilingNs > 0 && c.AppendP99Ns > p99CeilingNs {
+			fail("%s: sampled append p99 %.0fns exceeds the %.0fns ceiling (worst-case O(1) contract broken)",
+				key, c.AppendP99Ns, p99CeilingNs)
+		}
+		if b.AppendP99Ns > 0 && c.AppendP99Ns > b.AppendP99Ns*(1+tolerance) {
+			fmt.Fprintf(opt.Out, "warn: %s: append p99 grew %.0fns -> %.0fns (warn-only; the hard gate is the absolute ceiling)\n",
+				key, b.AppendP99Ns, c.AppendP99Ns)
 		}
 		// Allocation growth warns but never fails: allocs/op is stable on
 		// one Go version yet shifts across toolchain upgrades, so gating it

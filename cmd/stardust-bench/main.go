@@ -20,10 +20,12 @@
 // listeners, router-forwarded ingest and scatter-gather queries over a
 // loopback cluster, plus each query class at workers ∈ {1, 4}) and writes
 // a machine-readable report —
-// throughput, allocations, node accesses, pruning power — to stdout.
+// throughput, allocations, node accesses, pruning power, sampled
+// append-latency p50/p99 — to stdout.
 // -compare FILE re-runs the same workloads and fails (exit 1) when they
-// regress beyond -tolerance against the committed baseline; see
-// BENCH_PR8.json and ci.sh.
+// regress beyond -tolerance against the committed baseline, or when any
+// ingest row's append-latency p99 exceeds -p99-ceiling-ms; see
+// BENCH_PR10.json and ci.sh.
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 	compare := flag.String("compare", "", "re-run the benchmark workloads and fail on regressions against this baseline JSON report")
 	tolerance := flag.Float64("tolerance", 0.2, "relative tolerance for -compare (0.2 = ±20%)")
 	gateThroughput := flag.Bool("gate-throughput", false, "with -compare, fail on throughput regressions too (off by default: wall-clock is machine-dependent, the deterministic counters are not)")
+	p99Ceiling := flag.Float64("p99-ceiling-ms", 0, "with -compare, fail when any ingest row's sampled append-latency p99 exceeds this many milliseconds (0 disables; the worst-case O(1) tail-latency contract)")
 	flag.Parse()
 
 	opt := experiments.Options{Out: os.Stdout, Full: *full, Seed: *seed}
@@ -56,7 +59,7 @@ func main() {
 		return
 	}
 	if *compare != "" {
-		if err := compareBench(opt, *compare, *tolerance, *gateThroughput); err != nil {
+		if err := compareBench(opt, *compare, *tolerance, *gateThroughput, *p99Ceiling*1e6); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}

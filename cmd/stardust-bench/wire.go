@@ -83,12 +83,15 @@ func wireWorkloads(cfg stardust.Config, data [][]float64, chunk int) ([]workload
 		elapsed := time.Since(start)
 		c.Close()
 		stop()
+		ms := m.Metrics()
 		out = append(out, workloadResult{
 			Name: "ingest/wire-" + mode, Workers: 1,
 			Ops: ops, ElapsedNs: elapsed.Nanoseconds(),
 			Throughput:  float64(ops) / elapsed.Seconds(),
-			Inserts:     m.Metrics().Tree.Inserts,
+			Inserts:     ms.Tree.Inserts,
 			AllocsPerOp: allocsPerOp,
+			AppendP50Ns: ms.Ingest.AppendNanos.P50(),
+			AppendP99Ns: ms.Ingest.AppendNanos.P99(),
 		})
 	}
 	return out, nil

@@ -26,8 +26,9 @@ import (
 
 // ThresholdTrainer observes a stream and maintains, for every requested
 // window size, streaming moments of the sliding aggregate over that
-// window. All windows are maintained in one pass with O(1) amortized work
-// per window per arrival.
+// window. All windows are maintained in one pass with worst-case O(1)
+// work per window per arrival (running sums for SUM, window.Agg for the
+// comparison aggregates).
 type ThresholdTrainer struct {
 	agg     aggregate.Func
 	windows []int
@@ -37,10 +38,12 @@ type ThresholdTrainer struct {
 }
 
 type trainState struct {
-	w       int
-	sum     float64
-	maxDq   *window.MonoDeque
-	minDq   *window.MonoDeque
+	w   int
+	sum float64
+	// mm maintains the window's (min, max) pair with worst-case O(1)
+	// arrivals (window.Agg, DABA), serving MAX, MIN and SPREAD; SUM stays
+	// on the invertible running sum.
+	mm      *window.Agg[window.MinMax]
 	moments stats.Moments
 	peak    float64
 	q25     *stats.Quantile
@@ -79,8 +82,7 @@ func NewThresholdTrainer(agg aggregate.Func, windows []int) (*ThresholdTrainer, 
 			q75:  stats.NewQuantile(0.75),
 		}
 		if agg != aggregate.Sum {
-			tr.states[i].maxDq = window.NewMaxDeque()
-			tr.states[i].minDq = window.NewMinDeque()
+			tr.states[i].mm = window.NewMinMaxAgg(w)
 		}
 	}
 	return tr, nil
@@ -100,10 +102,7 @@ func (tr *ThresholdTrainer) Push(v float64) {
 				st.sum -= old
 			}
 		default:
-			st.maxDq.Push(tr.t, v)
-			st.minDq.Push(tr.t, v)
-			st.maxDq.Expire(tr.t - int64(st.w) + 1)
-			st.minDq.Expire(tr.t - int64(st.w) + 1)
+			st.mm.Push(window.MinMaxOf(v))
 		}
 		if tr.t < int64(st.w)-1 {
 			continue
@@ -119,17 +118,18 @@ func (tr *ThresholdTrainer) Push(v float64) {
 	}
 }
 
-// current returns the sliding aggregate of the state's window.
+// current returns the sliding aggregate of the state's window. Callers
+// gate on tr.t ≥ st.w−1, so the (min, max) aggregator is full here.
 func (tr *ThresholdTrainer) current(st *trainState) float64 {
 	switch tr.agg {
 	case aggregate.Sum:
 		return st.sum
 	case aggregate.Max:
-		return st.maxDq.Front()
+		return st.mm.Query().Hi
 	case aggregate.Min:
-		return st.minDq.Front()
+		return st.mm.Query().Lo
 	case aggregate.Spread:
-		return st.maxDq.Front() - st.minDq.Front()
+		return st.mm.Query().Spread()
 	default:
 		panic(fmt.Sprintf("adaptive: unsupported aggregate %v", tr.agg))
 	}

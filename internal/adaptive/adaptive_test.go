@@ -8,6 +8,7 @@ import (
 	"stardust/internal/aggregate"
 	"stardust/internal/gen"
 	"stardust/internal/stats"
+	"stardust/internal/window"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -50,6 +51,47 @@ func TestMomentsMatchBatch(t *testing.T) {
 		want := batch.Mean() + 2*batch.StdDev()
 		if math.Abs(got-want) > 1e-6 {
 			t.Fatalf("%v: λ-threshold %g vs %g", agg, got, want)
+		}
+	}
+}
+
+// TestCurrentMatchesMonoDeque is the differential against the retained
+// amortized oracle: the trainer's DABA-backed sliding aggregate must equal
+// a MonoDeque reconstruction bit for bit at every step, for MAX, MIN and
+// SPREAD — pinning byte-identical trainer output after the worst-case O(1)
+// swap.
+func TestCurrentMatchesMonoDeque(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	for _, agg := range []aggregate.Func{aggregate.Max, aggregate.Min, aggregate.Spread} {
+		const w = 17
+		tr, err := NewThresholdTrainer(agg, []int{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxDq, minDq := window.NewMaxDeque(), window.NewMinDeque()
+		for i := 0; i < 400; i++ {
+			v := rng.NormFloat64() * 30
+			tr.Push(v)
+			tm := int64(i)
+			maxDq.Push(tm, v)
+			minDq.Push(tm, v)
+			maxDq.Expire(tm - w + 1)
+			minDq.Expire(tm - w + 1)
+			if i < w-1 {
+				continue
+			}
+			var want float64
+			switch agg {
+			case aggregate.Max:
+				want = maxDq.Front()
+			case aggregate.Min:
+				want = minDq.Front()
+			case aggregate.Spread:
+				want = maxDq.Front() - minDq.Front()
+			}
+			if got := tr.current(&tr.states[0]); got != want {
+				t.Fatalf("%v step %d: DABA %g, deque %g", agg, i, got, want)
+			}
 		}
 	}
 }

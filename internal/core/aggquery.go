@@ -100,6 +100,20 @@ func (s *Summary) scalarInterval(box mbr.MBR) aggregate.Interval {
 // bound; if the upper bound reaches the threshold, verify against the exact
 // aggregate over raw history and report an alarm when it truly exceeds.
 func (s *Summary) AggregateQuery(stream int, w int, threshold float64) (AggregateResult, error) {
+	return s.AggregateQueryVerified(stream, w, threshold, nil)
+}
+
+// AggregateQueryVerified is AggregateQuery with a caller-supplied exact
+// verifier: when the bound makes the check a candidate, exact() is asked
+// for the aggregate of the most recent window before falling back to the
+// O(w) fold over raw history. The watcher passes a DABA-backed aggregator
+// (see internal/window.Agg) here so candidate verification — the step that
+// lands precisely under burst load — stays worst-case O(1). exact must
+// return the same value the fold would (the comparison monoids of
+// internal/window are bit-identical to the fold by construction) and
+// ok=false whenever it cannot answer, which restores the fold path
+// unchanged, including its errors. A nil exact is AggregateQuery.
+func (s *Summary) AggregateQueryVerified(stream int, w int, threshold float64, exact func() (float64, bool)) (AggregateResult, error) {
 	bound, err := s.AggregateBound(stream, w)
 	if err != nil {
 		return AggregateResult{}, err
@@ -109,6 +123,13 @@ func (s *Summary) AggregateQuery(stream int, w int, threshold float64) (Aggregat
 		return res, nil
 	}
 	res.Candidate = true
+	if exact != nil {
+		if v, ok := exact(); ok {
+			res.Exact = v
+			res.Alarm = v >= threshold
+			return res, nil
+		}
+	}
 	win, err := s.stream(stream).hist.Last(w)
 	if err != nil {
 		return res, fmt.Errorf("core: cannot verify alarm: %v", err)

@@ -85,6 +85,11 @@ func (s *Summary) addStream() {
 // Config returns the validated configuration.
 func (s *Summary) Config() Config { return s.cfg }
 
+// AggregateFunc returns the scalar aggregate the summary's transform
+// monitors (aggregate.Sum, Max, Min or Spread). It is meaningful only for
+// non-DWT transforms; on a DWT summary the zero Func is returned.
+func (s *Summary) AggregateFunc() aggregate.Func { return s.agg }
+
 // NumStreams returns the number of streams.
 func (s *Summary) NumStreams() int { return len(s.streams) }
 

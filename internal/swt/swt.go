@@ -51,8 +51,10 @@ type level struct {
 	size    int // 2^j · W
 	queries []int
 	sum     float64
-	maxDq   *window.MonoDeque
-	minDq   *window.MonoDeque
+	// mm maintains the level's (min, max) pair with worst-case O(1)
+	// arrivals (window.Agg, DABA); SUM stays on the invertible running
+	// sum, which is already worst-case O(1).
+	mm *window.Agg[window.MinMax]
 }
 
 // New builds a detector for the given aggregate over the query set. baseW
@@ -91,8 +93,7 @@ func New(agg aggregate.Func, baseW int, queries []Query) (*Detector, error) {
 	for j := range d.levels {
 		d.levels[j].size = baseW << uint(j)
 		if agg == aggregate.Spread {
-			d.levels[j].maxDq = window.NewMaxDeque()
-			d.levels[j].minDq = window.NewMinDeque()
+			d.levels[j].mm = window.NewMinMaxAgg(d.levels[j].size)
 		}
 	}
 	for qi, q := range queries {
@@ -123,10 +124,7 @@ func (d *Detector) Push(v float64) []Alarm {
 				lv.sum -= old
 			}
 		case aggregate.Spread:
-			lv.maxDq.Push(t, v)
-			lv.minDq.Push(t, v)
-			lv.maxDq.Expire(t - int64(lv.size) + 1)
-			lv.minDq.Expire(t - int64(lv.size) + 1)
+			lv.mm.Push(window.MinMaxOf(v))
 		}
 		if t < int64(lv.size)-1 {
 			continue
@@ -161,7 +159,8 @@ func (d *Detector) levelAggregate(lv *level) float64 {
 	if d.agg == aggregate.Sum {
 		return lv.sum
 	}
-	return lv.maxDq.Front() - lv.minDq.Front()
+	// Queries are gated on t ≥ lv.size−1, so the aggregator is full here.
+	return lv.mm.Query().Spread()
 }
 
 func (d *Detector) exactAggregate(w int) float64 {

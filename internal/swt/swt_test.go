@@ -6,6 +6,7 @@ import (
 
 	"stardust/internal/aggregate"
 	"stardust/internal/gen"
+	"stardust/internal/window"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -103,7 +104,7 @@ func TestNoFalseDismissals(t *testing.T) {
 	}
 }
 
-// TestSpreadDetector exercises the SPREAD path with monotonic deques.
+// TestSpreadDetector exercises the SPREAD path end to end.
 func TestSpreadDetector(t *testing.T) {
 	d, err := New(aggregate.Spread, 4, []Query{{W: 6, Threshold: 5}})
 	if err != nil {
@@ -157,6 +158,46 @@ func TestSpreadMatchesBrute(t *testing.T) {
 			}
 			if got := d.levelAggregate(lv); got != hi-lo {
 				t.Fatalf("step %d: deque spread %g vs brute %g", i, got, hi-lo)
+			}
+		}
+	}
+}
+
+// TestSpreadMatchesMonoDeque is the differential against the retained
+// amortized oracle: every level's DABA-backed spread must equal the
+// MonoDeque reconstruction bit for bit at every step. This pins the
+// byte-identical parity contract for the SWT baseline after the swap to
+// worst-case O(1) aggregation.
+func TestSpreadMatchesMonoDeque(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	d, err := New(aggregate.Spread, 3, []Query{{W: 5, Threshold: 1e12}, {W: 20, Threshold: 1e12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type oracle struct {
+		maxDq, minDq *window.MonoDeque
+	}
+	oracles := make([]oracle, len(d.levels))
+	for j := range oracles {
+		oracles[j] = oracle{maxDq: window.NewMaxDeque(), minDq: window.NewMinDeque()}
+	}
+	for i := 0; i < 700; i++ {
+		v := rng.NormFloat64() * 50
+		d.Push(v)
+		tm := int64(i)
+		for j := range d.levels {
+			lv := &d.levels[j]
+			o := &oracles[j]
+			o.maxDq.Push(tm, v)
+			o.minDq.Push(tm, v)
+			o.maxDq.Expire(tm - int64(lv.size) + 1)
+			o.minDq.Expire(tm - int64(lv.size) + 1)
+			if tm < int64(lv.size)-1 {
+				continue
+			}
+			want := o.maxDq.Front() - o.minDq.Front()
+			if got := d.levelAggregate(lv); got != want {
+				t.Fatalf("step %d level %d: DABA spread %g, deque spread %g", i, j, got, want)
 			}
 		}
 	}

@@ -1,0 +1,142 @@
+package window
+
+import "fmt"
+
+// Agg is a sliding-window aggregator with worst-case O(1) time per
+// operation, after the DABA construction of Tangwongsan, Hirzel &
+// Schneider ("In-Order Sliding-Window Aggregation in Worst-Case Constant
+// Time"). It maintains the aggregate of the most recent w values of a
+// stream under any associative combine function — no inverse is required,
+// so MAX and MIN qualify — and, unlike the amortized monotonic-deque or
+// two-stack approaches, never performs an O(w) sweep on any single
+// arrival: the classic two-stack flip is pre-scheduled, one combine per
+// arrival, so the latency of Push is flat even under the burst conditions
+// Stardust exists to detect.
+//
+// The construction specializes DABA to Stardust's workload, where every
+// window has a fixed size w and slides by one on each arrival (general
+// DABA also supports variable-occupancy FIFO windows). Time is split into
+// blocks of h = ⌊w/2⌋ arrivals. For each block the aggregator keeps the
+// raw values, the running prefix aggregates (one combine per Push), and
+// the suffix aggregates, which are built right-to-left one combine per
+// Push during the NEXT block — the de-amortized flip. Because a window of
+// size w ≥ 2h cannot start inside block k until at least 2h−1 arrivals
+// after block k began, the suffix build always completes before the first
+// query needs it (the DABA invariant; see DESIGN.md, "Sliding-window
+// aggregation"). A query then stitches the window from at most four
+// ready-made pieces: one suffix aggregate, at most one whole-block total,
+// and one prefix aggregate.
+//
+// Combine functions must be associative. They need not be commutative:
+// pieces are always combined in stream order. For IEEE-754 floating
+// point, MIN/MAX-style combines (see MaxCombine) produce results
+// bit-identical to a direct left-to-right fold under any grouping;
+// SUM does not, because float addition is not associative — see SumAgg
+// for the contract.
+type Agg[T any] struct {
+	w       int
+	h       int64
+	combine func(T, T) T
+	n       int64 // values pushed so far
+	last    T     // most recent value (serves w == 1 directly)
+	slots   [aggSlots]aggBlock[T]
+}
+
+// aggSlots is the number of block generations kept live. A query touches
+// blocks j..c with c−j ≤ 2 and the flip writes into block c−1, so three
+// generations are load-bearing; the fourth is slack so a freshly reset
+// slot can never alias a block still referenced within the same Push.
+const aggSlots = 4
+
+// aggBlock holds one block generation of h values.
+type aggBlock[T any] struct {
+	vals []T // raw values, consumed by the scheduled suffix build
+	pref []T // pref[i] = v[start] ⊕ … ⊕ v[start+i]
+	suff []T // suff[i] = v[start+i] ⊕ … ⊕ v[start+h−1]
+}
+
+// NewAgg returns a worst-case O(1) aggregator over a sliding window of
+// size w under the associative combine. It panics on non-positive w.
+func NewAgg[T any](w int, combine func(T, T) T) *Agg[T] {
+	if w <= 0 {
+		panic(fmt.Sprintf("window: non-positive aggregation window %d", w))
+	}
+	g := &Agg[T]{w: w, h: int64(w / 2), combine: combine}
+	for s := range g.slots {
+		g.slots[s] = aggBlock[T]{
+			vals: make([]T, g.h),
+			pref: make([]T, g.h),
+			suff: make([]T, g.h),
+		}
+	}
+	return g
+}
+
+// Window returns the configured window size w.
+func (g *Agg[T]) Window() int { return g.w }
+
+// Count returns how many values have been pushed.
+func (g *Agg[T]) Count() int64 { return g.n }
+
+// Full reports whether a complete window has been observed, i.e. Query is
+// answerable.
+func (g *Agg[T]) Full() bool { return g.n >= int64(g.w) }
+
+// Push appends the next value of the stream in O(1) worst case: one
+// combine extends the current block's prefix aggregates and one combine
+// advances the scheduled suffix build of the previous block.
+func (g *Agg[T]) Push(v T) {
+	pos := g.n
+	g.n++
+	g.last = v
+	if g.h == 0 { // w == 1: the window is the last value
+		return
+	}
+	c := pos / g.h // current block
+	i := pos % g.h // offset within it
+	blk := &g.slots[c%aggSlots]
+	blk.vals[i] = v
+	if i == 0 {
+		blk.pref[0] = v
+	} else {
+		blk.pref[i] = g.combine(blk.pref[i-1], v)
+	}
+	// The de-amortized flip: during block c, rebuild block c−1's suffix
+	// aggregates right to left, exactly one combine per arrival. The build
+	// finishes with suff[0] on the last arrival of block c — at or before
+	// the first query whose window starts inside block c−1.
+	if c > 0 {
+		prev := &g.slots[(c-1)%aggSlots]
+		k := g.h - 1 - i
+		if k == g.h-1 {
+			prev.suff[k] = prev.vals[k]
+		} else {
+			prev.suff[k] = g.combine(prev.vals[k], prev.suff[k+1])
+		}
+	}
+}
+
+// Query returns the aggregate of the most recent w values in O(1) worst
+// case, stitching at most one suffix aggregate, one whole-block total and
+// one prefix aggregate in stream order. It panics unless Full.
+func (g *Agg[T]) Query() T {
+	if !g.Full() {
+		panic(fmt.Sprintf("window: Query after %d of %d values", g.n, g.w))
+	}
+	if g.h == 0 {
+		return g.last
+	}
+	t := g.n - 1          // newest position
+	s := g.n - int64(g.w) // oldest position in the window
+	j, off := s/g.h, s%g.h
+	c := t / g.h
+	// The window's oldest block contributes its suffix from off. With
+	// w ≥ 2h the start block is always strictly behind the current block
+	// (c − j ∈ {1, 2}), so the suffix build of block j has completed.
+	res := g.slots[j%aggSlots].suff[off]
+	for k := j + 1; k < c; k++ { // at most one full middle block
+		mid := &g.slots[k%aggSlots]
+		res = g.combine(res, mid.pref[g.h-1])
+	}
+	return g.combine(res, g.slots[c%aggSlots].pref[t%g.h])
+}

@@ -1,0 +1,123 @@
+package window
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDABAParity is the three-way differential oracle for the DABA
+// aggregator: every prefix of a fuzzer-chosen stream is checked against
+// (a) a naive left-to-right fold over the trailing window and (b) the
+// retained MonoDeque oracle, across MAX, MIN, the (min, max) pair and
+// SUM. The value decoder deliberately emits NaN and ±Inf alongside
+// finite values: MAX/MIN/SPREAD must agree with the fold bit for bit
+// under the sticky-NaN combine on ANY input, while SUM is checked on the
+// exactly-representable integer lattice (where float addition is
+// association-free) plus the non-finite cases, whose outcome (±Inf or
+// NaN) is also association-independent.
+func FuzzDABAParity(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(1), []byte{200, 200, 13})
+	f.Add(uint8(16), []byte{250, 0, 251, 1, 252, 2, 250, 3, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, wRaw uint8, data []byte) {
+		w := int(wRaw%48) + 1
+		maxAgg, minAgg, sumAgg := NewMaxAgg(w), NewMinAgg(w), NewSumAgg(w)
+		mmAgg := NewMinMaxAgg(w)
+		maxDq, minDq := NewMaxDeque(), NewMinDeque()
+
+		var stream []float64
+		for n := 0; n+2 <= len(data) && n/2 < 4096; n += 2 {
+			v := decodeFuzzValue(binary.LittleEndian.Uint16(data[n:]))
+			stream = append(stream, v)
+			maxAgg.Push(v)
+			minAgg.Push(v)
+			sumAgg.Push(v)
+			mmAgg.Push(MinMaxOf(v))
+			tm := int64(len(stream) - 1)
+			maxDq.Push(tm, v)
+			minDq.Push(tm, v)
+			maxDq.Expire(tm - int64(w) + 1)
+			minDq.Expire(tm - int64(w) + 1)
+
+			if len(stream) < w {
+				if maxAgg.Full() {
+					t.Fatalf("w=%d n=%d: Full before a complete window", w, len(stream))
+				}
+				continue
+			}
+			win := stream[len(stream)-w:]
+			wantMax := naiveFold(win, MaxCombine)
+			wantMin := naiveFold(win, MinCombine)
+			checkSameFloat(t, "max", maxAgg.Query(), wantMax)
+			checkSameFloat(t, "min", minAgg.Query(), wantMin)
+			mm := mmAgg.Query()
+			checkSameFloat(t, "minmax.Lo", mm.Lo, wantMin)
+			checkSameFloat(t, "minmax.Hi", mm.Hi, wantMax)
+
+			// The deque oracle predates the sticky-NaN contract; compare
+			// only on windows free of non-finite values.
+			if finiteWindow(win) {
+				checkSameFloat(t, "max-vs-deque", maxAgg.Query(), maxDq.Front())
+				checkSameFloat(t, "min-vs-deque", minAgg.Query(), minDq.Front())
+			}
+
+			wantSum := naiveFold(win, SumCombine)
+			gotSum := sumAgg.Query()
+			switch {
+			case math.IsNaN(wantSum):
+				// A NaN input, or +Inf and −Inf meeting, poisons every
+				// grouping the same way.
+				if !math.IsNaN(gotSum) {
+					t.Fatalf("w=%d sum = %v, want NaN", w, gotSum)
+				}
+			default:
+				// Integer-valued windows (possibly with one signed
+				// infinity) sum exactly under any association.
+				checkSameFloat(t, "sum", gotSum, wantSum)
+			}
+		}
+	})
+}
+
+// decodeFuzzValue maps 16 fuzzer bits onto the test lattice: mostly small
+// integers (exact under float addition), with dedicated encodings for
+// NaN, ±Inf and signed zero so the fuzzer reaches the edge semantics
+// cheaply.
+func decodeFuzzValue(bits uint16) float64 {
+	switch bits >> 12 {
+	case 0xF:
+		return math.NaN()
+	case 0xE:
+		return math.Inf(1)
+	case 0xD:
+		return math.Inf(-1)
+	case 0xC:
+		return math.Copysign(0, -1)
+	default:
+		return float64(int(bits&0x0FFF) - 2048)
+	}
+}
+
+// finiteWindow reports whether every value in the window is finite.
+func finiteWindow(win []float64) bool {
+	for _, v := range win {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSameFloat asserts bit-level agreement, treating every NaN payload
+// as equal.
+func checkSameFloat(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.IsNaN(got) && math.IsNaN(want) {
+		return
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s = %v (bits %x), want %v (bits %x)",
+			what, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}

@@ -1,0 +1,233 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveFold recomputes the window aggregate by a direct left-to-right
+// fold — the oracle every Agg query is compared against.
+func naiveFold(vs []float64, combine func(a, b float64) float64) float64 {
+	acc := vs[0]
+	for _, v := range vs[1:] {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// TestAggMatchesFoldExhaustive drives every window size from 1 to 33
+// through several stream lengths and checks every query — in particular
+// every flip boundary — against the left-to-right fold, bit for bit, for
+// MAX, MIN and the (min, max) pair. These monoids are exact in floating
+// point, so any grouping agrees with the fold exactly.
+func TestAggMatchesFoldExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for w := 1; w <= 33; w++ {
+		maxAgg, minAgg := NewMaxAgg(w), NewMinAgg(w)
+		mmAgg := NewMinMaxAgg(w)
+		var stream []float64
+		for n := 0; n < 4*w+9; n++ {
+			v := math.Floor(rng.Float64()*200-100) / 4
+			stream = append(stream, v)
+			maxAgg.Push(v)
+			minAgg.Push(v)
+			mmAgg.Push(MinMaxOf(v))
+			if len(stream) < w {
+				if maxAgg.Full() {
+					t.Fatalf("w=%d n=%d: Full before a complete window", w, n)
+				}
+				continue
+			}
+			win := stream[len(stream)-w:]
+			wantMax := naiveFold(win, MaxCombine)
+			wantMin := naiveFold(win, MinCombine)
+			if got := maxAgg.Query(); got != wantMax {
+				t.Fatalf("w=%d n=%d: max %v, want %v", w, n, got, wantMax)
+			}
+			if got := minAgg.Query(); got != wantMin {
+				t.Fatalf("w=%d n=%d: min %v, want %v", w, n, got, wantMin)
+			}
+			if got := mmAgg.Query(); got.Lo != wantMin || got.Hi != wantMax {
+				t.Fatalf("w=%d n=%d: minmax %+v, want [%v, %v]", w, n, got, wantMin, wantMax)
+			}
+		}
+	}
+}
+
+// TestSumAggExactOnIntegers checks the SUM instantiation against the fold
+// on integer-valued streams, where float addition is exact and therefore
+// association-independent: any disagreement is an algorithmic bug, not
+// rounding.
+func TestSumAggExactOnIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{1, 2, 3, 4, 5, 7, 8, 16, 31} {
+		sum := NewSumAgg(w)
+		var stream []float64
+		for n := 0; n < 5*w+7; n++ {
+			v := float64(rng.Intn(2001) - 1000)
+			stream = append(stream, v)
+			sum.Push(v)
+			if len(stream) < w {
+				continue
+			}
+			want := naiveFold(stream[len(stream)-w:], SumCombine)
+			if got := sum.Query(); got != want {
+				t.Fatalf("w=%d n=%d: sum %v, want %v", w, n, got, want)
+			}
+		}
+	}
+}
+
+// TestAggMatchesMonoDeque is the in-package differential against the
+// retained amortized oracle: on finite data the DABA front must equal the
+// monotonic deque's front at every step.
+func TestAggMatchesMonoDeque(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, w := range []int{1, 2, 3, 5, 8, 13, 32} {
+		maxAgg, minAgg := NewMaxAgg(w), NewMinAgg(w)
+		maxDq, minDq := NewMaxDeque(), NewMinDeque()
+		for n := 0; n < 6*w+11; n++ {
+			v := rng.NormFloat64()
+			maxAgg.Push(v)
+			minAgg.Push(v)
+			tm := int64(n)
+			maxDq.Push(tm, v)
+			minDq.Push(tm, v)
+			maxDq.Expire(tm - int64(w) + 1)
+			minDq.Expire(tm - int64(w) + 1)
+			if !maxAgg.Full() {
+				continue
+			}
+			if got, want := maxAgg.Query(), maxDq.Front(); got != want {
+				t.Fatalf("w=%d n=%d: DABA max %v, deque %v", w, n, got, want)
+			}
+			if got, want := minAgg.Query(), minDq.Front(); got != want {
+				t.Fatalf("w=%d n=%d: DABA min %v, deque %v", w, n, got, want)
+			}
+		}
+	}
+}
+
+// TestAggNonFinite pins the documented non-finite semantics: ±Inf behaves
+// as an ordinary ordered value and NaN is sticky for exactly one full
+// window after it arrives.
+func TestAggNonFinite(t *testing.T) {
+	w := 4
+	maxAgg := NewMaxAgg(w)
+	feed := []float64{1, math.Inf(1), 2, 3, 4, 5, math.NaN(), 6, 7, 8, 9, 10}
+	var stream []float64
+	for _, v := range feed {
+		maxAgg.Push(v)
+		stream = append(stream, v)
+		if !maxAgg.Full() {
+			continue
+		}
+		want := naiveFold(stream[len(stream)-w:], MaxCombine)
+		got := maxAgg.Query()
+		if math.IsNaN(want) != math.IsNaN(got) {
+			t.Fatalf("after %v: NaN-ness %v, want %v", v, got, want)
+		}
+		if !math.IsNaN(want) && got != want {
+			t.Fatalf("after %v: max %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestAggSignedZeroTies pins tie-breaking: the earlier operand wins, so a
+// window of mixed signed zeros reports the zero that arrived first —
+// matching a left-to-right fold (and aggregate.Func.Eval) bit for bit.
+func TestAggSignedZeroTies(t *testing.T) {
+	neg := math.Copysign(0, -1)
+	for _, tc := range []struct {
+		feed []float64
+		want float64 // expected max of the final window of 3
+	}{
+		{[]float64{neg, 0, 0}, neg},
+		{[]float64{0, neg, neg}, 0},
+	} {
+		agg := NewMaxAgg(3)
+		for _, v := range tc.feed {
+			agg.Push(v)
+		}
+		if got := agg.Query(); math.Signbit(got) != math.Signbit(tc.want) {
+			t.Fatalf("feed %v: max signbit %v, want %v", tc.feed, got, tc.want)
+		}
+	}
+}
+
+// TestAggSeededFromHistory checks the recovery pattern the watcher relies
+// on: an aggregator freshly fed only the last w values answers exactly
+// like one that saw the whole stream — block alignment is internal and
+// cannot leak into results.
+func TestAggSeededFromHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, w := range []int{1, 2, 5, 16, 27} {
+		full := NewMaxAgg(w)
+		var stream []float64
+		for n := 0; n < 3*w+5; n++ {
+			v := rng.NormFloat64()
+			stream = append(stream, v)
+			full.Push(v)
+		}
+		seeded := NewMaxAgg(w)
+		for _, v := range stream[len(stream)-w:] {
+			seeded.Push(v)
+		}
+		if !seeded.Full() {
+			t.Fatalf("w=%d: seeded aggregator not full after %d values", w, w)
+		}
+		if got, want := seeded.Query(), full.Query(); got != want {
+			t.Fatalf("w=%d: seeded %v, continuous %v", w, got, want)
+		}
+	}
+}
+
+// TestAggQueryPanicsBeforeFull pins the warm-up contract.
+func TestAggQueryPanicsBeforeFull(t *testing.T) {
+	agg := NewSumAgg(3)
+	agg.Push(1)
+	agg.Push(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Query on a partial window did not panic")
+		}
+	}()
+	agg.Query()
+}
+
+// TestNewAggPanicsOnBadWindow pins the constructor contract.
+func TestNewAggPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAgg(0) did not panic")
+		}
+	}()
+	NewAgg[float64](0, SumCombine)
+}
+
+// BenchmarkAggPush measures the flat per-arrival cost of the DABA path
+// against the amortized deque (whose occasional O(w) expiry sweeps hide
+// inside the mean but dominate the tail).
+func BenchmarkAggPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]float64, 4096)
+	for i := range vs {
+		vs[i] = rng.NormFloat64()
+	}
+	b.Run("daba-w256", func(b *testing.B) {
+		agg := NewMaxAgg(256)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			agg.Push(vs[i%len(vs)])
+		}
+	})
+	b.Run("monodeque-w256", func(b *testing.B) {
+		dq := NewMaxDeque()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dq.Push(int64(i), vs[i%len(vs)])
+			dq.Expire(int64(i) - 255)
+		}
+	})
+}

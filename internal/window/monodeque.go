@@ -3,6 +3,12 @@ package window
 // MonoDeque is a monotonic deque supporting O(1) amortized sliding-window
 // maximum (descending mode) or minimum. Values are pushed with their
 // discrete time; entries outside the window are dropped with Expire.
+//
+// The hot paths now run on Agg (worst-case O(1); the amortized deque's
+// occasional O(w) sweeps land exactly under burst load). MonoDeque is
+// retained as the differential oracle the Agg tests and FuzzDABAParity
+// compare against — an independent implementation with a long history in
+// this repo makes disagreements meaningful.
 type MonoDeque struct {
 	desc  bool
 	times []int64

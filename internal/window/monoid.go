@@ -1,0 +1,77 @@
+package window
+
+import "math"
+
+// This file instantiates the Agg monoids Stardust's aggregate transforms
+// need: SUM, MAX, MIN and the joint (min, max) pair behind SPREAD. The
+// comparison combines are written to match a direct left-to-right fold of
+// internal/aggregate.Func.Eval bit for bit — same tie-breaking (the
+// earlier value wins, so signed zeros are reproduced) — which is what
+// makes swapping Agg in behind existing call sites byte-identical for
+// MAX, MIN and SPREAD. NaNs are sticky: any NaN operand yields NaN, so
+// results are independent of grouping even on non-finite inputs.
+
+// MaxCombine is the MAX monoid: the larger operand, the earlier on ties
+// (reproducing Eval's fold exactly, including −0 vs +0), NaN if either
+// operand is NaN.
+func MaxCombine(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// MinCombine is the MIN monoid: the smaller operand, the earlier on ties,
+// NaN if either operand is NaN.
+func MinCombine(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// SumCombine is the SUM monoid. Float addition is associative only up to
+// rounding, so a SumAgg query can differ from a left-to-right fold in the
+// last ulp; call sites that pin byte-identical output against a direct
+// recomputation (the aggregate-watch verification path) must keep the
+// fold for SUM — see DESIGN.md, "Sliding-window aggregation".
+func SumCombine(a, b float64) float64 { return a + b }
+
+// MinMax is the joint (min, max) feature SPREAD aggregates: carrying the
+// pair is what lets window halves merge exactly (Lemma 4.1), and the
+// scalar spread Hi−Lo is derived only at the end.
+type MinMax struct {
+	Lo, Hi float64
+}
+
+// MinMaxOf lifts a single value into the (min, max) monoid.
+func MinMaxOf(v float64) MinMax { return MinMax{Lo: v, Hi: v} }
+
+// Spread returns the scalar spread Hi − Lo.
+func (m MinMax) Spread() float64 { return m.Hi - m.Lo }
+
+// MinMaxCombine combines two (min, max) pairs component-wise under
+// MinCombine and MaxCombine.
+func MinMaxCombine(a, b MinMax) MinMax {
+	return MinMax{Lo: MinCombine(a.Lo, b.Lo), Hi: MaxCombine(a.Hi, b.Hi)}
+}
+
+// NewMaxAgg returns a worst-case O(1) sliding MAX over windows of size w.
+func NewMaxAgg(w int) *Agg[float64] { return NewAgg(w, MaxCombine) }
+
+// NewMinAgg returns a worst-case O(1) sliding MIN over windows of size w.
+func NewMinAgg(w int) *Agg[float64] { return NewAgg(w, MinCombine) }
+
+// NewSumAgg returns a worst-case O(1) sliding SUM over windows of size w.
+// See SumCombine for the floating-point association contract.
+func NewSumAgg(w int) *Agg[float64] { return NewAgg(w, SumCombine) }
+
+// NewMinMaxAgg returns a worst-case O(1) sliding (min, max) pair over
+// windows of size w — the aggregator behind SPREAD.
+func NewMinMaxAgg(w int) *Agg[MinMax] { return NewAgg(w, MinMaxCombine) }

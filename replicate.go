@@ -116,6 +116,7 @@ func (s *SafeWatcher) Promote(log *wal.Log) error {
 // them. The guard and the WAL are bypassed exactly as in replay.
 func (w *Watcher) applyReplicated(stream int, v float64) ([]Event, error) {
 	w.mon.sum.Append(stream, v)
+	w.feedAggs(stream, v)
 	return w.evaluate(stream, w.mon.Now(stream))
 }
 

@@ -489,8 +489,17 @@ func (m *Monitor) NumStreams() int { return m.sum.NumStreams() }
 // threshold, verified against raw history. The window must be a multiple
 // of W decomposable within the configured levels.
 func (m *Monitor) CheckAggregate(stream, window int, threshold float64) (AggregateResult, error) {
+	return m.checkAggregateVerified(stream, window, threshold, nil)
+}
+
+// checkAggregateVerified is CheckAggregate with a caller-supplied exact
+// verifier (see core.Summary.AggregateQueryVerified) — the watcher's
+// worst-case O(1) verification path. Metrics accounting is identical to
+// CheckAggregate: candidates and verified alarms count the same whichever
+// verifier answered.
+func (m *Monitor) checkAggregateVerified(stream, window int, threshold float64, exact func() (float64, bool)) (AggregateResult, error) {
 	start := time.Now()
-	res, err := m.sum.AggregateQuery(stream, window, threshold)
+	res, err := m.sum.AggregateQueryVerified(stream, window, threshold, exact)
 	cand, verified := 0, 0
 	if res.Candidate {
 		cand = 1

@@ -6,8 +6,10 @@ import (
 	"math"
 	"time"
 
+	"stardust/internal/aggregate"
 	"stardust/internal/core"
 	"stardust/internal/obs"
+	"stardust/internal/window"
 )
 
 // ErrBadWatch marks a standing-query registration rejected for
@@ -76,6 +78,64 @@ type aggWatch struct {
 	threshold float64
 	edge      bool
 	firing    bool
+	// agg maintains the watch window's (min, max) pair with worst-case
+	// O(1) arrivals (internal/window.Agg, DABA) so candidate verification
+	// needs no O(w) rescan of raw history — the rescan would land exactly
+	// under the burst load the watch exists to catch. It stays nil when
+	// the summary aggregate is SUM (float addition is
+	// association-sensitive, so byte-identical verification keeps the
+	// left-to-right fold, which the running-bound path already makes
+	// cheap) or when retained history cannot serve the window (keeping
+	// the fold path's error behavior identical). The comparison monoids
+	// are bit-identical to the fold by construction, so enabling the
+	// aggregator never changes a verified value — see DESIGN.md,
+	// "Sliding-window aggregation".
+	agg *window.Agg[window.MinMax]
+	fn  aggregate.Func
+	// exactFn is the bound exact-verifier closure handed to
+	// checkAggregateVerified, created once at install (nil when agg is).
+	exactFn func() (float64, bool)
+}
+
+// exactNow answers the exact window aggregate from the DABA verifier, or
+// ok=false when it is absent or not yet full (callers fall back to the
+// fold over raw history).
+func (a *aggWatch) exactNow() (float64, bool) {
+	if a.agg == nil || !a.agg.Full() {
+		return 0, false
+	}
+	mm := a.agg.Query()
+	switch a.fn {
+	case aggregate.Max:
+		return mm.Hi, true
+	case aggregate.Min:
+		return mm.Lo, true
+	case aggregate.Spread:
+		return mm.Spread(), true
+	}
+	return 0, false
+}
+
+// reseed rebuilds the DABA verifier from the retained suffix of raw
+// history — the recovery pattern: an aggregator fed only the most recent
+// values answers exactly like one that saw the whole stream, so snapshot
+// restore and replica bootstrap re-derive verifier state the same way
+// they re-derive edge state.
+func (a *aggWatch) reseed(hist *window.History) {
+	if a.agg == nil {
+		return
+	}
+	a.agg = window.NewMinMaxAgg(a.window)
+	t := hist.Now()
+	lo := t - int64(a.window) + 1
+	if ot := hist.OldestTime(); lo < ot {
+		lo = ot
+	}
+	for tt := lo; tt <= t; tt++ {
+		if v, ok := hist.At(tt); ok {
+			a.agg.Push(window.MinMaxOf(v))
+		}
+	}
 }
 
 // matchKey identifies a reported pattern match for deduplication.
@@ -141,17 +201,17 @@ func (w *Watcher) Monitor() *Monitor { return w.mon }
 // edgeTriggered, events fire only on quiet→alarm transitions (plus a
 // cleared event on alarm→quiet); otherwise every alarming time step emits
 // an event. The watch id identifies events.
-func (w *Watcher) WatchAggregate(stream, window int, threshold float64, edgeTriggered bool) (int, error) {
+func (w *Watcher) WatchAggregate(stream, win int, threshold float64, edgeTriggered bool) (int, error) {
 	if stream < 0 || stream >= w.mon.NumStreams() {
 		return 0, fmt.Errorf("stardust: %w: stream %d out of range [0, %d)", ErrBadWatch, stream, w.mon.NumStreams())
 	}
-	if window <= 0 {
-		return 0, fmt.Errorf("stardust: %w: aggregate window must be positive (got %d)", ErrBadWatch, window)
+	if win <= 0 {
+		return 0, fmt.Errorf("stardust: %w: aggregate window must be positive (got %d)", ErrBadWatch, win)
 	}
 	if math.IsNaN(threshold) {
 		return 0, fmt.Errorf("stardust: %w: aggregate threshold is NaN", ErrBadWatch)
 	}
-	if _, err := w.mon.Summary().Config().DecomposeWindow(window); err != nil {
+	if _, err := w.mon.Summary().Config().DecomposeWindow(win); err != nil {
 		return 0, fmt.Errorf("stardust: %w: %v", ErrBadWatch, err)
 	}
 	// An aggregate bound needs SUM sub-window extents; on a DWT summary
@@ -161,9 +221,17 @@ func (w *Watcher) WatchAggregate(stream, window int, threshold float64, edgeTrig
 	}
 	id := w.nextID
 	w.nextID++
-	w.aggs = append(w.aggs, &aggWatch{
-		id: id, stream: stream, window: window, threshold: threshold, edge: edgeTriggered,
-	})
+	a := &aggWatch{
+		id: id, stream: stream, window: win, threshold: threshold, edge: edgeTriggered,
+	}
+	sum := w.mon.Summary()
+	if f := sum.AggregateFunc(); f != aggregate.Sum && win <= sum.History(stream).Cap() {
+		a.fn = f
+		a.agg = window.NewMinMaxAgg(win)
+		a.reseed(sum.History(stream))
+		a.exactFn = a.exactNow
+	}
+	w.aggs = append(w.aggs, a)
 	wm := w.watchMetrics()
 	wm.ActiveAggregate.Add(1)
 	wm.Installs.Inc()
@@ -297,7 +365,37 @@ func (w *Watcher) Push(stream int, v float64) ([]Event, error) {
 	if err := w.mon.Ingest(stream, v); err != nil {
 		return nil, err
 	}
+	w.feedAggsFromHistory(stream)
 	return w.evaluateInstrumented(stream, w.mon.Now(stream))
+}
+
+// feedAggs advances the stream's standing-aggregate verifiers with one
+// already-admitted value — worst-case O(1) per watch.
+func (w *Watcher) feedAggs(stream int, v float64) {
+	mm := window.MinMaxOf(v)
+	for _, a := range w.aggs {
+		if a.agg != nil && a.stream == stream {
+			a.agg.Push(mm)
+		}
+	}
+}
+
+// feedAggsFromHistory feeds the verifiers with the value the guard
+// actually admitted — repair policies may rewrite the caller's value, and
+// the verifier must see exactly what the summary appended. The admitted
+// value is read back from raw history, and only when some watch needs it.
+func (w *Watcher) feedAggsFromHistory(stream int) {
+	for _, a := range w.aggs {
+		if a.agg == nil || a.stream != stream {
+			continue
+		}
+		v, ok := w.mon.Summary().History(stream).At(w.mon.Now(stream))
+		if !ok {
+			return
+		}
+		w.feedAggs(stream, v)
+		return
+	}
 }
 
 // evaluateInstrumented wraps one live evaluation pass with the
@@ -336,6 +434,7 @@ func (w *Watcher) evaluateInstrumented(stream int, t int64) ([]Event, error) {
 // live push's partial-event contract already delivered them pre-crash.
 func (w *Watcher) replaySample(stream int, v float64) {
 	w.mon.sum.Append(stream, v)
+	w.feedAggs(stream, v)
 	_, _ = w.evaluate(stream, w.mon.Now(stream))
 }
 
@@ -352,10 +451,14 @@ func (w *Watcher) replaySample(stream int, v float64) {
 // pre-crash run had not reported them yet, and the next tick will.
 func (w *Watcher) primeRecovery() {
 	for _, a := range w.aggs {
+		// The monitor's state may have been replaced wholesale (replica
+		// bootstrap), so the DABA verifier is rebuilt from the restored
+		// history before the alarm status is re-derived.
+		a.reseed(w.mon.Summary().History(a.stream))
 		if w.mon.Now(a.stream) < int64(a.window)-1 {
 			continue
 		}
-		if res, err := w.mon.CheckAggregate(a.stream, a.window, a.threshold); err == nil {
+		if res, err := w.mon.checkAggregateVerified(a.stream, a.window, a.threshold, a.exactFn); err == nil {
 			a.firing = res.Alarm
 		}
 	}
@@ -411,7 +514,7 @@ func (w *Watcher) evaluate(stream int, t int64) ([]Event, error) {
 		if a.stream != stream || t < int64(a.window)-1 {
 			continue
 		}
-		res, err := w.mon.CheckAggregate(a.stream, a.window, a.threshold)
+		res, err := w.mon.checkAggregateVerified(a.stream, a.window, a.threshold, a.exactFn)
 		if err != nil {
 			return events, err
 		}
@@ -423,8 +526,13 @@ func (w *Watcher) evaluate(stream int, t int64) ([]Event, error) {
 			})
 		case !res.Alarm && a.edge && a.firing:
 			a.firing = false
-			exact, err := w.mon.Summary().ExactAggregate(a.stream, a.window)
-			if err == nil {
+			exact, ok := a.exactNow()
+			if !ok {
+				var err error
+				exact, err = w.mon.Summary().ExactAggregate(a.stream, a.window)
+				ok = err == nil
+			}
+			if ok {
 				events = append(events, Event{
 					Kind: EventAggregateCleared, WatchID: a.id, Stream: stream, Time: t, Value: exact,
 				})
